@@ -1,0 +1,128 @@
+//! A database: a set of ground relations with mutually disjoint
+//! schemes (§1.2).
+
+use crate::error::AlgebraError;
+use crate::relation::Relation;
+use std::collections::BTreeMap;
+
+/// A named collection of ground relations.
+///
+/// Scheme disjointness is automatic because every attribute carries its
+/// ground relation as qualifier; the map is keyed by the relation name
+/// a [`crate::Query::Rel`] leaf refers to.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Database {
+    relations: BTreeMap<String, Relation>,
+}
+
+impl Database {
+    /// An empty database.
+    #[must_use]
+    pub fn new() -> Database {
+        Database::default()
+    }
+
+    /// Insert (or replace) a ground relation, keyed by the qualifier of
+    /// its first attribute; empty-schema relations are not supported as
+    /// ground relations.
+    pub fn insert(&mut self, rel: Relation) -> &mut Self {
+        let name = rel
+            .schema()
+            .attrs()
+            .first()
+            .expect("ground relations must have at least one attribute")
+            .rel()
+            .to_owned();
+        self.relations.insert(name, rel);
+        self
+    }
+
+    /// Insert a relation under an explicit name.
+    pub fn insert_named(&mut self, name: impl Into<String>, rel: Relation) -> &mut Self {
+        self.relations.insert(name.into(), rel);
+        self
+    }
+
+    /// Look up a relation.
+    ///
+    /// # Errors
+    /// [`AlgebraError::UnknownRelation`] if absent.
+    pub fn get(&self, name: &str) -> Result<&Relation, AlgebraError> {
+        self.relations
+            .get(name)
+            .ok_or_else(|| AlgebraError::UnknownRelation(name.to_owned()))
+    }
+
+    /// Whether a relation with this name exists.
+    #[must_use]
+    pub fn contains(&self, name: &str) -> bool {
+        self.relations.contains_key(name)
+    }
+
+    /// Names of all relations, sorted.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.relations.keys().map(String::as_str)
+    }
+
+    /// Iterate over `(name, relation)` pairs, sorted by name.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Relation)> {
+        self.relations.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Number of relations.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// Whether the database holds no relations.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.relations.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_keys_by_qualifier() {
+        let mut db = Database::new();
+        db.insert(Relation::from_ints("Emp", &["id"], &[&[1]]));
+        assert!(db.contains("Emp"));
+        assert_eq!(db.get("Emp").unwrap().len(), 1);
+        assert!(matches!(
+            db.get("Dept"),
+            Err(AlgebraError::UnknownRelation(_))
+        ));
+    }
+
+    #[test]
+    fn insert_named_overrides_key() {
+        let mut db = Database::new();
+        db.insert_named("Alias", Relation::from_ints("R", &["a"], &[]));
+        assert!(db.contains("Alias"));
+        assert!(!db.contains("R"));
+    }
+
+    #[test]
+    fn names_sorted() {
+        let mut db = Database::new();
+        db.insert(Relation::from_ints("B", &["x"], &[]));
+        db.insert(Relation::from_ints("A", &["y"], &[]));
+        let names: Vec<&str> = db.names().collect();
+        assert_eq!(names, vec!["A", "B"]);
+        assert_eq!(db.len(), 2);
+        assert!(!db.is_empty());
+    }
+
+    #[test]
+    fn reinsert_replaces() {
+        let mut db = Database::new();
+        db.insert(Relation::from_ints("R", &["a"], &[&[1]]));
+        db.insert(Relation::from_ints("R", &["a"], &[&[1], &[2]]));
+        assert_eq!(db.get("R").unwrap().len(), 2);
+        assert_eq!(db.len(), 1);
+    }
+}

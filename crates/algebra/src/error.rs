@@ -1,0 +1,103 @@
+//! Error type for the algebra kernel.
+
+use std::fmt;
+
+/// Errors raised by schema construction, expression evaluation and the
+/// join-like operators.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AlgebraError {
+    /// A schema listed the same attribute twice.
+    DuplicateAttr(String),
+    /// A generic join was applied to operands with overlapping schemes
+    /// (violates the paper's §2.1 convention).
+    SchemasOverlap,
+    /// A query referenced a relation the database does not contain.
+    UnknownRelation(String),
+    /// A predicate referenced an attribute absent from the tuple scheme
+    /// it was evaluated against.
+    UnknownAttr {
+        /// The missing attribute (as `rel.attr`).
+        attr: String,
+        /// The scheme it was resolved against.
+        schema: String,
+    },
+    /// A projection listed an attribute the input does not produce.
+    BadProjection(String),
+    /// `GOJ[S]` was given a subset `S` not contained in `sch(R1)`.
+    BadGojSubset(String),
+    /// Union operands could not be reconciled (shared attribute with
+    /// conflicting provenance is impossible by construction, but
+    /// arity/shape errors funnel here).
+    BadUnion(String),
+    /// A relation row had the wrong arity for its schema.
+    BadArity {
+        /// Expected number of columns.
+        expected: usize,
+        /// Number of values supplied.
+        got: usize,
+    },
+}
+
+impl fmt::Display for AlgebraError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AlgebraError::DuplicateAttr(a) => write!(f, "duplicate attribute `{a}` in schema"),
+            AlgebraError::SchemasOverlap => {
+                write!(
+                    f,
+                    "join operands must have disjoint schemes (paper §2.1 convention)"
+                )
+            }
+            AlgebraError::UnknownRelation(r) => write!(f, "unknown relation `{r}`"),
+            AlgebraError::UnknownAttr { attr, schema } => {
+                write!(f, "attribute `{attr}` not found in scheme {schema}")
+            }
+            AlgebraError::BadProjection(a) => {
+                write!(f, "projection attribute `{a}` not produced by input")
+            }
+            AlgebraError::BadGojSubset(a) => {
+                write!(f, "GOJ subset attribute `{a}` is not in sch(R1)")
+            }
+            AlgebraError::BadUnion(m) => write!(f, "bad union: {m}"),
+            AlgebraError::BadArity { expected, got } => {
+                write!(f, "row arity {got} does not match schema arity {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AlgebraError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        assert!(AlgebraError::DuplicateAttr("R.a".into())
+            .to_string()
+            .contains("R.a"));
+        assert!(AlgebraError::SchemasOverlap
+            .to_string()
+            .contains("disjoint"));
+        assert!(AlgebraError::UnknownRelation("X".into())
+            .to_string()
+            .contains("X"));
+        let e = AlgebraError::UnknownAttr {
+            attr: "R.a".into(),
+            schema: "(S.b)".into(),
+        };
+        assert!(e.to_string().contains("R.a") && e.to_string().contains("(S.b)"));
+        let e = AlgebraError::BadArity {
+            expected: 2,
+            got: 3,
+        };
+        assert!(e.to_string().contains('2') && e.to_string().contains('3'));
+    }
+
+    #[test]
+    fn error_trait_object_compatible() {
+        let e: Box<dyn std::error::Error> = Box::new(AlgebraError::SchemasOverlap);
+        assert!(!e.to_string().is_empty());
+    }
+}

@@ -1,0 +1,653 @@
+//! Query expressions: operator trees with a bottom-up evaluation rule
+//! (§1.2: "A query is an expression over operators in a relational
+//! algebra ... The result of a query Q is denoted eval(Q)").
+//!
+//! These trees are exactly the objects the paper calls *implementing
+//! trees* when paired with a query graph (`graph(Q) = G`); the
+//! `fro-graph` and `fro-trees` crates build on this type.
+
+use crate::database::Database;
+use crate::error::AlgebraError;
+use crate::ops;
+use crate::predicate::Pred;
+use crate::relation::Relation;
+use crate::schema::Attr;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// An algebraic query expression.
+///
+/// Join-like binary operators follow the paper's orientation: in
+/// [`Query::OuterJoin`] the **left** operand is the preserved relation
+/// and the right operand is null-supplied (`left → right`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Query {
+    /// A ground relation (leaf).
+    Rel(String),
+    /// Regular join `left − right` on `pred`.
+    Join {
+        /// Left operand.
+        left: Box<Query>,
+        /// Right operand.
+        right: Box<Query>,
+        /// Join predicate.
+        pred: Pred,
+    },
+    /// Left outerjoin `left → right` on `pred` (left preserved).
+    OuterJoin {
+        /// Preserved operand.
+        left: Box<Query>,
+        /// Null-supplied operand.
+        right: Box<Query>,
+        /// Outerjoin predicate.
+        pred: Pred,
+    },
+    /// Two-sided (full) outerjoin `left ↔ right` on `pred`.
+    FullOuterJoin {
+        /// Left operand.
+        left: Box<Query>,
+        /// Right operand.
+        right: Box<Query>,
+        /// Outerjoin predicate.
+        pred: Pred,
+    },
+    /// Antijoin `left ▷ right` on `pred`.
+    AntiJoin {
+        /// Left operand (result scheme).
+        left: Box<Query>,
+        /// Right operand.
+        right: Box<Query>,
+        /// Antijoin predicate.
+        pred: Pred,
+    },
+    /// Semijoin on `pred`.
+    SemiJoin {
+        /// Left operand (result scheme).
+        left: Box<Query>,
+        /// Right operand.
+        right: Box<Query>,
+        /// Semijoin predicate.
+        pred: Pred,
+    },
+    /// Restriction `σ[pred](input)`.
+    Restrict {
+        /// Input expression.
+        input: Box<Query>,
+        /// Restriction predicate.
+        pred: Pred,
+    },
+    /// Duplicate-removing projection `π[attrs](input)`.
+    Project {
+        /// Input expression.
+        input: Box<Query>,
+        /// Output attributes.
+        attrs: Vec<Attr>,
+    },
+    /// Union with the §2.1 padding convention.
+    Union {
+        /// Left operand.
+        left: Box<Query>,
+        /// Right operand.
+        right: Box<Query>,
+    },
+    /// Group by `group_attrs` and count rows with a non-null `counted`
+    /// attribute (all rows when `None`) — the \[MURA89\] Count
+    /// motivation from §1.1.
+    GroupCount {
+        /// Input expression.
+        input: Box<Query>,
+        /// Grouping attributes.
+        group_attrs: Vec<Attr>,
+        /// Attribute whose non-null occurrences are counted.
+        counted: Option<Attr>,
+    },
+    /// Generalized outerjoin `left GOJ[subset] right` on `pred` (§6.2).
+    Goj {
+        /// Left operand (`R1`).
+        left: Box<Query>,
+        /// Right operand (`R2`).
+        right: Box<Query>,
+        /// Join predicate.
+        pred: Pred,
+        /// The projection subset `S ⊆ sch(R1)`.
+        subset: Vec<Attr>,
+    },
+}
+
+impl Query {
+    /// A ground-relation leaf.
+    #[must_use]
+    pub fn rel(name: impl Into<String>) -> Query {
+        Query::Rel(name.into())
+    }
+
+    /// `self − other` (regular join).
+    #[must_use]
+    pub fn join(self, other: Query, pred: Pred) -> Query {
+        Query::Join {
+            left: Box::new(self),
+            right: Box::new(other),
+            pred,
+        }
+    }
+
+    /// `self → other` (left outerjoin; `self` preserved).
+    #[must_use]
+    pub fn outerjoin(self, other: Query, pred: Pred) -> Query {
+        Query::OuterJoin {
+            left: Box::new(self),
+            right: Box::new(other),
+            pred,
+        }
+    }
+
+    /// `self ↔ other` (two-sided outerjoin).
+    #[must_use]
+    pub fn full_outerjoin(self, other: Query, pred: Pred) -> Query {
+        Query::FullOuterJoin {
+            left: Box::new(self),
+            right: Box::new(other),
+            pred,
+        }
+    }
+
+    /// `self ▷ other` (antijoin).
+    #[must_use]
+    pub fn antijoin(self, other: Query, pred: Pred) -> Query {
+        Query::AntiJoin {
+            left: Box::new(self),
+            right: Box::new(other),
+            pred,
+        }
+    }
+
+    /// Semijoin.
+    #[must_use]
+    pub fn semijoin(self, other: Query, pred: Pred) -> Query {
+        Query::SemiJoin {
+            left: Box::new(self),
+            right: Box::new(other),
+            pred,
+        }
+    }
+
+    /// `σ[pred](self)`.
+    #[must_use]
+    pub fn restrict(self, pred: Pred) -> Query {
+        Query::Restrict {
+            input: Box::new(self),
+            pred,
+        }
+    }
+
+    /// `π[attrs](self)` (duplicates removed).
+    #[must_use]
+    pub fn project(self, attrs: Vec<Attr>) -> Query {
+        Query::Project {
+            input: Box::new(self),
+            attrs,
+        }
+    }
+
+    /// `self ∪ other` with padding.
+    #[must_use]
+    pub fn union(self, other: Query) -> Query {
+        Query::Union {
+            left: Box::new(self),
+            right: Box::new(other),
+        }
+    }
+
+    /// Group-count over `self`.
+    #[must_use]
+    pub fn group_count(self, group_attrs: Vec<Attr>, counted: Option<Attr>) -> Query {
+        Query::GroupCount {
+            input: Box::new(self),
+            group_attrs,
+            counted,
+        }
+    }
+
+    /// `self GOJ[subset] other` on `pred`.
+    #[must_use]
+    pub fn goj(self, other: Query, pred: Pred, subset: Vec<Attr>) -> Query {
+        Query::Goj {
+            left: Box::new(self),
+            right: Box::new(other),
+            pred,
+            subset,
+        }
+    }
+
+    /// Bottom-up evaluation against a database — the paper's `eval(Q)`.
+    ///
+    /// # Errors
+    /// Any operator/schema error from the algebra kernel.
+    pub fn eval(&self, db: &Database) -> Result<Relation, AlgebraError> {
+        match self {
+            Query::Rel(name) => db.get(name).cloned(),
+            Query::Join { left, right, pred } => ops::join(&left.eval(db)?, &right.eval(db)?, pred),
+            Query::OuterJoin { left, right, pred } => {
+                ops::outerjoin(&left.eval(db)?, &right.eval(db)?, pred)
+            }
+            Query::FullOuterJoin { left, right, pred } => {
+                ops::full_outerjoin(&left.eval(db)?, &right.eval(db)?, pred)
+            }
+            Query::AntiJoin { left, right, pred } => {
+                ops::antijoin(&left.eval(db)?, &right.eval(db)?, pred)
+            }
+            Query::SemiJoin { left, right, pred } => {
+                ops::semijoin(&left.eval(db)?, &right.eval(db)?, pred)
+            }
+            Query::Restrict { input, pred } => ops::restrict(&input.eval(db)?, pred),
+            Query::GroupCount {
+                input,
+                group_attrs,
+                counted,
+            } => ops::group_count(&input.eval(db)?, group_attrs, counted.as_ref()),
+            Query::Project { input, attrs } => ops::project(&input.eval(db)?, attrs, true),
+            Query::Union { left, right } => ops::union(&left.eval(db)?, &right.eval(db)?),
+            Query::Goj {
+                left,
+                right,
+                pred,
+                subset,
+            } => ops::goj(&left.eval(db)?, &right.eval(db)?, pred, subset),
+        }
+    }
+
+    /// The ground relations mentioned, in leaf order (with repeats, if
+    /// any — a well-formed query per §1.2 uses each relation once).
+    #[must_use]
+    pub fn leaves(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.collect_leaves(&mut out);
+        out
+    }
+
+    fn collect_leaves(&self, out: &mut Vec<String>) {
+        match self {
+            Query::Rel(n) => out.push(n.clone()),
+            Query::Join { left, right, .. }
+            | Query::OuterJoin { left, right, .. }
+            | Query::FullOuterJoin { left, right, .. }
+            | Query::AntiJoin { left, right, .. }
+            | Query::SemiJoin { left, right, .. }
+            | Query::Union { left, right }
+            | Query::Goj { left, right, .. } => {
+                left.collect_leaves(out);
+                right.collect_leaves(out);
+            }
+            Query::Restrict { input, .. }
+            | Query::Project { input, .. }
+            | Query::GroupCount { input, .. } => {
+                input.collect_leaves(out);
+            }
+        }
+    }
+
+    /// The set of ground relations mentioned.
+    #[must_use]
+    pub fn rels(&self) -> BTreeSet<String> {
+        self.leaves().into_iter().collect()
+    }
+
+    /// Whether each ground relation appears exactly once (§1.2
+    /// assumption for query graphs).
+    #[must_use]
+    pub fn relations_distinct(&self) -> bool {
+        let leaves = self.leaves();
+        leaves.iter().collect::<BTreeSet<_>>().len() == leaves.len()
+    }
+
+    /// Whether the expression uses only `Join` / `OuterJoin` internal
+    /// nodes — the fragment for which query graphs are defined (§1.2).
+    #[must_use]
+    pub fn is_join_outerjoin(&self) -> bool {
+        match self {
+            Query::Rel(_) => true,
+            Query::Join { left, right, .. } | Query::OuterJoin { left, right, .. } => {
+                left.is_join_outerjoin() && right.is_join_outerjoin()
+            }
+            _ => false,
+        }
+    }
+
+    /// Immediate children.
+    #[must_use]
+    pub fn children(&self) -> Vec<&Query> {
+        match self {
+            Query::Rel(_) => vec![],
+            Query::Join { left, right, .. }
+            | Query::OuterJoin { left, right, .. }
+            | Query::FullOuterJoin { left, right, .. }
+            | Query::AntiJoin { left, right, .. }
+            | Query::SemiJoin { left, right, .. }
+            | Query::Union { left, right }
+            | Query::Goj { left, right, .. } => vec![left, right],
+            Query::Restrict { input, .. }
+            | Query::Project { input, .. }
+            | Query::GroupCount { input, .. } => vec![input],
+        }
+    }
+
+    /// The predicate at this node, if it is a predicated operator.
+    #[must_use]
+    pub fn pred(&self) -> Option<&Pred> {
+        match self {
+            Query::Join { pred, .. }
+            | Query::OuterJoin { pred, .. }
+            | Query::FullOuterJoin { pred, .. }
+            | Query::AntiJoin { pred, .. }
+            | Query::SemiJoin { pred, .. }
+            | Query::Restrict { pred, .. }
+            | Query::Goj { pred, .. } => Some(pred),
+            _ => None,
+        }
+    }
+
+    /// Total number of nodes.
+    #[must_use]
+    pub fn size(&self) -> usize {
+        1 + self.children().iter().map(|c| c.size()).sum::<usize>()
+    }
+
+    /// Height of the tree (a leaf has depth 1).
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        1 + self.children().iter().map(|c| c.depth()).max().unwrap_or(0)
+    }
+
+    /// Paper-style rendering with explicit parentheses, e.g.
+    /// `(R1 − (R2 → R3))`.
+    #[must_use]
+    pub fn paper_notation(&self) -> String {
+        fn go(q: &Query, out: &mut String) {
+            match q {
+                Query::Rel(n) => out.push_str(n),
+                Query::Join { left, right, pred } => binop(out, left, right, "−", pred),
+                Query::OuterJoin { left, right, pred } => binop(out, left, right, "→", pred),
+                Query::FullOuterJoin { left, right, pred } => binop(out, left, right, "↔", pred),
+                Query::AntiJoin { left, right, pred } => binop(out, left, right, "▷", pred),
+                Query::SemiJoin { left, right, pred } => binop(out, left, right, "⋉", pred),
+                Query::Restrict { input, pred } => {
+                    out.push_str(&format!("σ[{pred}]("));
+                    go(input, out);
+                    out.push(')');
+                }
+                Query::Project { input, attrs } => {
+                    let names: Vec<String> = attrs.iter().map(ToString::to_string).collect();
+                    out.push_str(&format!("π[{}](", names.join(",")));
+                    go(input, out);
+                    out.push(')');
+                }
+                Query::Union { left, right } => {
+                    out.push('(');
+                    go(left, out);
+                    out.push_str(" ∪ ");
+                    go(right, out);
+                    out.push(')');
+                }
+                Query::GroupCount {
+                    input, group_attrs, ..
+                } => {
+                    let names: Vec<String> = group_attrs.iter().map(ToString::to_string).collect();
+                    out.push_str(&format!("γ[{};count](", names.join(",")));
+                    go(input, out);
+                    out.push(')');
+                }
+                Query::Goj {
+                    left,
+                    right,
+                    pred,
+                    subset,
+                } => {
+                    let names: Vec<String> = subset.iter().map(ToString::to_string).collect();
+                    out.push('(');
+                    go(left, out);
+                    out.push_str(&format!(" GOJ[{}]{{{pred}}} ", names.join(",")));
+                    go(right, out);
+                    out.push(')');
+                }
+            }
+        }
+        fn binop(out: &mut String, l: &Query, r: &Query, sym: &str, pred: &Pred) {
+            out.push('(');
+            go(l, out);
+            out.push_str(&format!(" {sym}{{{pred}}} "));
+            go(r, out);
+            out.push(')');
+        }
+        let mut s = String::new();
+        go(self, &mut s);
+        s
+    }
+
+    /// Compact structural rendering without predicates, e.g.
+    /// `(R1 − (R2 → R3))` — useful in test failure messages.
+    #[must_use]
+    pub fn shape(&self) -> String {
+        fn go(q: &Query, out: &mut String) {
+            match q {
+                Query::Rel(n) => out.push_str(n),
+                Query::Join { left, right, .. } => bin(out, left, right, "−"),
+                Query::OuterJoin { left, right, .. } => bin(out, left, right, "→"),
+                Query::FullOuterJoin { left, right, .. } => bin(out, left, right, "↔"),
+                Query::AntiJoin { left, right, .. } => bin(out, left, right, "▷"),
+                Query::SemiJoin { left, right, .. } => bin(out, left, right, "⋉"),
+                Query::Union { left, right } => bin(out, left, right, "∪"),
+                Query::Goj { left, right, .. } => bin(out, left, right, "GOJ"),
+                Query::Restrict { input, .. } => {
+                    out.push_str("σ(");
+                    go(input, out);
+                    out.push(')');
+                }
+                Query::Project { input, .. } => {
+                    out.push_str("π(");
+                    go(input, out);
+                    out.push(')');
+                }
+                Query::GroupCount { input, .. } => {
+                    out.push_str("γ(");
+                    go(input, out);
+                    out.push(')');
+                }
+            }
+        }
+        fn bin(out: &mut String, l: &Query, r: &Query, sym: &str) {
+            out.push('(');
+            go(l, out);
+            out.push(' ');
+            out.push_str(sym);
+            out.push(' ');
+            go(r, out);
+            out.push(')');
+        }
+        let mut s = String::new();
+        go(self, &mut s);
+        s
+    }
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.paper_notation())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::Pred;
+    use crate::value::Value;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.insert(Relation::from_ints("R1", &["a"], &[&[1]]));
+        db.insert(Relation::from_ints("R2", &["b"], &[&[1], &[2]]));
+        db.insert(Relation::from_ints("R3", &["c"], &[&[2]]));
+        db
+    }
+
+    fn chain_join_oj() -> Query {
+        // R1 −(a=b) (R2 →(b=c) R3)
+        Query::rel("R1").join(
+            Query::rel("R2").outerjoin(Query::rel("R3"), Pred::eq_attr("R2.b", "R3.c")),
+            Pred::eq_attr("R1.a", "R2.b"),
+        )
+    }
+
+    #[test]
+    fn eval_bottom_up() {
+        let out = chain_join_oj().eval(&db()).unwrap();
+        // R2 → R3 = {(1,null), (2,2)}; join with R1(a=1) keeps (1,1,null).
+        assert_eq!(out.len(), 1);
+        assert_eq!(
+            out.rows()[0].values(),
+            &[Value::Int(1), Value::Int(1), Value::Null]
+        );
+    }
+
+    #[test]
+    fn example_1_reassociation_is_equivalent_here() {
+        // (R1 − R2) → R3 must equal R1 − (R2 → R3) on this database
+        // (identity 11 instance with key equijoins).
+        let q1 = chain_join_oj();
+        let q2 = Query::rel("R1")
+            .join(Query::rel("R2"), Pred::eq_attr("R1.a", "R2.b"))
+            .outerjoin(Query::rel("R3"), Pred::eq_attr("R2.b", "R3.c"));
+        let d = db();
+        assert!(q1.eval(&d).unwrap().set_eq(&q2.eval(&d).unwrap()));
+    }
+
+    #[test]
+    fn example_2_non_associativity() {
+        // Paper Example 2: R1 → (R2 − R3)  ≠  (R1 → R2) − R3 when the
+        // R2/R3 pair does not satisfy the join predicate.
+        let mut db = Database::new();
+        db.insert(Relation::from_ints("R1", &["a"], &[&[1]]));
+        db.insert(Relation::from_ints("R2", &["b"], &[&[1]]));
+        db.insert(Relation::from_ints("R3", &["c"], &[&[99]]));
+        let p12 = Pred::eq_attr("R1.a", "R2.b");
+        let p23 = Pred::eq_attr("R2.b", "R3.c");
+        let q1 = Query::rel("R1").outerjoin(
+            Query::rel("R2").join(Query::rel("R3"), p23.clone()),
+            p12.clone(),
+        );
+        let q2 = Query::rel("R1")
+            .outerjoin(Query::rel("R2"), p12)
+            .join(Query::rel("R3"), p23);
+        let r1 = q1.eval(&db).unwrap();
+        let r2 = q2.eval(&db).unwrap();
+        assert_eq!(r1.len(), 1); // (r1, -, -)
+        assert!(r1.rows()[0].get(1).is_null());
+        assert_eq!(r2.len(), 0); // empty set
+        assert!(!r1.set_eq(&r2));
+    }
+
+    #[test]
+    fn leaves_and_rels() {
+        let q = chain_join_oj();
+        assert_eq!(q.leaves(), vec!["R1", "R2", "R3"]);
+        assert!(q.relations_distinct());
+        assert!(q.rels().contains("R2"));
+        let dup = Query::rel("R1").join(Query::rel("R1"), Pred::always());
+        assert!(!dup.relations_distinct());
+    }
+
+    #[test]
+    fn is_join_outerjoin_fragment() {
+        assert!(chain_join_oj().is_join_outerjoin());
+        let with_restrict = chain_join_oj().restrict(Pred::cmp_lit("R1.a", crate::CmpOp::Gt, 0));
+        assert!(!with_restrict.is_join_outerjoin());
+    }
+
+    #[test]
+    fn size_and_depth() {
+        let q = chain_join_oj();
+        assert_eq!(q.size(), 5);
+        assert_eq!(q.depth(), 3);
+        assert_eq!(Query::rel("R").size(), 1);
+        assert_eq!(Query::rel("R").depth(), 1);
+    }
+
+    #[test]
+    fn shape_rendering() {
+        assert_eq!(chain_join_oj().shape(), "(R1 − (R2 → R3))");
+    }
+
+    #[test]
+    fn paper_notation_includes_predicates() {
+        let s = chain_join_oj().paper_notation();
+        assert!(s.contains("R2.b = R3.c"));
+        assert!(s.contains('→'));
+    }
+
+    #[test]
+    fn restrict_project_union_eval() {
+        let d = db();
+        let q = Query::rel("R2")
+            .restrict(Pred::cmp_lit("R2.b", crate::CmpOp::Gt, 1))
+            .project(vec![Attr::parse("R2.b")]);
+        let out = q.eval(&d).unwrap();
+        assert_eq!(out.len(), 1);
+        let u = Query::rel("R1").union(Query::rel("R3")).eval(&d).unwrap();
+        assert_eq!(u.len(), 2);
+        assert_eq!(u.schema().len(), 2);
+    }
+
+    #[test]
+    fn semijoin_antijoin_eval() {
+        let d = db();
+        let sj = Query::rel("R2")
+            .semijoin(Query::rel("R3"), Pred::eq_attr("R2.b", "R3.c"))
+            .eval(&d)
+            .unwrap();
+        assert_eq!(sj.len(), 1);
+        let aj = Query::rel("R2")
+            .antijoin(Query::rel("R3"), Pred::eq_attr("R2.b", "R3.c"))
+            .eval(&d)
+            .unwrap();
+        assert_eq!(aj.len(), 1);
+    }
+
+    #[test]
+    fn goj_eval_through_query() {
+        let d = db();
+        let q = Query::rel("R2").goj(
+            Query::rel("R3"),
+            Pred::eq_attr("R2.b", "R3.c"),
+            vec![Attr::parse("R2.b")],
+        );
+        let out = q.eval(&d).unwrap();
+        assert_eq!(out.len(), 2); // (2,2) joined; (1,-) padded
+    }
+
+    #[test]
+    fn group_count_through_query_eval() {
+        let d = db();
+        let q = Query::rel("R2")
+            .outerjoin(Query::rel("R3"), Pred::eq_attr("R2.b", "R3.c"))
+            .group_count(vec![Attr::parse("R2.b")], Some(Attr::parse("R3.c")));
+        let out = q.eval(&d).unwrap();
+        assert_eq!(out.len(), 2); // groups b=1 (count 0) and b=2 (count 1)
+        assert_eq!(q.shape(), "γ((R2 → R3))");
+        assert!(q.paper_notation().contains("γ["));
+    }
+
+    #[test]
+    fn unknown_relation_error_propagates() {
+        let q = Query::rel("Missing");
+        assert!(matches!(
+            q.eval(&Database::new()),
+            Err(AlgebraError::UnknownRelation(_))
+        ));
+    }
+
+    #[test]
+    fn pred_accessor() {
+        assert!(chain_join_oj().pred().is_some());
+        assert!(Query::rel("R").pred().is_none());
+        assert!(Query::rel("R").union(Query::rel("S")).pred().is_none());
+    }
+}

@@ -1,0 +1,173 @@
+//! The generalized outerjoin `GOJ[S](R1, R2)` of §6.2 (equation 14).
+//!
+//! ```text
+//! GOJ[S](R1,R2) = JN(R1,R2)
+//!               ∪ (π[S](R1) − π[S](JN(R1,R2))) × null_{sch(R1)∪sch(R2)−S}
+//! ```
+//!
+//! i.e. the join, plus the `S`-projections of `R1` tuples whose
+//! `S`-projection did **not** appear in the join, padded with nulls on
+//! all remaining attributes. (`−` here is *set difference*, `π`
+//! duplicate-removing projection, `×` concatenation with a null tuple.)
+//!
+//! `GOJ` refines Dayal's Generalized-Join by omitting unmatched `R1`
+//! tuples whose `S`-projection already appeared in the join; it
+//! generalizes both regular join and outerjoin (`S = sch(R1)` recovers
+//! the outerjoin on duplicate-free inputs — see the unit tests).
+
+use crate::error::AlgebraError;
+use crate::ops::BoundPred;
+use crate::predicate::Pred;
+use crate::relation::Relation;
+use crate::schema::{Attr, Schema};
+use crate::tuple::Tuple;
+use std::collections::HashSet;
+use std::sync::Arc;
+
+/// Compute `GOJ[subset](l, r)` with join predicate `p`.
+///
+/// The paper's identities for GOJ assume duplicate-free relations; our
+/// relations are sets by construction so no extra precondition is
+/// needed here.
+///
+/// # Errors
+/// [`AlgebraError::BadGojSubset`] if `subset ⊄ sch(l)`; otherwise the
+/// same failure modes as [`crate::ops::join`].
+pub fn goj(
+    l: &Relation,
+    r: &Relation,
+    p: &Pred,
+    subset: &[Attr],
+) -> Result<Relation, AlgebraError> {
+    // Validate S ⊆ sch(R1) and precompute its column positions in R1
+    // and in the join output scheme.
+    let mut s_cols_l = Vec::with_capacity(subset.len());
+    for a in subset {
+        s_cols_l.push(
+            l.schema()
+                .index_of(a)
+                .ok_or_else(|| AlgebraError::BadGojSubset(a.to_string()))?,
+        );
+    }
+
+    let out_schema = Arc::new(l.schema().concat(r.schema())?);
+    let bound = BoundPred::bind(p, &out_schema)?;
+
+    let mut rows = Vec::new();
+    let mut row_set: HashSet<Tuple> = HashSet::new();
+    // S-projections that appear in the join.
+    let mut joined_s: HashSet<Tuple> = HashSet::new();
+    for lt in l {
+        for rt in r {
+            let cat = lt.concat(rt);
+            if bound.eval(&cat).is_true() {
+                joined_s.insert(lt.project(&s_cols_l));
+                if row_set.insert(cat.clone()) {
+                    rows.push(cat);
+                }
+            }
+        }
+    }
+
+    // π[S](R1) − π[S](JN): pad each missing S-projection with nulls on
+    // every non-S attribute of the output scheme.
+    let s_schema = Schema::new(subset.to_vec())?;
+    let mut emitted: HashSet<Tuple> = HashSet::new();
+    for lt in l {
+        let s_proj = lt.project(&s_cols_l);
+        if joined_s.contains(&s_proj) || !emitted.insert(s_proj.clone()) {
+            continue;
+        }
+        let padded = s_proj.pad(&s_schema, &out_schema);
+        if row_set.insert(padded.clone()) {
+            rows.push(padded);
+        }
+    }
+    Ok(Relation::from_distinct_rows(out_schema, rows))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{join, outerjoin};
+    use crate::value::Value;
+
+    fn l() -> Relation {
+        Relation::from_ints("L", &["k", "x"], &[&[1, 10], &[2, 20], &[2, 21], &[3, 30]])
+    }
+    fn r() -> Relation {
+        Relation::from_ints("R", &["k"], &[&[1], &[2]])
+    }
+    fn p() -> Pred {
+        Pred::eq_attr("L.k", "R.k")
+    }
+
+    fn attrs(names: &[&str]) -> Vec<Attr> {
+        names.iter().map(|n| Attr::parse(n)).collect()
+    }
+
+    #[test]
+    fn goj_full_schema_subset_equals_outerjoin() {
+        // GOJ[sch(R1)] = outerjoin on duplicate-free inputs.
+        let g = goj(&l(), &r(), &p(), &attrs(&["L.k", "L.x"])).unwrap();
+        let oj = outerjoin(&l(), &r(), &p()).unwrap();
+        assert!(g.set_eq(&oj));
+    }
+
+    #[test]
+    fn goj_projects_unmatched_to_subset() {
+        // S = {L.k}: unmatched tuples (3,30) contribute only their key
+        // projection, padded: (3, null, null).
+        let g = goj(&l(), &r(), &p(), &attrs(&["L.k"])).unwrap();
+        let jn = join(&l(), &r(), &p()).unwrap();
+        assert_eq!(g.len(), jn.len() + 1);
+        let extra: Vec<_> = g.rows().iter().filter(|t| t.get(1).is_null()).collect();
+        assert_eq!(extra.len(), 1);
+        assert_eq!(
+            extra[0].values(),
+            &[Value::Int(3), Value::Null, Value::Null]
+        );
+    }
+
+    #[test]
+    fn goj_omits_unmatched_whose_projection_joined() {
+        // L has k=2 twice (x=20, x=21); both join. Add an L tuple with a
+        // joined key but make it non-matching via a stricter predicate.
+        let l = Relation::from_ints("L", &["k", "x"], &[&[1, 10], &[1, 11]]);
+        let r = Relation::from_ints("R", &["k", "y"], &[&[1, 10]]);
+        // Join on k and x=y: only (1,10) matches; (1,11) does not, but
+        // its S={L.k} projection (1) appeared in the join ⇒ omitted.
+        let p = Pred::eq_attr("L.k", "R.k").and(Pred::eq_attr("L.x", "R.y"));
+        let g = goj(&l, &r, &p, &attrs(&["L.k"])).unwrap();
+        assert_eq!(g.len(), 1);
+        assert!(!g.rows()[0].get(0).is_null());
+    }
+
+    #[test]
+    fn goj_empty_right_degenerates_to_projection_padding() {
+        let r = Relation::from_ints("R", &["k"], &[]);
+        let g = goj(&l(), &r, &p(), &attrs(&["L.k"])).unwrap();
+        // Distinct L.k values: 1, 2, 3 — each padded.
+        assert_eq!(g.len(), 3);
+        assert!(g
+            .rows()
+            .iter()
+            .all(|t| t.get(1).is_null() && t.get(2).is_null()));
+    }
+
+    #[test]
+    fn goj_rejects_subset_outside_left_schema() {
+        let e = goj(&l(), &r(), &p(), &attrs(&["R.k"]));
+        assert!(matches!(e, Err(AlgebraError::BadGojSubset(_))));
+    }
+
+    #[test]
+    fn goj_dedups_projected_padding() {
+        // Two unmatched tuples with the same S-projection produce one
+        // padded row (π removes duplicates).
+        let l = Relation::from_ints("L", &["k", "x"], &[&[9, 1], &[9, 2]]);
+        let g = goj(&l, &r(), &p(), &attrs(&["L.k"])).unwrap();
+        assert_eq!(g.len(), 1);
+        assert_eq!(g.rows()[0].get(0), &Value::Int(9));
+    }
+}

@@ -1,0 +1,671 @@
+//! Machine-checkable statements of the paper's algebraic identities
+//! (§2.2 identities 1–10, §2.3 identities 11–13, §6.2 identities
+//! 15–16), plus the full Fig. 3 derivation of identity 12.
+//!
+//! Each `identity_N` computes **both sides** of the identity on given
+//! relations and returns them as a pair; callers assert
+//! [`Relation::set_eq`]. Where the paper's identity has a precondition
+//! (a strong predicate, a subset condition), the function documents it
+//! — the identity is only guaranteed when the precondition holds, and
+//! the test-suite also *witnesses failure* without it (Example 3).
+//!
+//! The paper's §2.1 conventions are built in: unions pad operands to
+//! the union scheme, and antijoin results are padded when they meet a
+//! union (identities 7–10) or a subsequent operator (identities 8–9).
+
+use crate::error::AlgebraError;
+use crate::ops::{antijoin, join, outerjoin, union};
+use crate::predicate::Pred;
+use crate::relation::Relation;
+use crate::schema::Attr;
+use crate::Query;
+
+/// Both sides of an identity, ready for a `set_eq` assertion.
+pub type Sides = (Relation, Relation);
+
+/// Antijoin padded to `sch(X) ∪ sch(Y)` — the paper's convention when
+/// an antijoin result flows into a union or a further operator.
+///
+/// # Errors
+/// Propagates operator errors.
+pub fn padded_antijoin(x: &Relation, y: &Relation, pxy: &Pred) -> Result<Relation, AlgebraError> {
+    let aj = antijoin(x, y, pxy)?;
+    let target = x.schema().union(y.schema());
+    Ok(aj.pad_to(&target))
+}
+
+/// Identity 1 (join associativity, with optional cycle conjunct):
+/// `(X − Y) −{Pxz ∧ Pyz} Z = X −{Pxy ∧ Pxz} (Y − Z)`.
+///
+/// When `pxz` is `Some`, the corresponding query graph has a cycle and
+/// the conjunct moves between operators on reassociation.
+///
+/// # Errors
+/// Propagates operator errors.
+pub fn identity_1(
+    x: &Relation,
+    y: &Relation,
+    z: &Relation,
+    pxy: &Pred,
+    pxz: Option<&Pred>,
+    pyz: &Pred,
+) -> Result<Sides, AlgebraError> {
+    let outer_l = match pxz {
+        Some(p) => p.clone().and(pyz.clone()),
+        None => pyz.clone(),
+    };
+    let lhs = join(&join(x, y, pxy)?, z, &outer_l)?;
+    let inner_r = pyz.clone();
+    let outer_r = match pxz {
+        Some(p) => pxy.clone().and(p.clone()),
+        None => pxy.clone(),
+    };
+    let rhs = join(x, &join(y, z, &inner_r)?, &outer_r)?;
+    Ok((lhs, rhs))
+}
+
+/// Identity 2: `(X − Y) ▷ Z = X − (Y ▷ Z)` where the antijoin
+/// predicate `Pyz` references only `Y` (and `Z`).
+///
+/// # Errors
+/// Propagates operator errors.
+pub fn identity_2(
+    x: &Relation,
+    y: &Relation,
+    z: &Relation,
+    pxy: &Pred,
+    pyz: &Pred,
+) -> Result<Sides, AlgebraError> {
+    let lhs = antijoin(&join(x, y, pxy)?, z, pyz)?;
+    let rhs = join(x, &antijoin(y, z, pyz)?, pxy)?;
+    Ok((lhs, rhs))
+}
+
+/// Identity 3: `(X ◁ Y) ▷ Z = X ◁ (Y ▷ Z)`; in left-deep form,
+/// antijoins hanging off the same preserved relation commute:
+/// `(Y ▷ X) ▷ Z = (Y ▷ Z) ▷ X`.
+///
+/// # Errors
+/// Propagates operator errors.
+pub fn identity_3(
+    x: &Relation,
+    y: &Relation,
+    z: &Relation,
+    pxy: &Pred,
+    pyz: &Pred,
+) -> Result<Sides, AlgebraError> {
+    let lhs = antijoin(&antijoin(y, x, pxy)?, z, pyz)?;
+    let rhs = antijoin(&antijoin(y, z, pyz)?, x, pxy)?;
+    Ok((lhs, rhs))
+}
+
+/// Identity 4: `X − (Y ∪ Z) = (X − Y) ∪ (X − Z)`.
+///
+/// # Errors
+/// Propagates operator errors.
+pub fn identity_4(
+    x: &Relation,
+    y: &Relation,
+    z: &Relation,
+    p: &Pred,
+) -> Result<Sides, AlgebraError> {
+    let lhs = join(x, &union(y, z)?, p)?;
+    let rhs = union(&join(x, y, p)?, &join(x, z, p)?)?;
+    Ok((lhs, rhs))
+}
+
+/// Identity 5: `(Y ∪ Z) − X = (Y − X) ∪ (Z − X)`.
+///
+/// # Errors
+/// Propagates operator errors.
+pub fn identity_5(
+    x: &Relation,
+    y: &Relation,
+    z: &Relation,
+    p: &Pred,
+) -> Result<Sides, AlgebraError> {
+    let lhs = join(&union(y, z)?, x, p)?;
+    let rhs = union(&join(y, x, p)?, &join(z, x, p)?)?;
+    Ok((lhs, rhs))
+}
+
+/// Identity 6: `(Y ∪ Z) ▷ X = (Y ▷ X) ∪ (Z ▷ X)`.
+///
+/// # Errors
+/// Propagates operator errors.
+pub fn identity_6(
+    x: &Relation,
+    y: &Relation,
+    z: &Relation,
+    p: &Pred,
+) -> Result<Sides, AlgebraError> {
+    let lhs = antijoin(&union(y, z)?, x, p)?;
+    let rhs = union(&antijoin(y, x, p)?, &antijoin(z, x, p)?)?;
+    Ok((lhs, rhs))
+}
+
+/// Identity 7 (pseudo-distributivity of antijoin):
+/// `X ▷ Y = X ▷ (Y − Z ∪ Y ▷ Z)`.
+///
+/// # Errors
+/// Propagates operator errors.
+pub fn identity_7(
+    x: &Relation,
+    y: &Relation,
+    z: &Relation,
+    pxy: &Pred,
+    pyz: &Pred,
+) -> Result<Sides, AlgebraError> {
+    let lhs = antijoin(x, y, pxy)?;
+    let yz = union(&join(y, z, pyz)?, &padded_antijoin(y, z, pyz)?)?;
+    let rhs = antijoin(x, &yz, pxy)?;
+    Ok((lhs, rhs))
+}
+
+/// Identity 8: `(X ▷ Y) − Z = ∅` when `Pyz` is strong w.r.t. `Y` —
+/// the antijoin result (padded to include `Y`'s attributes, per
+/// convention) carries nulls on every `Y` attribute, so a strong `Pyz`
+/// never matches. Returns `(lhs, empty)`.
+///
+/// # Errors
+/// Propagates operator errors.
+pub fn identity_8(
+    x: &Relation,
+    y: &Relation,
+    z: &Relation,
+    pxy: &Pred,
+    pyz: &Pred,
+) -> Result<Sides, AlgebraError> {
+    let padded = padded_antijoin(x, y, pxy)?;
+    let lhs = join(&padded, z, pyz)?;
+    let rhs = Relation::empty(lhs.schema().clone());
+    Ok((lhs, rhs))
+}
+
+/// Identity 9: `(X ▷ Y) ▷ Z = X ▷ Y` (padded form) when `Pyz` is
+/// strong w.r.t. `Y`.
+///
+/// # Errors
+/// Propagates operator errors.
+pub fn identity_9(
+    x: &Relation,
+    y: &Relation,
+    z: &Relation,
+    pxy: &Pred,
+    pyz: &Pred,
+) -> Result<Sides, AlgebraError> {
+    let padded = padded_antijoin(x, y, pxy)?;
+    let lhs = antijoin(&padded, z, pyz)?;
+    Ok((lhs, padded))
+}
+
+/// Identity 10 (outerjoin expansion): `X → Y = (X − Y) ∪ (X ▷ Y)`.
+///
+/// # Errors
+/// Propagates operator errors.
+pub fn identity_10(x: &Relation, y: &Relation, pxy: &Pred) -> Result<Sides, AlgebraError> {
+    let lhs = outerjoin(x, y, pxy)?;
+    let rhs = union(&join(x, y, pxy)?, &antijoin(x, y, pxy)?)?;
+    Ok((lhs, rhs))
+}
+
+/// Identity 11: `(X − Y) → Z = X − (Y → Z)` — a join and an outerjoin
+/// hanging off the join's operand reassociate unconditionally.
+///
+/// # Errors
+/// Propagates operator errors.
+pub fn identity_11(
+    x: &Relation,
+    y: &Relation,
+    z: &Relation,
+    pxy: &Pred,
+    pyz: &Pred,
+) -> Result<Sides, AlgebraError> {
+    let lhs = outerjoin(&join(x, y, pxy)?, z, pyz)?;
+    let rhs = join(x, &outerjoin(y, z, pyz)?, pxy)?;
+    Ok((lhs, rhs))
+}
+
+/// Identity 12: `(X → Y) → Z = X → (Y → Z)` **iff `Pyz` is strong
+/// w.r.t. `Y`** (Example 3 witnesses failure otherwise).
+///
+/// # Errors
+/// Propagates operator errors.
+pub fn identity_12(
+    x: &Relation,
+    y: &Relation,
+    z: &Relation,
+    pxy: &Pred,
+    pyz: &Pred,
+) -> Result<Sides, AlgebraError> {
+    let lhs = outerjoin(&outerjoin(x, y, pxy)?, z, pyz)?;
+    let rhs = outerjoin(x, &outerjoin(y, z, pyz)?, pxy)?;
+    Ok((lhs, rhs))
+}
+
+/// Identity 13: `(X ← Y) → Z = X ← (Y → Z)`; in left-deep form,
+/// outerjoins hanging off the same preserved relation commute:
+/// `(Y → X) → Z = (Y → Z) → X`. Unconditional.
+///
+/// # Errors
+/// Propagates operator errors.
+pub fn identity_13(
+    x: &Relation,
+    y: &Relation,
+    z: &Relation,
+    pxy: &Pred,
+    pyz: &Pred,
+) -> Result<Sides, AlgebraError> {
+    let lhs = outerjoin(&outerjoin(y, x, pxy)?, z, pyz)?;
+    let rhs = outerjoin(&outerjoin(y, z, pyz)?, x, pxy)?;
+    Ok((lhs, rhs))
+}
+
+/// Identity 15 (§6.2): `X → (Y − Z) = (X → Y) GOJ[sch(X)] Z`, assuming
+/// duplicate-free relations and strong `Pxy`, `Pyz`.
+///
+/// # Errors
+/// Propagates operator errors.
+pub fn identity_15(
+    x: &Relation,
+    y: &Relation,
+    z: &Relation,
+    pxy: &Pred,
+    pyz: &Pred,
+) -> Result<Sides, AlgebraError> {
+    let lhs = outerjoin(x, &join(y, z, pyz)?, pxy)?;
+    let xy = outerjoin(x, y, pxy)?;
+    let sx: Vec<Attr> = x.schema().attrs().to_vec();
+    let rhs = crate::goj::goj(&xy, z, pyz, &sx)?;
+    Ok((lhs, rhs))
+}
+
+/// Identity 16 (§6.2): `X − (Y GOJ[S] Z) = (X − Y) GOJ[S ∪ sch(X)] Z`,
+/// provided `S ⊆ sch(Y)` and `S` contains all the `Y` attributes the
+/// `X`–`Y` join references; duplicate-free relations, strong
+/// predicates.
+///
+/// # Errors
+/// Propagates operator errors (including a bad subset).
+pub fn identity_16(
+    x: &Relation,
+    y: &Relation,
+    z: &Relation,
+    pxy: &Pred,
+    pyz: &Pred,
+    s: &[Attr],
+) -> Result<Sides, AlgebraError> {
+    let lhs = join(x, &crate::goj::goj(y, z, pyz, s)?, pxy)?;
+    let xy = join(x, y, pxy)?;
+    let mut s_ext: Vec<Attr> = s.to_vec();
+    s_ext.extend(x.schema().attrs().iter().cloned());
+    let rhs = crate::goj::goj(&xy, z, pyz, &s_ext)?;
+    Ok((lhs, rhs))
+}
+
+/// Semijoin analogue of identity 2 (§6.3's fragment):
+/// `(X − Y) ⋉ Z = X − (Y ⋉ Z)` where the semijoin predicate
+/// references only `Y` (and `Z`).
+///
+/// # Errors
+/// Propagates operator errors.
+pub fn identity_sj2(
+    x: &Relation,
+    y: &Relation,
+    z: &Relation,
+    pxy: &Pred,
+    pyz: &Pred,
+) -> Result<Sides, AlgebraError> {
+    use crate::ops::semijoin;
+    let lhs = semijoin(&join(x, y, pxy)?, z, pyz)?;
+    let rhs = join(x, &semijoin(y, z, pyz)?, pxy)?;
+    Ok((lhs, rhs))
+}
+
+/// Semijoin analogue of identity 3: semijoins hanging off the same
+/// filtered relation commute: `(Y ⋉ X) ⋉ Z = (Y ⋉ Z) ⋉ X`.
+///
+/// # Errors
+/// Propagates operator errors.
+pub fn identity_sj3(
+    x: &Relation,
+    y: &Relation,
+    z: &Relation,
+    pxy: &Pred,
+    pyz: &Pred,
+) -> Result<Sides, AlgebraError> {
+    use crate::ops::semijoin;
+    let lhs = semijoin(&semijoin(y, x, pxy)?, z, pyz)?;
+    let rhs = semijoin(&semijoin(y, z, pyz)?, x, pxy)?;
+    Ok((lhs, rhs))
+}
+
+/// The *failing* semijoin-in-series shape (§6.3): `X ⋉ (Y ⋉ Z)`
+/// versus the naive "reassociation" `(X ⋉ Y) ⋉ Z` — the latter is not
+/// even well-typed in general (the `P_yz` predicate references
+/// attributes the first semijoin consumed), so we return the only
+/// comparable pair: `X ⋉ (Y ⋉ Z)` against `X ⋉ Y` (the result of
+/// *dropping* the inner filter), which differ whenever the `Z` filter
+/// actually bites — the executable content of "semijoins in series do
+/// not reassociate".
+///
+/// # Errors
+/// Propagates operator errors.
+pub fn semijoin_series_shape(
+    x: &Relation,
+    y: &Relation,
+    z: &Relation,
+    pxy: &Pred,
+    pyz: &Pred,
+) -> Result<Sides, AlgebraError> {
+    use crate::ops::semijoin;
+    let lhs = semijoin(x, &semijoin(y, z, pyz)?, pxy)?;
+    let rhs = semijoin(x, y, pxy)?;
+    Ok((lhs, rhs))
+}
+
+/// Query-tree pair for identity 11, for use by the transform machinery
+/// tests: `((x − y) → z, x − (y → z))`.
+#[must_use]
+pub fn identity_11_queries(x: Query, y: Query, z: Query, pxy: Pred, pyz: Pred) -> (Query, Query) {
+    let lhs = x
+        .clone()
+        .join(y.clone(), pxy.clone())
+        .outerjoin(z.clone(), pyz.clone());
+    let rhs = x.join(y.outerjoin(z, pyz), pxy);
+    (lhs, rhs)
+}
+
+/// Query-tree pair for identity 12: `((x → y) → z, x → (y → z))`.
+#[must_use]
+pub fn identity_12_queries(x: Query, y: Query, z: Query, pxy: Pred, pyz: Pred) -> (Query, Query) {
+    let lhs = x
+        .clone()
+        .outerjoin(y.clone(), pxy.clone())
+        .outerjoin(z.clone(), pyz.clone());
+    let rhs = x.outerjoin(y.outerjoin(z, pyz), pxy);
+    (lhs, rhs)
+}
+
+/// Query-tree pair for identity 13 in left-deep form:
+/// `((y → x) → z, (y → z) → x)`.
+#[must_use]
+pub fn identity_13_queries(x: Query, y: Query, z: Query, pxy: Pred, pyz: Pred) -> (Query, Query) {
+    let lhs = y
+        .clone()
+        .outerjoin(x.clone(), pxy.clone())
+        .outerjoin(z.clone(), pyz.clone());
+    let rhs = y.outerjoin(z, pyz).outerjoin(x, pxy);
+    (lhs, rhs)
+}
+
+/// The Fig. 3 derivation of identity 12: returns the sequence of
+/// expressions' values, from `(X → Y) → Z` down to `X → (Y → Z)`.
+/// Under a strong `Pyz` every consecutive pair must be set-equal.
+///
+/// Steps (paper's own chain):
+/// 1. `(X → Y) → Z`
+/// 2. expand outer OJ (eqn 10)
+/// 3. expand inner OJ (eqn 10)
+/// 4. distribute, kill `(X ▷ Y) − Z` and fix `(X ▷ Y) ▷ Z` (eqns 4–6, 8, 9),
+///    reassociate join/antijoin (eqns 1, 2)
+/// 5. complete by pseudo-distributivity of antijoin (eqn 7)
+/// 6. factor out join from union (eqn 4)
+/// 7. rewrite as outerjoin (eqn 10) — `X → (Y → Z)`
+///
+/// # Errors
+/// Propagates operator errors.
+pub fn fig3_derivation(
+    x: &Relation,
+    y: &Relation,
+    z: &Relation,
+    pxy: &Pred,
+    pyz: &Pred,
+) -> Result<Vec<Relation>, AlgebraError> {
+    let mut steps = Vec::new();
+
+    // Step 1: (X → Y) → Z.
+    let xy = outerjoin(x, y, pxy)?;
+    steps.push(outerjoin(&xy, z, pyz)?);
+
+    // Step 2: ((X → Y) − Z) ∪ ((X → Y) ▷ Z).
+    steps.push(union(&join(&xy, z, pyz)?, &padded_antijoin(&xy, z, pyz)?)?);
+
+    // Step 3: expand the inner outerjoin on both union branches.
+    let xy_expanded = union(&join(x, y, pxy)?, &padded_antijoin(x, y, pxy)?)?;
+    steps.push(union(
+        &join(&xy_expanded, z, pyz)?,
+        &padded_antijoin(&xy_expanded, z, pyz)?,
+    )?);
+
+    // Step 4: distribute; (X▷Y)−Z = ∅ and (X▷Y)▷Z = X▷Y by strongness;
+    // reassociate: X − (Y − Z) ∪ X − (Y ▷ Z) ∪ X ▷ Y.
+    let a = join(x, &join(y, z, pyz)?, pxy)?;
+    let b = join(x, &padded_antijoin(y, z, pyz)?, pxy)?;
+    let c = padded_antijoin(x, y, pxy)?;
+    steps.push(union(&union(&a, &b)?, &c)?);
+
+    // Step 5: X ▷ Y = X ▷ (Y − Z ∪ Y ▷ Z) (eqn 7).
+    let yz = union(&join(y, z, pyz)?, &padded_antijoin(y, z, pyz)?)?;
+    let c5 = {
+        let aj = antijoin(x, &yz, pxy)?;
+        // Pad to the full output scheme for the union.
+        aj
+    };
+    steps.push(union(&union(&a, &b)?, &c5)?);
+
+    // Step 6: factor the join out of the union: X − (Y−Z ∪ Y▷Z) ∪ X ▷ (…).
+    let joined = join(x, &yz, pxy)?;
+    steps.push(union(&joined, &c5)?);
+
+    // Step 7: rewrite as outerjoin: X → (Y → Z).
+    steps.push(outerjoin(x, &outerjoin(y, z, pyz)?, pxy)?);
+
+    Ok(steps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    fn x() -> Relation {
+        Relation::from_ints("X", &["a"], &[&[1], &[2], &[5]])
+    }
+    fn y() -> Relation {
+        Relation::from_ints("Y", &["b", "b2"], &[&[1, 7], &[3, 8], &[5, 9]])
+    }
+    fn z() -> Relation {
+        Relation::from_ints("Z", &["c"], &[&[7], &[9], &[11]])
+    }
+    fn pxy() -> Pred {
+        Pred::eq_attr("X.a", "Y.b")
+    }
+    fn pyz() -> Pred {
+        Pred::eq_attr("Y.b2", "Z.c")
+    }
+
+    fn assert_identity(sides: Sides, name: &str) {
+        assert!(
+            sides.0.set_eq(&sides.1),
+            "{name} failed:\nLHS:\n{}\nRHS:\n{}",
+            sides.0,
+            sides.1
+        );
+    }
+
+    #[test]
+    fn identity_1_plain_associativity() {
+        let s = identity_1(&x(), &y(), &z(), &pxy(), None, &pyz()).unwrap();
+        assert_identity(s, "identity 1");
+    }
+
+    #[test]
+    fn identity_1_with_cycle_conjunct() {
+        // Add a direct X–Z conjunct: the graph is a triangle.
+        let pxz = Pred::cmp_attr("X.a", crate::CmpOp::Lt, "Z.c");
+        let s = identity_1(&x(), &y(), &z(), &pxy(), Some(&pxz), &pyz()).unwrap();
+        assert_identity(s, "identity 1 (cycle)");
+    }
+
+    #[test]
+    fn identities_2_and_3() {
+        assert_identity(
+            identity_2(&x(), &y(), &z(), &pxy(), &pyz()).unwrap(),
+            "identity 2",
+        );
+        assert_identity(
+            identity_3(&x(), &y(), &z(), &pxy(), &pyz()).unwrap(),
+            "identity 3",
+        );
+    }
+
+    #[test]
+    fn identities_4_to_6_distributivity() {
+        // Y and Z on the same scheme to make the unions natural.
+        let y1 = Relation::from_ints("Y", &["b", "b2"], &[&[1, 7], &[3, 8]]);
+        let y2 = Relation::from_ints("Y", &["b", "b2"], &[&[5, 9], &[1, 7]]);
+        assert_identity(identity_4(&x(), &y1, &y2, &pxy()).unwrap(), "identity 4");
+        assert_identity(identity_5(&x(), &y1, &y2, &pxy()).unwrap(), "identity 5");
+        assert_identity(identity_6(&x(), &y1, &y2, &pxy()).unwrap(), "identity 6");
+    }
+
+    #[test]
+    fn identity_7_pseudo_distributivity() {
+        assert_identity(
+            identity_7(&x(), &y(), &z(), &pxy(), &pyz()).unwrap(),
+            "identity 7",
+        );
+    }
+
+    #[test]
+    fn identities_8_and_9_with_strong_predicate() {
+        let (lhs, empty) = identity_8(&x(), &y(), &z(), &pxy(), &pyz()).unwrap();
+        assert!(lhs.set_eq(&empty), "identity 8: expected empty, got\n{lhs}");
+        assert_identity(
+            identity_9(&x(), &y(), &z(), &pxy(), &pyz()).unwrap(),
+            "identity 9",
+        );
+    }
+
+    #[test]
+    fn identity_10_expansion() {
+        assert_identity(identity_10(&x(), &y(), &pxy()).unwrap(), "identity 10");
+    }
+
+    #[test]
+    fn reassociation_identities_11_to_13() {
+        assert_identity(
+            identity_11(&x(), &y(), &z(), &pxy(), &pyz()).unwrap(),
+            "identity 11",
+        );
+        assert_identity(
+            identity_12(&x(), &y(), &z(), &pxy(), &pyz()).unwrap(),
+            "identity 12",
+        );
+        assert_identity(
+            identity_13(&x(), &y(), &z(), &pxy(), &pyz()).unwrap(),
+            "identity 13",
+        );
+    }
+
+    #[test]
+    fn identity_12_fails_for_nonstrong_predicate_example_3() {
+        // Paper Example 3: A = {(a)}, B = {(b, null)}, C = {(c)};
+        // Pab = (A.attr1 = B.attr1), Pbc = (B.attr2 = C.attr1 OR
+        // B.attr2 IS NULL). Pbc is NOT strong w.r.t. B.
+        let a = Relation::from_values("A", &["attr1"], vec![vec![Value::Int(10)]]);
+        let b = Relation::from_values(
+            "B",
+            &["attr1", "attr2"],
+            vec![vec![Value::Int(20), Value::Null]],
+        );
+        let c = Relation::from_values("C", &["attr1"], vec![vec![Value::Int(30)]]);
+        let pab = Pred::eq_attr("A.attr1", "B.attr1");
+        let pbc = Pred::eq_attr("B.attr2", "C.attr1").or(Pred::is_null("B.attr2"));
+        assert!(!pbc.is_strong_on_rel("B"));
+
+        let (lhs, rhs) = identity_12(&a, &b, &c, &pab, &pbc).unwrap();
+        // (A → B) → C: A→B pads B entirely (no match), then B.attr2 is
+        // null satisfies Pbc ⇒ (a, -, -, c). A → (B → C): B→C keeps
+        // (b,-,c), join with A fails ⇒ (a, -, -, -).
+        assert!(!lhs.set_eq(&rhs), "Example 3 should separate the two sides");
+        assert_eq!(lhs.len(), 1);
+        assert_eq!(rhs.len(), 1);
+        // LHS row ends with C value 30; RHS row ends with null.
+        let lhs_canon = lhs.canonical();
+        let rhs_canon = rhs.canonical();
+        assert!(lhs_canon.rows()[0].values().contains(&Value::Int(30)));
+        assert!(!rhs_canon.rows()[0].values().contains(&Value::Int(30)));
+    }
+
+    #[test]
+    fn identity_15_goj_reassociation() {
+        assert_identity(
+            identity_15(&x(), &y(), &z(), &pxy(), &pyz()).unwrap(),
+            "identity 15",
+        );
+    }
+
+    #[test]
+    fn identity_16_goj_reassociation() {
+        // S must contain the Y attributes referenced by Pxy: {Y.b}.
+        let s = vec![Attr::parse("Y.b"), Attr::parse("Y.b2")];
+        assert_identity(
+            identity_16(&x(), &y(), &z(), &pxy(), &pyz(), &s).unwrap(),
+            "identity 16",
+        );
+    }
+
+    #[test]
+    fn fig3_derivation_all_steps_equal() {
+        let steps = fig3_derivation(&x(), &y(), &z(), &pxy(), &pyz()).unwrap();
+        assert_eq!(steps.len(), 7);
+        for (i, w) in steps.windows(2).enumerate() {
+            assert!(
+                w[0].set_eq(&w[1]),
+                "Fig. 3 step {} → {} not equal:\n{}\nvs\n{}",
+                i + 1,
+                i + 2,
+                w[0],
+                w[1]
+            );
+        }
+    }
+
+    #[test]
+    fn query_pair_builders_agree_with_relation_forms() {
+        let mut db = crate::Database::new();
+        db.insert(x());
+        db.insert(y());
+        db.insert(z());
+        let (lq, rq) = identity_12_queries(
+            Query::rel("X"),
+            Query::rel("Y"),
+            Query::rel("Z"),
+            pxy(),
+            pyz(),
+        );
+        let (lr, rr) = identity_12(&x(), &y(), &z(), &pxy(), &pyz()).unwrap();
+        assert!(lq.eval(&db).unwrap().set_eq(&lr));
+        assert!(rq.eval(&db).unwrap().set_eq(&rr));
+
+        let (lq, rq) = identity_11_queries(
+            Query::rel("X"),
+            Query::rel("Y"),
+            Query::rel("Z"),
+            pxy(),
+            pyz(),
+        );
+        assert!(lq.eval(&db).unwrap().set_eq(&rq.eval(&db).unwrap()));
+
+        let (lq, rq) = identity_13_queries(
+            Query::rel("X"),
+            Query::rel("Y"),
+            Query::rel("Z"),
+            Pred::eq_attr("Y.b", "X.a"),
+            pyz(),
+        );
+        assert!(lq.eval(&db).unwrap().set_eq(&rq.eval(&db).unwrap()));
+    }
+}

@@ -1,0 +1,571 @@
+//! The join-like operators (§1.2, §2.1) as reference implementations.
+//!
+//! These are deliberately simple, nested-loop, materializing operators:
+//! they define the *semantics* every other component (basic transforms,
+//! the optimizer, the hash-based physical engine in `fro-exec`) is
+//! tested against. Paper notation:
+//!
+//! | paper | here |
+//! |-------|------|
+//! | `JN[p](R1,R2)`, `R1 − R2` | [`join`] |
+//! | `OJ[p](R1,R2)`, `R1 → R2` | [`outerjoin`] (left; `R1` preserved) |
+//! | `AJ[p](R1,R2)`, `R1 ▷ R2` | [`antijoin`] |
+//! | semijoin | [`semijoin`] |
+//! | `∪` with padding (§2.1) | [`union`] |
+//! | `GOJ[S](R1,R2)` (§6.2)   | [`goj`] |
+
+use crate::error::AlgebraError;
+use crate::predicate::{CmpOp, Pred, Scalar};
+use crate::relation::Relation;
+use crate::schema::{Attr, Schema};
+use crate::truth::Truth;
+use crate::tuple::Tuple;
+use crate::value::Value;
+use std::collections::HashSet;
+use std::sync::Arc;
+
+pub use crate::goj::goj;
+
+/// A predicate compiled against a fixed scheme: attribute references
+/// are resolved to column offsets once, so per-row evaluation does no
+/// name lookups.
+#[derive(Debug, Clone)]
+pub enum BoundPred {
+    /// Comparison of two bound scalars.
+    Cmp(CmpOp, BoundScalar, BoundScalar),
+    /// `IS NULL` test.
+    IsNull(BoundScalar),
+    /// Conjunction.
+    And(Box<BoundPred>, Box<BoundPred>),
+    /// Disjunction.
+    Or(Box<BoundPred>, Box<BoundPred>),
+    /// Negation.
+    Not(Box<BoundPred>),
+    /// Constant.
+    Const(Truth),
+}
+
+/// A scalar term bound to a fixed scheme.
+#[derive(Debug, Clone)]
+pub enum BoundScalar {
+    /// A resolved column offset.
+    Col(usize),
+    /// A literal value.
+    Lit(Value),
+}
+
+impl BoundScalar {
+    fn bind(s: &Scalar, schema: &Schema) -> Result<BoundScalar, AlgebraError> {
+        match s {
+            Scalar::Lit(v) => Ok(BoundScalar::Lit(v.clone())),
+            Scalar::Attr(a) => {
+                schema
+                    .index_of(a)
+                    .map(BoundScalar::Col)
+                    .ok_or_else(|| AlgebraError::UnknownAttr {
+                        attr: a.to_string(),
+                        schema: schema.to_string(),
+                    })
+            }
+        }
+    }
+
+    fn eval<'a>(&'a self, t: &'a Tuple) -> &'a Value {
+        match self {
+            BoundScalar::Col(i) => t.get(*i),
+            BoundScalar::Lit(v) => v,
+        }
+    }
+}
+
+impl BoundPred {
+    /// Resolve attribute references against `schema`.
+    ///
+    /// # Errors
+    /// [`AlgebraError::UnknownAttr`] for unresolved attributes.
+    pub fn bind(p: &Pred, schema: &Schema) -> Result<BoundPred, AlgebraError> {
+        Ok(match p {
+            Pred::Cmp { op, lhs, rhs } => BoundPred::Cmp(
+                *op,
+                BoundScalar::bind(lhs, schema)?,
+                BoundScalar::bind(rhs, schema)?,
+            ),
+            Pred::IsNull(s) => BoundPred::IsNull(BoundScalar::bind(s, schema)?),
+            Pred::And(a, b) => BoundPred::And(
+                Box::new(BoundPred::bind(a, schema)?),
+                Box::new(BoundPred::bind(b, schema)?),
+            ),
+            Pred::Or(a, b) => BoundPred::Or(
+                Box::new(BoundPred::bind(a, schema)?),
+                Box::new(BoundPred::bind(b, schema)?),
+            ),
+            Pred::Not(x) => BoundPred::Not(Box::new(BoundPred::bind(x, schema)?)),
+            Pred::Const(t) => BoundPred::Const(*t),
+        })
+    }
+
+    /// Evaluate on a tuple laid out per the bound schema.
+    #[must_use]
+    pub fn eval(&self, t: &Tuple) -> Truth {
+        match self {
+            BoundPred::Cmp(op, l, r) => match l.eval(t).cmp3(r.eval(t)) {
+                None => Truth::Unknown,
+                Some(ord) => Truth::from_bool(op.test(ord)),
+            },
+            BoundPred::IsNull(s) => Truth::from_bool(s.eval(t).is_null()),
+            BoundPred::And(a, b) => a.eval(t).and(b.eval(t)),
+            BoundPred::Or(a, b) => a.eval(t).or(b.eval(t)),
+            BoundPred::Not(p) => p.eval(t).not(),
+            BoundPred::Const(c) => *c,
+        }
+    }
+}
+
+/// Restriction: keep the tuples on which `p` is `True`.
+///
+/// # Errors
+/// Propagates attribute-resolution failures.
+pub fn restrict(input: &Relation, p: &Pred) -> Result<Relation, AlgebraError> {
+    let bound = BoundPred::bind(p, input.schema())?;
+    let rows = input
+        .iter()
+        .filter(|t| bound.eval(t).is_true())
+        .cloned()
+        .collect();
+    Ok(Relation::from_distinct_rows(input.schema().clone(), rows))
+}
+
+/// Projection onto `attrs`; duplicates removed when `dedup` (the
+/// paper's `π` removes duplicates).
+///
+/// # Errors
+/// [`AlgebraError::BadProjection`] when an attribute is absent.
+pub fn project(input: &Relation, attrs: &[Attr], dedup: bool) -> Result<Relation, AlgebraError> {
+    let mut cols = Vec::with_capacity(attrs.len());
+    for a in attrs {
+        cols.push(
+            input
+                .schema()
+                .index_of(a)
+                .ok_or_else(|| AlgebraError::BadProjection(a.to_string()))?,
+        );
+    }
+    let schema = Arc::new(Schema::new(attrs.to_vec())?);
+    // The paper works with sets, so the `dedup` flag does not change
+    // the result today; it exists for API clarity and future bag
+    // semantics. Deduplicate via a hash set (not per-row scans).
+    let _ = dedup;
+    let mut seen: HashSet<Tuple> = HashSet::with_capacity(input.len());
+    let mut rows = Vec::new();
+    for t in input {
+        let projected = t.project(&cols);
+        if seen.insert(projected.clone()) {
+            rows.push(projected);
+        }
+    }
+    Ok(Relation::from_distinct_rows(schema, rows))
+}
+
+fn join_schema(l: &Relation, r: &Relation) -> Result<Arc<Schema>, AlgebraError> {
+    Ok(Arc::new(l.schema().concat(r.schema())?))
+}
+
+/// Regular join `JN[p](R1, R2)`: concatenations of tuples satisfying
+/// `p` (§1.2).
+///
+/// # Errors
+/// [`AlgebraError::SchemasOverlap`] for overlapping schemes, plus
+/// attribute-resolution failures.
+pub fn join(l: &Relation, r: &Relation, p: &Pred) -> Result<Relation, AlgebraError> {
+    let schema = join_schema(l, r)?;
+    let bound = BoundPred::bind(p, &schema)?;
+    let mut rows = Vec::new();
+    for lt in l {
+        for rt in r {
+            let cat = lt.concat(rt);
+            if bound.eval(&cat).is_true() {
+                rows.push(cat);
+            }
+        }
+    }
+    // Distinct input pairs concatenate to distinct outputs.
+    Ok(Relation::from_distinct_rows(schema, rows))
+}
+
+/// Left outerjoin `OJ[p](R1, R2) = R1 → R2` (§1.2): the join plus
+/// non-matched `R1` tuples padded with nulls on `sch(R2)`. `R1` is the
+/// *preserved* relation, `R2` the *null-supplied* relation.
+///
+/// # Errors
+/// Same conditions as [`join`].
+pub fn outerjoin(l: &Relation, r: &Relation, p: &Pred) -> Result<Relation, AlgebraError> {
+    let schema = join_schema(l, r)?;
+    let bound = BoundPred::bind(p, &schema)?;
+    let pad = Tuple::nulls(r.schema().len());
+    let mut rows = Vec::new();
+    for lt in l {
+        let mut matched = false;
+        for rt in r {
+            let cat = lt.concat(rt);
+            if bound.eval(&cat).is_true() {
+                matched = true;
+                rows.push(cat);
+            }
+        }
+        if !matched {
+            rows.push(lt.concat(&pad));
+        }
+    }
+    // Matched rows are distinct pairs; each padded row has a distinct
+    // preserved prefix and only appears when that prefix matched
+    // nothing, so it cannot collide with a matched row either.
+    Ok(Relation::from_distinct_rows(schema, rows))
+}
+
+/// Two-sided (full) outerjoin: the join plus non-matched tuples of
+/// *both* operands, each padded with nulls on the other side. The
+/// paper sets it aside ("two-sided outerjoin will not be discussed")
+/// but §4 notes that a strong predicate above converts it to the
+/// one-sided form — implemented in `fro-core::simplify`, which needs
+/// the operator to exist.
+///
+/// # Errors
+/// Same conditions as [`join`].
+pub fn full_outerjoin(l: &Relation, r: &Relation, p: &Pred) -> Result<Relation, AlgebraError> {
+    let schema = join_schema(l, r)?;
+    let bound = BoundPred::bind(p, &schema)?;
+    let pad_r = Tuple::nulls(r.schema().len());
+    let pad_l = Tuple::nulls(l.schema().len());
+    let mut rows = Vec::new();
+    let mut right_matched = vec![false; r.len()];
+    for lt in l {
+        let mut matched = false;
+        for (ri, rt) in r.iter().enumerate() {
+            let cat = lt.concat(rt);
+            if bound.eval(&cat).is_true() {
+                matched = true;
+                right_matched[ri] = true;
+                rows.push(cat);
+            }
+        }
+        if !matched {
+            rows.push(lt.concat(&pad_r));
+        }
+    }
+    for (ri, rt) in r.iter().enumerate() {
+        if !right_matched[ri] {
+            rows.push(pad_l.concat(rt));
+        }
+    }
+    // An all-null unmatched tuple on each side pads to the same
+    // all-null wide row; dedup to keep set semantics.
+    let mut seen = HashSet::with_capacity(rows.len());
+    rows.retain(|t| seen.insert(t.clone()));
+    Ok(Relation::from_distinct_rows(schema, rows))
+}
+
+/// Antijoin `AJ[p](R1, R2) = R1 ▷ R2` (§2.1): the `R1` tuples with no
+/// `p`-partner in `R2`. The result scheme is `sch(R1)`.
+///
+/// # Errors
+/// Same conditions as [`join`].
+pub fn antijoin(l: &Relation, r: &Relation, p: &Pred) -> Result<Relation, AlgebraError> {
+    let schema = join_schema(l, r)?; // validates disjointness & binds p
+    let bound = BoundPred::bind(p, &schema)?;
+    let rows = l
+        .iter()
+        .filter(|lt| !r.iter().any(|rt| bound.eval(&lt.concat(rt)).is_true()))
+        .cloned()
+        .collect();
+    Ok(Relation::from_distinct_rows(l.schema().clone(), rows))
+}
+
+/// Semijoin: the `R1` tuples with at least one `p`-partner in `R2`.
+///
+/// # Errors
+/// Same conditions as [`join`].
+pub fn semijoin(l: &Relation, r: &Relation, p: &Pred) -> Result<Relation, AlgebraError> {
+    let schema = join_schema(l, r)?;
+    let bound = BoundPred::bind(p, &schema)?;
+    let rows = l
+        .iter()
+        .filter(|lt| r.iter().any(|rt| bound.eval(&lt.concat(rt)).is_true()))
+        .cloned()
+        .collect();
+    Ok(Relation::from_distinct_rows(l.schema().clone(), rows))
+}
+
+/// Grouped counting — the paper's §1.1 motivation via \[MURA89\]
+/// ("processing queries with Count operations"): group by the given
+/// attributes and count, per group, the rows whose `counted` attribute
+/// is non-null (all rows when `counted` is `None`).
+///
+/// Combined with an outerjoin this yields the classic
+/// departments-with-employee-counts query *including zero counts*: the
+/// padded tuples of `Dept → Emp` have a null employee key, so they
+/// contribute a group with count 0 — exactly why the outerjoin (and
+/// not the join) is the right substrate for counting.
+///
+/// The output scheme is the group attributes plus `agg.count`.
+///
+/// # Errors
+/// [`AlgebraError::BadProjection`] for unknown attributes.
+pub fn group_count(
+    input: &Relation,
+    group_attrs: &[Attr],
+    counted: Option<&Attr>,
+) -> Result<Relation, AlgebraError> {
+    let mut group_cols = Vec::with_capacity(group_attrs.len());
+    for a in group_attrs {
+        group_cols.push(
+            input
+                .schema()
+                .index_of(a)
+                .ok_or_else(|| AlgebraError::BadProjection(a.to_string()))?,
+        );
+    }
+    let counted_col = match counted {
+        None => None,
+        Some(a) => Some(
+            input
+                .schema()
+                .index_of(a)
+                .ok_or_else(|| AlgebraError::BadProjection(a.to_string()))?,
+        ),
+    };
+    let mut attrs = group_attrs.to_vec();
+    attrs.push(Attr::new("agg", "count"));
+    let schema = Arc::new(Schema::new(attrs)?);
+
+    let mut counts: std::collections::HashMap<Tuple, i64> = std::collections::HashMap::new();
+    let mut order: Vec<Tuple> = Vec::new();
+    for t in input {
+        let key = t.project(&group_cols);
+        let contributes = match counted_col {
+            None => true,
+            Some(c) => !t.get(c).is_null(),
+        };
+        match counts.entry(key.clone()) {
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(i64::from(contributes));
+                order.push(key);
+            }
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                *e.get_mut() += i64::from(contributes);
+            }
+        }
+    }
+    let rows = order
+        .into_iter()
+        .map(|key| {
+            let n = counts[&key];
+            key.concat(&Tuple::new(vec![Value::Int(n)]))
+        })
+        .collect();
+    Ok(Relation::from_distinct_rows(schema, rows))
+}
+
+/// Union with the paper's §2.1 padding convention: pad both operands
+/// to the union of their schemes, then take the set union.
+///
+/// # Errors
+/// Currently infallible in practice; returns `Result` for uniformity.
+pub fn union(l: &Relation, r: &Relation) -> Result<Relation, AlgebraError> {
+    let target = l.schema().union(r.schema());
+    let lp = l.pad_to(&target);
+    let rp = r.pad_to(&target);
+    let schema = lp.schema().clone();
+    let mut seen: HashSet<Tuple> = lp.rows().iter().cloned().collect();
+    let mut rows: Vec<Tuple> = lp.rows().to_vec();
+    for t in rp.rows() {
+        if seen.insert(t.clone()) {
+            rows.push(t.clone());
+        }
+    }
+    Ok(Relation::from_distinct_rows(schema, rows))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::Pred;
+
+    fn r1() -> Relation {
+        Relation::from_ints("R1", &["a"], &[&[1], &[2]])
+    }
+    fn r2() -> Relation {
+        Relation::from_ints("R2", &["b"], &[&[2], &[3]])
+    }
+    fn p12() -> Pred {
+        Pred::eq_attr("R1.a", "R2.b")
+    }
+
+    #[test]
+    fn join_keeps_matches_only() {
+        let out = join(&r1(), &r2(), &p12()).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.rows()[0].values(), &[Value::Int(2), Value::Int(2)]);
+    }
+
+    #[test]
+    fn join_rejects_overlapping_schemes() {
+        assert!(matches!(
+            join(&r1(), &r1(), &Pred::always()),
+            Err(AlgebraError::SchemasOverlap)
+        ));
+    }
+
+    #[test]
+    fn outerjoin_pads_unmatched_preserved_tuples() {
+        let out = outerjoin(&r1(), &r2(), &p12()).unwrap();
+        assert_eq!(out.len(), 2);
+        let padded: Vec<_> = out.rows().iter().filter(|t| t.get(1).is_null()).collect();
+        assert_eq!(padded.len(), 1);
+        assert_eq!(padded[0].get(0), &Value::Int(1));
+    }
+
+    #[test]
+    fn outerjoin_definition_identity_10() {
+        // X → Y = (X − Y) ∪ (X ▷ Y), identity 10 of the paper.
+        let lhs = outerjoin(&r1(), &r2(), &p12()).unwrap();
+        let jn = join(&r1(), &r2(), &p12()).unwrap();
+        let aj = antijoin(&r1(), &r2(), &p12()).unwrap();
+        let rhs = union(&jn, &aj).unwrap();
+        assert!(lhs.set_eq(&rhs));
+    }
+
+    #[test]
+    fn full_outerjoin_preserves_both_sides() {
+        let out = full_outerjoin(&r1(), &r2(), &p12()).unwrap();
+        // r1 {1,2}, r2 {2,3}: match (2,2); unmatched 1 (right-padded);
+        // unmatched 3 (left-padded).
+        assert_eq!(out.len(), 3);
+        assert!(out.rows().iter().any(|t| t.get(1).is_null()));
+        assert!(out.rows().iter().any(|t| t.get(0).is_null()));
+        // Equivalent to (R1 → R2) ∪ (R2 → R1) under padding.
+        let l = outerjoin(&r1(), &r2(), &p12()).unwrap();
+        let r = outerjoin(&r2(), &r1(), &p12()).unwrap();
+        let u = union(&l, &r).unwrap();
+        assert!(out.set_eq(&u));
+    }
+
+    #[test]
+    fn full_outerjoin_empty_sides() {
+        let empty = Relation::from_ints("R2", &["b"], &[]);
+        let out = full_outerjoin(&r1(), &empty, &p12()).unwrap();
+        assert_eq!(out.len(), 2); // both r1 rows padded
+        let out =
+            full_outerjoin(&empty, &r1().renamed("R3"), &Pred::eq_attr("R2.b", "R3.a")).unwrap();
+        assert_eq!(out.len(), 2); // both right rows left-padded
+        assert!(out.rows().iter().all(|t| t.get(0).is_null()));
+    }
+
+    #[test]
+    fn antijoin_complement_semijoin() {
+        let aj = antijoin(&r1(), &r2(), &p12()).unwrap();
+        let sj = semijoin(&r1(), &r2(), &p12()).unwrap();
+        assert_eq!(aj.len() + sj.len(), r1().len());
+        let both = union(&aj, &sj).unwrap();
+        assert!(both.set_eq(&r1()));
+    }
+
+    #[test]
+    fn antijoin_with_empty_right_keeps_all() {
+        let empty = Relation::from_ints("R2", &["b"], &[]);
+        let aj = antijoin(&r1(), &empty, &p12()).unwrap();
+        assert!(aj.set_eq(&r1()));
+        let oj = outerjoin(&r1(), &empty, &p12()).unwrap();
+        assert_eq!(oj.len(), 2);
+        assert!(oj.rows().iter().all(|t| t.get(1).is_null()));
+    }
+
+    #[test]
+    fn null_join_keys_do_not_match() {
+        let l = Relation::from_values("L", &["k"], vec![vec![Value::Null], vec![Value::Int(1)]]);
+        let r = Relation::from_values("R", &["k"], vec![vec![Value::Null], vec![Value::Int(1)]]);
+        let out = join(&l, &r, &Pred::eq_attr("L.k", "R.k")).unwrap();
+        assert_eq!(out.len(), 1); // only (1,1); null ≠ null
+    }
+
+    #[test]
+    fn restrict_filters_unknown_as_false() {
+        let r = Relation::from_values(
+            "R",
+            &["a"],
+            vec![vec![Value::Int(5)], vec![Value::Null], vec![Value::Int(0)]],
+        );
+        let out = restrict(&r, &Pred::cmp_lit("R.a", CmpOp::Gt, 1)).unwrap();
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn project_with_dedup() {
+        let r = Relation::from_ints("R", &["a", "b"], &[&[1, 10], &[1, 20]]);
+        let out = project(&r, &[Attr::parse("R.a")], true).unwrap();
+        assert_eq!(out.len(), 1);
+        let bad = project(&r, &[Attr::parse("R.zzz")], true);
+        assert!(matches!(bad, Err(AlgebraError::BadProjection(_))));
+    }
+
+    #[test]
+    fn group_count_counts_non_null_occurrences() {
+        // Dept → Emp, count employees per dept including empty depts.
+        let dept = Relation::from_ints("D", &["id"], &[&[1], &[2], &[3]]);
+        let emp = Relation::from_ints("E", &["id", "dept"], &[&[10, 1], &[11, 1], &[12, 2]]);
+        let oj = outerjoin(&dept, &emp, &Pred::eq_attr("D.id", "E.dept")).unwrap();
+        let counts = group_count(&oj, &[Attr::parse("D.id")], Some(&Attr::parse("E.id"))).unwrap();
+        assert_eq!(counts.len(), 3);
+        let mut by_dept: Vec<(i64, i64)> = counts
+            .rows()
+            .iter()
+            .map(|t| match (t.get(0), t.get(1)) {
+                (Value::Int(d), Value::Int(c)) => (*d, *c),
+                other => panic!("{other:?}"),
+            })
+            .collect();
+        by_dept.sort_unstable();
+        assert_eq!(by_dept, vec![(1, 2), (2, 1), (3, 0)]);
+        // A plain join + count silently loses dept 3 (the paper's
+        // motivation for outerjoins in Count queries).
+        let jn = join(&dept, &emp, &Pred::eq_attr("D.id", "E.dept")).unwrap();
+        let jn_counts =
+            group_count(&jn, &[Attr::parse("D.id")], Some(&Attr::parse("E.id"))).unwrap();
+        assert_eq!(jn_counts.len(), 2);
+    }
+
+    #[test]
+    fn group_count_without_counted_counts_rows() {
+        let r = Relation::from_ints("R", &["g", "v"], &[&[1, 10], &[1, 11], &[2, 20]]);
+        let counts = group_count(&r, &[Attr::parse("R.g")], None).unwrap();
+        assert_eq!(counts.len(), 2);
+        assert!(counts.schema().contains(&Attr::new("agg", "count")));
+        let bad = group_count(&r, &[Attr::parse("R.zzz")], None);
+        assert!(matches!(bad, Err(AlgebraError::BadProjection(_))));
+    }
+
+    #[test]
+    fn union_pads_schemes() {
+        let a = Relation::from_ints("R", &["a"], &[&[1]]);
+        let b = Relation::from_ints("S", &["b"], &[&[2]]);
+        let u = union(&a, &b).unwrap();
+        assert_eq!(u.len(), 2);
+        assert_eq!(u.schema().len(), 2);
+        // Row from a has null S.b; row from b has null R.a.
+        assert!(u.rows().iter().any(|t| t.values().contains(&Value::Null)));
+    }
+
+    #[test]
+    fn union_is_set_union() {
+        let a = Relation::from_ints("R", &["a"], &[&[1], &[2]]);
+        let b = Relation::from_ints("R", &["a"], &[&[2], &[3]]);
+        let u = union(&a, &b).unwrap();
+        assert_eq!(u.len(), 3);
+    }
+
+    #[test]
+    fn semijoin_keeps_left_schema() {
+        let sj = semijoin(&r1(), &r2(), &p12()).unwrap();
+        assert_eq!(sj.schema().as_ref(), r1().schema().as_ref());
+        assert_eq!(sj.len(), 1);
+    }
+}

@@ -1,0 +1,277 @@
+//! Attributes and schemes (§1.2: "a scheme is a finite set of attribute
+//! names").
+//!
+//! Attribute names are *qualified* — `R2.k2` is the attribute `k2` of
+//! ground relation `R2` — because the paper's database convention makes
+//! all ground-relation schemes mutually disjoint. Qualification gives us
+//! that disjointness for free and lets predicates name the ground
+//! relations they reference, which is what query-graph construction
+//! needs.
+
+use crate::error::AlgebraError;
+use std::collections::BTreeSet;
+use std::fmt;
+use std::sync::Arc;
+
+/// A qualified attribute name: `relation.attribute`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Attr {
+    rel: Arc<str>,
+    name: Arc<str>,
+}
+
+impl Attr {
+    /// Create an attribute from relation and attribute names.
+    #[must_use]
+    pub fn new(rel: impl AsRef<str>, name: impl AsRef<str>) -> Attr {
+        Attr {
+            rel: Arc::from(rel.as_ref()),
+            name: Arc::from(name.as_ref()),
+        }
+    }
+
+    /// Parse a `"rel.attr"` string. Panics if there is no dot — this is
+    /// a test/builder convenience; use [`Attr::new`] in library code.
+    #[must_use]
+    pub fn parse(qualified: &str) -> Attr {
+        let (rel, name) = qualified
+            .split_once('.')
+            .unwrap_or_else(|| panic!("attribute `{qualified}` must be written rel.attr"));
+        Attr::new(rel, name)
+    }
+
+    /// The ground relation this attribute belongs to.
+    #[must_use]
+    pub fn rel(&self) -> &str {
+        &self.rel
+    }
+
+    /// The unqualified attribute name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+impl fmt::Display for Attr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}", self.rel, self.name)
+    }
+}
+
+impl From<&str> for Attr {
+    fn from(s: &str) -> Self {
+        Attr::parse(s)
+    }
+}
+
+/// An ordered scheme: a sequence of distinct qualified attributes.
+///
+/// The *order* fixes the physical column layout of [`crate::Tuple`]s;
+/// set-level operations (padding, union, equivalence) canonicalize
+/// through attribute names so order never affects query semantics.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Schema {
+    attrs: Vec<Attr>,
+}
+
+impl Schema {
+    /// Build a schema from a list of attributes.
+    ///
+    /// # Errors
+    /// Returns [`AlgebraError::DuplicateAttr`] if an attribute repeats.
+    pub fn new(attrs: Vec<Attr>) -> Result<Schema, AlgebraError> {
+        let mut seen = BTreeSet::new();
+        for a in &attrs {
+            if !seen.insert(a.clone()) {
+                return Err(AlgebraError::DuplicateAttr(a.to_string()));
+            }
+        }
+        Ok(Schema { attrs })
+    }
+
+    /// Build the schema of a ground relation from unqualified names.
+    #[must_use]
+    pub fn of_relation(rel: &str, names: &[&str]) -> Schema {
+        Schema {
+            attrs: names.iter().map(|n| Attr::new(rel, n)).collect(),
+        }
+    }
+
+    /// The empty schema.
+    #[must_use]
+    pub fn empty() -> Schema {
+        Schema { attrs: Vec::new() }
+    }
+
+    /// Number of attributes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// Whether the schema has no attributes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.attrs.is_empty()
+    }
+
+    /// The attributes in layout order.
+    #[must_use]
+    pub fn attrs(&self) -> &[Attr] {
+        &self.attrs
+    }
+
+    /// Column position of `attr`, if present.
+    #[must_use]
+    pub fn index_of(&self, attr: &Attr) -> Option<usize> {
+        self.attrs.iter().position(|a| a == attr)
+    }
+
+    /// Whether `attr` is part of this schema.
+    #[must_use]
+    pub fn contains(&self, attr: &Attr) -> bool {
+        self.index_of(attr).is_some()
+    }
+
+    /// The set of ground relations mentioned by this schema.
+    #[must_use]
+    pub fn rels(&self) -> BTreeSet<String> {
+        self.attrs.iter().map(|a| a.rel().to_owned()).collect()
+    }
+
+    /// Whether the attribute sets of `self` and `other` are disjoint.
+    #[must_use]
+    pub fn disjoint(&self, other: &Schema) -> bool {
+        self.attrs.iter().all(|a| !other.contains(a))
+    }
+
+    /// Concatenate two disjoint schemas (the scheme of a join result).
+    ///
+    /// # Errors
+    /// Returns [`AlgebraError::SchemasOverlap`] when the operands share
+    /// an attribute — the paper's convention (§2.1) requires
+    /// `sch(eval(X)) ∩ sch(eval(Y)) = ∅` for every generic join.
+    pub fn concat(&self, other: &Schema) -> Result<Schema, AlgebraError> {
+        if !self.disjoint(other) {
+            return Err(AlgebraError::SchemasOverlap);
+        }
+        let mut attrs = self.attrs.clone();
+        attrs.extend(other.attrs.iter().cloned());
+        Ok(Schema { attrs })
+    }
+
+    /// The canonical (sorted-attribute) permutation of this schema,
+    /// paired with, for each canonical position, the source column.
+    #[must_use]
+    pub fn canonical_order(&self) -> (Schema, Vec<usize>) {
+        let mut idx: Vec<usize> = (0..self.attrs.len()).collect();
+        idx.sort_by(|&i, &j| self.attrs[i].cmp(&self.attrs[j]));
+        let attrs = idx.iter().map(|&i| self.attrs[i].clone()).collect();
+        (Schema { attrs }, idx)
+    }
+
+    /// Union of attribute sets, in canonical (sorted) order — the
+    /// scheme used by the paper's padding convention for `∪`.
+    #[must_use]
+    pub fn union(&self, other: &Schema) -> Schema {
+        let set: BTreeSet<Attr> = self
+            .attrs
+            .iter()
+            .chain(other.attrs.iter())
+            .cloned()
+            .collect();
+        Schema {
+            attrs: set.into_iter().collect(),
+        }
+    }
+}
+
+/// Shared, immutable schema handle.
+pub type SchemaRef = Arc<Schema>;
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, a) in self.attrs.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attr_parse_and_display() {
+        let a = Attr::parse("R1.x");
+        assert_eq!(a.rel(), "R1");
+        assert_eq!(a.name(), "x");
+        assert_eq!(a.to_string(), "R1.x");
+        assert_eq!(Attr::from("R2.y"), Attr::new("R2", "y"));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be written rel.attr")]
+    fn attr_parse_requires_dot() {
+        let _ = Attr::parse("nodot");
+    }
+
+    #[test]
+    fn schema_rejects_duplicates() {
+        let err = Schema::new(vec![Attr::parse("R.a"), Attr::parse("R.a")]);
+        assert!(matches!(err, Err(AlgebraError::DuplicateAttr(_))));
+    }
+
+    #[test]
+    fn of_relation_qualifies() {
+        let s = Schema::of_relation("Emp", &["id", "dept"]);
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(&Attr::parse("Emp.id")));
+        assert_eq!(
+            s.rels().into_iter().collect::<Vec<_>>(),
+            vec!["Emp".to_owned()]
+        );
+    }
+
+    #[test]
+    fn concat_requires_disjoint() {
+        let a = Schema::of_relation("R", &["x"]);
+        let b = Schema::of_relation("S", &["y"]);
+        let c = a.concat(&b).unwrap();
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.index_of(&Attr::parse("S.y")), Some(1));
+        assert!(matches!(a.concat(&a), Err(AlgebraError::SchemasOverlap)));
+    }
+
+    #[test]
+    fn canonical_order_sorts() {
+        let s = Schema::new(vec![Attr::parse("S.b"), Attr::parse("R.a")]).unwrap();
+        let (canon, perm) = s.canonical_order();
+        assert_eq!(canon.attrs()[0], Attr::parse("R.a"));
+        assert_eq!(perm, vec![1, 0]);
+    }
+
+    #[test]
+    fn union_is_sorted_set() {
+        let a = Schema::of_relation("R", &["x"]);
+        let b = Schema::of_relation("Q", &["y"]);
+        let u = a.union(&b);
+        assert_eq!(u.attrs()[0], Attr::parse("Q.y"));
+        assert_eq!(u.len(), 2);
+        // Union with self is idempotent.
+        assert_eq!(a.union(&a).len(), 1);
+    }
+
+    #[test]
+    fn empty_schema() {
+        let e = Schema::empty();
+        assert!(e.is_empty());
+        assert_eq!(e.to_string(), "()");
+    }
+}

@@ -1,0 +1,168 @@
+//! Three-valued logic (3VL).
+//!
+//! The paper's definitions treat predicates as mapping tuples to
+//! {True, False}, with the convention that comparisons against nulls do
+//! not match. We model this faithfully with SQL-style three-valued
+//! logic: a comparison involving a null yields [`Truth::Unknown`], and a
+//! join-like operator keeps a tuple pair only when its predicate
+//! evaluates to [`Truth::True`]. "Strongness" analysis
+//! ([`crate::Pred::is_strong`]) is phrased in terms of *never-True*,
+//! which is exactly the paper's "returns False" under this convention.
+
+use std::fmt;
+
+/// A truth value in Kleene's strong three-valued logic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Truth {
+    /// Definitely false.
+    False,
+    /// Unknown (a null was involved).
+    Unknown,
+    /// Definitely true.
+    True,
+}
+
+impl Truth {
+    /// Logical conjunction (Kleene).
+    #[must_use]
+    pub fn and(self, other: Truth) -> Truth {
+        use Truth::*;
+        match (self, other) {
+            (False, _) | (_, False) => False,
+            (True, True) => True,
+            _ => Unknown,
+        }
+    }
+
+    /// Logical disjunction (Kleene).
+    #[must_use]
+    pub fn or(self, other: Truth) -> Truth {
+        use Truth::*;
+        match (self, other) {
+            (True, _) | (_, True) => True,
+            (False, False) => False,
+            _ => Unknown,
+        }
+    }
+
+    /// Logical negation (Kleene): `¬Unknown = Unknown`.
+    #[must_use]
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Truth {
+        match self {
+            Truth::True => Truth::False,
+            Truth::False => Truth::True,
+            Truth::Unknown => Truth::Unknown,
+        }
+    }
+
+    /// Whether this value satisfies a filter (only `True` does).
+    #[must_use]
+    pub fn is_true(self) -> bool {
+        self == Truth::True
+    }
+
+    /// Lift a Boolean into 3VL.
+    #[must_use]
+    pub fn from_bool(b: bool) -> Truth {
+        if b {
+            Truth::True
+        } else {
+            Truth::False
+        }
+    }
+}
+
+impl From<bool> for Truth {
+    fn from(b: bool) -> Self {
+        Truth::from_bool(b)
+    }
+}
+
+impl fmt::Display for Truth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Truth::True => write!(f, "true"),
+            Truth::False => write!(f, "false"),
+            Truth::Unknown => write!(f, "unknown"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Truth::{self, *};
+
+    const ALL: [Truth; 3] = [False, Unknown, True];
+
+    #[test]
+    fn and_truth_table() {
+        assert_eq!(True.and(True), True);
+        assert_eq!(True.and(False), False);
+        assert_eq!(True.and(Unknown), Unknown);
+        assert_eq!(False.and(Unknown), False);
+        assert_eq!(Unknown.and(Unknown), Unknown);
+    }
+
+    #[test]
+    fn or_truth_table() {
+        assert_eq!(False.or(False), False);
+        assert_eq!(False.or(Unknown), Unknown);
+        assert_eq!(True.or(Unknown), True);
+        assert_eq!(Unknown.or(Unknown), Unknown);
+    }
+
+    #[test]
+    fn not_involution_on_definite() {
+        assert_eq!(True.not(), False);
+        assert_eq!(False.not(), True);
+        assert_eq!(Unknown.not(), Unknown);
+        for t in ALL {
+            assert_eq!(t.not().not(), t);
+        }
+    }
+
+    #[test]
+    fn de_morgan_holds_in_kleene_logic() {
+        for a in ALL {
+            for b in ALL {
+                assert_eq!(a.and(b).not(), a.not().or(b.not()));
+                assert_eq!(a.or(b).not(), a.not().and(b.not()));
+            }
+        }
+    }
+
+    #[test]
+    fn and_or_commutative_associative() {
+        for a in ALL {
+            for b in ALL {
+                assert_eq!(a.and(b), b.and(a));
+                assert_eq!(a.or(b), b.or(a));
+                for c in ALL {
+                    assert_eq!(a.and(b).and(c), a.and(b.and(c)));
+                    assert_eq!(a.or(b).or(c), a.or(b.or(c)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn is_true_only_for_true() {
+        assert!(True.is_true());
+        assert!(!False.is_true());
+        assert!(!Unknown.is_true());
+    }
+
+    #[test]
+    fn from_bool_roundtrip() {
+        assert_eq!(Truth::from_bool(true), True);
+        assert_eq!(Truth::from(false), False);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(True.to_string(), "true");
+        assert_eq!(Unknown.to_string(), "unknown");
+        assert_eq!(False.to_string(), "false");
+    }
+}

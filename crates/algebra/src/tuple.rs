@@ -1,0 +1,164 @@
+//! Tuples: assignments of values to the attributes of a scheme (§1.2).
+
+use crate::schema::Schema;
+use crate::value::Value;
+use std::fmt;
+
+/// A tuple over some scheme. The scheme itself lives on the enclosing
+/// [`crate::Relation`]; a `Tuple` is just the value vector in the
+/// scheme's layout order.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Tuple(Box<[Value]>);
+
+impl Tuple {
+    /// Build a tuple from values.
+    #[must_use]
+    pub fn new(values: Vec<Value>) -> Tuple {
+        Tuple(values.into_boxed_slice())
+    }
+
+    /// The all-null tuple on a scheme of the given width —
+    /// `null_S` in the paper.
+    #[must_use]
+    pub fn nulls(width: usize) -> Tuple {
+        Tuple(vec![Value::Null; width].into_boxed_slice())
+    }
+
+    /// Number of values.
+    #[must_use]
+    pub fn arity(&self) -> usize {
+        self.0.len()
+    }
+
+    /// The values in layout order.
+    #[must_use]
+    pub fn values(&self) -> &[Value] {
+        &self.0
+    }
+
+    /// Value at column `i`.
+    #[must_use]
+    pub fn get(&self, i: usize) -> &Value {
+        &self.0[i]
+    }
+
+    /// Concatenation `(t1, t2)` of tuples on disjoint schemes (§1.2).
+    #[must_use]
+    pub fn concat(&self, other: &Tuple) -> Tuple {
+        let mut v = Vec::with_capacity(self.arity() + other.arity());
+        v.extend_from_slice(&self.0);
+        v.extend_from_slice(&other.0);
+        Tuple::new(v)
+    }
+
+    /// Padding (§1.2): extend this tuple, defined on `from`, to the
+    /// larger scheme `to` by assigning null to every attribute of `to`
+    /// not present in `from`. Attributes shared by both keep their
+    /// value; `to`'s layout order decides the output order.
+    #[must_use]
+    pub fn pad(&self, from: &Schema, to: &Schema) -> Tuple {
+        debug_assert_eq!(self.arity(), from.len());
+        let values = to
+            .attrs()
+            .iter()
+            .map(|a| from.index_of(a).map_or(Value::Null, |i| self.0[i].clone()))
+            .collect::<Vec<_>>();
+        Tuple::new(values)
+    }
+
+    /// Project onto the given column positions.
+    #[must_use]
+    pub fn project(&self, cols: &[usize]) -> Tuple {
+        Tuple::new(cols.iter().map(|&i| self.0[i].clone()).collect())
+    }
+
+    /// Whether every value is null (a fully padded tuple).
+    #[must_use]
+    pub fn all_null(&self) -> bool {
+        self.0.iter().all(Value::is_null)
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl FromIterator<Value> for Tuple {
+    fn from_iter<T: IntoIterator<Item = Value>>(iter: T) -> Self {
+        Tuple::new(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Attr, Schema};
+
+    fn ints(vs: &[i64]) -> Tuple {
+        vs.iter().map(|&v| Value::Int(v)).collect()
+    }
+
+    #[test]
+    fn concat_orders_left_then_right() {
+        let t = ints(&[1, 2]).concat(&ints(&[3]));
+        assert_eq!(t.values(), &[Value::Int(1), Value::Int(2), Value::Int(3)]);
+        assert_eq!(t.arity(), 3);
+    }
+
+    #[test]
+    fn nulls_and_all_null() {
+        let t = Tuple::nulls(3);
+        assert!(t.all_null());
+        assert!(!ints(&[1]).all_null());
+        assert_eq!(t.to_string(), "(-, -, -)");
+    }
+
+    #[test]
+    fn pad_fills_missing_attrs_with_null() {
+        let from = Schema::of_relation("R", &["a"]);
+        let to = Schema::new(vec![Attr::parse("R.a"), Attr::parse("S.b")]).unwrap();
+        let t = ints(&[7]).pad(&from, &to);
+        assert_eq!(t.values(), &[Value::Int(7), Value::Null]);
+    }
+
+    #[test]
+    fn pad_reorders_to_target_layout() {
+        let from = Schema::new(vec![Attr::parse("S.b"), Attr::parse("R.a")]).unwrap();
+        let to = Schema::new(vec![
+            Attr::parse("R.a"),
+            Attr::parse("S.b"),
+            Attr::parse("T.c"),
+        ])
+        .unwrap();
+        let t = ints(&[10, 20]).pad(&from, &to);
+        assert_eq!(t.values(), &[Value::Int(20), Value::Int(10), Value::Null]);
+    }
+
+    #[test]
+    fn pad_to_same_schema_is_identity() {
+        let s = Schema::of_relation("R", &["a", "b"]);
+        let t = ints(&[1, 2]);
+        assert_eq!(t.pad(&s, &s), t);
+    }
+
+    #[test]
+    fn project_selects_columns() {
+        let t = ints(&[1, 2, 3]).project(&[2, 0]);
+        assert_eq!(t.values(), &[Value::Int(3), Value::Int(1)]);
+    }
+
+    #[test]
+    fn get_indexes_values() {
+        let t = ints(&[5, 6]);
+        assert_eq!(t.get(1), &Value::Int(6));
+    }
+}

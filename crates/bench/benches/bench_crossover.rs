@@ -1,0 +1,34 @@
+//! E2 timing: join-first vs outerjoin-first across join selectivities
+//! (the discussion following Example 1).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fro_core::optimizer::lower;
+use fro_exec::{execute, ExecStats};
+use fro_testkit::workloads::crossover;
+use std::hint::black_box;
+
+fn bench_crossover(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crossover");
+    group.sample_size(10);
+    for sel_pct in [1u32, 25, 75] {
+        let w = crossover(400, 800, f64::from(sel_pct) / 100.0, 42);
+        let jf = lower(&w.join_first, &w.catalog).unwrap();
+        let of = lower(&w.oj_first, &w.catalog).unwrap();
+        group.bench_with_input(BenchmarkId::new("join_first", sel_pct), &sel_pct, |b, _| {
+            b.iter(|| {
+                let mut stats = ExecStats::new();
+                black_box(execute(&jf, &w.storage, &mut stats).unwrap())
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("oj_first", sel_pct), &sel_pct, |b, _| {
+            b.iter(|| {
+                let mut stats = ExecStats::new();
+                black_box(execute(&of, &w.storage, &mut stats).unwrap())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_crossover);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Engine micro-benchmarks: the physical join operators against each
+//! other and against the reference evaluator (the substrate Example 1
+//! runs on).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fro_algebra::{ops, Attr, Pred, Relation, Value};
+use fro_exec::{execute, ExecStats, JoinKind, PhysPlan, Storage};
+use std::hint::black_box;
+
+fn storage(n: usize) -> Storage {
+    let mut s = Storage::new();
+    let l: Vec<Vec<Value>> = (0..n)
+        .map(|i| vec![Value::Int(i as i64), Value::Int((i % 97) as i64)])
+        .collect();
+    s.insert("L", Relation::from_values("L", &["k", "v"], l));
+    let r: Vec<Vec<Value>> = (0..n).map(|i| vec![Value::Int(i as i64)]).collect();
+    s.insert("R", Relation::from_values("R", &["k"], r));
+    s.create_index("R", &[Attr::parse("R.k")]);
+    s
+}
+
+fn bench_joins(c: &mut Criterion) {
+    let mut group = c.benchmark_group("physical_joins");
+    group.sample_size(10);
+    for n in [1_000usize, 10_000] {
+        let s = storage(n);
+        let hash = PhysPlan::HashJoin {
+            kind: JoinKind::LeftOuter,
+            probe: Box::new(PhysPlan::scan("L")),
+            build: Box::new(PhysPlan::scan("R")),
+            probe_keys: vec![Attr::parse("L.k")],
+            build_keys: vec![Attr::parse("R.k")],
+            residual: Pred::always(),
+        };
+        let index = PhysPlan::IndexJoin {
+            kind: JoinKind::LeftOuter,
+            outer: Box::new(PhysPlan::scan("L")),
+            inner: "R".into(),
+            outer_keys: vec![Attr::parse("L.k")],
+            inner_keys: vec![Attr::parse("R.k")],
+            residual: Pred::always(),
+        };
+        group.bench_with_input(BenchmarkId::new("hash_left_outer", n), &n, |b, _| {
+            b.iter(|| {
+                let mut st = ExecStats::new();
+                black_box(execute(&hash, &s, &mut st).unwrap())
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("index_left_outer", n), &n, |b, _| {
+            b.iter(|| {
+                let mut st = ExecStats::new();
+                black_box(execute(&index, &s, &mut st).unwrap())
+            });
+        });
+    }
+    group.finish();
+
+    // Reference nested-loop evaluator for context (quadratic).
+    let mut group = c.benchmark_group("reference_ops");
+    group.sample_size(10);
+    for n in [200usize, 400] {
+        let s = storage(n);
+        let l = s.get("L").unwrap().relation().clone();
+        let r = s.get("R").unwrap().relation().clone();
+        let p = Pred::eq_attr("L.k", "R.k");
+        group.bench_with_input(BenchmarkId::new("nl_outerjoin", n), &n, |b, _| {
+            b.iter(|| black_box(ops::outerjoin(&l, &r, &p).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_joins);
+criterion_main!(benches);

@@ -1,0 +1,102 @@
+//! E5 timing: implementing-tree counting and enumeration across
+//! topologies and sizes (the plan space Theorem 1 licenses).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fro_algebra::Pred;
+use fro_graph::QueryGraph;
+use fro_trees::{count_implementing_trees, enumerate_trees, EnumLimit};
+use std::hint::black_box;
+
+fn key_eq(a: usize, b: usize) -> Pred {
+    Pred::eq_attr(&format!("R{a}.k"), &format!("R{b}.k"))
+}
+
+fn chain(n: usize) -> QueryGraph {
+    let mut g = QueryGraph::new((0..n).map(|i| format!("R{i}")).collect());
+    for i in 0..n - 1 {
+        g.add_join_edge(i, i + 1, key_eq(i, i + 1)).unwrap();
+    }
+    g
+}
+
+fn clique(n: usize) -> QueryGraph {
+    let mut g = QueryGraph::new((0..n).map(|i| format!("R{i}")).collect());
+    for i in 0..n {
+        for j in i + 1..n {
+            g.add_join_edge(i, j, key_eq(i, j)).unwrap();
+        }
+    }
+    g
+}
+
+fn core_with_oj_tail(n: usize) -> QueryGraph {
+    let core = n / 2;
+    let mut g = QueryGraph::new((0..n).map(|i| format!("R{i}")).collect());
+    for i in 0..core.saturating_sub(1) {
+        g.add_join_edge(i, i + 1, key_eq(i, i + 1)).unwrap();
+    }
+    for i in core.max(1)..n {
+        g.add_outerjoin_edge(i - 1, i, key_eq(i - 1, i)).unwrap();
+    }
+    g
+}
+
+fn bench_count(c: &mut Criterion) {
+    let mut group = c.benchmark_group("count_trees");
+    for n in [6usize, 10, 14] {
+        group.bench_with_input(BenchmarkId::new("chain", n), &n, |b, &n| {
+            let g = chain(n);
+            b.iter(|| black_box(count_implementing_trees(&g, false)));
+        });
+        group.bench_with_input(BenchmarkId::new("oj_mix", n), &n, |b, &n| {
+            let g = core_with_oj_tail(n);
+            b.iter(|| black_box(count_implementing_trees(&g, false)));
+        });
+    }
+    for n in [6usize, 8, 10] {
+        group.bench_with_input(BenchmarkId::new("clique", n), &n, |b, &n| {
+            let g = clique(n);
+            b.iter(|| black_box(count_implementing_trees(&g, false)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_enumerate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("enumerate_trees");
+    group.sample_size(10);
+    for n in [5usize, 7, 9] {
+        group.bench_with_input(BenchmarkId::new("chain", n), &n, |b, &n| {
+            let g = chain(n);
+            b.iter(|| {
+                black_box(
+                    enumerate_trees(
+                        &g,
+                        EnumLimit {
+                            max_trees: 1_000_000,
+                        },
+                    )
+                    .unwrap(),
+                )
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("oj_mix", n), &n, |b, &n| {
+            let g = core_with_oj_tail(n);
+            b.iter(|| {
+                black_box(
+                    enumerate_trees(
+                        &g,
+                        EnumLimit {
+                            max_trees: 1_000_000,
+                        },
+                    )
+                    .unwrap(),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_count, bench_enumerate);
+criterion_main!(benches);

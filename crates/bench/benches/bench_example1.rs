@@ -1,0 +1,44 @@
+//! E1 timing: executing the two associations of Example 1 (the
+//! counter-based shape lives in the `experiments` binary; this
+//! measures wall-clock on the real engine).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fro_core::optimizer::lower;
+use fro_core::{optimize, Policy};
+use fro_exec::{execute, ExecStats};
+use fro_testkit::workloads::example1;
+use std::hint::black_box;
+
+fn bench_example1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("example1");
+    group.sample_size(10);
+    for n in [1_000usize, 10_000, 100_000] {
+        let ex = example1(n);
+        let syn_plan = lower(&ex.bad_query, &ex.catalog).unwrap();
+        let opt = optimize(&ex.bad_query, &ex.catalog, Policy::Paper).unwrap();
+        assert!(opt.reordered);
+
+        group.bench_with_input(BenchmarkId::new("syntactic_R1-(R2→R3)", n), &n, |b, _| {
+            b.iter(|| {
+                let mut stats = ExecStats::new();
+                black_box(execute(&syn_plan, &ex.storage, &mut stats).unwrap())
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("reordered_(R1-R2)→R3", n), &n, |b, _| {
+            b.iter(|| {
+                let mut stats = ExecStats::new();
+                black_box(execute(&opt.plan, &ex.storage, &mut stats).unwrap())
+            });
+        });
+    }
+    group.finish();
+
+    // Optimizer latency itself (the §6.1 "small extension" claim).
+    let ex = example1(10_000);
+    c.bench_function("example1/optimize_call", |b| {
+        b.iter(|| black_box(optimize(&ex.bad_query, &ex.catalog, Policy::Paper).unwrap()));
+    });
+}
+
+criterion_group!(benches, bench_example1);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! E10 timing: the generalized outerjoin operator and the identity-15
+//! reordering of Example 2's shape.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fro_algebra::{ops, Attr, Pred, Relation, Value};
+use fro_core::goj_reorder::oj_of_join_to_goj;
+use fro_core::optimizer::lower;
+use fro_core::Catalog;
+use fro_exec::{execute, ExecStats, Storage};
+use std::hint::black_box;
+
+fn setup(nx: usize, nyz: usize) -> (Storage, Catalog) {
+    let mut storage = Storage::new();
+    let x: Vec<Vec<Value>> = (0..nx).map(|i| vec![Value::Int(i as i64)]).collect();
+    storage.insert("X", Relation::from_values("X", &["a"], x));
+    let y: Vec<Vec<Value>> = (0..nyz)
+        .map(|i| vec![Value::Int(i as i64), Value::Int(i as i64)])
+        .collect();
+    storage.insert("Y", Relation::from_values("Y", &["b", "b2"], y));
+    let z: Vec<Vec<Value>> = (0..nyz).map(|i| vec![Value::Int(i as i64)]).collect();
+    storage.insert("Z", Relation::from_values("Z", &["c"], z));
+    for (t, a) in [("X", "X.a"), ("Y", "Y.b"), ("Z", "Z.c")] {
+        storage.create_index(t, &[Attr::parse(a)]);
+    }
+    let catalog = Catalog::from_storage(&storage);
+    (storage, catalog)
+}
+
+fn bench_goj_operator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("goj_operator");
+    group.sample_size(10);
+    for n in [100usize, 400] {
+        let l = Relation::from_values(
+            "L",
+            &["k", "x"],
+            (0..n)
+                .map(|i| vec![Value::Int(i as i64), Value::Int((i / 2) as i64)])
+                .collect(),
+        );
+        let r = Relation::from_values(
+            "R",
+            &["k"],
+            (0..n / 2).map(|i| vec![Value::Int(i as i64)]).collect(),
+        );
+        let p = Pred::eq_attr("L.k", "R.k");
+        let s = vec![Attr::parse("L.k")];
+        group.bench_with_input(BenchmarkId::new("reference", n), &n, |b, _| {
+            b.iter(|| black_box(ops::goj(&l, &r, &p, &s).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_identity15_reorder(c: &mut Criterion) {
+    let mut group = c.benchmark_group("goj_identity15");
+    group.sample_size(10);
+    let q = fro_algebra::Query::rel("X").outerjoin(
+        fro_algebra::Query::rel("Y")
+            .join(fro_algebra::Query::rel("Z"), Pred::eq_attr("Y.b2", "Z.c")),
+        Pred::eq_attr("X.a", "Y.b"),
+    );
+    for (nx, nyz) in [(20usize, 2_000usize), (50, 4_000)] {
+        let (storage, catalog) = setup(nx, nyz);
+        let syn = lower(&q, &catalog).unwrap();
+        let rw = oj_of_join_to_goj(&q, &catalog).expect("applies");
+        let rw_plan = lower(&rw, &catalog).unwrap();
+        let id = format!("{nx}x{nyz}");
+        group.bench_with_input(BenchmarkId::new("syntactic", &id), &id, |b, _| {
+            b.iter(|| {
+                let mut stats = ExecStats::new();
+                black_box(execute(&syn, &storage, &mut stats).unwrap())
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("goj_reordered", &id), &id, |b, _| {
+            b.iter(|| {
+                let mut stats = ExecStats::new();
+                black_box(execute(&rw_plan, &storage, &mut stats).unwrap())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_goj_operator, bench_identity15_reorder);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! E9 timing: the §5 language pipeline — lex/parse, translate (+
+//! reorderability check), and end-to-end evaluation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fro_lang::model::paper_world;
+use fro_lang::{parse, run, translate};
+use std::hint::black_box;
+
+const PROSECUTOR: &str = "Select All From EMPLOYEE*ChildName, DEPARTMENT-->Manager-->Audit \
+     Where EMPLOYEE.D# = DEPARTMENT.D# and DEPARTMENT.Location = 'Zurich' \
+     and EMPLOYEE.Rank > 10";
+
+fn bench_lang(c: &mut Criterion) {
+    let world = paper_world();
+
+    c.bench_function("lang/parse", |b| {
+        b.iter(|| black_box(parse(PROSECUTOR).unwrap()));
+    });
+
+    let block = parse(PROSECUTOR).unwrap();
+    c.bench_function("lang/translate_and_check", |b| {
+        b.iter(|| black_box(translate(&block, &world).unwrap()));
+    });
+
+    c.bench_function("lang/run_end_to_end", |b| {
+        b.iter(|| black_box(run(PROSECUTOR, &world).unwrap()));
+    });
+
+    // At scale: a synthetic world with hundreds of employees.
+    let big = fro_testkit::workloads::synthetic_entity_world(50, 20, 7);
+    let query = "Select All From EMPLOYEE*ChildName, DEPARTMENT-->Manager \
+                 Where EMPLOYEE.D# = DEPARTMENT.D# and EMPLOYEE.Rank > 10";
+    let mut group = c.benchmark_group("lang_scale");
+    group.sample_size(10);
+    group.bench_function("translate_1000_emps", |b| {
+        let block = parse(query).unwrap();
+        b.iter(|| black_box(translate(&block, &big).unwrap()));
+    });
+    group.bench_function("run_1000_emps", |b| {
+        b.iter(|| black_box(run(query, &big).unwrap()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_lang);
+criterion_main!(benches);

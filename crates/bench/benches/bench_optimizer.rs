@@ -1,0 +1,47 @@
+//! E7 timing: the reordering DP itself (optimizer latency as the plan
+//! space grows), plus the full optimize-and-execute pipeline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fro_core::optimizer::{dp_optimize, lower};
+use fro_core::{optimize, Policy};
+use fro_exec::{execute, ExecStats};
+use fro_testkit::workloads::chain;
+use std::hint::black_box;
+
+fn bench_dp_latency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dp_optimize");
+    for k in [4usize, 6, 8, 10, 12] {
+        let (_, catalog, q) = chain(k, 16, 3);
+        let g = fro_graph::graph_of(&q).unwrap();
+        group.bench_with_input(BenchmarkId::new("chain", k), &k, |b, _| {
+            b.iter(|| black_box(dp_optimize(&g, &catalog).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("optimize_execute");
+    group.sample_size(10);
+    for k in [4usize, 5, 6] {
+        let (storage, catalog, q) = chain(k, 64, 3);
+        group.bench_with_input(BenchmarkId::new("reordered", k), &k, |b, _| {
+            b.iter(|| {
+                let opt = optimize(&q, &catalog, Policy::Paper).unwrap();
+                let mut stats = ExecStats::new();
+                black_box(execute(&opt.plan, &storage, &mut stats).unwrap())
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("syntactic", k), &k, |b, _| {
+            b.iter(|| {
+                let plan = lower(&q, &catalog).unwrap();
+                let mut stats = ExecStats::new();
+                black_box(execute(&plan, &storage, &mut stats).unwrap())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dp_latency, bench_end_to_end);
+criterion_main!(benches);

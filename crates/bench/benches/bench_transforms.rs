@@ -1,0 +1,104 @@
+//! E11 timing: basic-transform application, applicability scanning,
+//! closure computation and BT-sequence search (Lemma 3).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fro_testkit::{random_implementing_tree, random_nice_graph, GraphSpec};
+use fro_trees::{applicable_bts, apply_bt, bt_closure, find_bt_sequence, ClosureOptions};
+use std::hint::black_box;
+
+fn bench_transforms(c: &mut Criterion) {
+    let spec = GraphSpec {
+        core: 5,
+        oj_nodes: 2,
+        extra_core_edges: 1,
+        strong: true,
+    };
+    let g = random_nice_graph(&spec, 5);
+    let q = random_implementing_tree(&g, 1).unwrap();
+
+    c.bench_function("bt/applicable_scan", |b| {
+        b.iter(|| black_box(applicable_bts(&q)));
+    });
+
+    let bts = applicable_bts(&q);
+    let bt = bts.first().expect("some BT applies").clone();
+    c.bench_function("bt/apply_one", |b| {
+        b.iter(|| black_box(apply_bt(&q, &bt).unwrap()));
+    });
+
+    let mut group = c.benchmark_group("bt_closure");
+    group.sample_size(10);
+    for (core, oj) in [(3usize, 1usize), (4, 1), (4, 2)] {
+        let spec = GraphSpec {
+            core,
+            oj_nodes: oj,
+            extra_core_edges: 0,
+            strong: true,
+        };
+        let g = random_nice_graph(&spec, 7);
+        let q = random_implementing_tree(&g, 2).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("preserving", format!("{core}c{oj}o")),
+            &q,
+            |b, q| {
+                b.iter(|| {
+                    black_box(bt_closure(
+                        q,
+                        ClosureOptions {
+                            only_preserving: true,
+                            max_states: 500_000,
+                        },
+                    ))
+                });
+            },
+        );
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("bt_sequence_search");
+    group.sample_size(10);
+    // BFS: shortest sequences, exponential state space — small cores only.
+    for core in [3usize, 4] {
+        let spec = GraphSpec {
+            core,
+            oj_nodes: 1,
+            extra_core_edges: 0,
+            strong: true,
+        };
+        let g = random_nice_graph(&spec, 11);
+        let a = random_implementing_tree(&g, 3).unwrap();
+        let b_tree = random_implementing_tree(&g, 103).unwrap();
+        group.bench_with_input(BenchmarkId::new("lemma3_bfs", core), &core, |bch, _| {
+            bch.iter(|| {
+                black_box(
+                    find_bt_sequence(&a, &b_tree, ClosureOptions::default()).expect("reachable"),
+                )
+            });
+        });
+    }
+    // The paper's constructive hoisting procedure scales much further.
+    for core in [4usize, 6, 8] {
+        let spec = GraphSpec {
+            core,
+            oj_nodes: 2,
+            extra_core_edges: 0,
+            strong: true,
+        };
+        let g = random_nice_graph(&spec, 11);
+        let a = random_implementing_tree(&g, 3).unwrap();
+        let b_tree = random_implementing_tree(&g, 103).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("lemma3_constructive", core),
+            &core,
+            |bch, _| {
+                bch.iter(|| {
+                    black_box(fro_trees::constructive_sequence(&a, &b_tree).expect("bridge cuts"))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_transforms);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! The experiment driver: prints the paper-reproduction reports.
+//!
+//! ```text
+//! cargo run --release -p fro-bench --bin experiments            # all, full size
+//! cargo run --release -p fro-bench --bin experiments -- --quick # all, small
+//! cargo run --release -p fro-bench --bin experiments -- e1 e5   # a subset
+//! ```
+
+use std::env;
+
+fn main() {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick" || a == "-q");
+    let wanted: Vec<String> = args
+        .iter()
+        .filter(|a| !a.starts_with('-'))
+        .map(|a| a.to_uppercase())
+        .collect();
+
+    let all = fro_bench::run_all(quick);
+    let mut printed = 0;
+    for (id, report) in &all {
+        if !wanted.is_empty() && !wanted.contains(id) {
+            continue;
+        }
+        println!("{}", "=".repeat(78));
+        println!("{report}");
+        printed += 1;
+    }
+    if printed == 0 {
+        eprintln!(
+            "no experiment matched {wanted:?}; available: {}",
+            all.iter()
+                .map(|(id, _)| id.as_str())
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        std::process::exit(2);
+    }
+    println!("{}", "=".repeat(78));
+    println!("{printed} experiment(s) completed (quick = {quick}).");
+}

@@ -1,0 +1,322 @@
+//! Experiments E1–E4: the paper's worked Examples 1, 2 and 3.
+
+use crate::cells;
+use crate::table::Table;
+use fro_algebra::{Database, Pred, Query, Relation, Value};
+use fro_core::optimizer::{estimate_plan, lower};
+use fro_core::{optimize, Policy};
+use fro_exec::{execute, ExecStats};
+use fro_testkit::workloads::{crossover, example1};
+use std::fmt::Write as _;
+
+/// E1 — Example 1: tuples retrieved by the two associations of
+/// `R1 − (R2 → R3)` under key indexes, sweeping `n`.
+///
+/// Paper claim: the bad association retrieves `2n + 1` tuples, the
+/// good one `3` — independent of `n`.
+#[must_use]
+pub fn e1_example1_cost(quick: bool) -> String {
+    let sizes: &[usize] = if quick {
+        &[1_000, 10_000]
+    } else {
+        &[1_000, 10_000, 100_000, 1_000_000]
+    };
+    let mut t = Table::new(&[
+        "n",
+        "syntactic retrieved",
+        "paper 2n+1",
+        "reordered retrieved",
+        "paper",
+        "est. cost @n=1e7 (model)",
+    ]);
+    for &n in sizes {
+        let ex = example1(n);
+        let syn_plan = lower(&ex.bad_query, &ex.catalog).expect("lowerable");
+        let mut syn = ExecStats::new();
+        let a = execute(&syn_plan, &ex.storage, &mut syn).expect("runs");
+        let opt = optimize(&ex.bad_query, &ex.catalog, Policy::Paper).expect("optimizes");
+        assert!(opt.reordered);
+        let mut dp = ExecStats::new();
+        let b = execute(&opt.plan, &ex.storage, &mut dp).expect("runs");
+        assert!(a.set_eq(&b), "associations must agree (Theorem 1)");
+        t.row(cells!(
+            n,
+            syn.tuples_retrieved,
+            2 * n + 1,
+            dp.tuples_retrieved,
+            3,
+            ""
+        ));
+    }
+    // The 10^7 point of the paper, via the (validated) cost model:
+    // the model's cost includes materialized rows; report both plans.
+    {
+        let ex = example1(1_000); // index/statistics shape only
+        let mut catalog = ex.catalog.clone();
+        for (name, attr) in [("R1", "k1"), ("R2", "k2"), ("R3", "k3")] {
+            let rows = if name == "R1" { 1 } else { 10_000_000u64 };
+            catalog.add_table(
+                name,
+                ex.storage.get(name).unwrap().relation().schema().clone(),
+                rows,
+            );
+            catalog.set_distinct(&fro_algebra::Attr::new(name, attr), rows);
+            catalog.add_index(name, &[fro_algebra::Attr::new(name, attr)]);
+        }
+        let syn_est = estimate_plan(&lower(&ex.bad_query, &catalog).unwrap(), &catalog);
+        let opt = optimize(&ex.bad_query, &catalog, Policy::Paper).unwrap();
+        t.row(cells!(
+            "10^7 (model)",
+            format!("{:.2e}", syn_est.cost),
+            2e7 + 1.0,
+            format!("{:.0}", opt.est_cost),
+            3,
+            format!("{:.2e} vs {:.0}", syn_est.cost, opt.est_cost)
+        ));
+    }
+    format!(
+        "E1 — Example 1 cost asymmetry (R1 − (R2 → R3) vs (R1 − R2) → R3)\n\
+         paper: \"the first expression retrieves 2·10^7 + 1 tuples, and the second retrieves only 3\"\n\n{}",
+        t.render()
+    )
+}
+
+/// E2 — the crossover discussion after Example 1: with a non-selective
+/// `>` join predicate and a selective key outerjoin predicate,
+/// outerjoin-first wins; with a selective join it loses. Sweep the
+/// join selectivity and report measured work for both orders.
+#[must_use]
+pub fn e2_crossover(quick: bool) -> String {
+    let (n1, n2) = if quick { (300, 600) } else { (1_000, 2_000) };
+    let mut t = Table::new(&["join sel", "join-first work", "oj-first work", "winner"]);
+    let mut crossover_seen = (false, false);
+    for sel_pct in [0.05f64, 0.1, 1.0, 5.0, 10.0, 25.0, 50.0, 75.0, 90.0] {
+        let w = crossover(n1, n2, sel_pct / 100.0, 42);
+        let jf = lower(&w.join_first, &w.catalog).expect("lowerable");
+        let of = lower(&w.oj_first, &w.catalog).expect("lowerable");
+        let mut sj = ExecStats::new();
+        let a = execute(&jf, &w.storage, &mut sj).expect("runs");
+        let mut so = ExecStats::new();
+        let b = execute(&of, &w.storage, &mut so).expect("runs");
+        assert!(a.set_eq(&b), "freely reorderable: both orders agree");
+        let winner = if sj.work() < so.work() {
+            "join-first"
+        } else {
+            "oj-first"
+        };
+        match winner {
+            "join-first" => crossover_seen.0 = true,
+            _ => crossover_seen.1 = true,
+        }
+        t.row(cells!(format!("{sel_pct}%"), sj.work(), so.work(), winner));
+    }
+    let note = if crossover_seen.0 && crossover_seen.1 {
+        "both regimes observed — neither order dominates (paper §1.2)"
+    } else {
+        "WARNING: only one regime observed at these sizes"
+    };
+    format!(
+        "E2 — join-first vs outerjoin-first crossover (join predicate R1.a > R2.b)\n\
+         paper: \"evaluating joins before outerjoins … is not necessarily the least expensive\"\n\n{}\n{note}\n",
+        t.render()
+    )
+}
+
+/// E3 — Example 2: `R1 → (R2 − R3)` vs `(R1 → R2) − R3` share a graph
+/// but differ; exact reproduction plus disagreement frequency over
+/// random databases.
+#[must_use]
+pub fn e3_example2_nonassociativity() -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "E3 — Example 2: joins and outerjoins do not always associate"
+    );
+
+    // Exact paper instance: single tuples, (r2, r3) not matching.
+    let mut db = Database::new();
+    db.insert(Relation::from_ints("R1", &["a"], &[&[1]]));
+    db.insert(Relation::from_ints("R2", &["b"], &[&[1]]));
+    db.insert(Relation::from_ints("R3", &["c"], &[&[99]]));
+    let p12 = Pred::eq_attr("R1.a", "R2.b");
+    let p23 = Pred::eq_attr("R2.b", "R3.c");
+    let q1 = Query::rel("R1").outerjoin(
+        Query::rel("R2").join(Query::rel("R3"), p23.clone()),
+        p12.clone(),
+    );
+    let q2 = Query::rel("R1")
+        .outerjoin(Query::rel("R2"), p12)
+        .join(Query::rel("R3"), p23);
+    let r1 = q1.eval(&db).expect("eval");
+    let r2 = q2.eval(&db).expect("eval");
+    let _ = writeln!(
+        out,
+        "  {} = {} tuple(s): {}",
+        q1.shape(),
+        r1.len(),
+        r1.rows()
+            .first()
+            .map_or(String::from("∅"), ToString::to_string)
+    );
+    let _ = writeln!(
+        out,
+        "  {} = {} tuple(s) (the empty set)",
+        q2.shape(),
+        r2.len()
+    );
+    assert_eq!(r1.len(), 1);
+    assert!(r1.rows()[0].get(1).is_null() && r1.rows()[0].get(2).is_null());
+    assert_eq!(r2.len(), 0);
+
+    // Frequency over random data.
+    let g = {
+        let mut g = fro_graph::QueryGraph::new(vec!["R0".into(), "R1".into(), "R2".into()]);
+        g.add_outerjoin_edge(0, 1, Pred::eq_attr("R0.k", "R1.k"))
+            .unwrap();
+        g.add_join_edge(1, 2, Pred::eq_attr("R1.k", "R2.k"))
+            .unwrap();
+        g
+    };
+    let trees = fro_trees::enumerate_trees(&g, fro_trees::EnumLimit::default()).unwrap();
+    let total = 400;
+    let mut disagreements = 0;
+    for seed in 0..total {
+        let db = fro_testkit::db_for_graph(&g, 4, 3, 0.1, seed);
+        let results: Vec<_> = trees.iter().map(|t| t.eval(&db).unwrap()).collect();
+        if !fro_testkit::all_set_eq(&results) {
+            disagreements += 1;
+        }
+    }
+    let _ = writeln!(
+        out,
+        "\n  same graph, {} implementing trees; disagreement on {disagreements}/{total} random databases \
+         ({:.0}%)\n  graph is {}nice (X → Y − Z pattern)",
+        trees.len(),
+        100.0 * disagreements as f64 / total as f64,
+        if fro_graph::check_nice(&g).is_nice() { "" } else { "NOT " },
+    );
+    assert!(disagreements > 0);
+    out
+}
+
+/// E4 — Example 3: the non-strong predicate
+/// `P_bc = (B.attr2 = C.attr1 OR B.attr2 IS NULL)` breaks identity 12;
+/// exact reproduction plus violation rate as null density grows.
+#[must_use]
+pub fn e4_example3_nonstrong() -> String {
+    use fro_algebra::identities::identity_12;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "E4 — Example 3: nonstrong predicates preclude outerjoin reassociation"
+    );
+
+    // Exact paper instance: A = {(a)}, B = {(b, −)}, C = {(c)}.
+    let a = Relation::from_values("A", &["attr1"], vec![vec![Value::Int(10)]]);
+    let b = Relation::from_values(
+        "B",
+        &["attr1", "attr2"],
+        vec![vec![Value::Int(20), Value::Null]],
+    );
+    let c = Relation::from_values("C", &["attr1"], vec![vec![Value::Int(30)]]);
+    let pab = Pred::eq_attr("A.attr1", "B.attr1");
+    let pbc = Pred::eq_attr("B.attr2", "C.attr1").or(Pred::is_null("B.attr2"));
+    assert!(!pbc.is_strong_on_rel("B"));
+    let (lhs, rhs) = identity_12(&a, &b, &c, &pab, &pbc).expect("evaluates");
+    let _ = writeln!(out, "  (A → B) → C = {}", lhs.rows()[0]);
+    let _ = writeln!(out, "  A → (B → C) = {}", rhs.rows()[0]);
+    assert!(!lhs.set_eq(&rhs));
+
+    // Violation rate vs null density (the predicate only misbehaves
+    // when padding/nulls actually occur).
+    let mut t = Table::new(&[
+        "null density",
+        "violations/200",
+        "strong-pred violations/200",
+    ]);
+    let strong_pbc = Pred::eq_attr("B.attr2", "C.attr1");
+    for null_pct in [0u32, 10, 25, 50] {
+        let mut weak_viol = 0;
+        let mut strong_viol = 0;
+        for seed in 0..200u64 {
+            let (x, y, z) = random_abc(3, 3, null_pct, seed);
+            let (l, r) = identity_12(&x, &y, &z, &pab, &pbc).unwrap();
+            if !l.set_eq(&r) {
+                weak_viol += 1;
+            }
+            let (l, r) = identity_12(&x, &y, &z, &pab, &strong_pbc).unwrap();
+            if !l.set_eq(&r) {
+                strong_viol += 1;
+            }
+        }
+        t.row(cells!(format!("{null_pct}%"), weak_viol, strong_viol));
+        assert_eq!(
+            strong_viol, 0,
+            "identity 12 must hold for strong predicates"
+        );
+    }
+    let _ = writeln!(out, "\n{}", t.render());
+    out
+}
+
+fn random_abc(
+    rows: usize,
+    domain: i64,
+    null_pct: u32,
+    seed: u64,
+) -> (Relation, Relation, Relation) {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    let val = |rng: &mut StdRng| {
+        if rng.gen_ratio(null_pct.max(1), 100) && null_pct > 0 {
+            Value::Null
+        } else {
+            Value::Int(rng.gen_range(0..domain))
+        }
+    };
+    let a = Relation::from_values(
+        "A",
+        &["attr1"],
+        (0..rows).map(|_| vec![val(&mut rng)]).collect(),
+    );
+    let b = Relation::from_values(
+        "B",
+        &["attr1", "attr2"],
+        (0..rows)
+            .map(|_| vec![val(&mut rng), val(&mut rng)])
+            .collect(),
+    );
+    let c = Relation::from_values(
+        "C",
+        &["attr1"],
+        (0..rows).map(|_| vec![val(&mut rng)]).collect(),
+    );
+    (a, b, c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e1_reports_paper_shape() {
+        let report = e1_example1_cost(true);
+        assert!(report.contains("2n+1"));
+        assert!(report.contains("E1"));
+    }
+
+    #[test]
+    fn e3_and_e4_reproduce_examples() {
+        let r = e3_example2_nonassociativity();
+        assert!(r.contains("NOT nice"));
+        let r = e4_example3_nonstrong();
+        assert!(r.contains("(A → B) → C"));
+    }
+
+    #[test]
+    fn e2_produces_both_regimes() {
+        let r = e2_crossover(true);
+        assert!(r.contains("both regimes observed"), "{r}");
+    }
+}

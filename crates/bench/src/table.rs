@@ -1,0 +1,92 @@
+//! A tiny fixed-width table printer for experiment reports.
+
+use std::fmt::Write as _;
+
+/// A simple column-aligned text table.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table with the given column headers.
+    #[must_use]
+    pub fn new(header: &[&str]) -> Table {
+        Table {
+            header: header.iter().map(ToString::to_string).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (stringified cells).
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    /// Render with aligned columns.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let ncols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize], out: &mut String| {
+            for (i, c) in cells.iter().enumerate() {
+                let _ = write!(out, "{:>width$}", c, width = widths[i]);
+                if i + 1 < ncols {
+                    out.push_str("  ");
+                }
+            }
+            out.push('\n');
+        };
+        fmt_row(&self.header, &widths, &mut out);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (ncols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            fmt_row(row, &widths, &mut out);
+        }
+        out
+    }
+}
+
+/// Convenience macro-ish helper: stringify heterogenous cells.
+#[macro_export]
+macro_rules! cells {
+    ($($x:expr),* $(,)?) => {
+        &[$(format!("{}", $x)),*]
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new(&["n", "value"]);
+        t.row(cells!(1, "abc"));
+        t.row(cells!(1000, "d"));
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains('n') && lines[0].contains("value"));
+        assert!(lines[2].trim_start().starts_with('1'));
+        // All lines same width-ish alignment: last line ends with "d".
+        assert!(lines[3].ends_with('d'));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn arity_checked() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(cells!(1));
+    }
+}

@@ -1,0 +1,329 @@
+//! §6.2: reassociating *non*-freely-reorderable queries with the
+//! generalized outerjoin.
+//!
+//! The result-preserving basic transforms cannot reassociate
+//! `X → (Y − Z)` (Example 2). Identities 15 and 16 recover the lost
+//! orders by switching operators instead of refusing the move:
+//!
+//! * identity 15: `X OJ (Y JN Z) = (X OJ Y) GOJ[sch(X)] Z`
+//! * identity 16: `X JN (Y GOJ[S] Z) = (X JN Y) GOJ[S ∪ sch(X)] Z`
+//!   when `S ⊆ sch(Y)` and `S` contains all `X`–`Y` join attributes
+//!
+//! Both assume duplicate-free relations and strong predicates of the
+//! forms `P_xy`, `P_yz` (checked here before rewriting).
+
+use crate::optimizer::Catalog;
+use fro_algebra::{Attr, Query};
+use std::collections::BTreeSet;
+
+/// Attributes produced by a join/outerjoin subtree, from the catalog
+/// (assumes no interior projections, which holds for the OJ/J fragment).
+fn subtree_attrs(q: &Query, catalog: &Catalog) -> Vec<Attr> {
+    let rels: Vec<String> = q.leaves();
+    catalog.attrs_of_rels(rels.iter())
+}
+
+fn strong_between(pred: &fro_algebra::Pred, left: &Query, right: &Query) -> bool {
+    let lrels: BTreeSet<String> = left.rels();
+    let rrels: BTreeSet<String> = right.rels();
+    lrels.iter().any(|r| pred.is_strong_on_rel(r)) && rrels.iter().any(|r| pred.is_strong_on_rel(r))
+}
+
+/// Identity 15, left to right: rewrite `X → (Y − Z)` into
+/// `(X → Y) GOJ[sch(X)] Z`. Returns `None` when the root is not of
+/// that shape or the predicate preconditions fail.
+#[must_use]
+pub fn oj_of_join_to_goj(q: &Query, catalog: &Catalog) -> Option<Query> {
+    let Query::OuterJoin {
+        left: x,
+        right,
+        pred: pxy,
+    } = q
+    else {
+        return None;
+    };
+    let Query::Join {
+        left: y,
+        right: z,
+        pred: pyz,
+    } = right.as_ref()
+    else {
+        return None;
+    };
+    // Predicate shape: Pxy between X and Y (not Z); Pyz between Y and Z
+    // (not X); both strong on the relations they reference.
+    let pxy_rels = pxy.rels();
+    if pxy_rels.iter().any(|r| z.rels().contains(r)) {
+        return None;
+    }
+    let pyz_rels = pyz.rels();
+    if pyz_rels.iter().any(|r| x.rels().contains(r)) {
+        return None;
+    }
+    if !strong_between(pxy, x, y) || !strong_between(pyz, y, z) {
+        return None;
+    }
+    let sx = subtree_attrs(x, catalog);
+    if sx.is_empty() {
+        return None;
+    }
+    Some(Query::Goj {
+        left: Box::new(
+            x.as_ref()
+                .clone()
+                .outerjoin(y.as_ref().clone(), pxy.clone()),
+        ),
+        right: z.clone(),
+        pred: pyz.clone(),
+        subset: sx,
+    })
+}
+
+/// Identity 16, left to right: rewrite `X − (Y GOJ[S] Z)` into
+/// `(X − Y) GOJ[S ∪ sch(X)] Z`, provided `S ⊆ sch(Y)` and `S`
+/// contains every `Y` attribute the `X`–`Y` predicate references.
+#[must_use]
+pub fn join_of_goj_pullup(q: &Query, catalog: &Catalog) -> Option<Query> {
+    let Query::Join {
+        left: x,
+        right,
+        pred: pxy,
+    } = q
+    else {
+        return None;
+    };
+    let Query::Goj {
+        left: y,
+        right: z,
+        pred: pyz,
+        subset,
+    } = right.as_ref()
+    else {
+        return None;
+    };
+    let y_rels = y.rels();
+    // S ⊆ sch(Y).
+    if !subset.iter().all(|a| y_rels.contains(a.rel())) {
+        return None;
+    }
+    // S must contain the Y-side attributes referenced by Pxy.
+    let needed: Vec<Attr> = pxy
+        .attrs()
+        .into_iter()
+        .filter(|a| y_rels.contains(a.rel()))
+        .collect();
+    if !needed.iter().all(|a| subset.contains(a)) {
+        return None;
+    }
+    if pxy.rels().iter().any(|r| z.rels().contains(r))
+        || pyz.rels().iter().any(|r| x.rels().contains(r))
+    {
+        return None;
+    }
+    if !strong_between(pxy, x, y) {
+        return None;
+    }
+    let mut s_ext = subset.clone();
+    for a in subtree_attrs(x, catalog) {
+        if !s_ext.contains(&a) {
+            s_ext.push(a);
+        }
+    }
+    Some(Query::Goj {
+        left: Box::new(x.as_ref().clone().join(y.as_ref().clone(), pxy.clone())),
+        right: z.clone(),
+        pred: pyz.clone(),
+        subset: s_ext,
+    })
+}
+
+/// All GOJ-based reassociations of `q` obtainable by one application
+/// of identity 15 or 16 at any node.
+#[must_use]
+pub fn goj_alternatives(q: &Query, catalog: &Catalog) -> Vec<Query> {
+    let mut out = Vec::new();
+    collect(q, catalog, &mut out);
+    out
+}
+
+fn collect(q: &Query, catalog: &Catalog, out: &mut Vec<Query>) {
+    if let Some(rw) = oj_of_join_to_goj(q, catalog) {
+        out.push(rw);
+    }
+    if let Some(rw) = join_of_goj_pullup(q, catalog) {
+        out.push(rw);
+    }
+    // Recurse: rewrite children in place.
+    match q {
+        Query::Join { left, right, pred } => {
+            let mut l_alts = Vec::new();
+            collect(left, catalog, &mut l_alts);
+            for la in l_alts {
+                out.push(Query::Join {
+                    left: Box::new(la),
+                    right: right.clone(),
+                    pred: pred.clone(),
+                });
+            }
+            let mut r_alts = Vec::new();
+            collect(right, catalog, &mut r_alts);
+            for ra in r_alts {
+                out.push(Query::Join {
+                    left: left.clone(),
+                    right: Box::new(ra),
+                    pred: pred.clone(),
+                });
+            }
+        }
+        Query::OuterJoin { left, right, pred } => {
+            let mut l_alts = Vec::new();
+            collect(left, catalog, &mut l_alts);
+            for la in l_alts {
+                out.push(Query::OuterJoin {
+                    left: Box::new(la),
+                    right: right.clone(),
+                    pred: pred.clone(),
+                });
+            }
+            let mut r_alts = Vec::new();
+            collect(right, catalog, &mut r_alts);
+            for ra in r_alts {
+                out.push(Query::OuterJoin {
+                    left: left.clone(),
+                    right: Box::new(ra),
+                    pred: pred.clone(),
+                });
+            }
+        }
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fro_algebra::{Database, Pred, Relation, Schema};
+    use std::sync::Arc;
+
+    fn catalog() -> Catalog {
+        let mut cat = Catalog::new();
+        cat.add_table("X", Arc::new(Schema::of_relation("X", &["a"])), 10);
+        cat.add_table("Y", Arc::new(Schema::of_relation("Y", &["b", "b2"])), 10);
+        cat.add_table("Z", Arc::new(Schema::of_relation("Z", &["c"])), 10);
+        cat
+    }
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.insert(Relation::from_ints("X", &["a"], &[&[1], &[2], &[5]]));
+        db.insert(Relation::from_ints(
+            "Y",
+            &["b", "b2"],
+            &[&[1, 7], &[3, 8], &[5, 9]],
+        ));
+        db.insert(Relation::from_ints("Z", &["c"], &[&[7], &[9], &[11]]));
+        db
+    }
+
+    fn example2_query() -> Query {
+        Query::rel("X").outerjoin(
+            Query::rel("Y").join(Query::rel("Z"), Pred::eq_attr("Y.b2", "Z.c")),
+            Pred::eq_attr("X.a", "Y.b"),
+        )
+    }
+
+    #[test]
+    fn identity_15_rewrite_preserves_semantics() {
+        let q = example2_query();
+        let rw = oj_of_join_to_goj(&q, &catalog()).expect("rewrite applies");
+        let d = db();
+        let a = q.eval(&d).unwrap();
+        let b = rw.eval(&d).unwrap();
+        assert!(a.set_eq(&b), "\n{}\nvs\n{}", a, b);
+        assert!(matches!(rw, Query::Goj { .. }));
+    }
+
+    #[test]
+    fn identity_15_requires_strong_predicates() {
+        let weak = Query::rel("X").outerjoin(
+            Query::rel("Y").join(Query::rel("Z"), Pred::eq_attr("Y.b2", "Z.c")),
+            Pred::eq_attr("X.a", "Y.b").or(Pred::is_null("Y.b")),
+        );
+        assert!(oj_of_join_to_goj(&weak, &catalog()).is_none());
+    }
+
+    #[test]
+    fn identity_15_shape_mismatch_returns_none() {
+        let q = Query::rel("X").join(Query::rel("Y"), Pred::eq_attr("X.a", "Y.b"));
+        assert!(oj_of_join_to_goj(&q, &catalog()).is_none());
+        // OJ over OJ is not the identity's shape either.
+        let q = Query::rel("X").outerjoin(
+            Query::rel("Y").outerjoin(Query::rel("Z"), Pred::eq_attr("Y.b2", "Z.c")),
+            Pred::eq_attr("X.a", "Y.b"),
+        );
+        assert!(oj_of_join_to_goj(&q, &catalog()).is_none());
+    }
+
+    #[test]
+    fn identity_16_rewrite_preserves_semantics() {
+        // X − (Y GOJ[{Y.b, Y.b2}] Z).
+        let inner = Query::rel("Y").goj(
+            Query::rel("Z"),
+            Pred::eq_attr("Y.b2", "Z.c"),
+            vec![Attr::parse("Y.b"), Attr::parse("Y.b2")],
+        );
+        let q = Query::rel("X").join(inner, Pred::eq_attr("X.a", "Y.b"));
+        let rw = join_of_goj_pullup(&q, &catalog()).expect("rewrite applies");
+        let d = db();
+        assert!(q.eval(&d).unwrap().set_eq(&rw.eval(&d).unwrap()));
+        if let Query::Goj { subset, .. } = &rw {
+            assert!(subset.contains(&Attr::parse("X.a")));
+        } else {
+            panic!("expected GOJ root");
+        }
+    }
+
+    #[test]
+    fn identity_16_requires_join_attrs_in_subset() {
+        // Subset {Y.b2} misses the X–Y join attribute Y.b.
+        let inner = Query::rel("Y").goj(
+            Query::rel("Z"),
+            Pred::eq_attr("Y.b2", "Z.c"),
+            vec![Attr::parse("Y.b2")],
+        );
+        let q = Query::rel("X").join(inner, Pred::eq_attr("X.a", "Y.b"));
+        assert!(join_of_goj_pullup(&q, &catalog()).is_none());
+    }
+
+    #[test]
+    fn composed_15_then_16_reorders_example2_fully() {
+        // W − (X → (Y − Z)): identity 15 inside, then identity 16 pulls
+        // W into the join — the full §6.2 pipeline.
+        let mut cat = catalog();
+        cat.add_table("W", Arc::new(Schema::of_relation("W", &["w"])), 10);
+        let q = Query::rel("W").join(example2_query(), Pred::eq_attr("W.w", "X.a"));
+        let step1 = {
+            let mut alts = goj_alternatives(&q, &cat);
+            alts.retain(|a| matches!(a, Query::Join { right, .. } if matches!(right.as_ref(), Query::Goj { .. })));
+            alts.pop().expect("identity 15 applied under the join")
+        };
+        let step2 = join_of_goj_pullup(&step1, &cat).expect("identity 16 applies");
+        let mut d = db();
+        d.insert(Relation::from_ints("W", &["w"], &[&[1], &[2], &[9]]));
+        let expect = q.eval(&d).unwrap();
+        assert!(step1.eval(&d).unwrap().set_eq(&expect));
+        assert!(step2.eval(&d).unwrap().set_eq(&expect));
+    }
+
+    #[test]
+    fn alternatives_enumeration_finds_nested_sites() {
+        let cat = catalog();
+        let q = example2_query();
+        let alts = goj_alternatives(&q, &cat);
+        assert_eq!(alts.len(), 1);
+        let d = db();
+        for a in &alts {
+            assert!(a.eval(&d).unwrap().set_eq(&q.eval(&d).unwrap()));
+        }
+    }
+}

@@ -1,0 +1,292 @@
+//! Syntactic lowering: map a [`Query`] tree to a physical plan
+//! *without reordering* — the baseline an optimizer is reduced to when
+//! a query is not freely reorderable (and the comparison point for the
+//! benefit measurements in the benches).
+
+use super::stats::Catalog;
+use super::OptError;
+use fro_algebra::{Attr, CmpOp, Pred, Query, Scalar};
+use fro_exec::{JoinKind, PhysPlan};
+use std::collections::BTreeSet;
+
+/// Split a predicate into equi-join key pairs `(left_attr,
+/// right_attr)` across the given relation sets, plus the residual
+/// predicate of everything else.
+#[must_use]
+pub fn split_equi(
+    pred: &Pred,
+    left_rels: &BTreeSet<String>,
+    right_rels: &BTreeSet<String>,
+) -> (Vec<(Attr, Attr)>, Pred) {
+    let mut pairs = Vec::new();
+    let mut residual = Vec::new();
+    for conj in pred.conjuncts() {
+        if let Pred::Cmp {
+            op: CmpOp::Eq,
+            lhs: Scalar::Attr(a),
+            rhs: Scalar::Attr(b),
+        } = &conj
+        {
+            if left_rels.contains(a.rel()) && right_rels.contains(b.rel()) {
+                pairs.push((a.clone(), b.clone()));
+                continue;
+            }
+            if left_rels.contains(b.rel()) && right_rels.contains(a.rel()) {
+                pairs.push((b.clone(), a.clone()));
+                continue;
+            }
+        }
+        residual.push(conj);
+    }
+    (pairs, Pred::from_conjuncts(residual))
+}
+
+/// Choose a physical join for `left ⊙ right` given the predicate:
+/// index nested-loop when the right side is a bare indexed table, hash
+/// join when equi-keys exist, plain nested loop otherwise.
+pub(crate) fn physical_join(
+    kind: JoinKind,
+    left_plan: PhysPlan,
+    left_rels: &BTreeSet<String>,
+    right: &Query,
+    right_plan: PhysPlan,
+    pred: &Pred,
+    catalog: &Catalog,
+) -> PhysPlan {
+    let right_rels = right.rels();
+    let (pairs, residual) = split_equi(pred, left_rels, &right_rels);
+    if pairs.is_empty() {
+        return PhysPlan::NlJoin {
+            kind,
+            left: Box::new(left_plan),
+            right: Box::new(right_plan),
+            pred: pred.clone(),
+        };
+    }
+    let (outer_keys, inner_keys): (Vec<Attr>, Vec<Attr>) = pairs.into_iter().unzip();
+    if let Query::Rel(name) = right {
+        let indexed = catalog
+            .table(name)
+            .is_some_and(|t| t.has_index(&inner_keys));
+        if indexed {
+            return PhysPlan::IndexJoin {
+                kind,
+                outer: Box::new(left_plan),
+                inner: name.clone(),
+                outer_keys,
+                inner_keys,
+                residual,
+            };
+        }
+    }
+    PhysPlan::HashJoin {
+        kind,
+        probe: Box::new(left_plan),
+        build: Box::new(right_plan),
+        probe_keys: outer_keys,
+        build_keys: inner_keys,
+        residual,
+    }
+}
+
+/// Lower a query tree in its given association.
+///
+/// # Errors
+/// [`OptError::Unsupported`] for operators with no physical form
+/// (currently `Union`).
+pub fn lower(q: &Query, catalog: &Catalog) -> Result<PhysPlan, OptError> {
+    match q {
+        Query::Rel(name) => Ok(PhysPlan::scan(name.clone())),
+        Query::Join { left, right, pred } => {
+            lower_join(JoinKind::Inner, left, right, pred, catalog)
+        }
+        Query::OuterJoin { left, right, pred } => {
+            lower_join(JoinKind::LeftOuter, left, right, pred, catalog)
+        }
+        Query::FullOuterJoin { left, right, pred } => {
+            // Never an index join: unmatched inner rows would be lost.
+            let left_plan = lower(left, catalog)?;
+            let right_plan = lower(right, catalog)?;
+            let right_rels = right.rels();
+            let (pairs, residual) = split_equi(pred, &left.rels(), &right_rels);
+            Ok(if pairs.is_empty() {
+                PhysPlan::NlJoin {
+                    kind: JoinKind::FullOuter,
+                    left: Box::new(left_plan),
+                    right: Box::new(right_plan),
+                    pred: pred.clone(),
+                }
+            } else {
+                let (probe_keys, build_keys): (Vec<Attr>, Vec<Attr>) = pairs.into_iter().unzip();
+                PhysPlan::HashJoin {
+                    kind: JoinKind::FullOuter,
+                    probe: Box::new(left_plan),
+                    build: Box::new(right_plan),
+                    probe_keys,
+                    build_keys,
+                    residual,
+                }
+            })
+        }
+        Query::SemiJoin { left, right, pred } => {
+            lower_join(JoinKind::Semi, left, right, pred, catalog)
+        }
+        Query::AntiJoin { left, right, pred } => {
+            lower_join(JoinKind::Anti, left, right, pred, catalog)
+        }
+        Query::Restrict { input, pred } => Ok(PhysPlan::Filter {
+            input: Box::new(lower(input, catalog)?),
+            pred: pred.clone(),
+        }),
+        Query::Project { input, attrs } => Ok(PhysPlan::Project {
+            input: Box::new(lower(input, catalog)?),
+            attrs: attrs.clone(),
+        }),
+        Query::GroupCount {
+            input,
+            group_attrs,
+            counted,
+        } => Ok(PhysPlan::GroupCount {
+            input: Box::new(lower(input, catalog)?),
+            group_attrs: group_attrs.clone(),
+            counted: counted.clone(),
+        }),
+        Query::Goj {
+            left,
+            right,
+            pred,
+            subset,
+        } => Ok(PhysPlan::Goj {
+            left: Box::new(lower(left, catalog)?),
+            right: Box::new(lower(right, catalog)?),
+            pred: pred.clone(),
+            subset: subset.clone(),
+        }),
+        Query::Union { .. } => Err(OptError::Unsupported(
+            "union has no physical operator in this engine".into(),
+        )),
+    }
+}
+
+fn lower_join(
+    kind: JoinKind,
+    left: &Query,
+    right: &Query,
+    pred: &Pred,
+    catalog: &Catalog,
+) -> Result<PhysPlan, OptError> {
+    let left_plan = lower(left, catalog)?;
+    let right_plan = lower(right, catalog)?;
+    Ok(physical_join(
+        kind,
+        left_plan,
+        &left.rels(),
+        right,
+        right_plan,
+        pred,
+        catalog,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fro_algebra::Schema;
+    use std::sync::Arc;
+
+    fn catalog() -> Catalog {
+        let mut cat = Catalog::new();
+        for name in ["A", "B", "C"] {
+            cat.add_table(name, Arc::new(Schema::of_relation(name, &["k"])), 100);
+            cat.add_index(name, &[Attr::new(name, "k")]);
+        }
+        cat
+    }
+
+    #[test]
+    fn split_equi_partitions_conjuncts() {
+        let l: BTreeSet<String> = ["A".to_owned()].into();
+        let r: BTreeSet<String> = ["B".to_owned()].into();
+        let pred = Pred::eq_attr("A.k", "B.k")
+            .and(Pred::cmp_attr("A.k", CmpOp::Lt, "B.k"))
+            .and(Pred::eq_attr("B.k", "A.k"));
+        let (pairs, residual) = split_equi(&pred, &l, &r);
+        assert_eq!(pairs.len(), 2);
+        // Pairs are normalized (left attr first).
+        assert!(pairs.iter().all(|(a, _)| a.rel() == "A"));
+        assert_eq!(residual.conjuncts().len(), 1);
+    }
+
+    #[test]
+    fn lower_prefers_index_join_on_base_right() {
+        let cat = catalog();
+        let q = Query::rel("A").join(Query::rel("B"), Pred::eq_attr("A.k", "B.k"));
+        let plan = lower(&q, &cat).unwrap();
+        assert!(matches!(plan, PhysPlan::IndexJoin { .. }), "{plan}");
+    }
+
+    #[test]
+    fn lower_falls_back_to_hash_join() {
+        let mut cat = catalog();
+        // Remove B's index by rebuilding the catalog entry.
+        cat.add_table("B", Arc::new(Schema::of_relation("B", &["k"])), 100);
+        let q = Query::rel("A").join(Query::rel("B"), Pred::eq_attr("A.k", "B.k"));
+        let plan = lower(&q, &cat).unwrap();
+        assert!(matches!(plan, PhysPlan::HashJoin { .. }), "{plan}");
+    }
+
+    #[test]
+    fn lower_nl_join_for_theta() {
+        let cat = catalog();
+        let q = Query::rel("A").join(Query::rel("B"), Pred::cmp_attr("A.k", CmpOp::Gt, "B.k"));
+        let plan = lower(&q, &cat).unwrap();
+        assert!(matches!(plan, PhysPlan::NlJoin { .. }));
+    }
+
+    #[test]
+    fn lower_outerjoin_keeps_direction() {
+        let cat = catalog();
+        let q = Query::rel("A").outerjoin(Query::rel("B"), Pred::eq_attr("A.k", "B.k"));
+        let plan = lower(&q, &cat).unwrap();
+        match plan {
+            PhysPlan::IndexJoin { kind, .. } => assert_eq!(kind, JoinKind::LeftOuter),
+            other => panic!("unexpected plan {other}"),
+        }
+    }
+
+    #[test]
+    fn lower_composite_right_side_uses_hash() {
+        let cat = catalog();
+        let q = Query::rel("A").join(
+            Query::rel("B").join(Query::rel("C"), Pred::eq_attr("B.k", "C.k")),
+            Pred::eq_attr("A.k", "B.k"),
+        );
+        let plan = lower(&q, &cat).unwrap();
+        assert!(matches!(plan, PhysPlan::HashJoin { .. }));
+    }
+
+    #[test]
+    fn union_unsupported() {
+        let cat = catalog();
+        let q = Query::rel("A").union(Query::rel("B"));
+        assert!(matches!(lower(&q, &cat), Err(OptError::Unsupported(_))));
+    }
+
+    #[test]
+    fn restrict_project_goj_lower() {
+        let cat = catalog();
+        let q = Query::rel("A")
+            .goj(
+                Query::rel("B"),
+                Pred::eq_attr("A.k", "B.k"),
+                vec![Attr::parse("A.k")],
+            )
+            .restrict(Pred::cmp_lit("A.k", CmpOp::Gt, 0))
+            .project(vec![Attr::parse("A.k")]);
+        let plan = lower(&q, &cat).unwrap();
+        let text = plan.explain();
+        assert!(text.contains("Project"));
+        assert!(text.contains("Filter"));
+        assert!(text.contains("Goj"));
+    }
+}

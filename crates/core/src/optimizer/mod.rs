@@ -1,0 +1,219 @@
+//! The cost-based optimizer (§6.1).
+//!
+//! [`optimize`] runs the Theorem 1 analysis first. When the query is
+//! freely reorderable it explores *every* implementing tree via
+//! [`dp::dp_optimize`] — the simple optimizer extension the paper
+//! promises ("there is no need to insert additional operators, or
+//! perform a subtle analysis"). Otherwise it falls back to the
+//! syntactic association of the input tree ([`lower::lower`]), which
+//! is always correct.
+
+pub mod cost;
+pub mod dp;
+pub mod greedy;
+pub mod lower;
+pub mod stats;
+
+use crate::reorder::{analyze, Analysis, Policy};
+use fro_algebra::Query;
+use fro_exec::PhysPlan;
+use std::fmt;
+
+pub use cost::{estimate_plan, Estimate};
+pub use dp::{dp_optimize, DpResult};
+pub use greedy::{greedy_optimize, GreedyResult};
+pub use lower::lower;
+pub use stats::{Catalog, TableInfo};
+
+/// Optimizer failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OptError {
+    /// The query uses an operator the physical engine cannot run, or
+    /// exceeds the exhaustive-DP size cap.
+    Unsupported(String),
+    /// The query graph is disconnected (no implementing tree).
+    Disconnected,
+}
+
+impl fmt::Display for OptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OptError::Unsupported(m) => write!(f, "unsupported: {m}"),
+            OptError::Disconnected => write!(f, "query graph is disconnected"),
+        }
+    }
+}
+
+impl std::error::Error for OptError {}
+
+/// The outcome of [`optimize`].
+#[derive(Debug, Clone)]
+pub struct Optimized {
+    /// The chosen physical plan.
+    pub plan: PhysPlan,
+    /// Estimated cost in tuples touched.
+    pub est_cost: f64,
+    /// Estimated output rows.
+    pub est_rows: f64,
+    /// The Theorem 1 analysis that gated reordering.
+    pub analysis: Analysis,
+    /// Whether the plan came from the reordering DP (`true`) or the
+    /// syntactic fallback (`false`).
+    pub reordered: bool,
+}
+
+/// Optimize a query: reorder freely when Theorem 1 allows, otherwise
+/// keep the user's association.
+///
+/// # Errors
+/// [`OptError`] for unsupported operators or oversized DP inputs.
+pub fn optimize(q: &Query, catalog: &Catalog, policy: Policy) -> Result<Optimized, OptError> {
+    let analysis = analyze(q, policy);
+    if analysis.is_freely_reorderable() {
+        if let Some(g) = &analysis.graph {
+            match dp_optimize(g, catalog) {
+                Ok(r) => {
+                    return Ok(Optimized {
+                        plan: r.plan,
+                        est_cost: r.cost,
+                        est_rows: r.rows,
+                        analysis,
+                        reordered: true,
+                    })
+                }
+                // Too large for exhaustive DP: reorder greedily.
+                Err(OptError::Unsupported(_)) => {
+                    if let Ok(r) = greedy::greedy_optimize(g, catalog) {
+                        return Ok(Optimized {
+                            plan: r.plan,
+                            est_cost: r.cost,
+                            est_rows: r.rows,
+                            analysis,
+                            reordered: true,
+                        });
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+    let plan = lower(q, catalog)?;
+    let est = estimate_plan(&plan, catalog);
+    Ok(Optimized {
+        plan,
+        est_cost: est.cost,
+        est_rows: est.rows,
+        analysis,
+        reordered: false,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fro_algebra::{Attr, Pred, Schema};
+    use std::sync::Arc;
+
+    fn catalog() -> Catalog {
+        let mut cat = Catalog::new();
+        for (name, attr, rows) in [
+            ("R1", "k1", 1u64),
+            ("R2", "k2", 1_000_000),
+            ("R3", "k3", 1_000_000),
+        ] {
+            cat.add_table(name, Arc::new(Schema::of_relation(name, &[attr])), rows);
+            cat.set_distinct(&Attr::new(name, attr), rows);
+            cat.add_index(name, &[Attr::new(name, attr)]);
+        }
+        cat
+    }
+
+    fn p(a: &str, b: &str) -> Pred {
+        Pred::eq_attr(a, b)
+    }
+
+    #[test]
+    fn reorderable_query_is_reordered() {
+        // The *bad* association: R1 − (R2 → R3). The optimizer must
+        // reorder to drive from R1.
+        let q = Query::rel("R1").join(
+            Query::rel("R2").outerjoin(Query::rel("R3"), p("R2.k2", "R3.k3")),
+            p("R1.k1", "R2.k2"),
+        );
+        let cat = catalog();
+        let out = optimize(&q, &cat, Policy::Paper).unwrap();
+        assert!(out.reordered);
+        assert!(out.est_cost < 100.0, "cost {}", out.est_cost);
+        assert!(out.plan.explain().contains("Scan R1"));
+    }
+
+    #[test]
+    fn non_reorderable_query_keeps_association() {
+        // Example 2: R1 → (R2 − R3). Syntactic fallback.
+        let q = Query::rel("R1").outerjoin(
+            Query::rel("R2").join(Query::rel("R3"), p("R2.k2", "R3.k3")),
+            p("R1.k1", "R2.k2"),
+        );
+        let cat = catalog();
+        let out = optimize(&q, &cat, Policy::Paper).unwrap();
+        assert!(!out.reordered);
+        assert!(!out.analysis.is_freely_reorderable());
+        // Preserved side (R1) drives the outer join at the root.
+        let text = out.plan.explain();
+        assert!(text.contains("left-outer"), "{text}");
+    }
+
+    #[test]
+    fn syntactic_and_dp_agree_on_results() {
+        // Execute both plans and compare with the reference evaluator.
+        use fro_algebra::{Database, Relation};
+        use fro_exec::{execute, ExecStats, Storage};
+
+        let mut db = Database::new();
+        db.insert(Relation::from_ints("R1", &["k1"], &[&[1], &[5]]));
+        db.insert(Relation::from_ints("R2", &["k2"], &[&[1], &[2], &[5]]));
+        db.insert(Relation::from_ints("R3", &["k3"], &[&[2], &[5]]));
+        let mut storage = Storage::from_database(&db);
+        for (t, a) in [("R1", "R1.k1"), ("R2", "R2.k2"), ("R3", "R3.k3")] {
+            storage.create_index(t, &[Attr::parse(a)]);
+        }
+        let cat = Catalog::from_storage(&storage);
+
+        let q = Query::rel("R1").join(
+            Query::rel("R2").outerjoin(Query::rel("R3"), p("R2.k2", "R3.k3")),
+            p("R1.k1", "R2.k2"),
+        );
+        let expect = q.eval(&db).unwrap();
+
+        let dp = optimize(&q, &cat, Policy::Paper).unwrap();
+        assert!(dp.reordered);
+        let mut st = ExecStats::new();
+        let got = execute(&dp.plan, &storage, &mut st).unwrap();
+        assert!(got.set_eq(&expect), "plan:\n{}", dp.plan);
+
+        let syn = lower(&q, &cat).unwrap();
+        let mut st2 = ExecStats::new();
+        let got2 = execute(&syn, &storage, &mut st2).unwrap();
+        assert!(got2.set_eq(&expect));
+    }
+
+    #[test]
+    fn estimates_populated_in_fallback() {
+        let q = Query::rel("R1").outerjoin(
+            Query::rel("R2").join(Query::rel("R3"), p("R2.k2", "R3.k3")),
+            p("R1.k1", "R2.k2"),
+        );
+        let out = optimize(&q, &catalog(), Policy::Paper).unwrap();
+        assert!(out.est_cost > 0.0);
+        assert!(out.est_rows >= 0.0);
+    }
+
+    #[test]
+    fn union_errors() {
+        let q = Query::rel("R1").union(Query::rel("R2"));
+        assert!(matches!(
+            optimize(&q, &catalog(), Policy::Paper),
+            Err(OptError::Unsupported(_))
+        ));
+    }
+}

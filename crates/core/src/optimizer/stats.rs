@@ -1,0 +1,253 @@
+//! The optimizer's catalog: per-table cardinalities, per-attribute
+//! distinct counts, available indexes, and selectivity estimation.
+
+use fro_algebra::{Attr, CmpOp, Pred, Scalar, Schema};
+use fro_exec::Storage;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+/// Statistics and physical metadata for one base table.
+#[derive(Debug, Clone)]
+pub struct TableInfo {
+    /// The table's scheme.
+    pub schema: Arc<Schema>,
+    /// Row count.
+    pub rows: u64,
+    /// Distinct-value counts per attribute (missing ⇒ assume `rows`).
+    pub distinct: BTreeMap<Attr, u64>,
+    /// Attribute sets with a hash index (each sorted).
+    pub indexes: BTreeSet<Vec<Attr>>,
+}
+
+impl TableInfo {
+    /// Distinct count of an attribute (defaults to the row count,
+    /// i.e. key-like).
+    #[must_use]
+    pub fn distinct_of(&self, a: &Attr) -> u64 {
+        self.distinct.get(a).copied().unwrap_or(self.rows.max(1))
+    }
+
+    /// Whether the attributes (in any order) carry an index.
+    #[must_use]
+    pub fn has_index(&self, attrs: &[Attr]) -> bool {
+        let mut key: Vec<Attr> = attrs.to_vec();
+        key.sort();
+        self.indexes.contains(&key)
+    }
+}
+
+/// The optimizer catalog: a name → [`TableInfo`] map.
+#[derive(Debug, Clone, Default)]
+pub struct Catalog {
+    tables: BTreeMap<String, TableInfo>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    #[must_use]
+    pub fn new() -> Catalog {
+        Catalog::default()
+    }
+
+    /// Exact statistics from in-memory storage (row counts, true
+    /// distinct counts, registered indexes).
+    #[must_use]
+    pub fn from_storage(storage: &Storage) -> Catalog {
+        let mut cat = Catalog::new();
+        for (name, table) in storage.iter() {
+            let rel = table.relation();
+            let schema = rel.schema().clone();
+            let mut distinct = BTreeMap::new();
+            for (c, attr) in schema.attrs().iter().enumerate() {
+                let set: std::collections::HashSet<_> =
+                    rel.rows().iter().map(|t| t.get(c)).collect();
+                distinct.insert(attr.clone(), set.len() as u64);
+            }
+            let mut indexes = BTreeSet::new();
+            for ix in table.indexes() {
+                let mut key: Vec<Attr> = ix
+                    .key_cols()
+                    .iter()
+                    .map(|&c| schema.attrs()[c].clone())
+                    .collect();
+                key.sort();
+                indexes.insert(key);
+            }
+            cat.tables.insert(
+                name.to_owned(),
+                TableInfo {
+                    schema,
+                    rows: rel.len() as u64,
+                    distinct,
+                    indexes,
+                },
+            );
+        }
+        cat
+    }
+
+    /// Register a table by hand (for synthetic what-if experiments).
+    pub fn add_table(&mut self, name: impl Into<String>, schema: Arc<Schema>, rows: u64) {
+        self.tables.insert(
+            name.into(),
+            TableInfo {
+                schema,
+                rows,
+                distinct: BTreeMap::new(),
+                indexes: BTreeSet::new(),
+            },
+        );
+    }
+
+    /// Set a distinct count.
+    pub fn set_distinct(&mut self, attr: &Attr, distinct: u64) {
+        if let Some(t) = self.tables.get_mut(attr.rel()) {
+            t.distinct.insert(attr.clone(), distinct);
+        }
+    }
+
+    /// Declare an index.
+    pub fn add_index(&mut self, rel: &str, attrs: &[Attr]) {
+        if let Some(t) = self.tables.get_mut(rel) {
+            let mut key = attrs.to_vec();
+            key.sort();
+            t.indexes.insert(key);
+        }
+    }
+
+    /// Look up a table.
+    #[must_use]
+    pub fn table(&self, name: &str) -> Option<&TableInfo> {
+        self.tables.get(name)
+    }
+
+    /// All attributes of the given ground relations, in catalog order.
+    #[must_use]
+    pub fn attrs_of_rels<'a>(&self, rels: impl IntoIterator<Item = &'a String>) -> Vec<Attr> {
+        let mut out = Vec::new();
+        for r in rels {
+            if let Some(t) = self.tables.get(r) {
+                out.extend(t.schema.attrs().iter().cloned());
+            }
+        }
+        out
+    }
+
+    /// Distinct count for an attribute (row count of its table when
+    /// unknown; 1000 when even the table is unknown).
+    #[must_use]
+    pub fn distinct_of(&self, a: &Attr) -> u64 {
+        self.tables.get(a.rel()).map_or(1000, |t| t.distinct_of(a))
+    }
+
+    /// Row count of a table (1000 when unknown).
+    #[must_use]
+    pub fn rows_of(&self, rel: &str) -> u64 {
+        self.tables.get(rel).map_or(1000, |t| t.rows)
+    }
+
+    /// Independence-assumption selectivity of a predicate: equality
+    /// between attributes `a = b` contributes `1 / max(d(a), d(b))`,
+    /// other attribute comparisons 1/3, literal equality `1 / d(a)`,
+    /// literal inequalities 1/3, `IS NULL` 1/10; conjuncts multiply,
+    /// disjuncts add (capped), negation complements.
+    #[must_use]
+    pub fn selectivity(&self, pred: &Pred) -> f64 {
+        match pred {
+            Pred::Cmp { op, lhs, rhs } => match (lhs, rhs) {
+                (Scalar::Attr(a), Scalar::Attr(b)) => match op {
+                    CmpOp::Eq => 1.0 / (self.distinct_of(a).max(self.distinct_of(b)).max(1) as f64),
+                    CmpOp::Ne => 1.0,
+                    _ => 1.0 / 3.0,
+                },
+                (Scalar::Attr(a), Scalar::Lit(_)) | (Scalar::Lit(_), Scalar::Attr(a)) => match op {
+                    CmpOp::Eq => 1.0 / (self.distinct_of(a).max(1) as f64),
+                    CmpOp::Ne => 0.9,
+                    _ => 1.0 / 3.0,
+                },
+                (Scalar::Lit(_), Scalar::Lit(_)) => 1.0,
+            },
+            Pred::IsNull(_) => 0.1,
+            Pred::And(a, b) => self.selectivity(a) * self.selectivity(b),
+            Pred::Or(a, b) => (self.selectivity(a) + self.selectivity(b)).min(1.0),
+            Pred::Not(p) => (1.0 - self.selectivity(p)).max(0.0),
+            Pred::Const(t) => {
+                if t.is_true() {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fro_algebra::Relation;
+
+    fn storage() -> Storage {
+        let mut s = Storage::new();
+        s.insert(
+            "R",
+            Relation::from_ints("R", &["k", "v"], &[&[1, 10], &[2, 10], &[3, 20]]),
+        );
+        s.create_index("R", &[Attr::parse("R.k")]);
+        s
+    }
+
+    #[test]
+    fn from_storage_captures_stats() {
+        let cat = Catalog::from_storage(&storage());
+        let t = cat.table("R").unwrap();
+        assert_eq!(t.rows, 3);
+        assert_eq!(t.distinct_of(&Attr::parse("R.k")), 3);
+        assert_eq!(t.distinct_of(&Attr::parse("R.v")), 2);
+        assert!(t.has_index(&[Attr::parse("R.k")]));
+        assert!(!t.has_index(&[Attr::parse("R.v")]));
+    }
+
+    #[test]
+    fn selectivity_equality_uses_distincts() {
+        let cat = Catalog::from_storage(&storage());
+        let p = Pred::eq_attr("R.k", "R.v");
+        let s = cat.selectivity(&p);
+        assert!((s - 1.0 / 3.0).abs() < 1e-9);
+        let lit = Pred::cmp_lit("R.v", CmpOp::Eq, 10);
+        assert!((cat.selectivity(&lit) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn selectivity_boolean_combinators() {
+        let cat = Catalog::from_storage(&storage());
+        let p = Pred::cmp_lit("R.k", CmpOp::Eq, 1);
+        let and = p.clone().and(p.clone());
+        assert!(cat.selectivity(&and) < cat.selectivity(&p));
+        let or = p.clone().or(p.clone());
+        assert!(cat.selectivity(&or) > cat.selectivity(&p));
+        let not = p.clone().not();
+        assert!((cat.selectivity(&not) + cat.selectivity(&p) - 1.0).abs() < 1e-9);
+        assert!((cat.selectivity(&Pred::always()) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unknown_tables_get_defaults() {
+        let cat = Catalog::new();
+        assert_eq!(cat.rows_of("missing"), 1000);
+        assert_eq!(cat.distinct_of(&Attr::parse("missing.a")), 1000);
+    }
+
+    #[test]
+    fn manual_catalog_construction() {
+        let mut cat = Catalog::new();
+        let schema = Arc::new(Schema::of_relation("T", &["id"]));
+        cat.add_table("T", schema, 1_000_000);
+        cat.set_distinct(&Attr::parse("T.id"), 1_000_000);
+        cat.add_index("T", &[Attr::parse("T.id")]);
+        assert_eq!(cat.rows_of("T"), 1_000_000);
+        assert!(cat.table("T").unwrap().has_index(&[Attr::parse("T.id")]));
+        let attrs = cat.attrs_of_rels(&["T".to_owned()]);
+        assert_eq!(attrs.len(), 1);
+    }
+}

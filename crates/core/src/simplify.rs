@@ -1,0 +1,475 @@
+//! §4: Join/Outerjoin/Restrict queries — the simplification rule.
+//!
+//! > *"Suppose the query includes a predicate (restriction or regular
+//! > join) that is strong in some attributes of relation R. Consider
+//! > the path in the implementing tree going from that predicate to R.
+//! > If an outerjoin is in that path and R is in its null-supplied
+//! > subtree, then replace the operator by regular join. This
+//! > simplification is carried out before creation of the query
+//! > graph."*
+//!
+//! Intuition: a strong predicate discards the very tuples the
+//! outerjoin's null-padding would introduce, so padding is wasted work
+//! — regular join computes the same result, and regular joins reorder
+//! more freely.
+//!
+//! The module also implements the §4 referential-integrity rewrite
+//! (outerjoin → join when a constraint guarantees every tuple matches)
+//! together with its caveat: the *resulting* query may leave the
+//! freely-reorderable class, which [`apply_ri_constraint`] surfaces by
+//! re-running the Theorem 1 analysis.
+
+use crate::reorder::{analyze, Analysis, Policy};
+use fro_algebra::{Pred, Query};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A record of one outerjoin converted to a join.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimplificationEvent {
+    /// Relations of the preserved subtree.
+    pub preserved: BTreeSet<String>,
+    /// Relations of the null-supplied subtree.
+    pub null_supplied: BTreeSet<String>,
+    /// The relation whose strong demand triggered the conversion.
+    pub demanded: String,
+    /// The outerjoin predicate (rendered) of the converted operator.
+    pub pred: String,
+}
+
+impl fmt::Display for SimplificationEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "outerjoin toward {{{}}} converted to join (strong demand on {})",
+            self.null_supplied
+                .iter()
+                .cloned()
+                .collect::<Vec<_>>()
+                .join(","),
+            self.demanded
+        )
+    }
+}
+
+/// The ground relations on which `pred` is strong.
+fn strong_rels(pred: &Pred) -> BTreeSet<String> {
+    pred.rels()
+        .into_iter()
+        .filter(|r| pred.is_strong_on_rel(r))
+        .collect()
+}
+
+/// Apply the §4 simplification rule to fixpoint: walking top-down with
+/// the set of relations demanded non-null by enclosing strong
+/// restriction/join predicates, convert every outerjoin whose
+/// null-supplied subtree contains a demanded relation into a join (the
+/// new join's own strong predicates then extend the demand set for the
+/// subtrees below it).
+#[must_use]
+pub fn simplify(q: &Query) -> (Query, Vec<SimplificationEvent>) {
+    let mut events = Vec::new();
+    let out = walk(q, &BTreeSet::new(), &mut events);
+    (out, events)
+}
+
+fn walk(q: &Query, required: &BTreeSet<String>, events: &mut Vec<SimplificationEvent>) -> Query {
+    match q {
+        Query::Restrict { input, pred } => {
+            let mut req = required.clone();
+            req.extend(strong_rels(pred));
+            Query::Restrict {
+                input: Box::new(walk(input, &req, events)),
+                pred: pred.clone(),
+            }
+        }
+        Query::Join { left, right, pred } => {
+            let mut req = required.clone();
+            req.extend(strong_rels(pred));
+            Query::Join {
+                left: Box::new(walk(left, &req, events)),
+                right: Box::new(walk(right, &req, events)),
+                pred: pred.clone(),
+            }
+        }
+        Query::FullOuterJoin { left, right, pred } => {
+            // §4: "A similar argument can be used to convert 2-sided
+            // outerjoin to one-sided outerjoin." A strong demand on one
+            // side kills that side's padding: demand on the left keeps
+            // only right-preserving behavior (and vice versa); demands
+            // on both sides reduce to a regular join.
+            let dl = required.iter().any(|r| left.rels().contains(r));
+            let dr = required.iter().any(|r| right.rels().contains(r));
+            let demanded_rel = |side: &Query| {
+                required
+                    .iter()
+                    .find(|r| side.rels().contains(*r))
+                    .cloned()
+                    .unwrap_or_default()
+            };
+            match (dl, dr) {
+                (true, true) => {
+                    events.push(SimplificationEvent {
+                        preserved: BTreeSet::new(),
+                        null_supplied: left.rels().union(&right.rels()).cloned().collect(),
+                        demanded: demanded_rel(left),
+                        pred: pred.to_string(),
+                    });
+                    walk(
+                        &Query::Join {
+                            left: left.clone(),
+                            right: right.clone(),
+                            pred: pred.clone(),
+                        },
+                        required,
+                        events,
+                    )
+                }
+                (true, false) => {
+                    // A strong demand on the left kills exactly the
+                    // rows where the left side is padded (the
+                    // right-unmatched ones): keep the left-preserving
+                    // half, left → right.
+                    events.push(SimplificationEvent {
+                        preserved: left.rels(),
+                        null_supplied: right.rels(),
+                        demanded: demanded_rel(left),
+                        pred: pred.to_string(),
+                    });
+                    walk(
+                        &Query::OuterJoin {
+                            left: left.clone(),
+                            right: right.clone(),
+                            pred: pred.clone(),
+                        },
+                        required,
+                        events,
+                    )
+                }
+                (false, true) => {
+                    // Mirror image: keep the right-preserving half.
+                    events.push(SimplificationEvent {
+                        preserved: right.rels(),
+                        null_supplied: left.rels(),
+                        demanded: demanded_rel(right),
+                        pred: pred.to_string(),
+                    });
+                    walk(
+                        &Query::OuterJoin {
+                            left: right.clone(),
+                            right: left.clone(),
+                            pred: pred.clone(),
+                        },
+                        required,
+                        events,
+                    )
+                }
+                (false, false) => Query::FullOuterJoin {
+                    left: Box::new(walk(left, required, events)),
+                    right: Box::new(walk(right, required, events)),
+                    pred: pred.clone(),
+                },
+            }
+        }
+        Query::OuterJoin { left, right, pred } => {
+            let ns_rels = right.rels();
+            if let Some(demanded) = required.iter().find(|r| ns_rels.contains(*r)) {
+                events.push(SimplificationEvent {
+                    preserved: left.rels(),
+                    null_supplied: ns_rels.clone(),
+                    demanded: demanded.clone(),
+                    pred: pred.to_string(),
+                });
+                // Reprocess as a join: its predicate now also filters.
+                let as_join = Query::Join {
+                    left: left.clone(),
+                    right: right.clone(),
+                    pred: pred.clone(),
+                };
+                walk(&as_join, required, events)
+            } else {
+                // Outerjoin predicates do not generate demands: padded
+                // tuples bypass them entirely.
+                Query::OuterJoin {
+                    left: Box::new(walk(left, required, events)),
+                    right: Box::new(walk(right, required, events)),
+                    pred: pred.clone(),
+                }
+            }
+        }
+        Query::SemiJoin { left, right, pred } => {
+            // A semijoin behaves like a join for the demand on its
+            // probe side, but its right side does not reach the output.
+            let mut req = required.clone();
+            req.extend(strong_rels(pred));
+            Query::SemiJoin {
+                left: Box::new(walk(left, &req, events)),
+                right: Box::new(walk(right, &req, events)),
+                pred: pred.clone(),
+            }
+        }
+        Query::Project { input, attrs } => Query::Project {
+            input: Box::new(walk(input, required, events)),
+            attrs: attrs.clone(),
+        },
+        // Antijoin/union/GOJ: no demand propagation (antijoin keeps the
+        // *non*-matching tuples, so a strong predicate does not demand
+        // non-null attributes below it; unions merge branches).
+        other => other.clone(),
+    }
+}
+
+/// The §4 referential-integrity rewrite: replace the outerjoin whose
+/// preserved side contains `preserved` and whose null-supplied side
+/// contains `null_supplied` by a regular join (justified only when a
+/// constraint guarantees every preserved tuple has a match). Returns
+/// the rewritten query and its fresh reorderability analysis — the
+/// paper's warning is that this rewrite can leave the
+/// freely-reorderable class (e.g. `R1 → R2 → R3` becoming
+/// `R1 → (R2 − R3)`).
+#[must_use]
+pub fn apply_ri_constraint(
+    q: &Query,
+    preserved: &str,
+    null_supplied: &str,
+    policy: Policy,
+) -> (Query, Analysis) {
+    fn rewrite(q: &Query, preserved: &str, null_supplied: &str) -> Query {
+        match q {
+            Query::OuterJoin { left, right, pred }
+                if left.rels().contains(preserved) && right.rels().contains(null_supplied) =>
+            {
+                Query::Join {
+                    left: Box::new(rewrite(left, preserved, null_supplied)),
+                    right: Box::new(rewrite(right, preserved, null_supplied)),
+                    pred: pred.clone(),
+                }
+            }
+            Query::Join { left, right, pred } => Query::Join {
+                left: Box::new(rewrite(left, preserved, null_supplied)),
+                right: Box::new(rewrite(right, preserved, null_supplied)),
+                pred: pred.clone(),
+            },
+            Query::OuterJoin { left, right, pred } => Query::OuterJoin {
+                left: Box::new(rewrite(left, preserved, null_supplied)),
+                right: Box::new(rewrite(right, preserved, null_supplied)),
+                pred: pred.clone(),
+            },
+            other => other.clone(),
+        }
+    }
+    let out = rewrite(q, preserved, null_supplied);
+    let analysis = analyze(&out, policy);
+    (out, analysis)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fro_algebra::{CmpOp, Database, Relation};
+
+    fn p(a: &str, b: &str) -> Pred {
+        Pred::eq_attr(&format!("{a}.k{a}"), &format!("{b}.k{b}"))
+    }
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.insert(Relation::from_ints("A", &["kA"], &[&[1], &[2]]));
+        db.insert(Relation::from_ints("B", &["kB"], &[&[1], &[3]]));
+        db.insert(Relation::from_ints("C", &["kC"], &[&[1], &[4]]));
+        db
+    }
+
+    #[test]
+    fn strong_restriction_converts_outerjoin() {
+        // σ[B.kB > 0](A → B): the restriction is strong on B, B is
+        // null-supplied ⇒ A − B.
+        let q = Query::rel("A")
+            .outerjoin(Query::rel("B"), p("A", "B"))
+            .restrict(Pred::cmp_lit("B.kB", CmpOp::Gt, 0));
+        let (s, events) = simplify(&q);
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].demanded, "B");
+        assert_eq!(s.shape(), "σ((A − B))");
+        // Semantics preserved.
+        let d = db();
+        assert!(q.eval(&d).unwrap().set_eq(&s.eval(&d).unwrap()));
+    }
+
+    #[test]
+    fn restriction_on_preserved_side_keeps_outerjoin() {
+        let q = Query::rel("A")
+            .outerjoin(Query::rel("B"), p("A", "B"))
+            .restrict(Pred::cmp_lit("A.kA", CmpOp::Gt, 0));
+        let (s, events) = simplify(&q);
+        assert!(events.is_empty());
+        assert_eq!(s.shape(), "σ((A → B))");
+    }
+
+    #[test]
+    fn is_null_restriction_does_not_convert() {
+        // σ[B.kB IS NULL](A → B) keeps only padded tuples — converting
+        // would be wrong, and IS NULL is not strong.
+        let q = Query::rel("A")
+            .outerjoin(Query::rel("B"), p("A", "B"))
+            .restrict(Pred::is_null("B.kB"));
+        let (s, events) = simplify(&q);
+        assert!(events.is_empty());
+        assert_eq!(s.shape(), "σ((A → B))");
+    }
+
+    #[test]
+    fn join_predicate_demand_converts_deeper_outerjoin() {
+        // Example 2 shape arising from a join above an outerjoin:
+        // (A → B) − C with the join predicate strong on B.
+        let q = Query::rel("A")
+            .outerjoin(Query::rel("B"), p("A", "B"))
+            .join(Query::rel("C"), p("B", "C"));
+        let (s, events) = simplify(&q);
+        assert_eq!(events.len(), 1);
+        assert_eq!(s.shape(), "((A − B) − C)");
+        let d = db();
+        assert!(q.eval(&d).unwrap().set_eq(&s.eval(&d).unwrap()));
+        // The simplified query is now freely reorderable.
+        assert!(crate::reorder::is_freely_reorderable(&s));
+    }
+
+    #[test]
+    fn conversion_cascades_through_chains() {
+        // σ[C.kC > 0](A → (B → C)): demand on C converts the inner
+        // outerjoin; the inner join's predicate (strong on B) then
+        // demands B, converting the outer one too.
+        let q = Query::rel("A")
+            .outerjoin(
+                Query::rel("B").outerjoin(Query::rel("C"), p("B", "C")),
+                p("A", "B"),
+            )
+            .restrict(Pred::cmp_lit("C.kC", CmpOp::Gt, 0));
+        let (s, events) = simplify(&q);
+        assert_eq!(events.len(), 2);
+        assert_eq!(s.shape(), "σ((A − (B − C)))");
+        let d = db();
+        assert!(q.eval(&d).unwrap().set_eq(&s.eval(&d).unwrap()));
+    }
+
+    #[test]
+    fn demand_does_not_leak_into_preserved_chain() {
+        // σ[C.kC > 0]((A → B) − C): demand on C only; B stays padded.
+        let q = Query::rel("A")
+            .outerjoin(Query::rel("B"), p("A", "B"))
+            .join(Query::rel("C"), p("A", "C"))
+            .restrict(Pred::cmp_lit("C.kC", CmpOp::Gt, 0));
+        let (s, events) = simplify(&q);
+        assert!(events.is_empty(), "{events:?}");
+        assert_eq!(s.shape(), "σ(((A → B) − C))");
+    }
+
+    #[test]
+    fn weak_join_predicate_generates_no_demand() {
+        // Join predicate `B.kB = C.kC OR B.kB IS NULL` is weak on B:
+        // the outerjoin below must survive.
+        let weak = Pred::eq_attr("B.kB", "C.kC").or(Pred::is_null("B.kB"));
+        let q = Query::rel("A")
+            .outerjoin(Query::rel("B"), p("A", "B"))
+            .join(Query::rel("C"), weak);
+        let (s, events) = simplify(&q);
+        assert!(events.is_empty());
+        assert!(s.shape().contains('→'));
+    }
+
+    #[test]
+    fn full_outerjoin_converts_per_section_4() {
+        let d = db();
+        // Demand on the right side keeps the right-preserving half:
+        // full → (B → A).
+        let q = Query::rel("A")
+            .full_outerjoin(Query::rel("B"), p("A", "B"))
+            .restrict(Pred::cmp_lit("B.kB", CmpOp::Gt, 0));
+        let (s, events) = simplify(&q);
+        assert_eq!(events.len(), 1);
+        assert_eq!(s.shape(), "σ((B → A))");
+        assert!(q.eval(&d).unwrap().set_eq(&s.eval(&d).unwrap()));
+
+        // Demand on the left side keeps the left-preserving half.
+        let q = Query::rel("A")
+            .full_outerjoin(Query::rel("B"), p("A", "B"))
+            .restrict(Pred::cmp_lit("A.kA", CmpOp::Gt, 0));
+        let (s, events) = simplify(&q);
+        assert_eq!(events.len(), 1);
+        assert_eq!(s.shape(), "σ((A → B))");
+        assert!(q.eval(&d).unwrap().set_eq(&s.eval(&d).unwrap()));
+
+        // Demands on both sides: full → regular join.
+        let q = Query::rel("A")
+            .full_outerjoin(Query::rel("B"), p("A", "B"))
+            .restrict(Pred::cmp_lit("A.kA", CmpOp::Gt, 0).and(Pred::cmp_lit("B.kB", CmpOp::Gt, 0)));
+        let (s, _) = simplify(&q);
+        assert_eq!(s.shape(), "σ((A − B))");
+        assert!(q.eval(&d).unwrap().set_eq(&s.eval(&d).unwrap()));
+
+        // No demand: full outerjoin survives.
+        let q = Query::rel("A").full_outerjoin(Query::rel("B"), p("A", "B"));
+        let (s, events) = simplify(&q);
+        assert!(events.is_empty());
+        assert_eq!(s.shape(), "(A ↔ B)");
+    }
+
+    #[test]
+    fn full_outerjoin_eval_matches_union_of_sides() {
+        // A ↔ B = (A → B) ∪ (B → A) under the padding convention.
+        let d = db();
+        let full = Query::rel("A")
+            .full_outerjoin(Query::rel("B"), p("A", "B"))
+            .eval(&d)
+            .unwrap();
+        let left = Query::rel("A")
+            .outerjoin(Query::rel("B"), p("A", "B"))
+            .eval(&d)
+            .unwrap();
+        let right = Query::rel("B")
+            .outerjoin(Query::rel("A"), p("A", "B"))
+            .eval(&d)
+            .unwrap();
+        let union = fro_algebra::ops::union(&left, &right).unwrap();
+        assert!(full.set_eq(&union));
+    }
+
+    #[test]
+    fn ri_rewrite_can_break_reorderability() {
+        // R1 → R2 → R3 is freely reorderable; replacing R2 → R3 by a
+        // join (RI constraint) yields R1 → (R2 − R3): not reorderable.
+        let q = Query::rel("R1").outerjoin(
+            Query::rel("R2").outerjoin(Query::rel("R3"), p("R2", "R3")),
+            p("R1", "R2"),
+        );
+        assert!(crate::reorder::is_freely_reorderable(&q));
+        let (rw, analysis) = apply_ri_constraint(&q, "R2", "R3", Policy::Paper);
+        assert_eq!(rw.shape(), "(R1 → (R2 − R3))");
+        assert!(!analysis.is_freely_reorderable());
+    }
+
+    #[test]
+    fn simplification_preserves_free_reorderability_conjecture_probe() {
+        // §4 conjecture: restrictions applied after all outerjoins, to
+        // a freely-reorderable query, cannot *introduce* violations.
+        // Probe a family of shapes.
+        let base = Query::rel("A")
+            .join(Query::rel("B"), p("A", "B"))
+            .outerjoin(Query::rel("C"), p("B", "C"))
+            .outerjoin(Query::rel("D"), p("C", "D"));
+        assert!(crate::reorder::is_freely_reorderable(&base));
+        for attr in ["A.kA", "B.kB", "C.kC", "D.kD"] {
+            let q = base.clone().restrict(Pred::cmp_lit(attr, CmpOp::Gt, 0));
+            let (s, _) = simplify(&q);
+            // Strip the top restriction before the OJ/J analysis.
+            let inner = match s {
+                Query::Restrict { input, .. } => *input,
+                other => other,
+            };
+            assert!(
+                crate::reorder::is_freely_reorderable(&inner),
+                "restriction on {attr} broke reorderability"
+            );
+        }
+    }
+}

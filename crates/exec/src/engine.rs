@@ -1,0 +1,1297 @@
+//! The materializing executor.
+//!
+//! Counter semantics (Example 1's accounting):
+//! * `Scan` retrieves every tuple of its table;
+//! * `IndexJoin` issues one probe per outer row and *retrieves exactly
+//!   the matching inner tuples*;
+//! * `HashJoin` retrieves nothing by itself (its inputs do) but counts
+//!   build rows and candidate comparisons;
+//! * every operator adds its output size to `rows_materialized`.
+//!
+//! Results are plain [`Relation`]s; the test-suite cross-checks every
+//! plan against the reference evaluator in `fro-algebra`.
+
+use crate::plan::{JoinKind, PhysPlan};
+use crate::stats::ExecStats;
+use crate::storage::Storage;
+use fro_algebra::ops::BoundPred;
+use fro_algebra::{AlgebraError, Attr, Pred, Relation, Schema, Tuple, Value};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Execution failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// A scan or index join referenced an unknown table.
+    UnknownTable(String),
+    /// An index join required an index that does not exist.
+    MissingIndex {
+        /// Table that lacks the index.
+        table: String,
+        /// The attributes that needed indexing.
+        attrs: String,
+    },
+    /// Key lists of a hash/index join have different lengths.
+    KeyArityMismatch,
+    /// An attribute failed to resolve against an input schema.
+    Algebra(AlgebraError),
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::UnknownTable(t) => write!(f, "unknown table `{t}`"),
+            ExecError::MissingIndex { table, attrs } => {
+                write!(f, "table `{table}` has no index on ({attrs})")
+            }
+            ExecError::KeyArityMismatch => write!(f, "probe/build key lists differ in length"),
+            ExecError::Algebra(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+impl From<AlgebraError> for ExecError {
+    fn from(e: AlgebraError) -> Self {
+        ExecError::Algebra(e)
+    }
+}
+
+fn resolve_cols(schema: &Schema, attrs: &[Attr]) -> Result<Vec<usize>, ExecError> {
+    attrs
+        .iter()
+        .map(|a| {
+            schema.index_of(a).ok_or_else(|| {
+                ExecError::Algebra(AlgebraError::UnknownAttr {
+                    attr: a.to_string(),
+                    schema: schema.to_string(),
+                })
+            })
+        })
+        .collect()
+}
+
+/// An all-null unmatched row on each side of a full outerjoin pads to
+/// the identical all-null wide row; dedup before materializing.
+fn dedup_rows(rows: &mut Vec<Tuple>) {
+    let mut seen = std::collections::HashSet::with_capacity(rows.len());
+    rows.retain(|t| seen.insert(t.clone()));
+}
+
+fn key_of(row: &Tuple, cols: &[usize]) -> Option<Vec<Value>> {
+    let mut key = Vec::with_capacity(cols.len());
+    for &c in cols {
+        let v = row.get(c);
+        if v.is_null() {
+            return None; // equality on null never matches
+        }
+        key.push(v.clone());
+    }
+    Some(key)
+}
+
+/// Execute a plan against storage, accumulating counters into `stats`.
+///
+/// # Errors
+/// [`ExecError`] for unknown tables, missing indexes, or unresolved
+/// attributes.
+pub fn execute(
+    plan: &PhysPlan,
+    storage: &Storage,
+    stats: &mut ExecStats,
+) -> Result<Relation, ExecError> {
+    let out = run(plan, storage, stats)?;
+    stats.rows_output = out.len() as u64;
+    Ok(out)
+}
+
+fn run(plan: &PhysPlan, storage: &Storage, stats: &mut ExecStats) -> Result<Relation, ExecError> {
+    let out = match plan {
+        PhysPlan::Scan { rel } => {
+            let t = storage
+                .get(rel)
+                .ok_or_else(|| ExecError::UnknownTable(rel.clone()))?;
+            stats.tuples_retrieved += t.len() as u64;
+            t.relation().clone()
+        }
+        PhysPlan::Filter { input, pred } => {
+            let rel = run(input, storage, stats)?;
+            let bound = BoundPred::bind(pred, rel.schema()).map_err(ExecError::from)?;
+            let rows: Vec<Tuple> = rel
+                .iter()
+                .filter(|t| {
+                    stats.comparisons += 1;
+                    bound.eval(t).is_true()
+                })
+                .cloned()
+                .collect();
+            Relation::from_distinct_rows(rel.schema().clone(), rows)
+        }
+        PhysPlan::Project { input, attrs } => {
+            let rel = run(input, storage, stats)?;
+            fro_algebra::ops::project(&rel, attrs, true).map_err(ExecError::from)?
+        }
+        PhysPlan::HashJoin {
+            kind,
+            probe,
+            build,
+            probe_keys,
+            build_keys,
+            residual,
+        } => {
+            if probe_keys.len() != build_keys.len() || probe_keys.is_empty() {
+                return Err(ExecError::KeyArityMismatch);
+            }
+            let probe_rel = run(probe, storage, stats)?;
+            let build_rel = run(build, storage, stats)?;
+            hash_join(
+                *kind, &probe_rel, &build_rel, probe_keys, build_keys, residual, stats,
+            )?
+        }
+        PhysPlan::IndexJoin {
+            kind,
+            outer,
+            inner,
+            outer_keys,
+            inner_keys,
+            residual,
+        } => {
+            if outer_keys.len() != inner_keys.len() || outer_keys.is_empty() {
+                return Err(ExecError::KeyArityMismatch);
+            }
+            let outer_rel = run(outer, storage, stats)?;
+            index_join(
+                *kind, &outer_rel, inner, outer_keys, inner_keys, residual, storage, stats,
+            )?
+        }
+        PhysPlan::MergeJoin {
+            kind,
+            left,
+            right,
+            left_keys,
+            right_keys,
+            residual,
+        } => {
+            if left_keys.len() != right_keys.len() || left_keys.is_empty() {
+                return Err(ExecError::KeyArityMismatch);
+            }
+            let l = run(left, storage, stats)?;
+            let r = run(right, storage, stats)?;
+            merge_join(*kind, &l, &r, left_keys, right_keys, residual, stats)?
+        }
+        PhysPlan::NlJoin {
+            kind,
+            left,
+            right,
+            pred,
+        } => {
+            let l = run(left, storage, stats)?;
+            let r = run(right, storage, stats)?;
+            nl_join(*kind, &l, &r, pred, stats)?
+        }
+        PhysPlan::GroupCount {
+            input,
+            group_attrs,
+            counted,
+        } => {
+            let rel = run(input, storage, stats)?;
+            fro_algebra::ops::group_count(&rel, group_attrs, counted.as_ref())
+                .map_err(ExecError::from)?
+        }
+        PhysPlan::Goj {
+            left,
+            right,
+            pred,
+            subset,
+        } => {
+            let l = run(left, storage, stats)?;
+            let r = run(right, storage, stats)?;
+            stats.comparisons += (l.len() * r.len()) as u64;
+            fro_algebra::ops::goj(&l, &r, pred, subset).map_err(ExecError::from)?
+        }
+    };
+    stats.rows_materialized += out.len() as u64;
+    Ok(out)
+}
+
+fn hash_join(
+    kind: JoinKind,
+    probe: &Relation,
+    build: &Relation,
+    probe_keys: &[Attr],
+    build_keys: &[Attr],
+    residual: &Pred,
+    stats: &mut ExecStats,
+) -> Result<Relation, ExecError> {
+    let probe_cols = resolve_cols(probe.schema(), probe_keys)?;
+    let build_cols = resolve_cols(build.schema(), build_keys)?;
+
+    let wide = matches!(
+        kind,
+        JoinKind::Inner | JoinKind::LeftOuter | JoinKind::FullOuter
+    );
+    let out_schema: Arc<Schema> = if wide {
+        Arc::new(probe.schema().concat(build.schema())?)
+    } else {
+        probe.schema().clone()
+    };
+    let residual_bound = if wide {
+        Some(BoundPred::bind(residual, &out_schema).map_err(ExecError::from)?)
+    } else {
+        // Semi/anti joins evaluate the residual on the concatenated
+        // scheme even though they output only the probe side.
+        let concat = Arc::new(probe.schema().concat(build.schema())?);
+        Some(BoundPred::bind(residual, &concat).map_err(ExecError::from)?)
+    };
+    let residual_bound = residual_bound.expect("bound above");
+
+    let mut table: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
+    for (rid, row) in build.rows().iter().enumerate() {
+        if let Some(key) = key_of(row, &build_cols) {
+            table.entry(key).or_default().push(rid);
+        }
+        stats.hash_build_rows += 1;
+    }
+
+    let pad = Tuple::nulls(build.schema().len());
+    let probe_pad = Tuple::nulls(probe.schema().len());
+    let mut build_matched = vec![false; build.len()];
+    let mut rows = Vec::new();
+    for prow in probe {
+        let candidates: &[usize] = key_of(prow, &probe_cols)
+            .as_ref()
+            .and_then(|k| table.get(k))
+            .map_or(&[], Vec::as_slice);
+        let mut matched = false;
+        for &rid in candidates {
+            let cat = prow.concat(&build.rows()[rid]);
+            stats.comparisons += 1;
+            if residual_bound.eval(&cat).is_true() {
+                matched = true;
+                build_matched[rid] = true;
+                match kind {
+                    JoinKind::Inner | JoinKind::LeftOuter | JoinKind::FullOuter => rows.push(cat),
+                    JoinKind::Semi => {
+                        rows.push(prow.clone());
+                        break;
+                    }
+                    JoinKind::Anti => break,
+                }
+            }
+        }
+        match kind {
+            JoinKind::LeftOuter | JoinKind::FullOuter if !matched => {
+                rows.push(prow.concat(&pad));
+            }
+            JoinKind::Anti if !matched => rows.push(prow.clone()),
+            _ => {}
+        }
+    }
+    if kind == JoinKind::FullOuter {
+        for (rid, brow) in build.rows().iter().enumerate() {
+            if !build_matched[rid] {
+                rows.push(probe_pad.concat(brow));
+            }
+        }
+        dedup_rows(&mut rows);
+    }
+    Ok(Relation::from_distinct_rows(out_schema, rows))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn index_join(
+    kind: JoinKind,
+    outer: &Relation,
+    inner_name: &str,
+    outer_keys: &[Attr],
+    inner_keys: &[Attr],
+    residual: &Pred,
+    storage: &Storage,
+    stats: &mut ExecStats,
+) -> Result<Relation, ExecError> {
+    if kind == JoinKind::FullOuter {
+        return Err(ExecError::Algebra(fro_algebra::AlgebraError::BadUnion(
+            "index join cannot implement a full outerjoin (unmatched inner rows are unreachable)"
+                .into(),
+        )));
+    }
+    let inner_table = storage
+        .get(inner_name)
+        .ok_or_else(|| ExecError::UnknownTable(inner_name.to_owned()))?;
+    let inner_rel = inner_table.relation();
+    let mut inner_cols = resolve_cols(inner_rel.schema(), inner_keys)?;
+    // The index stores sorted key columns; align outer key order with it.
+    let mut outer_cols = resolve_cols(outer.schema(), outer_keys)?;
+    let mut pairs: Vec<(usize, usize)> = inner_cols
+        .iter()
+        .copied()
+        .zip(outer_cols.iter().copied())
+        .collect();
+    pairs.sort_unstable_by_key(|&(ic, _)| ic);
+    inner_cols = pairs.iter().map(|&(ic, _)| ic).collect();
+    outer_cols = pairs.iter().map(|&(_, oc)| oc).collect();
+
+    let index = inner_table
+        .index_on(&inner_cols)
+        .ok_or_else(|| ExecError::MissingIndex {
+            table: inner_name.to_owned(),
+            attrs: inner_keys
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join(","),
+        })?;
+
+    let wide = matches!(kind, JoinKind::Inner | JoinKind::LeftOuter);
+    let concat_schema = Arc::new(outer.schema().concat(inner_rel.schema())?);
+    let out_schema = if wide {
+        concat_schema.clone()
+    } else {
+        outer.schema().clone()
+    };
+    let residual_bound = BoundPred::bind(residual, &concat_schema).map_err(ExecError::from)?;
+
+    let pad = Tuple::nulls(inner_rel.schema().len());
+    let mut rows = Vec::new();
+    for orow in outer {
+        stats.index_probes += 1;
+        let rids: &[usize] = key_of(orow, &outer_cols)
+            .as_ref()
+            .map_or(&[], |k| index.lookup(k));
+        stats.tuples_retrieved += rids.len() as u64;
+        let mut matched = false;
+        for &rid in rids {
+            let cat = orow.concat(&inner_rel.rows()[rid]);
+            stats.comparisons += 1;
+            if residual_bound.eval(&cat).is_true() {
+                matched = true;
+                match kind {
+                    JoinKind::Inner | JoinKind::LeftOuter => rows.push(cat),
+                    JoinKind::Semi => {
+                        rows.push(orow.clone());
+                        break;
+                    }
+                    JoinKind::Anti => break,
+                    JoinKind::FullOuter => unreachable!("rejected at entry"),
+                }
+            }
+        }
+        match kind {
+            JoinKind::LeftOuter if !matched => rows.push(orow.concat(&pad)),
+            JoinKind::Anti if !matched => rows.push(orow.clone()),
+            _ => {}
+        }
+    }
+    Ok(Relation::from_distinct_rows(out_schema, rows))
+}
+
+/// Sort-merge join: sort row indices of both inputs on their key
+/// columns, then merge equal-key groups. Rows with a null key never
+/// match (SQL equality) and are emitted padded/kept for the outer/anti
+/// flavors.
+fn merge_join(
+    kind: JoinKind,
+    left: &Relation,
+    right: &Relation,
+    left_keys: &[Attr],
+    right_keys: &[Attr],
+    residual: &Pred,
+    stats: &mut ExecStats,
+) -> Result<Relation, ExecError> {
+    let lcols = resolve_cols(left.schema(), left_keys)?;
+    let rcols = resolve_cols(right.schema(), right_keys)?;
+    let wide = matches!(
+        kind,
+        JoinKind::Inner | JoinKind::LeftOuter | JoinKind::FullOuter
+    );
+    let concat_schema = Arc::new(left.schema().concat(right.schema())?);
+    let out_schema = if wide {
+        concat_schema.clone()
+    } else {
+        left.schema().clone()
+    };
+    let bound = BoundPred::bind(residual, &concat_schema).map_err(ExecError::from)?;
+
+    // Sorted index runs over non-null-keyed rows; null-keyed rows go
+    // straight to the unmatched sets.
+    let key_at = |rel: &Relation, cols: &[usize], i: usize| -> Option<Vec<Value>> {
+        key_of(&rel.rows()[i], cols)
+    };
+    let mut lsorted: Vec<(Vec<Value>, usize)> = Vec::with_capacity(left.len());
+    let mut lnull: Vec<usize> = Vec::new();
+    for i in 0..left.len() {
+        match key_at(left, &lcols, i) {
+            Some(k) => lsorted.push((k, i)),
+            None => lnull.push(i),
+        }
+    }
+    lsorted.sort();
+    let mut rsorted: Vec<(Vec<Value>, usize)> = Vec::with_capacity(right.len());
+    let mut rnull: Vec<usize> = Vec::new();
+    for i in 0..right.len() {
+        match key_at(right, &rcols, i) {
+            Some(k) => rsorted.push((k, i)),
+            None => rnull.push(i),
+        }
+    }
+    rsorted.sort();
+    stats.comparisons += (lsorted.len() + rsorted.len()) as u64; // sort work proxy
+
+    let pad_r = Tuple::nulls(right.schema().len());
+    let pad_l = Tuple::nulls(left.schema().len());
+    let mut left_matched = vec![false; left.len()];
+    let mut right_matched = vec![false; right.len()];
+    let mut rows = Vec::new();
+
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < lsorted.len() && j < rsorted.len() {
+        match lsorted[i].0.cmp(&rsorted[j].0) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                // Group boundaries.
+                let key = lsorted[i].0.clone();
+                let i0 = i;
+                while i < lsorted.len() && lsorted[i].0 == key {
+                    i += 1;
+                }
+                let j0 = j;
+                while j < rsorted.len() && rsorted[j].0 == key {
+                    j += 1;
+                }
+                for &(_, li) in &lsorted[i0..i] {
+                    for &(_, rj) in &rsorted[j0..j] {
+                        let cat = left.rows()[li].concat(&right.rows()[rj]);
+                        stats.comparisons += 1;
+                        if bound.eval(&cat).is_true() {
+                            left_matched[li] = true;
+                            right_matched[rj] = true;
+                            if wide {
+                                rows.push(cat);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    match kind {
+        JoinKind::Inner | JoinKind::FullOuter | JoinKind::LeftOuter => {
+            if kind != JoinKind::Inner {
+                for (li, lrow) in left.rows().iter().enumerate() {
+                    if !left_matched[li] {
+                        rows.push(lrow.concat(&pad_r));
+                    }
+                }
+            }
+            if kind == JoinKind::FullOuter {
+                for (rj, rrow) in right.rows().iter().enumerate() {
+                    if !right_matched[rj] {
+                        rows.push(pad_l.concat(rrow));
+                    }
+                }
+            }
+        }
+        JoinKind::Semi => {
+            for (li, lrow) in left.rows().iter().enumerate() {
+                if left_matched[li] {
+                    rows.push(lrow.clone());
+                }
+            }
+        }
+        JoinKind::Anti => {
+            for (li, lrow) in left.rows().iter().enumerate() {
+                if !left_matched[li] {
+                    rows.push(lrow.clone());
+                }
+            }
+        }
+    }
+    let _ = (lnull, rnull); // null-keyed rows are covered by the unmatched passes
+    if kind == JoinKind::FullOuter {
+        dedup_rows(&mut rows);
+    }
+    Ok(Relation::from_distinct_rows(out_schema, rows))
+}
+
+fn nl_join(
+    kind: JoinKind,
+    left: &Relation,
+    right: &Relation,
+    pred: &Pred,
+    stats: &mut ExecStats,
+) -> Result<Relation, ExecError> {
+    let concat_schema = Arc::new(left.schema().concat(right.schema())?);
+    let wide = matches!(
+        kind,
+        JoinKind::Inner | JoinKind::LeftOuter | JoinKind::FullOuter
+    );
+    let out_schema = if wide {
+        concat_schema.clone()
+    } else {
+        left.schema().clone()
+    };
+    let bound = BoundPred::bind(pred, &concat_schema).map_err(ExecError::from)?;
+    let pad = Tuple::nulls(right.schema().len());
+    let left_pad = Tuple::nulls(left.schema().len());
+    let mut right_matched = vec![false; right.len()];
+    let mut rows = Vec::new();
+    for lrow in left {
+        let mut matched = false;
+        for (ri, rrow) in right.iter().enumerate() {
+            let cat = lrow.concat(rrow);
+            stats.comparisons += 1;
+            if bound.eval(&cat).is_true() {
+                matched = true;
+                right_matched[ri] = true;
+                match kind {
+                    JoinKind::Inner | JoinKind::LeftOuter | JoinKind::FullOuter => rows.push(cat),
+                    JoinKind::Semi => {
+                        rows.push(lrow.clone());
+                        break;
+                    }
+                    JoinKind::Anti => break,
+                }
+            }
+        }
+        match kind {
+            JoinKind::LeftOuter | JoinKind::FullOuter if !matched => {
+                rows.push(lrow.concat(&pad));
+            }
+            JoinKind::Anti if !matched => rows.push(lrow.clone()),
+            _ => {}
+        }
+    }
+    if kind == JoinKind::FullOuter {
+        for (ri, rrow) in right.rows().iter().enumerate() {
+            if !right_matched[ri] {
+                rows.push(left_pad.concat(rrow));
+            }
+        }
+        dedup_rows(&mut rows);
+    }
+    Ok(Relation::from_distinct_rows(out_schema, rows))
+}
+
+/// Execute a plan and render an `EXPLAIN ANALYZE`-style report: the
+/// plan tree annotated with each operator's *actual* output rows.
+///
+/// # Errors
+/// Same failure modes as [`execute`].
+pub fn explain_analyze(
+    plan: &PhysPlan,
+    storage: &Storage,
+) -> Result<(Relation, String), ExecError> {
+    let mut stats = ExecStats::new();
+    let mut lines: Vec<(usize, String, u64)> = Vec::new();
+    let rel = annotate(plan, storage, &mut stats, 0, &mut lines)?;
+    stats.rows_output = rel.len() as u64;
+    let mut out = String::new();
+    for (depth, label, rows) in &lines {
+        out.push_str(&"  ".repeat(*depth));
+        out.push_str(label);
+        out.push_str(&format!("  (rows={rows})\n"));
+    }
+    out.push_str(&format!("totals: {stats}\n"));
+    Ok((rel, out))
+}
+
+fn annotate(
+    plan: &PhysPlan,
+    storage: &Storage,
+    stats: &mut ExecStats,
+    depth: usize,
+    lines: &mut Vec<(usize, String, u64)>,
+) -> Result<Relation, ExecError> {
+    // Reserve this node's line before recursing so the report reads in
+    // plan (pre-)order while row counts are filled post-execution.
+    let slot = lines.len();
+    lines.push((depth, String::new(), 0));
+
+    let (label, rel) = match plan {
+        PhysPlan::Scan { rel } => {
+            let t = storage
+                .get(rel)
+                .ok_or_else(|| ExecError::UnknownTable(rel.clone()))?;
+            stats.tuples_retrieved += t.len() as u64;
+            (format!("Scan {rel}"), t.relation().clone())
+        }
+        PhysPlan::Filter { input, pred } => {
+            let child = annotate(input, storage, stats, depth + 1, lines)?;
+            let bound = BoundPred::bind(pred, child.schema()).map_err(ExecError::from)?;
+            let rows: Vec<Tuple> = child
+                .iter()
+                .filter(|t| {
+                    stats.comparisons += 1;
+                    bound.eval(t).is_true()
+                })
+                .cloned()
+                .collect();
+            (
+                format!("Filter [{pred}]"),
+                Relation::from_distinct_rows(child.schema().clone(), rows),
+            )
+        }
+        PhysPlan::Project { input, attrs } => {
+            let child = annotate(input, storage, stats, depth + 1, lines)?;
+            (
+                "Project".to_owned(),
+                fro_algebra::ops::project(&child, attrs, true).map_err(ExecError::from)?,
+            )
+        }
+        PhysPlan::HashJoin {
+            kind,
+            probe,
+            build,
+            probe_keys,
+            build_keys,
+            residual,
+        } => {
+            if probe_keys.len() != build_keys.len() || probe_keys.is_empty() {
+                return Err(ExecError::KeyArityMismatch);
+            }
+            let p = annotate(probe, storage, stats, depth + 1, lines)?;
+            let b = annotate(build, storage, stats, depth + 1, lines)?;
+            (
+                format!("HashJoin({kind})"),
+                hash_join(*kind, &p, &b, probe_keys, build_keys, residual, stats)?,
+            )
+        }
+        PhysPlan::IndexJoin {
+            kind,
+            outer,
+            inner,
+            outer_keys,
+            inner_keys,
+            residual,
+        } => {
+            if outer_keys.len() != inner_keys.len() || outer_keys.is_empty() {
+                return Err(ExecError::KeyArityMismatch);
+            }
+            let o = annotate(outer, storage, stats, depth + 1, lines)?;
+            (
+                format!("IndexJoin({kind}) {inner}"),
+                index_join(
+                    *kind, &o, inner, outer_keys, inner_keys, residual, storage, stats,
+                )?,
+            )
+        }
+        PhysPlan::MergeJoin {
+            kind,
+            left,
+            right,
+            left_keys,
+            right_keys,
+            residual,
+        } => {
+            if left_keys.len() != right_keys.len() || left_keys.is_empty() {
+                return Err(ExecError::KeyArityMismatch);
+            }
+            let l = annotate(left, storage, stats, depth + 1, lines)?;
+            let r = annotate(right, storage, stats, depth + 1, lines)?;
+            (
+                format!("MergeJoin({kind})"),
+                merge_join(*kind, &l, &r, left_keys, right_keys, residual, stats)?,
+            )
+        }
+        PhysPlan::NlJoin {
+            kind,
+            left,
+            right,
+            pred,
+        } => {
+            let l = annotate(left, storage, stats, depth + 1, lines)?;
+            let r = annotate(right, storage, stats, depth + 1, lines)?;
+            (
+                format!("NlJoin({kind})"),
+                nl_join(*kind, &l, &r, pred, stats)?,
+            )
+        }
+        PhysPlan::GroupCount {
+            input,
+            group_attrs,
+            counted,
+        } => {
+            let rel = annotate(input, storage, stats, depth + 1, lines)?;
+            (
+                "GroupCount".to_owned(),
+                fro_algebra::ops::group_count(&rel, group_attrs, counted.as_ref())
+                    .map_err(ExecError::from)?,
+            )
+        }
+        PhysPlan::Goj {
+            left,
+            right,
+            pred,
+            subset,
+        } => {
+            let l = annotate(left, storage, stats, depth + 1, lines)?;
+            let r = annotate(right, storage, stats, depth + 1, lines)?;
+            stats.comparisons += (l.len() * r.len()) as u64;
+            (
+                "Goj".to_owned(),
+                fro_algebra::ops::goj(&l, &r, pred, subset).map_err(ExecError::from)?,
+            )
+        }
+    };
+    stats.rows_materialized += rel.len() as u64;
+    lines[slot] = (depth, label, rel.len() as u64);
+    Ok(rel)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fro_algebra::ops;
+
+    fn storage() -> Storage {
+        let mut s = Storage::new();
+        s.insert("R1", Relation::from_ints("R1", &["k1"], &[&[1]]));
+        s.insert(
+            "R2",
+            Relation::from_ints("R2", &["k2"], &[&[1], &[2], &[3]]),
+        );
+        s.insert(
+            "R3",
+            Relation::from_ints("R3", &["k3"], &[&[2], &[3], &[4]]),
+        );
+        s.create_index("R1", &[Attr::parse("R1.k1")]);
+        s.create_index("R2", &[Attr::parse("R2.k2")]);
+        s.create_index("R3", &[Attr::parse("R3.k3")]);
+        s
+    }
+
+    #[test]
+    fn scan_counts_tuples() {
+        let s = storage();
+        let mut st = ExecStats::new();
+        let out = execute(&PhysPlan::scan("R2"), &s, &mut st).unwrap();
+        assert_eq!(out.len(), 3);
+        assert_eq!(st.tuples_retrieved, 3);
+        assert_eq!(st.rows_output, 3);
+    }
+
+    #[test]
+    fn unknown_table_errors() {
+        let s = storage();
+        let mut st = ExecStats::new();
+        assert!(matches!(
+            execute(&PhysPlan::scan("nope"), &s, &mut st),
+            Err(ExecError::UnknownTable(_))
+        ));
+    }
+
+    #[test]
+    fn hash_join_matches_reference_join() {
+        let s = storage();
+        let mut st = ExecStats::new();
+        let plan = PhysPlan::HashJoin {
+            kind: JoinKind::Inner,
+            probe: Box::new(PhysPlan::scan("R2")),
+            build: Box::new(PhysPlan::scan("R3")),
+            probe_keys: vec![Attr::parse("R2.k2")],
+            build_keys: vec![Attr::parse("R3.k3")],
+            residual: Pred::always(),
+        };
+        let out = execute(&plan, &s, &mut st).unwrap();
+        let expect = ops::join(
+            s.get("R2").unwrap().relation(),
+            s.get("R3").unwrap().relation(),
+            &Pred::eq_attr("R2.k2", "R3.k3"),
+        )
+        .unwrap();
+        assert!(out.set_eq(&expect));
+        assert_eq!(st.hash_build_rows, 3);
+    }
+
+    #[test]
+    fn hash_left_outer_pads() {
+        let s = storage();
+        let mut st = ExecStats::new();
+        let plan = PhysPlan::HashJoin {
+            kind: JoinKind::LeftOuter,
+            probe: Box::new(PhysPlan::scan("R2")),
+            build: Box::new(PhysPlan::scan("R3")),
+            probe_keys: vec![Attr::parse("R2.k2")],
+            build_keys: vec![Attr::parse("R3.k3")],
+            residual: Pred::always(),
+        };
+        let out = execute(&plan, &s, &mut st).unwrap();
+        let expect = ops::outerjoin(
+            s.get("R2").unwrap().relation(),
+            s.get("R3").unwrap().relation(),
+            &Pred::eq_attr("R2.k2", "R3.k3"),
+        )
+        .unwrap();
+        assert!(out.set_eq(&expect));
+    }
+
+    #[test]
+    fn hash_semi_and_anti() {
+        let s = storage();
+        for (kind, expect_len) in [(JoinKind::Semi, 2), (JoinKind::Anti, 1)] {
+            let mut st = ExecStats::new();
+            let plan = PhysPlan::HashJoin {
+                kind,
+                probe: Box::new(PhysPlan::scan("R2")),
+                build: Box::new(PhysPlan::scan("R3")),
+                probe_keys: vec![Attr::parse("R2.k2")],
+                build_keys: vec![Attr::parse("R3.k3")],
+                residual: Pred::always(),
+            };
+            let out = execute(&plan, &s, &mut st).unwrap();
+            assert_eq!(out.len(), expect_len, "{kind}");
+            assert_eq!(out.schema().len(), 1);
+        }
+    }
+
+    #[test]
+    fn index_join_counts_retrievals_not_scans() {
+        let s = storage();
+        let mut st = ExecStats::new();
+        // R1 (1 row) index-joins into R2: 1 scan + 1 probe + 1 match.
+        let plan = PhysPlan::IndexJoin {
+            kind: JoinKind::Inner,
+            outer: Box::new(PhysPlan::scan("R1")),
+            inner: "R2".into(),
+            outer_keys: vec![Attr::parse("R1.k1")],
+            inner_keys: vec![Attr::parse("R2.k2")],
+            residual: Pred::always(),
+        };
+        let out = execute(&plan, &s, &mut st).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(st.tuples_retrieved, 2); // scan R1 (1) + retrieved match (1)
+        assert_eq!(st.index_probes, 1);
+    }
+
+    #[test]
+    fn index_join_missing_index_errors() {
+        let mut s = storage();
+        s.insert("R4", Relation::from_ints("R4", &["k4"], &[&[1]]));
+        let mut st = ExecStats::new();
+        let plan = PhysPlan::IndexJoin {
+            kind: JoinKind::Inner,
+            outer: Box::new(PhysPlan::scan("R1")),
+            inner: "R4".into(),
+            outer_keys: vec![Attr::parse("R1.k1")],
+            inner_keys: vec![Attr::parse("R4.k4")],
+            residual: Pred::always(),
+        };
+        assert!(matches!(
+            execute(&plan, &s, &mut st),
+            Err(ExecError::MissingIndex { .. })
+        ));
+    }
+
+    #[test]
+    fn index_left_outer_join() {
+        let s = storage();
+        let mut st = ExecStats::new();
+        let plan = PhysPlan::IndexJoin {
+            kind: JoinKind::LeftOuter,
+            outer: Box::new(PhysPlan::scan("R2")),
+            inner: "R3".into(),
+            outer_keys: vec![Attr::parse("R2.k2")],
+            inner_keys: vec![Attr::parse("R3.k3")],
+            residual: Pred::always(),
+        };
+        let out = execute(&plan, &s, &mut st).unwrap();
+        let expect = ops::outerjoin(
+            s.get("R2").unwrap().relation(),
+            s.get("R3").unwrap().relation(),
+            &Pred::eq_attr("R2.k2", "R3.k3"),
+        )
+        .unwrap();
+        assert!(out.set_eq(&expect));
+        // Scan R2 (3) + retrieved matches (2).
+        assert_eq!(st.tuples_retrieved, 5);
+    }
+
+    #[test]
+    fn nl_join_arbitrary_predicate() {
+        let s = storage();
+        let mut st = ExecStats::new();
+        let plan = PhysPlan::NlJoin {
+            kind: JoinKind::Inner,
+            left: Box::new(PhysPlan::scan("R2")),
+            right: Box::new(PhysPlan::scan("R3")),
+            pred: Pred::cmp_attr("R2.k2", fro_algebra::CmpOp::Gt, "R3.k3"),
+        };
+        let out = execute(&plan, &s, &mut st).unwrap();
+        // R2 values {1,2,3} vs R3 {2,3,4}: pairs with k2 > k3: (3,2).
+        assert_eq!(out.len(), 1);
+        assert_eq!(st.comparisons, 9);
+    }
+
+    #[test]
+    fn filter_and_project() {
+        let s = storage();
+        let mut st = ExecStats::new();
+        let plan = PhysPlan::Project {
+            input: Box::new(PhysPlan::Filter {
+                input: Box::new(PhysPlan::scan("R2")),
+                pred: Pred::cmp_lit("R2.k2", fro_algebra::CmpOp::Ge, 2),
+            }),
+            attrs: vec![Attr::parse("R2.k2")],
+        };
+        let out = execute(&plan, &s, &mut st).unwrap();
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn example1_cost_asymmetry_in_miniature() {
+        // Same plans as Example 1 with |R1|=1, |R2|=|R3|=3.
+        let s = storage();
+
+        // Plan A: (R2 → R3) first (scan R2, index into R3), then index
+        // into R1 — retrieves 2·|R2|-ish tuples.
+        let oj = PhysPlan::IndexJoin {
+            kind: JoinKind::LeftOuter,
+            outer: Box::new(PhysPlan::scan("R2")),
+            inner: "R3".into(),
+            outer_keys: vec![Attr::parse("R2.k2")],
+            inner_keys: vec![Attr::parse("R3.k3")],
+            residual: Pred::always(),
+        };
+        let plan_a = PhysPlan::IndexJoin {
+            kind: JoinKind::Semi, // R1 − (…) with R1 single row: emulate via probe into R1
+            outer: Box::new(oj),
+            inner: "R1".into(),
+            outer_keys: vec![Attr::parse("R2.k2")],
+            inner_keys: vec![Attr::parse("R1.k1")],
+            residual: Pred::always(),
+        };
+        let mut st_a = ExecStats::new();
+        execute(&plan_a, &s, &mut st_a).unwrap();
+
+        // Plan B: (R1 − R2) → R3 driven from the single-row R1.
+        let jn = PhysPlan::IndexJoin {
+            kind: JoinKind::Inner,
+            outer: Box::new(PhysPlan::scan("R1")),
+            inner: "R2".into(),
+            outer_keys: vec![Attr::parse("R1.k1")],
+            inner_keys: vec![Attr::parse("R2.k2")],
+            residual: Pred::always(),
+        };
+        let plan_b = PhysPlan::IndexJoin {
+            kind: JoinKind::LeftOuter,
+            outer: Box::new(jn),
+            inner: "R3".into(),
+            outer_keys: vec![Attr::parse("R2.k2")],
+            inner_keys: vec![Attr::parse("R3.k3")],
+            residual: Pred::always(),
+        };
+        let mut st_b = ExecStats::new();
+        execute(&plan_b, &s, &mut st_b).unwrap();
+
+        assert!(
+            st_b.tuples_retrieved < st_a.tuples_retrieved,
+            "join-first should retrieve fewer tuples: {st_b} vs {st_a}"
+        );
+        // Exact miniature numbers: plan B = scan R1 (1) + R2 match (1)
+        // + R3 lookup for k=1 (0 matches) = 2.
+        assert_eq!(st_b.tuples_retrieved, 2);
+    }
+
+    #[test]
+    fn key_arity_mismatch_rejected() {
+        let s = storage();
+        let mut st = ExecStats::new();
+        let plan = PhysPlan::HashJoin {
+            kind: JoinKind::Inner,
+            probe: Box::new(PhysPlan::scan("R2")),
+            build: Box::new(PhysPlan::scan("R3")),
+            probe_keys: vec![],
+            build_keys: vec![],
+            residual: Pred::always(),
+        };
+        assert!(matches!(
+            execute(&plan, &s, &mut st),
+            Err(ExecError::KeyArityMismatch)
+        ));
+    }
+
+    #[test]
+    fn goj_plan_matches_reference() {
+        let s = storage();
+        let mut st = ExecStats::new();
+        let plan = PhysPlan::Goj {
+            left: Box::new(PhysPlan::scan("R2")),
+            right: Box::new(PhysPlan::scan("R3")),
+            pred: Pred::eq_attr("R2.k2", "R3.k3"),
+            subset: vec![Attr::parse("R2.k2")],
+        };
+        let out = execute(&plan, &s, &mut st).unwrap();
+        let expect = fro_algebra::ops::goj(
+            s.get("R2").unwrap().relation(),
+            s.get("R3").unwrap().relation(),
+            &Pred::eq_attr("R2.k2", "R3.k3"),
+            &[Attr::parse("R2.k2")],
+        )
+        .unwrap();
+        assert!(out.set_eq(&expect));
+    }
+
+    #[test]
+    fn full_outer_hash_join_matches_reference() {
+        let s = storage();
+        let mut st = ExecStats::new();
+        let plan = PhysPlan::HashJoin {
+            kind: JoinKind::FullOuter,
+            probe: Box::new(PhysPlan::scan("R2")),
+            build: Box::new(PhysPlan::scan("R3")),
+            probe_keys: vec![Attr::parse("R2.k2")],
+            build_keys: vec![Attr::parse("R3.k3")],
+            residual: Pred::always(),
+        };
+        let out = execute(&plan, &s, &mut st).unwrap();
+        let expect = ops::full_outerjoin(
+            s.get("R2").unwrap().relation(),
+            s.get("R3").unwrap().relation(),
+            &Pred::eq_attr("R2.k2", "R3.k3"),
+        )
+        .unwrap();
+        assert!(out.set_eq(&expect));
+        // R2 {1,2,3} vs R3 {2,3,4}: matches (2,3) + R2-unmatched (1) +
+        // R3-unmatched (4) = 4 rows.
+        assert_eq!(out.len(), 4);
+    }
+
+    #[test]
+    fn full_outer_nl_join_matches_reference() {
+        let s = storage();
+        let mut st = ExecStats::new();
+        let plan = PhysPlan::NlJoin {
+            kind: JoinKind::FullOuter,
+            left: Box::new(PhysPlan::scan("R2")),
+            right: Box::new(PhysPlan::scan("R3")),
+            pred: Pred::eq_attr("R2.k2", "R3.k3"),
+        };
+        let out = execute(&plan, &s, &mut st).unwrap();
+        let expect = ops::full_outerjoin(
+            s.get("R2").unwrap().relation(),
+            s.get("R3").unwrap().relation(),
+            &Pred::eq_attr("R2.k2", "R3.k3"),
+        )
+        .unwrap();
+        assert!(out.set_eq(&expect));
+    }
+
+    #[test]
+    fn full_outer_index_join_rejected() {
+        let s = storage();
+        let mut st = ExecStats::new();
+        let plan = PhysPlan::IndexJoin {
+            kind: JoinKind::FullOuter,
+            outer: Box::new(PhysPlan::scan("R2")),
+            inner: "R3".into(),
+            outer_keys: vec![Attr::parse("R2.k2")],
+            inner_keys: vec![Attr::parse("R3.k3")],
+            residual: Pred::always(),
+        };
+        assert!(execute(&plan, &s, &mut st).is_err());
+    }
+
+    #[test]
+    fn explain_analyze_reports_actual_rows() {
+        let s = storage();
+        let plan = PhysPlan::Filter {
+            input: Box::new(PhysPlan::IndexJoin {
+                kind: JoinKind::LeftOuter,
+                outer: Box::new(PhysPlan::scan("R2")),
+                inner: "R3".into(),
+                outer_keys: vec![Attr::parse("R2.k2")],
+                inner_keys: vec![Attr::parse("R3.k3")],
+                residual: Pred::always(),
+            }),
+            pred: Pred::cmp_lit("R2.k2", fro_algebra::CmpOp::Ge, 2),
+        };
+        let (rel, report) = explain_analyze(&plan, &s).unwrap();
+        // Agreement with the plain executor.
+        let mut st = ExecStats::new();
+        let expect = execute(&plan, &s, &mut st).unwrap();
+        assert!(rel.set_eq(&expect));
+        assert!(report.contains("Filter"), "{report}");
+        assert!(report.contains("Scan R2  (rows=3)"), "{report}");
+        assert!(
+            report.contains("IndexJoin(left-outer) R3  (rows=3)"),
+            "{report}"
+        );
+        assert!(report.contains("(rows=2)"), "{report}"); // filter output
+        assert!(report.contains("totals:"), "{report}");
+    }
+
+    #[test]
+    fn merge_join_all_kinds_match_hash_join() {
+        let s = storage();
+        for kind in [
+            JoinKind::Inner,
+            JoinKind::LeftOuter,
+            JoinKind::FullOuter,
+            JoinKind::Semi,
+            JoinKind::Anti,
+        ] {
+            let merge = PhysPlan::MergeJoin {
+                kind,
+                left: Box::new(PhysPlan::scan("R2")),
+                right: Box::new(PhysPlan::scan("R3")),
+                left_keys: vec![Attr::parse("R2.k2")],
+                right_keys: vec![Attr::parse("R3.k3")],
+                residual: Pred::always(),
+            };
+            let hash = PhysPlan::HashJoin {
+                kind,
+                probe: Box::new(PhysPlan::scan("R2")),
+                build: Box::new(PhysPlan::scan("R3")),
+                probe_keys: vec![Attr::parse("R2.k2")],
+                build_keys: vec![Attr::parse("R3.k3")],
+                residual: Pred::always(),
+            };
+            let mut st1 = ExecStats::new();
+            let a = execute(&merge, &s, &mut st1).unwrap();
+            let mut st2 = ExecStats::new();
+            let b = execute(&hash, &s, &mut st2).unwrap();
+            assert!(a.set_eq(&b), "kind {kind}");
+        }
+    }
+
+    #[test]
+    fn merge_join_with_residual_and_duplicate_keys() {
+        let mut s = Storage::new();
+        s.insert(
+            "L",
+            Relation::from_ints("L", &["k", "v"], &[&[1, 10], &[1, 11], &[2, 20]]),
+        );
+        s.insert(
+            "R",
+            Relation::from_ints("R", &["k", "w"], &[&[1, 10], &[1, 99], &[3, 30]]),
+        );
+        let plan = PhysPlan::MergeJoin {
+            kind: JoinKind::LeftOuter,
+            left: Box::new(PhysPlan::scan("L")),
+            right: Box::new(PhysPlan::scan("R")),
+            left_keys: vec![Attr::parse("L.k")],
+            right_keys: vec![Attr::parse("R.k")],
+            residual: Pred::eq_attr("L.v", "R.w"),
+        };
+        let mut st = ExecStats::new();
+        let out = execute(&plan, &s, &mut st).unwrap();
+        let expect = ops::outerjoin(
+            s.get("L").unwrap().relation(),
+            s.get("R").unwrap().relation(),
+            &Pred::eq_attr("L.k", "R.k").and(Pred::eq_attr("L.v", "R.w")),
+        )
+        .unwrap();
+        assert!(out.set_eq(&expect));
+    }
+
+    #[test]
+    fn explain_analyze_covers_merge_and_group_count() {
+        let s = storage();
+        let plan = PhysPlan::GroupCount {
+            input: Box::new(PhysPlan::MergeJoin {
+                kind: JoinKind::LeftOuter,
+                left: Box::new(PhysPlan::scan("R2")),
+                right: Box::new(PhysPlan::scan("R3")),
+                left_keys: vec![Attr::parse("R2.k2")],
+                right_keys: vec![Attr::parse("R3.k3")],
+                residual: Pred::always(),
+            }),
+            group_attrs: vec![Attr::parse("R2.k2")],
+            counted: Some(Attr::parse("R3.k3")),
+        };
+        let (rel, report) = explain_analyze(&plan, &s).unwrap();
+        let mut st = ExecStats::new();
+        let expect = execute(&plan, &s, &mut st).unwrap();
+        assert!(rel.set_eq(&expect));
+        assert!(report.contains("GroupCount"), "{report}");
+        assert!(report.contains("MergeJoin(left-outer)"), "{report}");
+        // Counts: k2 ∈ {1,2,3}, k3 ∈ {2,3,4} ⇒ (1,0), (2,1), (3,1).
+        assert_eq!(rel.len(), 3);
+    }
+
+    #[test]
+    fn full_outer_all_null_rows_do_not_duplicate() {
+        // Regression: an all-null row on each side pads to the same
+        // all-null wide row.
+        let mut s = Storage::new();
+        s.insert(
+            "L",
+            Relation::from_values("L", &["k"], vec![vec![Value::Null], vec![Value::Int(1)]]),
+        );
+        s.insert(
+            "R",
+            Relation::from_values("R", &["k"], vec![vec![Value::Null], vec![Value::Int(2)]]),
+        );
+        for plan in [
+            PhysPlan::HashJoin {
+                kind: JoinKind::FullOuter,
+                probe: Box::new(PhysPlan::scan("L")),
+                build: Box::new(PhysPlan::scan("R")),
+                probe_keys: vec![Attr::parse("L.k")],
+                build_keys: vec![Attr::parse("R.k")],
+                residual: Pred::always(),
+            },
+            PhysPlan::MergeJoin {
+                kind: JoinKind::FullOuter,
+                left: Box::new(PhysPlan::scan("L")),
+                right: Box::new(PhysPlan::scan("R")),
+                left_keys: vec![Attr::parse("L.k")],
+                right_keys: vec![Attr::parse("R.k")],
+                residual: Pred::always(),
+            },
+            PhysPlan::NlJoin {
+                kind: JoinKind::FullOuter,
+                left: Box::new(PhysPlan::scan("L")),
+                right: Box::new(PhysPlan::scan("R")),
+                pred: Pred::eq_attr("L.k", "R.k"),
+            },
+        ] {
+            let mut st = ExecStats::new();
+            let out = execute(&plan, &s, &mut st).unwrap();
+            let expect = ops::full_outerjoin(
+                s.get("L").unwrap().relation(),
+                s.get("R").unwrap().relation(),
+                &Pred::eq_attr("L.k", "R.k"),
+            )
+            .unwrap();
+            assert!(out.set_eq(&expect));
+            // (null, null-pad) appears once, not twice.
+            assert_eq!(out.len(), 3);
+        }
+    }
+
+    #[test]
+    fn null_keys_fall_out_of_hash_join_but_pad_in_outer() {
+        let mut s = Storage::new();
+        s.insert(
+            "L",
+            Relation::from_values("L", &["k"], vec![vec![Value::Null], vec![Value::Int(1)]]),
+        );
+        s.insert(
+            "R",
+            Relation::from_values("R", &["k"], vec![vec![Value::Null], vec![Value::Int(1)]]),
+        );
+        let mut st = ExecStats::new();
+        let plan = PhysPlan::HashJoin {
+            kind: JoinKind::LeftOuter,
+            probe: Box::new(PhysPlan::scan("L")),
+            build: Box::new(PhysPlan::scan("R")),
+            probe_keys: vec![Attr::parse("L.k")],
+            build_keys: vec![Attr::parse("R.k")],
+            residual: Pred::always(),
+        };
+        let out = execute(&plan, &s, &mut st).unwrap();
+        let expect = ops::outerjoin(
+            s.get("L").unwrap().relation(),
+            s.get("R").unwrap().relation(),
+            &Pred::eq_attr("L.k", "R.k"),
+        )
+        .unwrap();
+        assert!(out.set_eq(&expect));
+        assert_eq!(out.len(), 2); // (null,null-pad) and (1,1)
+    }
+}

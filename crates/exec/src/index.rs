@@ -1,0 +1,100 @@
+//! Hash indexes over base tables.
+//!
+//! Example 1 assumes "these keys have indexes"; a hash index maps a key
+//! tuple to the row ids holding it, so an index join retrieves exactly
+//! the matching tuples instead of scanning. Null key values are not
+//! indexed — an equality predicate can never evaluate to `True` on a
+//! null, so null-keyed rows are unreachable through the index by
+//! construction (this matters for outerjoins over nullable columns).
+
+use fro_algebra::{Relation, Value};
+use std::collections::HashMap;
+
+/// A hash index on one or more columns of a base table.
+#[derive(Debug, Clone)]
+pub struct HashIndex {
+    key_cols: Vec<usize>,
+    map: HashMap<Vec<Value>, Vec<usize>>,
+}
+
+impl HashIndex {
+    /// Build an index over the given column positions of `rel`.
+    #[must_use]
+    pub fn build(rel: &Relation, key_cols: Vec<usize>) -> HashIndex {
+        let mut map: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
+        'rows: for (rid, row) in rel.rows().iter().enumerate() {
+            let mut key = Vec::with_capacity(key_cols.len());
+            for &c in &key_cols {
+                let v = row.get(c);
+                if v.is_null() {
+                    continue 'rows; // null keys never match equality
+                }
+                key.push(v.clone());
+            }
+            map.entry(key).or_default().push(rid);
+        }
+        HashIndex { key_cols, map }
+    }
+
+    /// The indexed column positions.
+    #[must_use]
+    pub fn key_cols(&self) -> &[usize] {
+        &self.key_cols
+    }
+
+    /// Row ids matching a key (empty for unknown or null keys).
+    #[must_use]
+    pub fn lookup(&self, key: &[Value]) -> &[usize] {
+        if key.iter().any(Value::is_null) {
+            return &[];
+        }
+        self.map.get(key).map_or(&[], Vec::as_slice)
+    }
+
+    /// Number of distinct keys.
+    #[must_use]
+    pub fn distinct_keys(&self) -> usize {
+        self.map.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rel() -> Relation {
+        Relation::from_values(
+            "R",
+            &["k", "v"],
+            vec![
+                vec![Value::Int(1), Value::Int(10)],
+                vec![Value::Int(2), Value::Int(20)],
+                vec![Value::Int(1), Value::Int(11)],
+                vec![Value::Null, Value::Int(99)],
+            ],
+        )
+    }
+
+    #[test]
+    fn lookup_returns_matching_rows() {
+        let idx = HashIndex::build(&rel(), vec![0]);
+        assert_eq!(idx.lookup(&[Value::Int(1)]), &[0, 2]);
+        assert_eq!(idx.lookup(&[Value::Int(2)]), &[1]);
+        assert!(idx.lookup(&[Value::Int(7)]).is_empty());
+    }
+
+    #[test]
+    fn null_keys_not_indexed_and_not_matched() {
+        let idx = HashIndex::build(&rel(), vec![0]);
+        assert!(idx.lookup(&[Value::Null]).is_empty());
+        assert_eq!(idx.distinct_keys(), 2);
+    }
+
+    #[test]
+    fn composite_keys() {
+        let idx = HashIndex::build(&rel(), vec![0, 1]);
+        assert_eq!(idx.lookup(&[Value::Int(1), Value::Int(11)]), &[2]);
+        assert!(idx.lookup(&[Value::Int(1), Value::Int(12)]).is_empty());
+        assert_eq!(idx.key_cols(), &[0, 1]);
+    }
+}

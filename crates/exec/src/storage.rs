@@ -1,0 +1,173 @@
+//! In-memory storage: named tables plus their hash indexes.
+
+use crate::index::HashIndex;
+use fro_algebra::{Attr, Database, Relation};
+use std::collections::BTreeMap;
+
+/// A stored base table: the relation plus any indexes built on it.
+#[derive(Debug, Clone)]
+pub struct Table {
+    rel: Relation,
+    indexes: Vec<HashIndex>,
+}
+
+impl Table {
+    /// Wrap a relation with no indexes.
+    #[must_use]
+    pub fn new(rel: Relation) -> Table {
+        Table {
+            rel,
+            indexes: Vec::new(),
+        }
+    }
+
+    /// The underlying relation.
+    #[must_use]
+    pub fn relation(&self) -> &Relation {
+        &self.rel
+    }
+
+    /// Build (or rebuild) an index on the given attributes.
+    ///
+    /// Returns `false` (building nothing) if any attribute is missing.
+    pub fn create_index(&mut self, attrs: &[Attr]) -> bool {
+        let mut cols = Vec::with_capacity(attrs.len());
+        for a in attrs {
+            match self.rel.schema().index_of(a) {
+                Some(c) => cols.push(c),
+                None => return false,
+            }
+        }
+        cols.sort_unstable();
+        self.indexes.push(HashIndex::build(&self.rel, cols));
+        true
+    }
+
+    /// All indexes on this table.
+    #[must_use]
+    pub fn indexes(&self) -> &[HashIndex] {
+        &self.indexes
+    }
+
+    /// An index whose key columns exactly match `cols` (sorted).
+    #[must_use]
+    pub fn index_on(&self, cols: &[usize]) -> Option<&HashIndex> {
+        let mut want = cols.to_vec();
+        want.sort_unstable();
+        self.indexes.iter().find(|ix| ix.key_cols() == want)
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rel.len()
+    }
+
+    /// Whether the table is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rel.is_empty()
+    }
+}
+
+/// A set of named tables.
+#[derive(Debug, Clone, Default)]
+pub struct Storage {
+    tables: BTreeMap<String, Table>,
+}
+
+impl Storage {
+    /// Empty storage.
+    #[must_use]
+    pub fn new() -> Storage {
+        Storage::default()
+    }
+
+    /// Load every relation of a [`Database`] as an unindexed table.
+    #[must_use]
+    pub fn from_database(db: &Database) -> Storage {
+        let mut s = Storage::new();
+        for (name, rel) in db.iter() {
+            s.tables.insert(name.to_owned(), Table::new(rel.clone()));
+        }
+        s
+    }
+
+    /// Export as a [`Database`] (for cross-checking against the
+    /// reference evaluator).
+    #[must_use]
+    pub fn to_database(&self) -> Database {
+        let mut db = Database::new();
+        for (name, t) in &self.tables {
+            db.insert_named(name.clone(), t.relation().clone());
+        }
+        db
+    }
+
+    /// Register a table.
+    pub fn insert(&mut self, name: impl Into<String>, rel: Relation) -> &mut Table {
+        let name = name.into();
+        self.tables.insert(name.clone(), Table::new(rel));
+        self.tables.get_mut(&name).expect("just inserted")
+    }
+
+    /// Look up a table.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<&Table> {
+        self.tables.get(name)
+    }
+
+    /// Mutable access (e.g. to add indexes).
+    #[must_use]
+    pub fn get_mut(&mut self, name: &str) -> Option<&mut Table> {
+        self.tables.get_mut(name)
+    }
+
+    /// Create an index on `rel_name(attrs…)`; `false` if missing.
+    pub fn create_index(&mut self, rel_name: &str, attrs: &[Attr]) -> bool {
+        self.tables
+            .get_mut(rel_name)
+            .is_some_and(|t| t.create_index(attrs))
+    }
+
+    /// Iterate `(name, table)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Table)> {
+        self.tables.iter().map(|(k, v)| (k.as_str(), v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_database() {
+        let mut db = Database::new();
+        db.insert(Relation::from_ints("R", &["a"], &[&[1], &[2]]));
+        let s = Storage::from_database(&db);
+        assert_eq!(s.get("R").unwrap().len(), 2);
+        let back = s.to_database();
+        assert!(back.get("R").unwrap().set_eq(db.get("R").unwrap()));
+    }
+
+    #[test]
+    fn index_creation_and_lookup() {
+        let mut s = Storage::new();
+        s.insert(
+            "R",
+            Relation::from_ints("R", &["k", "v"], &[&[1, 5], &[2, 6]]),
+        );
+        assert!(s.create_index("R", &[Attr::parse("R.k")]));
+        assert!(!s.create_index("R", &[Attr::parse("R.zzz")]));
+        assert!(!s.create_index("Q", &[Attr::parse("Q.k")]));
+        let t = s.get("R").unwrap();
+        assert!(t.index_on(&[0]).is_some());
+        assert!(t.index_on(&[1]).is_none());
+    }
+
+    #[test]
+    fn table_empty_check() {
+        let t = Table::new(Relation::from_ints("R", &["a"], &[]));
+        assert!(t.is_empty());
+    }
+}

@@ -1,0 +1,52 @@
+//! # fro-graph — query graphs for join/outerjoin queries
+//!
+//! Implements §1.2–§1.3 and §3.1 of Rosenthal & Galindo-Legaria
+//! (SIGMOD 1990):
+//!
+//! * [`QueryGraph`]: relations as nodes; each join-predicate conjunct
+//!   an undirected edge (parallel edges collapsed into one edge whose
+//!   label is the conjunction); each outerjoin a single directed edge
+//!   toward the null-supplied relation.
+//! * [`build::graph_of`]: the `graph(Q)` construction, with the paper's
+//!   definedness conditions (each conjunct references exactly two
+//!   ground relations, one per operand; outerjoin predicates reference
+//!   exactly two ground relations; no relation used twice; no
+//!   Cartesian products).
+//! * [`nice`]: the "nice" class of §3.1 — both the constructive
+//!   definition (connected join core + outward forest of outerjoin
+//!   edges) and the forbidden-pattern characterization of Lemma 1
+//!   (no outerjoin cycles, no `X → Y − Z`, no `X → Y ← Z`), which the
+//!   test-suite proves equivalent on exhaustive small graphs.
+//! * [`subgraph`]: bitset node-sets, connectivity, and the cut
+//!   classification used to enumerate implementing trees.
+//! * [`render`]: Graphviz/ASCII renderings (paper Figures 1 and 2).
+
+//! ## Example
+//!
+//! ```
+//! use fro_algebra::{Pred, Query};
+//! use fro_graph::{check_nice, graph_of};
+//!
+//! // Example 2's shape: R1 → (R2 − R3).
+//! let q = Query::rel("R1").outerjoin(
+//!     Query::rel("R2").join(Query::rel("R3"), Pred::eq_attr("R2.b", "R3.c")),
+//!     Pred::eq_attr("R1.a", "R2.b"),
+//! );
+//! let g = graph_of(&q).unwrap();
+//! // Not nice: a join edge touches the null-supplied relation R2.
+//! assert!(!check_nice(&g).is_nice());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod build;
+pub mod graph;
+pub mod nice;
+pub mod render;
+pub mod subgraph;
+
+pub use build::{graph_of, GraphError};
+pub use graph::{Edge, EdgeKind, NodeId, QueryGraph};
+pub use nice::{check_nice, NiceDecomposition, NiceReport, NiceViolation};
+pub use subgraph::{classify_cut, CutKind, NodeSet};

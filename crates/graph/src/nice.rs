@@ -1,0 +1,449 @@
+//! The "nice" graph class (§3.1) — two equivalent characterizations.
+//!
+//! **Definition.** `G` is nice if `G = G1 ∪ G2` where `G1` is connected
+//! and has only join edges, `G2` is a forest of outerjoin edges, and
+//! `G1 ∩ G2` is exactly the set of forest roots (Fig. 2: a join core
+//! with outerjoin trees growing outward).
+//!
+//! **Lemma 1.** `G` is nice iff it has (a) no cycles composed of
+//! outerjoin edges, (b) no path `X → Y − Z`, and (c) no path
+//! `X → Y ← Z`.
+//!
+//! [`check_nice`] implements the *Lemma 1* characterization and reports
+//! every violation it finds; [`decompose`] implements the constructive
+//! definition and returns the core/forest split. Property tests in the
+//! workspace verify the two agree on exhaustive small graphs and random
+//! large ones.
+
+use crate::graph::{EdgeKind, NodeId, QueryGraph};
+use crate::subgraph::NodeSet;
+use std::fmt;
+
+/// A way in which a graph fails to be nice (Lemma 1 patterns).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NiceViolation {
+    /// A cycle composed of outerjoin edges (condition a). Carries the
+    /// two endpoints of the edge that closed the cycle.
+    OuterjoinCycle {
+        /// One endpoint of the closing edge.
+        a: NodeId,
+        /// The other endpoint.
+        b: NodeId,
+    },
+    /// A path `X → Y − Z` (condition b): node `y` is null-supplied by
+    /// an outerjoin edge from `x` yet participates in a join edge to
+    /// `z`.
+    OuterjoinIntoJoin {
+        /// Preserved endpoint of the offending outerjoin edge.
+        x: NodeId,
+        /// The null-supplied node that also has a join edge.
+        y: NodeId,
+        /// The join-edge neighbor.
+        z: NodeId,
+    },
+    /// A path `X → Y ← Z` (condition c): node `y` is null-supplied by
+    /// two different outerjoin edges.
+    TwoOuterjoinsIn {
+        /// First preserver.
+        x: NodeId,
+        /// Doubly null-supplied node.
+        y: NodeId,
+        /// Second preserver.
+        z: NodeId,
+    },
+    /// The graph is not connected — no implementing tree exists at all
+    /// (implementing trees exclude Cartesian products), so the niceness
+    /// question is moot and we flag it.
+    Disconnected,
+}
+
+impl fmt::Display for NiceViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NiceViolation::OuterjoinCycle { a, b } => {
+                write!(
+                    f,
+                    "outerjoin edges form a cycle (closed between nodes {a} and {b})"
+                )
+            }
+            NiceViolation::OuterjoinIntoJoin { x, y, z } => {
+                write!(
+                    f,
+                    "forbidden path {x} → {y} − {z} (outerjoin into a joined relation)"
+                )
+            }
+            NiceViolation::TwoOuterjoinsIn { x, y, z } => {
+                write!(
+                    f,
+                    "forbidden path {x} → {y} ← {z} (two outerjoins null-supply one relation)"
+                )
+            }
+            NiceViolation::Disconnected => write!(f, "graph is not connected"),
+        }
+    }
+}
+
+/// The constructive decomposition of a nice graph: `G1` (the join
+/// core) and `G2` (the outerjoin forest), per the §3.1 definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NiceDecomposition {
+    /// Nodes of the connected all-join subgraph `G1` (also the roots
+    /// of the outerjoin forest).
+    pub core: NodeSet,
+    /// Indices of the outerjoin (forest) edges, i.e. `G2`.
+    pub forest_edges: Vec<usize>,
+}
+
+/// The result of a niceness check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NiceReport {
+    /// All Lemma 1 violations found (empty ⇒ nice).
+    pub violations: Vec<NiceViolation>,
+    /// The constructive decomposition, when the graph is nice.
+    pub decomposition: Option<NiceDecomposition>,
+}
+
+impl NiceReport {
+    /// Whether the graph is nice.
+    #[must_use]
+    pub fn is_nice(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Check niceness via Lemma 1, and build the constructive
+/// decomposition when it holds.
+#[must_use]
+pub fn check_nice(g: &QueryGraph) -> NiceReport {
+    let mut violations = Vec::new();
+
+    if !g.is_connected() {
+        violations.push(NiceViolation::Disconnected);
+    }
+
+    // Condition (c): no node null-supplied twice, and condition (b):
+    // no null-supplied node on a join edge.
+    for y in 0..g.n_nodes() {
+        let suppliers: Vec<NodeId> = g
+            .edges()
+            .iter()
+            .filter(|e| e.kind() == EdgeKind::OuterJoin && e.b() == y)
+            .map(crate::graph::Edge::a)
+            .collect();
+        if suppliers.len() >= 2 {
+            violations.push(NiceViolation::TwoOuterjoinsIn {
+                x: suppliers[0],
+                y,
+                z: suppliers[1],
+            });
+        }
+        if let Some(&x) = suppliers.first() {
+            if let Some(e) = g
+                .incident_edges(y)
+                .iter()
+                .map(|&ei| &g.edges()[ei])
+                .find(|e| e.kind() == EdgeKind::Join)
+            {
+                violations.push(NiceViolation::OuterjoinIntoJoin {
+                    x,
+                    y,
+                    z: e.other(y),
+                });
+            }
+        }
+    }
+
+    // Condition (a): no undirected cycle among outerjoin edges
+    // (union-find over the OJ-edge subgraph).
+    let mut parent: Vec<usize> = (0..g.n_nodes()).collect();
+    fn find(parent: &mut [usize], i: usize) -> usize {
+        let mut i = i;
+        while parent[i] != i {
+            parent[i] = parent[parent[i]];
+            i = parent[i];
+        }
+        i
+    }
+    for e in g.edges() {
+        if e.kind() != EdgeKind::OuterJoin {
+            continue;
+        }
+        let (ra, rb) = (find(&mut parent, e.a()), find(&mut parent, e.b()));
+        if ra == rb {
+            violations.push(NiceViolation::OuterjoinCycle { a: e.a(), b: e.b() });
+        } else {
+            parent[ra] = rb;
+        }
+    }
+
+    let decomposition = if violations.is_empty() {
+        decompose(g)
+    } else {
+        None
+    };
+    NiceReport {
+        violations,
+        decomposition,
+    }
+}
+
+/// The constructive §3.1 definition, implemented independently of
+/// Lemma 1: find `G1`/`G2` directly, returning `None` when no valid
+/// decomposition exists.
+#[must_use]
+pub fn decompose(g: &QueryGraph) -> Option<NiceDecomposition> {
+    if !g.is_connected() {
+        return None;
+    }
+    let n = g.n_nodes();
+
+    // Candidate core: nodes with outerjoin in-degree 0.
+    let mut core = NodeSet::empty();
+    for i in 0..n {
+        match g.oj_in_degree(i) {
+            0 => core = core.with(i),
+            1 => {}
+            _ => return None, // not a forest: two parents
+        }
+    }
+    if core.is_empty() {
+        return None; // every node null-supplied ⇒ an OJ cycle exists
+    }
+
+    // Every join edge must connect two core nodes (G1 has only join
+    // edges and G1's nodes are the forest roots / core).
+    for e in g.edges() {
+        if e.kind() == EdgeKind::Join && !(core.contains(e.a()) && core.contains(e.b())) {
+            return None;
+        }
+    }
+
+    // G1 must be connected using join edges only.
+    if core.len() > 1 {
+        let start = core.lowest().expect("non-empty core");
+        let mut seen = NodeSet::singleton(start);
+        let mut stack = vec![start];
+        while let Some(v) = stack.pop() {
+            for &ei in g.incident_edges(v) {
+                let e = &g.edges()[ei];
+                if e.kind() != EdgeKind::Join {
+                    continue;
+                }
+                let w = e.other(v);
+                if core.contains(w) && !seen.contains(w) {
+                    seen = seen.with(w);
+                    stack.push(w);
+                }
+            }
+        }
+        if seen != core {
+            return None;
+        }
+    }
+
+    // The outerjoin edges must be acyclic (forest). In-degree ≤ 1 plus
+    // no undirected cycle: union-find again.
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut [usize], i: usize) -> usize {
+        let mut i = i;
+        while parent[i] != i {
+            parent[i] = parent[parent[i]];
+            i = parent[i];
+        }
+        i
+    }
+    let mut forest_edges = Vec::new();
+    for (ei, e) in g.edges().iter().enumerate() {
+        if e.kind() != EdgeKind::OuterJoin {
+            continue;
+        }
+        let (ra, rb) = (find(&mut parent, e.a()), find(&mut parent, e.b()));
+        if ra == rb {
+            return None;
+        }
+        parent[ra] = rb;
+        forest_edges.push(ei);
+    }
+
+    Some(NiceDecomposition { core, forest_edges })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fro_algebra::Pred;
+
+    fn p(a: &str, b: &str) -> Pred {
+        Pred::eq_attr(&format!("{a}.k"), &format!("{b}.k"))
+    }
+
+    fn named(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("R{i}")).collect()
+    }
+
+    #[test]
+    fn fig2_topology_is_nice() {
+        // Figure 2: a join core with OJ trees going outward.
+        // Core: R0 − R1 − R2 (triangle-free chain); trees:
+        // R0 → R3 → R4, R1 → R5, R2 → R6, R6... (R2 → R6 → R7).
+        let mut g = QueryGraph::new(named(8));
+        g.add_join_edge(0, 1, p("R0", "R1")).unwrap();
+        g.add_join_edge(1, 2, p("R1", "R2")).unwrap();
+        g.add_outerjoin_edge(0, 3, p("R0", "R3")).unwrap();
+        g.add_outerjoin_edge(3, 4, p("R3", "R4")).unwrap();
+        g.add_outerjoin_edge(1, 5, p("R1", "R5")).unwrap();
+        g.add_outerjoin_edge(2, 6, p("R2", "R6")).unwrap();
+        g.add_outerjoin_edge(6, 7, p("R6", "R7")).unwrap();
+        let rep = check_nice(&g);
+        assert!(rep.is_nice(), "violations: {:?}", rep.violations);
+        let d = rep.decomposition.unwrap();
+        assert_eq!(d.core.iter().collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert_eq!(d.forest_edges.len(), 5);
+    }
+
+    #[test]
+    fn example2_graph_is_not_nice() {
+        // R1 → R2 − R3 (Example 2's shape): forbidden pattern (b).
+        let mut g = QueryGraph::new(named(3));
+        g.add_outerjoin_edge(0, 1, p("R0", "R1")).unwrap();
+        g.add_join_edge(1, 2, p("R1", "R2")).unwrap();
+        let rep = check_nice(&g);
+        assert!(!rep.is_nice());
+        assert!(rep
+            .violations
+            .iter()
+            .any(|v| matches!(v, NiceViolation::OuterjoinIntoJoin { x: 0, y: 1, z: 2 })));
+        assert!(decompose(&g).is_none());
+    }
+
+    #[test]
+    fn two_outerjoins_into_one_node_not_nice() {
+        // R0 → R2 ← R1: forbidden pattern (c).
+        let mut g = QueryGraph::new(named(3));
+        g.add_outerjoin_edge(0, 2, p("R0", "R2")).unwrap();
+        g.add_outerjoin_edge(1, 2, p("R1", "R2")).unwrap();
+        let rep = check_nice(&g);
+        assert!(rep
+            .violations
+            .iter()
+            .any(|v| matches!(v, NiceViolation::TwoOuterjoinsIn { y: 2, .. })));
+        assert!(decompose(&g).is_none());
+    }
+
+    #[test]
+    fn outerjoin_cycle_not_nice() {
+        // R0 → R1 → R2 → R0 (directed OJ cycle; in-degrees are all 1 so
+        // only condition (a) catches it).
+        let mut g = QueryGraph::new(named(3));
+        g.add_outerjoin_edge(0, 1, p("R0", "R1")).unwrap();
+        g.add_outerjoin_edge(1, 2, p("R1", "R2")).unwrap();
+        g.add_outerjoin_edge(2, 0, p("R2", "R0")).unwrap();
+        let rep = check_nice(&g);
+        assert!(rep
+            .violations
+            .iter()
+            .any(|v| matches!(v, NiceViolation::OuterjoinCycle { .. })));
+        assert!(decompose(&g).is_none());
+    }
+
+    #[test]
+    fn pure_join_graph_is_nice() {
+        let mut g = QueryGraph::new(named(3));
+        g.add_join_edge(0, 1, p("R0", "R1")).unwrap();
+        g.add_join_edge(1, 2, p("R1", "R2")).unwrap();
+        let rep = check_nice(&g);
+        assert!(rep.is_nice());
+        let d = rep.decomposition.unwrap();
+        assert_eq!(d.core.len(), 3);
+        assert!(d.forest_edges.is_empty());
+    }
+
+    #[test]
+    fn single_node_is_nice() {
+        let g = QueryGraph::new(named(1));
+        let rep = check_nice(&g);
+        assert!(rep.is_nice());
+        assert_eq!(rep.decomposition.unwrap().core.len(), 1);
+    }
+
+    #[test]
+    fn pure_oj_chain_is_nice() {
+        // R0 → R1 → R2: core is just {R0}.
+        let mut g = QueryGraph::new(named(3));
+        g.add_outerjoin_edge(0, 1, p("R0", "R1")).unwrap();
+        g.add_outerjoin_edge(1, 2, p("R1", "R2")).unwrap();
+        let rep = check_nice(&g);
+        assert!(rep.is_nice());
+        assert_eq!(
+            rep.decomposition.unwrap().core.iter().collect::<Vec<_>>(),
+            vec![0]
+        );
+    }
+
+    #[test]
+    fn oj_star_out_of_one_node_is_nice() {
+        // R0 → R1, R0 → R2 (identity 13 shape).
+        let mut g = QueryGraph::new(named(3));
+        g.add_outerjoin_edge(0, 1, p("R0", "R1")).unwrap();
+        g.add_outerjoin_edge(0, 2, p("R0", "R2")).unwrap();
+        assert!(check_nice(&g).is_nice());
+    }
+
+    #[test]
+    fn disconnected_graph_flagged() {
+        let g = QueryGraph::new(named(2));
+        let rep = check_nice(&g);
+        assert!(rep
+            .violations
+            .iter()
+            .any(|v| matches!(v, NiceViolation::Disconnected)));
+        assert!(decompose(&g).is_none());
+    }
+
+    #[test]
+    fn join_edge_below_oj_tree_not_nice() {
+        // Core R0; R0 → R1; join R1 − R2 deep in the tree: pattern (b).
+        let mut g = QueryGraph::new(named(3));
+        g.add_outerjoin_edge(0, 1, p("R0", "R1")).unwrap();
+        g.add_join_edge(1, 2, p("R1", "R2")).unwrap();
+        assert!(!check_nice(&g).is_nice());
+    }
+
+    #[test]
+    fn violation_display() {
+        let v = NiceViolation::OuterjoinIntoJoin { x: 0, y: 1, z: 2 };
+        assert!(v.to_string().contains('→'));
+        assert!(NiceViolation::Disconnected
+            .to_string()
+            .contains("connected"));
+    }
+
+    #[test]
+    fn lemma1_agrees_with_decomposition_on_small_graphs() {
+        // Exhaustive: all graphs on 3 nodes where each unordered pair is
+        // one of {none, join, oj_ab, oj_ba}. 4^3 = 64 graphs.
+        let pairs = [(0usize, 1usize), (0, 2), (1, 2)];
+        for mask in 0..(4u32.pow(3)) {
+            let mut g = QueryGraph::new(named(3));
+            let mut m = mask;
+            for &(a, b) in &pairs {
+                let choice = m % 4;
+                m /= 4;
+                let pr = p(&format!("R{a}"), &format!("R{b}"));
+                match choice {
+                    1 => g.add_join_edge(a, b, pr).unwrap(),
+                    2 => g.add_outerjoin_edge(a, b, pr).unwrap(),
+                    3 => g.add_outerjoin_edge(b, a, pr).unwrap(),
+                    _ => {}
+                }
+            }
+            let rep = check_nice(&g);
+            let dec = decompose(&g);
+            assert_eq!(
+                rep.is_nice(),
+                dec.is_some(),
+                "Lemma 1 vs decomposition disagree on mask {mask}:\n{g}"
+            );
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! Renderings of query graphs: Graphviz DOT and a compact ASCII form
+//! (used by the experiment harness to reproduce Figures 1 and 2).
+
+use crate::graph::{EdgeKind, QueryGraph};
+use std::fmt::Write as _;
+
+impl QueryGraph {
+    /// Graphviz DOT rendering: join edges undirected (rendered with
+    /// `dir=none`), outerjoin edges as arrows toward the null-supplied
+    /// relation, labels carrying the predicates.
+    #[must_use]
+    pub fn to_dot(&self) -> String {
+        let mut s = String::from("digraph query_graph {\n  rankdir=LR;\n");
+        for name in self.node_names() {
+            let _ = writeln!(s, "  \"{name}\" [shape=circle];");
+        }
+        for e in self.edges() {
+            let (a, b) = (self.node_name(e.a()), self.node_name(e.b()));
+            let label = e.pred().to_string().replace('"', "'");
+            match e.kind() {
+                EdgeKind::Join => {
+                    let _ = writeln!(s, "  \"{a}\" -> \"{b}\" [dir=none, label=\"{label}\"];");
+                }
+                EdgeKind::OuterJoin => {
+                    let _ = writeln!(s, "  \"{a}\" -> \"{b}\" [label=\"{label}\"];");
+                }
+            }
+        }
+        s.push_str("}\n");
+        s
+    }
+
+    /// One-line-per-edge ASCII rendering, e.g. `R — S`, `T → U`
+    /// (predicates omitted; see `Display` for the labeled form).
+    #[must_use]
+    pub fn to_ascii(&self) -> String {
+        let mut s = String::new();
+        if self.edges().is_empty() {
+            let _ = writeln!(s, "{}", self.node_names().join("   "));
+            return s;
+        }
+        for e in self.edges() {
+            let (a, b) = (self.node_name(e.a()), self.node_name(e.b()));
+            let sym = match e.kind() {
+                EdgeKind::Join => "—",
+                EdgeKind::OuterJoin => "→",
+            };
+            let _ = writeln!(s, "{a} {sym} {b}");
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fro_algebra::Pred;
+
+    fn g() -> QueryGraph {
+        let mut g = QueryGraph::new(vec!["R".into(), "S".into(), "T".into()]);
+        g.add_join_edge(0, 1, Pred::eq_attr("R.a", "S.a")).unwrap();
+        g.add_outerjoin_edge(1, 2, Pred::eq_attr("S.b", "T.b"))
+            .unwrap();
+        g
+    }
+
+    #[test]
+    fn dot_contains_nodes_and_styled_edges() {
+        let dot = g().to_dot();
+        assert!(dot.contains("digraph"));
+        assert!(dot.contains("\"R\" -> \"S\" [dir=none"));
+        assert!(dot.contains("\"S\" -> \"T\" [label="));
+    }
+
+    #[test]
+    fn ascii_lists_edges() {
+        let a = g().to_ascii();
+        assert!(a.contains("R — S"));
+        assert!(a.contains("S → T"));
+    }
+
+    #[test]
+    fn ascii_of_edgeless_graph_lists_nodes() {
+        let g = QueryGraph::new(vec!["A".into(), "B".into()]);
+        assert!(g.to_ascii().contains('A'));
+    }
+}

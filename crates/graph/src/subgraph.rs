@@ -1,0 +1,388 @@
+//! Bitset node-sets, connectivity within a node subset, and the cut
+//! classification underlying implementing-tree enumeration.
+
+use crate::graph::{EdgeKind, NodeId, QueryGraph};
+use std::fmt;
+
+/// A set of graph nodes, as a 64-bit bitset (graphs are capped at 64
+/// relations, far beyond what exhaustive IT enumeration can visit).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct NodeSet(u64);
+
+impl NodeSet {
+    /// The empty set.
+    #[must_use]
+    pub fn empty() -> NodeSet {
+        NodeSet(0)
+    }
+
+    /// `{0, 1, …, n-1}`.
+    ///
+    /// # Panics
+    /// If `n > 64`.
+    #[must_use]
+    pub fn full(n: usize) -> NodeSet {
+        assert!(n <= 64, "query graphs are limited to 64 relations");
+        if n == 64 {
+            NodeSet(u64::MAX)
+        } else {
+            NodeSet((1u64 << n) - 1)
+        }
+    }
+
+    /// The singleton `{i}`.
+    #[must_use]
+    pub fn singleton(i: NodeId) -> NodeSet {
+        NodeSet(1u64 << i)
+    }
+
+    /// Construct from raw bits.
+    #[must_use]
+    pub fn from_bits(bits: u64) -> NodeSet {
+        NodeSet(bits)
+    }
+
+    /// The raw bits.
+    #[must_use]
+    pub fn bits(self) -> u64 {
+        self.0
+    }
+
+    /// Insert a node, returning the new set.
+    #[must_use]
+    pub fn with(self, i: NodeId) -> NodeSet {
+        NodeSet(self.0 | (1u64 << i))
+    }
+
+    /// Remove a node, returning the new set.
+    #[must_use]
+    pub fn without(self, i: NodeId) -> NodeSet {
+        NodeSet(self.0 & !(1u64 << i))
+    }
+
+    /// Membership test.
+    #[must_use]
+    pub fn contains(self, i: NodeId) -> bool {
+        self.0 & (1u64 << i) != 0
+    }
+
+    /// Set union.
+    #[must_use]
+    pub fn union(self, other: NodeSet) -> NodeSet {
+        NodeSet(self.0 | other.0)
+    }
+
+    /// Set intersection.
+    #[must_use]
+    pub fn intersect(self, other: NodeSet) -> NodeSet {
+        NodeSet(self.0 & other.0)
+    }
+
+    /// Set difference.
+    #[must_use]
+    pub fn minus(self, other: NodeSet) -> NodeSet {
+        NodeSet(self.0 & !other.0)
+    }
+
+    /// Whether the set is empty.
+    #[must_use]
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Number of members.
+    #[must_use]
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Whether `self ⊆ other`.
+    #[must_use]
+    pub fn is_subset_of(self, other: NodeSet) -> bool {
+        self.0 & !other.0 == 0
+    }
+
+    /// The smallest member, if any.
+    #[must_use]
+    pub fn lowest(self) -> Option<NodeId> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(self.0.trailing_zeros() as NodeId)
+        }
+    }
+
+    /// Iterate members in increasing order.
+    pub fn iter(self) -> impl Iterator<Item = NodeId> {
+        let mut bits = self.0;
+        std::iter::from_fn(move || {
+            if bits == 0 {
+                None
+            } else {
+                let i = bits.trailing_zeros() as NodeId;
+                bits &= bits - 1;
+                Some(i)
+            }
+        })
+    }
+
+    /// Iterate all non-empty proper subsets of `self` that contain
+    /// `self`'s lowest member — exactly the left-hand sides needed to
+    /// enumerate unordered 2-partitions of `self` without repeats.
+    pub fn anchored_proper_subsets(self) -> impl Iterator<Item = NodeSet> {
+        let anchor = self.lowest().map_or(0u64, |i| 1u64 << i);
+        let rest = self.0 & !anchor;
+        // Enumerate subsets of `rest` (including empty, excluding full)
+        // and OR in the anchor.
+        let mut sub: u64 = 0;
+        let mut done = rest == 0; // a 1-element set has no proper split
+        std::iter::from_fn(move || {
+            if done {
+                return None;
+            }
+            let current = sub | anchor;
+            // Advance to the next subset of `rest`.
+            sub = (sub.wrapping_sub(rest)) & rest;
+            if sub == 0 {
+                done = true; // wrapped: the last emitted was rest|anchor (full) — guard below
+            }
+            Some(NodeSet(current))
+        })
+        .filter(move |s| s.0 != self.0) // exclude the full set
+    }
+}
+
+impl fmt::Display for NodeSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (k, i) in self.iter().enumerate() {
+            if k > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{i}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl FromIterator<NodeId> for NodeSet {
+    fn from_iter<T: IntoIterator<Item = NodeId>>(iter: T) -> Self {
+        iter.into_iter()
+            .fold(NodeSet::empty(), |acc, i| acc.with(i))
+    }
+}
+
+/// How a 2-partition `(left, right)` of a connected node set relates to
+/// the graph's edges — this decides which operator (if any) an
+/// implementing tree may place at that cut (§1.3: "joins without graph
+/// edges (i.e. Cartesian products) are excluded"; an outerjoin
+/// contributes exactly one directed edge).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CutKind {
+    /// All crossing edges are join edges (at least one): a regular
+    /// join whose predicate is the conjunction of the edge labels.
+    Joins(Vec<usize>),
+    /// Exactly one crossing edge, an outerjoin edge. `forward` is true
+    /// when the preserved endpoint lies in `left` (so the operator is
+    /// `left → right`).
+    SingleOuterjoin {
+        /// Index of the crossing edge.
+        edge: usize,
+        /// Whether the edge points left-to-right.
+        forward: bool,
+    },
+    /// No crossing edges: the split would be a Cartesian product.
+    Cartesian,
+    /// A mixture (an outerjoin edge together with other crossing
+    /// edges): no single operator implements this cut.
+    Mixed,
+}
+
+/// Indices of edges with one endpoint in `left` and the other in
+/// `right`.
+#[must_use]
+pub fn crossing_edges(g: &QueryGraph, left: NodeSet, right: NodeSet) -> Vec<usize> {
+    g.edges()
+        .iter()
+        .enumerate()
+        .filter(|(_, e)| {
+            (left.contains(e.a()) && right.contains(e.b()))
+                || (left.contains(e.b()) && right.contains(e.a()))
+        })
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// Classify the cut `(left, right)`.
+#[must_use]
+pub fn classify_cut(g: &QueryGraph, left: NodeSet, right: NodeSet) -> CutKind {
+    let crossing = crossing_edges(g, left, right);
+    if crossing.is_empty() {
+        return CutKind::Cartesian;
+    }
+    let oj_count = crossing
+        .iter()
+        .filter(|&&i| g.edges()[i].kind() == EdgeKind::OuterJoin)
+        .count();
+    match (oj_count, crossing.len()) {
+        (0, _) => CutKind::Joins(crossing),
+        (1, 1) => {
+            let e = &g.edges()[crossing[0]];
+            CutKind::SingleOuterjoin {
+                edge: crossing[0],
+                forward: left.contains(e.a()),
+            }
+        }
+        _ => CutKind::Mixed,
+    }
+}
+
+impl QueryGraph {
+    /// Whether the induced subgraph on `set` is connected (the empty
+    /// set is vacuously connected; a singleton is connected).
+    #[must_use]
+    pub fn connected_in(&self, set: NodeSet) -> bool {
+        let Some(start) = set.lowest() else {
+            return true;
+        };
+        let mut seen = NodeSet::singleton(start);
+        let mut stack = vec![start];
+        while let Some(n) = stack.pop() {
+            for (m, _) in self.neighbors(n) {
+                if set.contains(m) && !seen.contains(m) {
+                    seen = seen.with(m);
+                    stack.push(m);
+                }
+            }
+        }
+        seen == set
+    }
+
+    /// Whether the whole graph is connected.
+    #[must_use]
+    pub fn is_connected(&self) -> bool {
+        self.connected_in(NodeSet::full(self.n_nodes()))
+    }
+
+    /// Connected components of the induced subgraph on `set`.
+    #[must_use]
+    pub fn components_in(&self, set: NodeSet) -> Vec<NodeSet> {
+        let mut remaining = set;
+        let mut out = Vec::new();
+        while let Some(start) = remaining.lowest() {
+            let mut comp = NodeSet::singleton(start);
+            let mut stack = vec![start];
+            while let Some(n) = stack.pop() {
+                for (m, _) in self.neighbors(n) {
+                    if set.contains(m) && !comp.contains(m) {
+                        comp = comp.with(m);
+                        stack.push(m);
+                    }
+                }
+            }
+            out.push(comp);
+            remaining = remaining.minus(comp);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::QueryGraph;
+    use fro_algebra::Pred;
+
+    fn chain3() -> QueryGraph {
+        // R0 −(join) R1 →(oj) R2
+        let mut g = QueryGraph::new(vec!["R0".into(), "R1".into(), "R2".into()]);
+        g.add_join_edge(0, 1, Pred::eq_attr("R0.a", "R1.b"))
+            .unwrap();
+        g.add_outerjoin_edge(1, 2, Pred::eq_attr("R1.b", "R2.c"))
+            .unwrap();
+        g
+    }
+
+    #[test]
+    fn nodeset_basics() {
+        let s = NodeSet::empty().with(1).with(3);
+        assert!(s.contains(1) && s.contains(3) && !s.contains(2));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.lowest(), Some(1));
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![1, 3]);
+        assert_eq!(s.without(1).iter().collect::<Vec<_>>(), vec![3]);
+        assert!(NodeSet::singleton(2).is_subset_of(NodeSet::full(3)));
+        assert_eq!(
+            NodeSet::full(3).minus(s).iter().collect::<Vec<_>>(),
+            vec![0, 2]
+        );
+        assert_eq!(s.to_string(), "{1,3}");
+        assert_eq!([0usize, 2].into_iter().collect::<NodeSet>().len(), 2);
+    }
+
+    #[test]
+    fn full_64_does_not_overflow() {
+        let s = NodeSet::full(64);
+        assert_eq!(s.len(), 64);
+        assert!(s.contains(63));
+    }
+
+    #[test]
+    fn anchored_proper_subsets_enumerate_splits() {
+        let s = NodeSet::full(3); // {0,1,2}
+        let subs: Vec<NodeSet> = s.anchored_proper_subsets().collect();
+        // Subsets containing 0, proper and nonempty: {0}, {0,1}, {0,2}.
+        assert_eq!(subs.len(), 3);
+        for sub in &subs {
+            assert!(sub.contains(0));
+            assert!(sub.is_subset_of(s));
+            assert_ne!(*sub, s);
+        }
+        // Singleton set: no proper splits.
+        assert_eq!(NodeSet::singleton(4).anchored_proper_subsets().count(), 0);
+        // Pair: exactly one.
+        let pair = NodeSet::empty().with(1).with(5);
+        let subs: Vec<NodeSet> = pair.anchored_proper_subsets().collect();
+        assert_eq!(subs, vec![NodeSet::singleton(1)]);
+    }
+
+    #[test]
+    fn connectivity() {
+        let g = chain3();
+        assert!(g.is_connected());
+        assert!(g.connected_in(NodeSet::full(3)));
+        assert!(g.connected_in(NodeSet::empty().with(0).with(1)));
+        // {R0, R2} skips the middle node: disconnected.
+        assert!(!g.connected_in(NodeSet::empty().with(0).with(2)));
+        let comps = g.components_in(NodeSet::empty().with(0).with(2));
+        assert_eq!(comps.len(), 2);
+    }
+
+    #[test]
+    fn cut_classification() {
+        let g = chain3();
+        // Cut {R0} | {R1,R2}: crosses the join edge only.
+        let k = classify_cut(&g, NodeSet::singleton(0), NodeSet::empty().with(1).with(2));
+        assert!(matches!(k, CutKind::Joins(ref v) if v.len() == 1));
+        // Cut {R0,R1} | {R2}: crosses the outerjoin edge, forward.
+        let k = classify_cut(&g, NodeSet::empty().with(0).with(1), NodeSet::singleton(2));
+        assert!(matches!(k, CutKind::SingleOuterjoin { forward: true, .. }));
+        // Reversed orientation.
+        let k = classify_cut(&g, NodeSet::singleton(2), NodeSet::empty().with(0).with(1));
+        assert!(matches!(k, CutKind::SingleOuterjoin { forward: false, .. }));
+        // Cut {R1} | {R0,R2}: crosses both edges — mixed.
+        let k = classify_cut(&g, NodeSet::singleton(1), NodeSet::empty().with(0).with(2));
+        assert!(matches!(k, CutKind::Mixed));
+    }
+
+    #[test]
+    fn cartesian_cut_detected() {
+        let mut g = QueryGraph::new(vec!["A".into(), "B".into()]);
+        // No edges at all.
+        let k = classify_cut(&g, NodeSet::singleton(0), NodeSet::singleton(1));
+        assert_eq!(k, CutKind::Cartesian);
+        g.add_join_edge(0, 1, Pred::eq_attr("A.x", "B.y")).unwrap();
+        let k = classify_cut(&g, NodeSet::singleton(0), NodeSet::singleton(1));
+        assert!(matches!(k, CutKind::Joins(_)));
+    }
+}

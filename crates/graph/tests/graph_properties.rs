@@ -1,0 +1,180 @@
+//! Property tests local to the graph layer: bitset-law sanity, the
+//! Lemma 1 ⇔ decomposition equivalence on random graphs, and
+//! `graph(Q)` invariants.
+
+use fro_algebra::{Pred, Query};
+use fro_graph::{check_nice, graph_of, nice, NodeSet, QueryGraph};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn key_eq(a: usize, b: usize) -> Pred {
+    Pred::eq_attr(&format!("R{a}.k"), &format!("R{b}.k"))
+}
+
+/// A random connected graph over `n ≤ 7` nodes: spanning tree plus a
+/// few random extra edges, each junction join or outerjoin.
+fn random_graph(n: usize, oj_ratio: f64, extra: usize, seed: u64) -> QueryGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = n.clamp(1, 7);
+    let mut g = QueryGraph::new((0..n).map(|i| format!("R{i}")).collect());
+    for i in 1..n {
+        let p = rng.gen_range(0..i);
+        if rng.gen_bool(oj_ratio) {
+            let (a, b) = if rng.gen_bool(0.5) { (p, i) } else { (i, p) };
+            g.add_outerjoin_edge(a, b, key_eq(a, b)).unwrap();
+        } else {
+            g.add_join_edge(p, i, key_eq(p, i)).unwrap();
+        }
+    }
+    for _ in 0..extra {
+        let a = rng.gen_range(0..n);
+        let b = rng.gen_range(0..n);
+        if a != b {
+            // Ignore failures (parallel outerjoin edges).
+            let _ = g.add_join_edge(a, b, key_eq(a, b));
+        }
+    }
+    g
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Lemma 1's forbidden-pattern check and the constructive
+    /// decomposition agree on every random graph.
+    #[test]
+    fn lemma1_equivalent_to_decomposition(
+        n in 1usize..8,
+        oj_pct in 0u32..101,
+        extra in 0usize..4,
+        seed in 0u64..100_000,
+    ) {
+        let g = random_graph(n, f64::from(oj_pct) / 100.0, extra, seed);
+        let report = check_nice(&g);
+        let dec = nice::decompose(&g);
+        prop_assert_eq!(
+            report.is_nice(),
+            dec.is_some(),
+            "disagree on\n{}",
+            g
+        );
+        if let Some(d) = dec {
+            // Decomposition invariants: core nodes have OJ in-degree 0;
+            // forest edges are exactly the outerjoin edges.
+            for i in d.core.iter() {
+                prop_assert_eq!(g.oj_in_degree(i), 0);
+            }
+            let oj_edges = g
+                .edges()
+                .iter()
+                .filter(|e| e.kind() == fro_graph::EdgeKind::OuterJoin)
+                .count();
+            prop_assert_eq!(d.forest_edges.len(), oj_edges);
+        }
+    }
+
+    /// NodeSet algebra laws.
+    #[test]
+    fn nodeset_laws(a in 0u64..1_000_000, b in 0u64..1_000_000, i in 0usize..20) {
+        let x = NodeSet::from_bits(a);
+        let y = NodeSet::from_bits(b);
+        prop_assert_eq!(x.union(y), y.union(x));
+        prop_assert_eq!(x.intersect(y), y.intersect(x));
+        prop_assert_eq!(x.minus(y).intersect(y), NodeSet::empty());
+        prop_assert_eq!(x.union(y).minus(y).union(x.intersect(y)), x);
+        prop_assert_eq!(x.with(i).without(i), x.without(i));
+        prop_assert!(x.intersect(y).is_subset_of(x));
+        prop_assert_eq!(x.union(y).len() + x.intersect(y).len(), x.len() + y.len());
+        // Iteration visits exactly the members, ascending.
+        let members: Vec<usize> = x.iter().collect();
+        prop_assert!(members.windows(2).all(|w| w[0] < w[1]));
+        prop_assert_eq!(members.len(), x.len());
+        for m in members {
+            prop_assert!(x.contains(m));
+        }
+    }
+
+    /// Anchored proper subsets enumerate each unordered split once.
+    #[test]
+    fn anchored_subsets_partition_splits(bits in 1u64..4096) {
+        let s = NodeSet::from_bits(bits);
+        let subs: Vec<NodeSet> = s.anchored_proper_subsets().collect();
+        // Each contains the anchor, is a proper nonempty subset.
+        let anchor = s.lowest().unwrap();
+        for sub in &subs {
+            prop_assert!(sub.contains(anchor));
+            prop_assert!(sub.is_subset_of(s));
+            prop_assert!(!sub.is_empty());
+            prop_assert!(*sub != s);
+        }
+        // Count: 2^(|s|-1) - 1 splits for |s| ≥ 2.
+        if s.len() >= 2 {
+            prop_assert_eq!(subs.len() as u64, (1u64 << (s.len() - 1)) - 1);
+        } else {
+            prop_assert!(subs.is_empty());
+        }
+        // Distinct.
+        let set: std::collections::HashSet<u64> = subs.iter().map(|x| x.bits()).collect();
+        prop_assert_eq!(set.len(), subs.len());
+    }
+
+    /// `graph(Q)` of any tree built from a graph's own edges matches
+    /// the graph, and niceness of connected subgraphs is hereditary
+    /// (the paper's observation in §3.1).
+    #[test]
+    fn nice_is_hereditary_on_connected_subgraphs(
+        n in 2usize..8,
+        oj_pct in 0u32..101,
+        seed in 0u64..100_000,
+        subset_bits in 1u64..256,
+    ) {
+        let g = random_graph(n, f64::from(oj_pct) / 100.0, 0, seed);
+        if !check_nice(&g).is_nice() {
+            return Ok(());
+        }
+        let sub = NodeSet::from_bits(subset_bits).intersect(NodeSet::full(g.n_nodes()));
+        if sub.is_empty() || !g.connected_in(sub) {
+            return Ok(());
+        }
+        // Build the induced subgraph.
+        let names: Vec<String> = sub.iter().map(|i| g.node_name(i).to_owned()).collect();
+        let mut ig = QueryGraph::new(names);
+        for e in g.edges() {
+            if sub.contains(e.a()) && sub.contains(e.b()) {
+                let a = ig.node_id(g.node_name(e.a())).unwrap();
+                let b = ig.node_id(g.node_name(e.b())).unwrap();
+                match e.kind() {
+                    fro_graph::EdgeKind::Join => {
+                        ig.add_join_edge(a, b, e.pred().clone()).unwrap();
+                    }
+                    fro_graph::EdgeKind::OuterJoin => {
+                        ig.add_outerjoin_edge(a, b, e.pred().clone()).unwrap();
+                    }
+                }
+            }
+        }
+        prop_assert!(
+            check_nice(&ig).is_nice(),
+            "connected subgraph of a nice graph must be nice:\nparent:\n{}\nsub:\n{}",
+            g,
+            ig
+        );
+    }
+}
+
+#[test]
+fn graph_of_roundtrip_on_example_trees() {
+    // graph(Q) is invariant across hand-rolled reassociations.
+    let p = |a: &str, b: &str| Pred::eq_attr(a, b);
+    let q1 = Query::rel("A")
+        .join(Query::rel("B"), p("A.k", "B.k"))
+        .outerjoin(Query::rel("C"), p("B.k", "C.k"));
+    let q2 = Query::rel("A").join(
+        Query::rel("B").outerjoin(Query::rel("C"), p("B.k", "C.k")),
+        p("A.k", "B.k"),
+    );
+    let g1 = graph_of(&q1).unwrap();
+    let g2 = graph_of(&q2).unwrap();
+    assert!(g1.same_graph(&g2));
+}

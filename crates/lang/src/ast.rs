@@ -1,0 +1,143 @@
+//! Abstract syntax of a §5 query block.
+
+use fro_algebra::{CmpOp, Value};
+use std::fmt;
+
+/// A path step in a From-item.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PathOp {
+    /// `*Field` — UnNest a set-valued field.
+    UnNest(String),
+    /// `-->Field` — Link via an entity-valued field.
+    Link(String),
+}
+
+impl fmt::Display for PathOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PathOp::UnNest(n) => write!(f, "*{n}"),
+            PathOp::Link(n) => write!(f, "-->{n}"),
+        }
+    }
+}
+
+/// One entry of the From-List: a base entity type (optionally
+/// aliased), followed by UnNest/Link steps.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FromItem {
+    /// Base entity type name.
+    pub base: String,
+    /// Alias (defaults to the type name).
+    pub alias: String,
+    /// The path steps, in source order.
+    pub ops: Vec<PathOp>,
+}
+
+impl fmt::Display for FromItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.base)?;
+        if self.alias != self.base {
+            write!(f, " AS {}", self.alias)?;
+        }
+        for op in &self.ops {
+            write!(f, "{op}")?;
+        }
+        Ok(())
+    }
+}
+
+/// The right side of a Where-List comparison.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Rhs {
+    /// A qualified attribute `alias.attr`.
+    Attr(String, String),
+    /// A literal.
+    Lit(Value),
+}
+
+/// One Where-List conjunct: `alias.attr op rhs`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WhereCond {
+    /// Qualifier of the left attribute.
+    pub alias: String,
+    /// Left attribute name.
+    pub attr: String,
+    /// Comparison operator.
+    pub op: CmpOp,
+    /// Right-hand side.
+    pub rhs: Rhs,
+}
+
+impl fmt::Display for WhereCond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{} {} ", self.alias, self.attr, self.op)?;
+        match &self.rhs {
+            Rhs::Attr(a, b) => write!(f, "{a}.{b}"),
+            Rhs::Lit(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// A parsed `SELECT ALL FROM … WHERE …` block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryBlock {
+    /// The From-List.
+    pub from: Vec<FromItem>,
+    /// The Where-List conjuncts.
+    pub conds: Vec<WhereCond>,
+}
+
+impl fmt::Display for QueryBlock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SELECT ALL FROM ")?;
+        for (i, item) in self.from.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{item}")?;
+        }
+        if !self.conds.is_empty() {
+            write!(f, " WHERE ")?;
+            for (i, c) in self.conds.iter().enumerate() {
+                if i > 0 {
+                    write!(f, " AND ")?;
+                }
+                write!(f, "{c}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_roundtrips_visually() {
+        let block = QueryBlock {
+            from: vec![
+                FromItem {
+                    base: "EMPLOYEE".into(),
+                    alias: "EMPLOYEE".into(),
+                    ops: vec![PathOp::UnNest("ChildName".into())],
+                },
+                FromItem {
+                    base: "DEPARTMENT".into(),
+                    alias: "D".into(),
+                    ops: vec![PathOp::Link("Manager".into())],
+                },
+            ],
+            conds: vec![WhereCond {
+                alias: "EMPLOYEE".into(),
+                attr: "D#".into(),
+                op: CmpOp::Eq,
+                rhs: Rhs::Attr("D".into(), "D#".into()),
+            }],
+        };
+        let s = block.to_string();
+        assert!(s.contains("EMPLOYEE*ChildName"));
+        assert!(s.contains("DEPARTMENT AS D-->Manager"));
+        assert!(s.contains("EMPLOYEE.D# = D.D#"));
+    }
+}

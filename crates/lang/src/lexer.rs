@@ -1,0 +1,271 @@
+//! Lexer for the §5 surface syntax.
+
+use crate::error::LangError;
+use std::fmt;
+
+/// Tokens of the mini-language.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// Keyword `SELECT` (case-insensitive).
+    Select,
+    /// Keyword `ALL`.
+    All,
+    /// Keyword `FROM`.
+    From,
+    /// Keyword `WHERE`.
+    Where,
+    /// Keyword `AND`.
+    And,
+    /// Keyword `AS`.
+    As,
+    /// Identifier (letters, digits, `_`, `#` after the first char).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Single-quoted string literal.
+    Str(String),
+    /// `*` (UnNest).
+    Star,
+    /// `-->` or `->` (Link via).
+    Arrow,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// Comparison operator.
+    Cmp(fro_algebra::CmpOp),
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Select => write!(f, "SELECT"),
+            Token::All => write!(f, "ALL"),
+            Token::From => write!(f, "FROM"),
+            Token::Where => write!(f, "WHERE"),
+            Token::And => write!(f, "AND"),
+            Token::As => write!(f, "AS"),
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Int(v) => write!(f, "{v}"),
+            Token::Str(s) => write!(f, "'{s}'"),
+            Token::Star => write!(f, "*"),
+            Token::Arrow => write!(f, "-->"),
+            Token::Comma => write!(f, ","),
+            Token::Dot => write!(f, "."),
+            Token::Cmp(op) => write!(f, "{op}"),
+            Token::Eof => write!(f, "<eof>"),
+        }
+    }
+}
+
+/// Tokenize source text.
+///
+/// # Errors
+/// [`LangError::Lex`] on unexpected characters or unterminated
+/// strings.
+pub fn lex(src: &str) -> Result<Vec<Token>, LangError> {
+    use fro_algebra::CmpOp;
+    let bytes = src.as_bytes();
+    let mut i = 0;
+    let mut out = Vec::new();
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            c if c.is_whitespace() => i += 1,
+            ',' => {
+                out.push(Token::Comma);
+                i += 1;
+            }
+            '.' => {
+                out.push(Token::Dot);
+                i += 1;
+            }
+            '*' => {
+                out.push(Token::Star);
+                i += 1;
+            }
+            '=' => {
+                out.push(Token::Cmp(CmpOp::Eq));
+                i += 1;
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token::Cmp(CmpOp::Le));
+                    i += 2;
+                } else if bytes.get(i + 1) == Some(&b'>') {
+                    out.push(Token::Cmp(CmpOp::Ne));
+                    i += 2;
+                } else {
+                    out.push(Token::Cmp(CmpOp::Lt));
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token::Cmp(CmpOp::Ge));
+                    i += 2;
+                } else {
+                    out.push(Token::Cmp(CmpOp::Gt));
+                    i += 1;
+                }
+            }
+            '-' => {
+                // `-->` or `->`
+                if bytes.get(i + 1) == Some(&b'-') && bytes.get(i + 2) == Some(&b'>') {
+                    out.push(Token::Arrow);
+                    i += 3;
+                } else if bytes.get(i + 1) == Some(&b'>') {
+                    out.push(Token::Arrow);
+                    i += 2;
+                } else if bytes.get(i + 1).is_some_and(u8::is_ascii_digit) {
+                    let (v, next) = lex_int(src, i + 1)?;
+                    out.push(Token::Int(-v));
+                    i = next;
+                } else {
+                    return Err(LangError::Lex {
+                        at: i,
+                        msg: "expected `-->`, `->`, or a negative number".into(),
+                    });
+                }
+            }
+            '\'' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len() && bytes[j] != b'\'' {
+                    j += 1;
+                }
+                if j >= bytes.len() {
+                    return Err(LangError::Lex {
+                        at: i,
+                        msg: "unterminated string literal".into(),
+                    });
+                }
+                out.push(Token::Str(src[start..j].to_owned()));
+                i = j + 1;
+            }
+            c if c.is_ascii_digit() => {
+                let (v, next) = lex_int(src, i)?;
+                out.push(Token::Int(v));
+                i = next;
+            }
+            c if c.is_alphabetic() || c == '_' || c == '@' => {
+                let start = i;
+                let mut j = i;
+                while j < bytes.len() {
+                    let ch = bytes[j] as char;
+                    if ch.is_alphanumeric() || ch == '_' || ch == '#' || ch == '@' {
+                        j += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let word = &src[start..j];
+                out.push(match word.to_ascii_uppercase().as_str() {
+                    "SELECT" => Token::Select,
+                    "ALL" => Token::All,
+                    "FROM" => Token::From,
+                    "WHERE" => Token::Where,
+                    "AND" => Token::And,
+                    "AS" => Token::As,
+                    _ => Token::Ident(word.to_owned()),
+                });
+                i = j;
+            }
+            other => {
+                return Err(LangError::Lex {
+                    at: i,
+                    msg: format!("unexpected character `{other}`"),
+                })
+            }
+        }
+    }
+    out.push(Token::Eof);
+    Ok(out)
+}
+
+fn lex_int(src: &str, start: usize) -> Result<(i64, usize), LangError> {
+    let bytes = src.as_bytes();
+    let mut j = start;
+    while j < bytes.len() && bytes[j].is_ascii_digit() {
+        j += 1;
+    }
+    src[start..j]
+        .parse::<i64>()
+        .map(|v| (v, j))
+        .map_err(|e| LangError::Lex {
+            at: start,
+            msg: format!("bad integer: {e}"),
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fro_algebra::CmpOp;
+
+    #[test]
+    fn lexes_the_paper_queretaro_query() {
+        let toks = lex("Select All From EMPLOYEE*ChildName, DEPARTMENT \
+             Where EMPLOYEE.D# = DEPARTMENT.D# and DEPARTMENT.Location = 'Queretaro'")
+        .unwrap();
+        assert!(toks.contains(&Token::Star));
+        assert!(toks.contains(&Token::Ident("D#".into())));
+        assert!(toks.contains(&Token::Str("Queretaro".into())));
+        assert_eq!(toks.last(), Some(&Token::Eof));
+    }
+
+    #[test]
+    fn lexes_arrows_both_spellings() {
+        let t1 = lex("DEPARTMENT-->Manager").unwrap();
+        let t2 = lex("DEPARTMENT->Manager").unwrap();
+        assert!(t1.contains(&Token::Arrow));
+        assert!(t2.contains(&Token::Arrow));
+    }
+
+    #[test]
+    fn lexes_comparisons() {
+        let toks = lex("a < b <= c > d >= e <> f = g").unwrap();
+        let cmps: Vec<_> = toks
+            .iter()
+            .filter_map(|t| match t {
+                Token::Cmp(op) => Some(*op),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            cmps,
+            vec![
+                CmpOp::Lt,
+                CmpOp::Le,
+                CmpOp::Gt,
+                CmpOp::Ge,
+                CmpOp::Ne,
+                CmpOp::Eq
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_numbers_including_negative() {
+        let toks = lex("Rank > 10 and X = -5").unwrap();
+        assert!(toks.contains(&Token::Int(10)));
+        assert!(toks.contains(&Token::Int(-5)));
+    }
+
+    #[test]
+    fn keywords_case_insensitive() {
+        let toks = lex("select ALL fRoM x").unwrap();
+        assert_eq!(toks[0], Token::Select);
+        assert_eq!(toks[1], Token::All);
+        assert_eq!(toks[2], Token::From);
+    }
+
+    #[test]
+    fn errors_are_located() {
+        assert!(matches!(lex("a ? b"), Err(LangError::Lex { at: 2, .. })));
+        assert!(matches!(lex("'open"), Err(LangError::Lex { .. })));
+        assert!(matches!(lex("a - b"), Err(LangError::Lex { .. })));
+    }
+}

@@ -1,0 +1,222 @@
+//! Recursive-descent parser for the §5 surface syntax.
+//!
+//! ```text
+//! block  := SELECT ALL FROM item (',' item)* (WHERE cond (AND cond)*)? EOF
+//! item   := IDENT (AS IDENT)? (('*' | '-->') IDENT)*
+//! cond   := IDENT '.' IDENT cmp (IDENT '.' IDENT | literal)
+//! ```
+
+use crate::ast::{FromItem, PathOp, QueryBlock, Rhs, WhereCond};
+use crate::error::LangError;
+use crate::lexer::{lex, Token};
+use fro_algebra::Value;
+
+struct Parser {
+    toks: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.toks[self.pos]
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.toks[self.pos].clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, want: &Token) -> Result<(), LangError> {
+        let got = self.bump();
+        if &got == want {
+            Ok(())
+        } else {
+            Err(LangError::Parse(format!("expected {want}, found {got}")))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, LangError> {
+        match self.bump() {
+            Token::Ident(s) => Ok(s),
+            other => Err(LangError::Parse(format!(
+                "expected identifier, found {other}"
+            ))),
+        }
+    }
+
+    fn parse_from_item(&mut self) -> Result<FromItem, LangError> {
+        let base = self.ident()?;
+        let alias = if self.peek() == &Token::As {
+            self.bump();
+            self.ident()?
+        } else {
+            base.clone()
+        };
+        let mut ops = Vec::new();
+        loop {
+            match self.peek() {
+                Token::Star => {
+                    self.bump();
+                    ops.push(PathOp::UnNest(self.ident()?));
+                }
+                Token::Arrow => {
+                    self.bump();
+                    ops.push(PathOp::Link(self.ident()?));
+                }
+                _ => break,
+            }
+        }
+        Ok(FromItem { base, alias, ops })
+    }
+
+    fn qualref(&mut self) -> Result<(String, String), LangError> {
+        let a = self.ident()?;
+        self.expect(&Token::Dot)?;
+        let b = self.ident()?;
+        Ok((a, b))
+    }
+
+    fn cond(&mut self) -> Result<WhereCond, LangError> {
+        let (alias, attr) = self.qualref()?;
+        let op = match self.bump() {
+            Token::Cmp(op) => op,
+            other => {
+                return Err(LangError::Parse(format!(
+                    "expected comparison operator, found {other}"
+                )))
+            }
+        };
+        let rhs = match self.bump() {
+            Token::Ident(a) => {
+                self.expect(&Token::Dot)?;
+                let b = self.ident()?;
+                Rhs::Attr(a, b)
+            }
+            Token::Int(v) => Rhs::Lit(Value::Int(v)),
+            Token::Str(s) => Rhs::Lit(Value::Str(s)),
+            other => {
+                return Err(LangError::Parse(format!(
+                    "expected attribute or literal, found {other}"
+                )))
+            }
+        };
+        Ok(WhereCond {
+            alias,
+            attr,
+            op,
+            rhs,
+        })
+    }
+
+    fn block(&mut self) -> Result<QueryBlock, LangError> {
+        self.expect(&Token::Select)?;
+        self.expect(&Token::All)?;
+        self.expect(&Token::From)?;
+        let mut from = vec![self.parse_from_item()?];
+        while self.peek() == &Token::Comma {
+            self.bump();
+            from.push(self.parse_from_item()?);
+        }
+        let mut conds = Vec::new();
+        if self.peek() == &Token::Where {
+            self.bump();
+            conds.push(self.cond()?);
+            while self.peek() == &Token::And {
+                self.bump();
+                conds.push(self.cond()?);
+            }
+        }
+        self.expect(&Token::Eof)?;
+        Ok(QueryBlock { from, conds })
+    }
+}
+
+/// Parse a query block.
+///
+/// # Errors
+/// [`LangError::Lex`] / [`LangError::Parse`].
+pub fn parse(src: &str) -> Result<QueryBlock, LangError> {
+    let toks = lex(src)?;
+    Parser { toks, pos: 0 }.block()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fro_algebra::CmpOp;
+
+    #[test]
+    fn parses_paper_queretaro_query() {
+        let q = parse(
+            "Select All From EMPLOYEE*ChildName, DEPARTMENT \
+             Where EMPLOYEE.D# = DEPARTMENT.D# and DEPARTMENT.Location = 'Queretaro'",
+        )
+        .unwrap();
+        assert_eq!(q.from.len(), 2);
+        assert_eq!(q.from[0].ops, vec![PathOp::UnNest("ChildName".into())]);
+        assert_eq!(q.conds.len(), 2);
+        assert_eq!(q.conds[1].op, CmpOp::Eq);
+        assert_eq!(q.conds[1].rhs, Rhs::Lit(Value::str("Queretaro")));
+    }
+
+    #[test]
+    fn parses_paper_zurich_query() {
+        let q = parse(
+            "Select All From DEPARTMENT-->Manager-->Audit Where DEPARTMENT.Location = 'Zurich'",
+        )
+        .unwrap();
+        assert_eq!(
+            q.from[0].ops,
+            vec![PathOp::Link("Manager".into()), PathOp::Link("Audit".into())]
+        );
+    }
+
+    #[test]
+    fn parses_paper_prosecutor_query() {
+        let q = parse(
+            "Select All From EMPLOYEE*ChildName, DEPARTMENT-->Manager-->Audit \
+             Where EMPLOYEE.D# = DEPARTMENT.D# and DEPARTMENT.Location = 'Zurich' \
+             and EMPLOYEE.Rank > 10",
+        )
+        .unwrap();
+        assert_eq!(q.from.len(), 2);
+        assert_eq!(q.conds.len(), 3);
+        assert_eq!(q.conds[2].op, CmpOp::Gt);
+        assert_eq!(q.conds[2].rhs, Rhs::Lit(Value::Int(10)));
+    }
+
+    #[test]
+    fn parses_alias() {
+        let q = parse("Select All From EMPLOYEE AS E, EMPLOYEE AS M Where E.D# = M.D#").unwrap();
+        assert_eq!(q.from[0].alias, "E");
+        assert_eq!(q.from[1].alias, "M");
+    }
+
+    #[test]
+    fn parse_errors_are_descriptive() {
+        assert!(matches!(parse("From X"), Err(LangError::Parse(_))));
+        assert!(matches!(parse("Select All X"), Err(LangError::Parse(_))));
+        assert!(matches!(
+            parse("Select All From E Where E.a ="),
+            Err(LangError::Parse(_))
+        ));
+        assert!(matches!(
+            parse("Select All From E Where E = 3"),
+            Err(LangError::Parse(_))
+        ));
+        // Trailing garbage.
+        assert!(matches!(
+            parse("Select All From E extra"),
+            Err(LangError::Parse(_))
+        ));
+    }
+
+    #[test]
+    fn no_where_clause_ok() {
+        let q = parse("Select All From EMPLOYEE").unwrap();
+        assert!(q.conds.is_empty());
+    }
+}

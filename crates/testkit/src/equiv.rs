@@ -1,0 +1,65 @@
+//! Result-set comparison oracles.
+
+use fro_algebra::Relation;
+
+/// Assert two relations are set-equal (under the paper's padding
+/// convention), with a diff-style failure message.
+///
+/// # Panics
+/// When the relations differ.
+pub fn assert_set_eq(got: &Relation, want: &Relation, context: &str) {
+    if got.set_eq(want) {
+        return;
+    }
+    let gs = got.row_set();
+    let ws = want.row_set();
+    let missing: Vec<String> = ws.difference(&gs).map(ToString::to_string).collect();
+    let extra: Vec<String> = gs.difference(&ws).map(ToString::to_string).collect();
+    panic!(
+        "{context}: relations differ\n  missing rows: {}\n  extra rows: {}\n  got schema: {}\n  want schema: {}",
+        missing.join(" "),
+        extra.join(" "),
+        got.schema(),
+        want.schema()
+    );
+}
+
+/// Whether all relations in the slice are pairwise set-equal.
+#[must_use]
+pub fn all_set_eq(rels: &[Relation]) -> bool {
+    match rels.split_first() {
+        None => true,
+        Some((first, rest)) => rest.iter().all(|r| r.set_eq(first)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_relations_pass() {
+        let a = Relation::from_ints("R", &["x"], &[&[1], &[2]]);
+        let b = Relation::from_ints("R", &["x"], &[&[2], &[1]]);
+        assert_set_eq(&a, &b, "same set");
+        assert!(all_set_eq(&[a, b]));
+    }
+
+    #[test]
+    #[should_panic(expected = "relations differ")]
+    fn different_relations_panic_with_diff() {
+        let a = Relation::from_ints("R", &["x"], &[&[1]]);
+        let b = Relation::from_ints("R", &["x"], &[&[2]]);
+        assert_set_eq(&a, &b, "diff");
+    }
+
+    #[test]
+    fn all_set_eq_detects_outlier() {
+        let a = Relation::from_ints("R", &["x"], &[&[1]]);
+        let b = Relation::from_ints("R", &["x"], &[&[1]]);
+        let c = Relation::from_ints("R", &["x"], &[&[3]]);
+        assert!(all_set_eq(&[a.clone(), b.clone()]));
+        assert!(!all_set_eq(&[a, b, c]));
+        assert!(all_set_eq(&[]));
+    }
+}

@@ -1,0 +1,201 @@
+//! Random query-graph generation.
+//!
+//! Conventions: node `i` is relation `R{i}` with columns `k` (join
+//! key) and `v` (payload); every edge predicate compares the `k`
+//! columns of its endpoints. With `strong = false`, outerjoin
+//! predicates get an `OR preserved.k IS NULL` disjunct — exactly
+//! Example 3's recipe for breaking identity 12.
+
+use crate::dbgen::{random_database, DbSpec};
+use fro_algebra::{Database, Pred};
+use fro_graph::QueryGraph;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters for [`random_nice_graph`].
+#[derive(Debug, Clone, Copy)]
+pub struct GraphSpec {
+    /// Join-core size (≥ 1).
+    pub core: usize,
+    /// Number of outerjoin (forest) nodes hung off the structure.
+    pub oj_nodes: usize,
+    /// Extra join edges beyond the spanning tree of the core (cycles).
+    pub extra_core_edges: usize,
+    /// Whether outerjoin predicates are strong (plain key equality) or
+    /// weakened with an `IS NULL` disjunct on the preserved side.
+    pub strong: bool,
+}
+
+fn name(i: usize) -> String {
+    format!("R{i}")
+}
+
+fn key_eq(a: usize, b: usize) -> Pred {
+    Pred::eq_attr(&format!("R{a}.k"), &format!("R{b}.k"))
+}
+
+fn weak_oj_pred(preserved: usize, null_supplied: usize) -> Pred {
+    key_eq(preserved, null_supplied).or(Pred::is_null(&format!("R{preserved}.k")))
+}
+
+/// A random *nice* graph: a connected random join core of `spec.core`
+/// nodes (random spanning tree plus `extra_core_edges` chords) with
+/// `spec.oj_nodes` outerjoin nodes attached outward — each new
+/// outerjoin node hangs off a uniformly random existing node (core or
+/// forest), so chains, stars, and bushy OJ trees all occur.
+#[must_use]
+pub fn random_nice_graph(spec: &GraphSpec, seed: u64) -> QueryGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let core = spec.core.max(1);
+    let total = core + spec.oj_nodes;
+    let mut g = QueryGraph::new((0..total).map(name).collect());
+
+    // Random spanning tree over the core.
+    for i in 1..core {
+        let parent = rng.gen_range(0..i);
+        g.add_join_edge(parent, i, key_eq(parent, i))
+            .expect("valid edge");
+    }
+    // Chords.
+    let mut added = 0;
+    let mut guard = 0;
+    while added < spec.extra_core_edges && core >= 3 && guard < 1000 {
+        guard += 1;
+        let a = rng.gen_range(0..core);
+        let b = rng.gen_range(0..core);
+        if a != b && g.add_join_edge(a, b, key_eq(a, b)).is_ok() {
+            // add_join_edge merges parallels, which does not add a new
+            // chord; only count genuinely new edges.
+            added += 1;
+        }
+    }
+    // Outerjoin forest, outward.
+    for i in core..total {
+        let parent = rng.gen_range(0..i);
+        let pred = if spec.strong {
+            key_eq(parent, i)
+        } else {
+            weak_oj_pred(parent, i)
+        };
+        g.add_outerjoin_edge(parent, i, pred).expect("valid edge");
+    }
+    g
+}
+
+/// A random *arbitrary* connected join/outerjoin graph: a random
+/// spanning tree where each edge is an outerjoin with probability
+/// `oj_prob` (random orientation) — frequently not nice, which is the
+/// point.
+#[must_use]
+pub fn random_connected_graph(n: usize, oj_prob: f64, seed: u64) -> QueryGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = n.max(1);
+    let mut g = QueryGraph::new((0..n).map(name).collect());
+    for i in 1..n {
+        let parent = rng.gen_range(0..i);
+        if rng.gen_bool(oj_prob) {
+            let (src, dst) = if rng.gen_bool(0.5) {
+                (parent, i)
+            } else {
+                (i, parent)
+            };
+            g.add_outerjoin_edge(src, dst, key_eq(src, dst))
+                .expect("valid edge");
+        } else {
+            g.add_join_edge(parent, i, key_eq(parent, i))
+                .expect("valid edge");
+        }
+    }
+    g
+}
+
+/// A random database whose relations match the graph's nodes (columns
+/// `k`, `v`).
+#[must_use]
+pub fn db_for_graph(
+    g: &QueryGraph,
+    rows: usize,
+    domain: i64,
+    null_prob: f64,
+    seed: u64,
+) -> Database {
+    let names: Vec<&str> = g.node_names().iter().map(String::as_str).collect();
+    random_database(&DbSpec::kv(&names, rows, domain, null_prob), seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fro_graph::check_nice;
+
+    #[test]
+    fn nice_generator_produces_nice_graphs() {
+        for seed in 0..50 {
+            let spec = GraphSpec {
+                core: 1 + (seed as usize % 4),
+                oj_nodes: seed as usize % 4,
+                extra_core_edges: seed as usize % 2,
+                strong: true,
+            };
+            let g = random_nice_graph(&spec, seed);
+            let rep = check_nice(&g);
+            assert!(rep.is_nice(), "seed {seed}: {:?}\n{g}", rep.violations);
+        }
+    }
+
+    #[test]
+    fn weak_spec_breaks_strongness_not_niceness() {
+        let spec = GraphSpec {
+            core: 2,
+            oj_nodes: 2,
+            extra_core_edges: 0,
+            strong: false,
+        };
+        let g = random_nice_graph(&spec, 9);
+        assert!(check_nice(&g).is_nice());
+        let weak_edges = g
+            .edges()
+            .iter()
+            .filter(|e| {
+                e.kind() == fro_graph::EdgeKind::OuterJoin
+                    && !e.pred().is_strong_on_rel(g.node_name(e.a()))
+            })
+            .count();
+        assert!(weak_edges > 0);
+    }
+
+    #[test]
+    fn arbitrary_generator_is_connected_and_sometimes_not_nice() {
+        let mut non_nice = 0;
+        for seed in 0..40 {
+            let g = random_connected_graph(5, 0.6, seed);
+            assert!(g.is_connected());
+            if !check_nice(&g).is_nice() {
+                non_nice += 1;
+            }
+        }
+        assert!(non_nice > 0, "expected some non-nice graphs");
+    }
+
+    #[test]
+    fn db_matches_graph_nodes() {
+        let g = random_connected_graph(4, 0.5, 3);
+        let db = db_for_graph(&g, 6, 4, 0.1, 3);
+        for n in g.node_names() {
+            assert!(db.contains(n));
+        }
+    }
+
+    #[test]
+    fn generators_deterministic() {
+        let spec = GraphSpec {
+            core: 3,
+            oj_nodes: 2,
+            extra_core_edges: 1,
+            strong: true,
+        };
+        let a = random_nice_graph(&spec, 5);
+        let b = random_nice_graph(&spec, 5);
+        assert!(a.same_graph(&b));
+    }
+}

@@ -1,0 +1,29 @@
+//! # fro-testkit — generators and oracles for tests and benchmarks
+//!
+//! Everything here is deterministic given a seed (`StdRng`), so
+//! property-test failures and bench runs reproduce exactly:
+//!
+//! * [`dbgen`]: random databases over the `(k, v)` column convention
+//!   with controllable domain size and null density,
+//! * [`graphgen`]: random *nice* graphs (join core + outerjoin trees),
+//!   random arbitrary connected join/outerjoin graphs, and databases
+//!   matching a graph's relations,
+//! * [`treegen`]: a random implementing tree of a graph,
+//! * [`equiv`]: result-set comparison helpers with readable failures,
+//! * [`workloads`]: the paper's concrete experiment setups (Example 1
+//!   at size `n`, the selectivity-crossover workload, chain/star
+//!   catalogs).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dbgen;
+pub mod equiv;
+pub mod graphgen;
+pub mod treegen;
+pub mod workloads;
+
+pub use dbgen::{random_database, DbSpec};
+pub use equiv::{all_set_eq, assert_set_eq};
+pub use graphgen::{db_for_graph, random_connected_graph, random_nice_graph, GraphSpec};
+pub use treegen::random_implementing_tree;

@@ -1,0 +1,102 @@
+//! A random implementing tree of a graph (uniform over split choices,
+//! not over trees — fine for sampling the space).
+
+use fro_algebra::{Pred, Query};
+use fro_graph::{classify_cut, CutKind, NodeSet, QueryGraph};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Build a random implementing tree, or `None` for disconnected
+/// graphs.
+#[must_use]
+pub fn random_implementing_tree(g: &QueryGraph, seed: u64) -> Option<Query> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let full = NodeSet::full(g.n_nodes());
+    if !g.connected_in(full) {
+        return None;
+    }
+    build(g, full, &mut rng)
+}
+
+fn build(g: &QueryGraph, s: NodeSet, rng: &mut StdRng) -> Option<Query> {
+    if s.len() == 1 {
+        return Some(Query::rel(g.node_name(s.lowest()?)));
+    }
+    // Collect valid splits, then pick one at random.
+    let mut splits = Vec::new();
+    for left in s.anchored_proper_subsets() {
+        let right = s.minus(left);
+        if !g.connected_in(left) || !g.connected_in(right) {
+            continue;
+        }
+        match classify_cut(g, left, right) {
+            CutKind::Joins(edges) => splits.push((left, right, edges, None)),
+            CutKind::SingleOuterjoin { edge, forward } => {
+                splits.push((left, right, vec![edge], Some(forward)));
+            }
+            _ => {}
+        }
+    }
+    if splits.is_empty() {
+        return None;
+    }
+    let (left, right, edges, oj_forward) = splits.remove(rng.gen_range(0..splits.len()));
+    let pred = Pred::from_conjuncts(edges.iter().map(|&i| g.edges()[i].pred().clone()));
+    let lt = build(g, left, rng)?;
+    let rt = build(g, right, rng)?;
+    Some(match oj_forward {
+        None => {
+            if rng.gen_bool(0.5) {
+                lt.join(rt, pred)
+            } else {
+                rt.join(lt, pred)
+            }
+        }
+        Some(true) => lt.outerjoin(rt, pred),
+        Some(false) => rt.outerjoin(lt, pred),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graphgen::{random_nice_graph, GraphSpec};
+    use fro_trees::is_implementing_tree;
+
+    #[test]
+    fn random_trees_implement_their_graph() {
+        for seed in 0..30 {
+            let spec = GraphSpec {
+                core: 1 + (seed as usize % 3),
+                oj_nodes: seed as usize % 3,
+                extra_core_edges: 0,
+                strong: true,
+            };
+            let g = random_nice_graph(&spec, seed);
+            let t = random_implementing_tree(&g, seed ^ 0xdead).expect("connected");
+            assert!(is_implementing_tree(&t, &g), "seed {seed}: {}", t.shape());
+        }
+    }
+
+    #[test]
+    fn different_seeds_reach_different_trees() {
+        let spec = GraphSpec {
+            core: 5,
+            oj_nodes: 0,
+            extra_core_edges: 0,
+            strong: true,
+        };
+        let g = random_nice_graph(&spec, 1);
+        let shapes: std::collections::BTreeSet<String> = (0..40)
+            .filter_map(|s| random_implementing_tree(&g, s))
+            .map(|q| q.shape())
+            .collect();
+        assert!(shapes.len() > 1);
+    }
+
+    #[test]
+    fn disconnected_yields_none() {
+        let g = fro_graph::QueryGraph::new(vec!["A".into(), "B".into()]);
+        assert!(random_implementing_tree(&g, 0).is_none());
+    }
+}

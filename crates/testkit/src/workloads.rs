@@ -1,0 +1,307 @@
+//! Concrete experiment setups from the paper.
+
+use fro_algebra::{Attr, Pred, Query, Relation, Value};
+use fro_core::Catalog;
+use fro_exec::Storage;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The Example 1 setup: `R1` with one tuple, `R2` and `R3` with `n`
+/// tuples each, keys indexed, every `R2` key matching an `R3` key and
+/// exactly one `R2` key matching `R1`.
+#[derive(Debug, Clone)]
+pub struct Example1 {
+    /// Indexed storage.
+    pub storage: Storage,
+    /// Exact statistics.
+    pub catalog: Catalog,
+    /// `R1 − (R2 → R3)` — the association that retrieves `2n + 1`.
+    pub bad_query: Query,
+    /// `(R1 − R2) → R3` — the association that retrieves `3`.
+    pub good_query: Query,
+}
+
+/// Build Example 1 at scale `n`.
+#[must_use]
+pub fn example1(n: usize) -> Example1 {
+    let mut storage = Storage::new();
+    storage.insert("R1", Relation::from_ints("R1", &["k1"], &[&[0]]));
+    let keys = |name: &str, attr: &str| {
+        let rows: Vec<Vec<Value>> = (0..n as i64).map(|k| vec![Value::Int(k)]).collect();
+        Relation::from_values(name, &[attr], rows)
+    };
+    storage.insert("R2", keys("R2", "k2"));
+    storage.insert("R3", keys("R3", "k3"));
+    storage.create_index("R1", &[Attr::parse("R1.k1")]);
+    storage.create_index("R2", &[Attr::parse("R2.k2")]);
+    storage.create_index("R3", &[Attr::parse("R3.k3")]);
+    let catalog = Catalog::from_storage(&storage);
+
+    let p12 = Pred::eq_attr("R1.k1", "R2.k2");
+    let p23 = Pred::eq_attr("R2.k2", "R3.k3");
+    let bad_query = Query::rel("R1").join(
+        Query::rel("R2").outerjoin(Query::rel("R3"), p23.clone()),
+        p12.clone(),
+    );
+    let good_query = Query::rel("R1")
+        .join(Query::rel("R2"), p12)
+        .outerjoin(Query::rel("R3"), p23);
+    Example1 {
+        storage,
+        catalog,
+        bad_query,
+        good_query,
+    }
+}
+
+/// The Example 1 *discussion* workload: the same freely-reorderable
+/// expression `R1 − (R2 → R3)` where the join predicate is the
+/// non-selective `R1.a > R2.b` and the outerjoin predicate is the
+/// selective key equality `R2.c = R3.d` — here outerjoin-first wins.
+#[derive(Debug, Clone)]
+pub struct Crossover {
+    /// Indexed storage.
+    pub storage: Storage,
+    /// Exact statistics.
+    pub catalog: Catalog,
+    /// `(R1 − R2) → R3` (join first).
+    pub join_first: Query,
+    /// `R1 − (R2 → R3)` (outerjoin first).
+    pub oj_first: Query,
+}
+
+/// Build the crossover workload. `gt_selectivity` in `[0,1]` controls
+/// the fraction of `(R1, R2)` pairs satisfying `R1.a > R2.b`.
+#[must_use]
+pub fn crossover(n1: usize, n2: usize, gt_selectivity: f64, seed: u64) -> Crossover {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let domain = 1_000_000i64;
+    // With `b` uniform on [0, domain), a tuple with `a = sel·domain`
+    // satisfies `a > b` for exactly `sel` of the `R2` tuples. Give the
+    // `R1` values a little jitter around that point so rows differ.
+    let center = (gt_selectivity * domain as f64) as i64;
+    let jitter = (domain / 200).max(1);
+    let mut storage = Storage::new();
+    let r1_rows: Vec<Vec<Value>> = (0..n1)
+        .map(|_| {
+            let a = (center + rng.gen_range(-jitter..=jitter)).clamp(0, domain);
+            vec![Value::Int(a)]
+        })
+        .collect();
+    storage.insert("R1", Relation::from_values("R1", &["a"], r1_rows));
+    let r2_rows: Vec<Vec<Value>> = (0..n2)
+        .map(|i| vec![Value::Int(rng.gen_range(0..domain)), Value::Int(i as i64)])
+        .collect();
+    storage.insert("R2", Relation::from_values("R2", &["b", "c"], r2_rows));
+    // R3 keyed 1:1 with R2.c.
+    let r3_rows: Vec<Vec<Value>> = (0..n2).map(|i| vec![Value::Int(i as i64)]).collect();
+    storage.insert("R3", Relation::from_values("R3", &["d"], r3_rows));
+    storage.create_index("R3", &[Attr::parse("R3.d")]);
+    let catalog = Catalog::from_storage(&storage);
+
+    let pj = Pred::cmp_attr("R1.a", fro_algebra::CmpOp::Gt, "R2.b");
+    let po = Pred::eq_attr("R2.c", "R3.d");
+    let join_first = Query::rel("R1")
+        .join(Query::rel("R2"), pj.clone())
+        .outerjoin(Query::rel("R3"), po.clone());
+    let oj_first = Query::rel("R1").join(Query::rel("R2").outerjoin(Query::rel("R3"), po), pj);
+    Crossover {
+        storage,
+        catalog,
+        join_first,
+        oj_first,
+    }
+}
+
+/// A join chain `R0 − R1 − … − R{k-1}` with geometrically growing
+/// cardinalities (so join order matters a lot) and indexed keys.
+#[must_use]
+pub fn chain(k: usize, base_rows: usize, seed: u64) -> (Storage, Catalog, Query) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut storage = Storage::new();
+    for i in 0..k {
+        let rows = base_rows * (1 << i.min(10));
+        let name = format!("R{i}");
+        let mut data: Vec<Vec<Value>> = Vec::with_capacity(rows);
+        for _ in 0..rows {
+            data.push(vec![
+                Value::Int(rng.gen_range(0..base_rows as i64 * 2)),
+                Value::Int(rng.gen_range(0..1000)),
+            ]);
+        }
+        storage.insert(&name, Relation::from_values(&name, &["k", "v"], data));
+        storage.create_index(&name, &[Attr::new(&name, "k")]);
+    }
+    let catalog = Catalog::from_storage(&storage);
+    // Left-deep syntactic chain.
+    let mut q = Query::rel("R0");
+    for i in 1..k {
+        q = q.join(
+            Query::rel(format!("R{i}")),
+            Pred::eq_attr(&format!("R{}.k", i - 1), &format!("R{i}.k")),
+        );
+    }
+    (storage, catalog, q)
+}
+
+/// A synthetic §5 entity world at scale: `n_depts` departments, each
+/// with `emps_per_dept` employees, each employee with 0–3 children
+/// (some none, exercising the UnNest padding), managers and audits
+/// assigned to a subset of departments.
+#[must_use]
+pub fn synthetic_entity_world(
+    n_depts: usize,
+    emps_per_dept: usize,
+    seed: u64,
+) -> fro_lang::EntityDb {
+    use fro_lang::{EntityDb, FieldType, FieldValue};
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut db = EntityDb::new();
+    db.declare(
+        "EMPLOYEE",
+        vec![
+            ("Name", FieldType::Scalar),
+            ("D#", FieldType::Scalar),
+            ("Rank", FieldType::Scalar),
+            ("ChildName", FieldType::SetValued),
+        ],
+    );
+    db.declare(
+        "DEPARTMENT",
+        vec![
+            ("D#", FieldType::Scalar),
+            ("Location", FieldType::Scalar),
+            ("Manager", FieldType::EntityRef("EMPLOYEE".into())),
+            ("Audit", FieldType::EntityRef("REPORT".into())),
+        ],
+    );
+    db.declare(
+        "REPORT",
+        vec![
+            ("Title", FieldType::Scalar),
+            ("Findings", FieldType::Scalar),
+        ],
+    );
+
+    let locations = ["Queretaro", "Zurich", "Boston", "Kyoto"];
+    let mut dept_first_emp = Vec::with_capacity(n_depts);
+    for d in 0..n_depts {
+        let mut first = None;
+        for e in 0..emps_per_dept {
+            let n_children = rng.gen_range(0..4usize);
+            let children: Vec<Value> = (0..n_children)
+                .map(|c| Value::str(format!("child{d}_{e}_{c}")))
+                .collect();
+            let id = db.insert(
+                "EMPLOYEE",
+                vec![
+                    (
+                        "Name",
+                        FieldValue::Scalar(Value::str(format!("emp{d}_{e}"))),
+                    ),
+                    ("D#", FieldValue::Scalar(Value::Int(d as i64))),
+                    ("Rank", FieldValue::Scalar(Value::Int(rng.gen_range(1..20)))),
+                    ("ChildName", FieldValue::Set(children)),
+                ],
+            );
+            if first.is_none() {
+                first = Some(id);
+            }
+        }
+        dept_first_emp.push(first);
+    }
+    for d in 0..n_depts {
+        let audit = if rng.gen_bool(0.5) {
+            let rid = db.insert(
+                "REPORT",
+                vec![
+                    ("Title", FieldValue::Scalar(Value::str(format!("audit{d}")))),
+                    ("Findings", FieldValue::Scalar(Value::str("ok"))),
+                ],
+            );
+            FieldValue::Ref(Some(rid))
+        } else {
+            FieldValue::Ref(None)
+        };
+        let manager = match dept_first_emp[d] {
+            Some(id) if rng.gen_bool(0.8) => FieldValue::Ref(Some(id)),
+            _ => FieldValue::Ref(None),
+        };
+        db.insert(
+            "DEPARTMENT",
+            vec![
+                ("D#", FieldValue::Scalar(Value::Int(d as i64))),
+                (
+                    "Location",
+                    FieldValue::Scalar(Value::str(locations[d % locations.len()])),
+                ),
+                ("Manager", manager),
+                ("Audit", audit),
+            ],
+        );
+    }
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fro_core::{optimize, Policy};
+    use fro_exec::{execute, ExecStats};
+
+    #[test]
+    fn example1_shape_holds_in_miniature() {
+        let ex = example1(100);
+        // Both queries are equivalent.
+        let db = ex.storage.to_database();
+        let a = ex.bad_query.eval(&db).unwrap();
+        let b = ex.good_query.eval(&db).unwrap();
+        assert!(a.set_eq(&b));
+        assert_eq!(a.len(), 1);
+    }
+
+    #[test]
+    fn example1_optimizer_rescues_bad_association() {
+        let ex = example1(200);
+        let out = optimize(&ex.bad_query, &ex.catalog, Policy::Paper).unwrap();
+        assert!(out.reordered);
+        let mut st = ExecStats::new();
+        execute(&out.plan, &ex.storage, &mut st).unwrap();
+        assert_eq!(st.tuples_retrieved, 3, "paper's constant-cost claim");
+    }
+
+    #[test]
+    fn crossover_queries_equivalent() {
+        let w = crossover(20, 30, 0.5, 1);
+        let db = w.storage.to_database();
+        let a = w.join_first.eval(&db).unwrap();
+        let b = w.oj_first.eval(&db).unwrap();
+        assert!(a.set_eq(&b));
+    }
+
+    #[test]
+    fn synthetic_world_runs_paper_queries() {
+        let world = synthetic_entity_world(6, 4, 3);
+        let out = fro_lang::run(
+            "Select All From EMPLOYEE*ChildName, DEPARTMENT \
+             Where EMPLOYEE.D# = DEPARTMENT.D# and DEPARTMENT.Location = 'Queretaro'",
+            &world,
+        )
+        .unwrap();
+        assert!(!out.is_empty());
+        let out = fro_lang::run("Select All From DEPARTMENT-->Manager-->Audit", &world).unwrap();
+        assert_eq!(out.len(), 6); // every department preserved
+    }
+
+    #[test]
+    fn chain_workload_builds() {
+        let (storage, catalog, q) = chain(4, 8, 2);
+        assert_eq!(q.rels().len(), 4);
+        let out = optimize(&q, &catalog, Policy::Paper).unwrap();
+        assert!(out.reordered);
+        let mut st = ExecStats::new();
+        let got = execute(&out.plan, &storage, &mut st).unwrap();
+        let expect = q.eval(&storage.to_database()).unwrap();
+        assert!(got.set_eq(&expect));
+    }
+}

@@ -1,0 +1,440 @@
+//! Enumeration and counting of the implementing trees of a query
+//! graph (§1.3, §3.1).
+//!
+//! An IT of graph `G` is built by recursively splitting a connected
+//! node set `S` into two connected halves `(L, R)`:
+//!
+//! * if every crossing edge is a join edge, a regular-join operator
+//!   implements the cut, with the conjunction of the crossing labels as
+//!   its predicate;
+//! * if exactly one outerjoin edge crosses (and nothing else), an
+//!   outerjoin implements it, preserved side dictated by the edge
+//!   direction;
+//! * otherwise no operator implements the cut (Cartesian products and
+//!   mixed cuts are excluded).
+//!
+//! Trees are produced in *canonical form*: outerjoins keep the
+//! preserved operand on the left (the paper's `←` is notation for the
+//! mirrored drawing of the same operator), and join operands are
+//! ordered by their smallest leaf name. The paper's *reversal* BT maps
+//! between mirror drawings; enumerating canonical forms counts each
+//! reorderable association once, which is what an optimizer's plan
+//! space (and Theorem 1) care about. [`count_implementing_trees`] also
+//! offers the ordered count, where every join node doubles the tally.
+
+use fro_algebra::{Pred, Query};
+use fro_graph::{classify_cut, CutKind, NodeSet, QueryGraph};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A cap on enumeration size, to keep exhaustive walks safe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EnumLimit {
+    /// Maximum number of trees to materialize before aborting.
+    pub max_trees: usize,
+}
+
+impl Default for EnumLimit {
+    fn default() -> Self {
+        EnumLimit { max_trees: 200_000 }
+    }
+}
+
+/// Enumeration failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EnumError {
+    /// The graph admits more trees than the configured limit.
+    TooManyTrees {
+        /// The configured cap.
+        limit: usize,
+    },
+    /// The graph is disconnected: it has no implementing tree.
+    Disconnected,
+}
+
+impl fmt::Display for EnumError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EnumError::TooManyTrees { limit } => {
+                write!(f, "more than {limit} implementing trees; raise EnumLimit")
+            }
+            EnumError::Disconnected => write!(f, "disconnected graph has no implementing tree"),
+        }
+    }
+}
+
+impl std::error::Error for EnumError {}
+
+/// The predicate implementing a join cut: the conjunction of all
+/// crossing edge labels.
+fn cut_pred(g: &QueryGraph, edges: &[usize]) -> Pred {
+    Pred::from_conjuncts(edges.iter().map(|&i| g.edges()[i].pred().clone()))
+}
+
+/// The smallest leaf name of a query — the canonical ordering key for
+/// join operands.
+fn min_leaf(q: &Query) -> String {
+    q.leaves().into_iter().min().unwrap_or_default()
+}
+
+/// Order join operands canonically.
+fn canonical_join(l: Query, r: Query, pred: Pred) -> Query {
+    if min_leaf(&l) <= min_leaf(&r) {
+        l.join(r, pred)
+    } else {
+        r.join(l, pred)
+    }
+}
+
+struct Enumerator<'g> {
+    g: &'g QueryGraph,
+    memo: HashMap<NodeSet, Vec<Query>>,
+    limit: usize,
+    produced: usize,
+}
+
+impl<'g> Enumerator<'g> {
+    fn trees(&mut self, s: NodeSet) -> Result<Vec<Query>, EnumError> {
+        if let Some(cached) = self.memo.get(&s) {
+            return Ok(cached.clone());
+        }
+        let mut out = Vec::new();
+        if s.len() == 1 {
+            out.push(Query::rel(self.g.node_name(s.lowest().expect("non-empty"))));
+        } else {
+            for left in s.anchored_proper_subsets() {
+                let right = s.minus(left);
+                if !self.g.connected_in(left) || !self.g.connected_in(right) {
+                    continue;
+                }
+                match classify_cut(self.g, left, right) {
+                    CutKind::Joins(edges) => {
+                        let pred = cut_pred(self.g, &edges);
+                        let ls = self.trees(left)?;
+                        let rs = self.trees(right)?;
+                        for l in &ls {
+                            for r in &rs {
+                                self.produced += 1;
+                                if self.produced > self.limit {
+                                    return Err(EnumError::TooManyTrees { limit: self.limit });
+                                }
+                                out.push(canonical_join(l.clone(), r.clone(), pred.clone()));
+                            }
+                        }
+                    }
+                    CutKind::SingleOuterjoin { edge, forward } => {
+                        let pred = self.g.edges()[edge].pred().clone();
+                        let ls = self.trees(left)?;
+                        let rs = self.trees(right)?;
+                        for l in &ls {
+                            for r in &rs {
+                                self.produced += 1;
+                                if self.produced > self.limit {
+                                    return Err(EnumError::TooManyTrees { limit: self.limit });
+                                }
+                                out.push(if forward {
+                                    l.clone().outerjoin(r.clone(), pred.clone())
+                                } else {
+                                    r.clone().outerjoin(l.clone(), pred.clone())
+                                });
+                            }
+                        }
+                    }
+                    CutKind::Cartesian | CutKind::Mixed => {}
+                }
+            }
+        }
+        self.memo.insert(s, out.clone());
+        Ok(out)
+    }
+}
+
+/// Enumerate all implementing trees of `g`, in canonical form.
+///
+/// # Errors
+/// [`EnumError::Disconnected`] when no IT exists,
+/// [`EnumError::TooManyTrees`] past the limit.
+pub fn enumerate_trees(g: &QueryGraph, limit: EnumLimit) -> Result<Vec<Query>, EnumError> {
+    let all = NodeSet::full(g.n_nodes());
+    if !g.connected_in(all) {
+        return Err(EnumError::Disconnected);
+    }
+    let mut e = Enumerator {
+        g,
+        memo: HashMap::new(),
+        limit: limit.max_trees,
+        produced: 0,
+    };
+    e.trees(all)
+}
+
+/// One implementing tree of `g` (the first found), or `None` when the
+/// graph is disconnected.
+#[must_use]
+pub fn some_implementing_tree(g: &QueryGraph) -> Option<Query> {
+    let all = NodeSet::full(g.n_nodes());
+    if !g.connected_in(all) {
+        return None;
+    }
+    fn first(g: &QueryGraph, s: NodeSet) -> Option<Query> {
+        if s.len() == 1 {
+            return Some(Query::rel(g.node_name(s.lowest()?)));
+        }
+        for left in s.anchored_proper_subsets() {
+            let right = s.minus(left);
+            if !g.connected_in(left) || !g.connected_in(right) {
+                continue;
+            }
+            match classify_cut(g, left, right) {
+                CutKind::Joins(edges) => {
+                    let pred = cut_pred(g, &edges);
+                    if let (Some(l), Some(r)) = (first(g, left), first(g, right)) {
+                        return Some(canonical_join(l, r, pred));
+                    }
+                }
+                CutKind::SingleOuterjoin { edge, forward } => {
+                    let pred = g.edges()[edge].pred().clone();
+                    if let (Some(l), Some(r)) = (first(g, left), first(g, right)) {
+                        return Some(if forward {
+                            l.outerjoin(r, pred)
+                        } else {
+                            r.outerjoin(l, pred)
+                        });
+                    }
+                }
+                _ => {}
+            }
+        }
+        None
+    }
+    first(g, all)
+}
+
+/// Count the implementing trees of `g` without materializing them.
+///
+/// `ordered = false` counts canonical trees (mirror-image joins
+/// identified, as enumerated by [`enumerate_trees`]); `ordered = true`
+/// counts expression trees where the two operand orders of every
+/// operator are distinct (the paper's reversal BT maps between them).
+#[must_use]
+pub fn count_implementing_trees(g: &QueryGraph, ordered: bool) -> u128 {
+    let all = NodeSet::full(g.n_nodes());
+    if !g.connected_in(all) {
+        return 0;
+    }
+    fn count(g: &QueryGraph, s: NodeSet, ordered: bool, memo: &mut HashMap<NodeSet, u128>) -> u128 {
+        if s.len() == 1 {
+            return 1;
+        }
+        if let Some(&c) = memo.get(&s) {
+            return c;
+        }
+        let mut total = 0u128;
+        for left in s.anchored_proper_subsets() {
+            let right = s.minus(left);
+            if !g.connected_in(left) || !g.connected_in(right) {
+                continue;
+            }
+            let per_split = match classify_cut(g, left, right) {
+                CutKind::Joins(_) => {
+                    if ordered {
+                        2
+                    } else {
+                        1
+                    }
+                }
+                CutKind::SingleOuterjoin { .. } => {
+                    if ordered {
+                        2 // `X → Y` and its mirror drawing `Y ← X`
+                    } else {
+                        1
+                    }
+                }
+                _ => 0,
+            };
+            if per_split > 0 {
+                total += per_split * count(g, left, ordered, memo) * count(g, right, ordered, memo);
+            }
+        }
+        memo.insert(s, total);
+        total
+    }
+    count(g, all, ordered, &mut HashMap::new())
+}
+
+/// Whether `q` is an implementing tree of `g`, i.e. `graph(q)` is
+/// defined and equals `g` (§1.3).
+#[must_use]
+pub fn is_implementing_tree(q: &Query, g: &QueryGraph) -> bool {
+    match fro_graph::graph_of(q) {
+        Ok(gq) => gq.same_graph(g),
+        Err(_) => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fro_algebra::Pred;
+
+    fn p(a: &str, b: &str) -> Pred {
+        Pred::eq_attr(&format!("{a}.k{a}"), &format!("{b}.k{b}"))
+    }
+
+    fn chain_join(n: usize) -> QueryGraph {
+        let names: Vec<String> = (0..n).map(|i| format!("R{i}")).collect();
+        let mut g = QueryGraph::new(names);
+        for i in 0..n - 1 {
+            g.add_join_edge(i, i + 1, p(&format!("R{i}"), &format!("R{}", i + 1)))
+                .unwrap();
+        }
+        g
+    }
+
+    #[test]
+    fn two_node_join_graph_has_one_canonical_tree() {
+        let g = chain_join(2);
+        let ts = enumerate_trees(&g, EnumLimit::default()).unwrap();
+        assert_eq!(ts.len(), 1);
+        assert_eq!(count_implementing_trees(&g, false), 1);
+        assert_eq!(count_implementing_trees(&g, true), 2);
+    }
+
+    #[test]
+    fn join_chain_counts_match_catalan_style_recurrence() {
+        // For a join chain of n nodes the canonical tree count is the
+        // number of ways to parenthesize while staying connected.
+        // Chain of 3: splits {R0}|{R1,R2}, {R0,R1}|{R2} → 2 trees.
+        assert_eq!(count_implementing_trees(&chain_join(3), false), 2);
+        // Chain of 4: C(3) = 5 connected parenthesizations.
+        assert_eq!(count_implementing_trees(&chain_join(4), false), 5);
+        // Chain of 5: Catalan(4) = 14.
+        assert_eq!(count_implementing_trees(&chain_join(5), false), 14);
+        let ts = enumerate_trees(&chain_join(4), EnumLimit::default()).unwrap();
+        assert_eq!(ts.len(), 5);
+    }
+
+    #[test]
+    fn star_join_counts() {
+        // Star: R0 joined to R1, R2, R3. Canonical trees: orderings of
+        // attaching the three satellites = 3! = 6? Each tree is a
+        // sequence of binary joins around the hub; splits must keep
+        // connectivity: satellites peel off one at a time ⇒ 3! / ...
+        let mut g = QueryGraph::new((0..4).map(|i| format!("R{i}")).collect::<Vec<_>>());
+        for i in 1..4 {
+            g.add_join_edge(0, i, p("R0", &format!("R{i}"))).unwrap();
+        }
+        let ts = enumerate_trees(&g, EnumLimit::default()).unwrap();
+        assert_eq!(ts.len() as u128, count_implementing_trees(&g, false));
+        assert_eq!(ts.len(), 6);
+    }
+
+    #[test]
+    fn oj_edge_orientation_fixes_preserved_side() {
+        // R0 −(join) R1 →(oj) R2: ITs (canonical):
+        //   (R0 − R1) → R2  and  R0 − (R1 → R2).
+        let mut g = QueryGraph::new(vec!["R0".into(), "R1".into(), "R2".into()]);
+        g.add_join_edge(0, 1, p("R0", "R1")).unwrap();
+        g.add_outerjoin_edge(1, 2, p("R1", "R2")).unwrap();
+        let ts = enumerate_trees(&g, EnumLimit::default()).unwrap();
+        let shapes: Vec<String> = ts.iter().map(Query::shape).collect();
+        assert_eq!(ts.len(), 2, "{shapes:?}");
+        assert!(shapes.contains(&"((R0 − R1) → R2)".to_owned()));
+        assert!(shapes.contains(&"(R0 − (R1 → R2))".to_owned()));
+    }
+
+    #[test]
+    fn example2_graph_has_both_trees_despite_not_nice() {
+        // R0 → R1 − R2 (Example 2 shape): both associations are ITs —
+        // they implement the same graph but evaluate differently.
+        let mut g = QueryGraph::new(vec!["R0".into(), "R1".into(), "R2".into()]);
+        g.add_outerjoin_edge(0, 1, p("R0", "R1")).unwrap();
+        g.add_join_edge(1, 2, p("R1", "R2")).unwrap();
+        let ts = enumerate_trees(&g, EnumLimit::default()).unwrap();
+        let shapes: Vec<String> = ts.iter().map(Query::shape).collect();
+        assert_eq!(ts.len(), 2);
+        assert!(shapes.contains(&"((R0 → R1) − R2)".to_owned()));
+        assert!(shapes.contains(&"(R0 → (R1 − R2))".to_owned()));
+    }
+
+    #[test]
+    fn oj_cut_with_extra_crossing_edges_is_excluded() {
+        // Triangle: join R0−R1, join R0−R2, oj R1→R2. The cut
+        // {R0,R1}|{R2} crosses a join AND the oj edge: excluded.
+        let mut g = QueryGraph::new(vec!["R0".into(), "R1".into(), "R2".into()]);
+        g.add_join_edge(0, 1, p("R0", "R1")).unwrap();
+        g.add_join_edge(0, 2, p("R0", "R2")).unwrap();
+        g.add_outerjoin_edge(1, 2, p("R1", "R2")).unwrap();
+        let ts = enumerate_trees(&g, EnumLimit::default()).unwrap();
+        // Remaining ITs must all place the oj edge on a pure cut — none
+        // exists except ... let's check every tree implements g.
+        for t in &ts {
+            assert!(is_implementing_tree(t, &g), "{}", t.shape());
+        }
+        // Cut {R1}|{R0,R2}: crossing join R0−R1 + oj R1→R2 → mixed.
+        // Cut {R2}|{R0,R1}: crossing join R0−R2 + oj → mixed.
+        // Cut {R0}|{R1,R2}: {R1,R2} connected via oj edge: crossing
+        // joins R0−R1, R0−R2 → join cut with conjunction; inner {R1,R2}
+        // split by the oj edge. So exactly 1 canonical tree.
+        assert_eq!(ts.len(), 1);
+        assert_eq!(ts[0].shape(), "(R0 − (R1 → R2))");
+    }
+
+    #[test]
+    fn every_enumerated_tree_implements_the_graph() {
+        let mut g = QueryGraph::new((0..5).map(|i| format!("R{i}")).collect::<Vec<_>>());
+        g.add_join_edge(0, 1, p("R0", "R1")).unwrap();
+        g.add_join_edge(1, 2, p("R1", "R2")).unwrap();
+        g.add_outerjoin_edge(1, 3, p("R1", "R3")).unwrap();
+        g.add_outerjoin_edge(3, 4, p("R3", "R4")).unwrap();
+        let ts = enumerate_trees(&g, EnumLimit::default()).unwrap();
+        assert!(!ts.is_empty());
+        for t in &ts {
+            assert!(is_implementing_tree(t, &g), "{}", t.paper_notation());
+            assert!(t.relations_distinct());
+        }
+        // Counting agrees with enumeration.
+        assert_eq!(ts.len() as u128, count_implementing_trees(&g, false));
+    }
+
+    #[test]
+    fn disconnected_graph_has_no_trees() {
+        let g = QueryGraph::new(vec!["A".into(), "B".into()]);
+        assert!(matches!(
+            enumerate_trees(&g, EnumLimit::default()),
+            Err(EnumError::Disconnected)
+        ));
+        assert!(some_implementing_tree(&g).is_none());
+        assert_eq!(count_implementing_trees(&g, false), 0);
+    }
+
+    #[test]
+    fn limit_respected() {
+        let g = chain_join(8);
+        let e = enumerate_trees(&g, EnumLimit { max_trees: 10 });
+        assert!(matches!(e, Err(EnumError::TooManyTrees { limit: 10 })));
+    }
+
+    #[test]
+    fn some_tree_is_an_it() {
+        let g = chain_join(6);
+        let t = some_implementing_tree(&g).unwrap();
+        assert!(is_implementing_tree(&t, &g));
+    }
+
+    #[test]
+    fn single_node_graph() {
+        let g = QueryGraph::new(vec!["A".into()]);
+        let ts = enumerate_trees(&g, EnumLimit::default()).unwrap();
+        assert_eq!(ts.len(), 1);
+        assert_eq!(ts[0], Query::rel("A"));
+        assert_eq!(count_implementing_trees(&g, true), 1);
+    }
+
+    #[test]
+    fn ordered_count_doubles_per_operator() {
+        // Chain of 3 joins: canonical 2 trees, each with 2 binary ops:
+        // ordered = 2 trees × 2^2 = 8.
+        assert_eq!(count_implementing_trees(&chain_join(3), true), 8);
+    }
+}

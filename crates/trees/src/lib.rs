@@ -1,0 +1,72 @@
+//! # fro-trees — implementing trees of a query graph
+//!
+//! Implements §3 of Rosenthal & Galindo-Legaria (SIGMOD 1990):
+//!
+//! * [`enumerate`]: all *implementing trees* (ITs) of a query graph —
+//!   the connectivity-preserving parenthesizations; a join operator may
+//!   sit only on a cut whose crossing edges are all join edges (its
+//!   predicate is their conjunction), an outerjoin only on a cut whose
+//!   single crossing edge is that outerjoin edge, oriented so the
+//!   preserved relation's side is preserved. Includes memoized
+//!   *counting* of ITs (the plan-space size an optimizer walks).
+//! * [`transform`]: the *basic transforms* (BTs) of §3.2 — reversal and
+//!   reassociation (with conjunct movement between regular joins, per
+//!   identity 1) — expressed as five tree-rewrite primitives on our
+//!   preserved-on-the-left [`Query`] representation (the paper's
+//!   symmetric forms `←`, `◁` are notational, so each of its
+//!   reversal-conjugated reassociations appears here as one primitive).
+//! * [`preserve`]: Lemma 2's classification of which BTs are
+//!   *result-preserving*, keyed to identities 1, 11, 12 (strongness
+//!   required), and 13.
+//! * [`search`]: the BT closure and BT-sequence search between two ITs
+//!   (the constructive content of Lemma 3), used to validate Theorem 1
+//!   exhaustively.
+//! * [`semijoin`]: the §6.3 future-work study — join/semijoin graphs,
+//!   their implementing trees (with attribute-visibility constraints),
+//!   and an executable test of the "semijoin edges in series are an
+//!   additional forbidden subgraph" conjecture.
+
+//! ## Example
+//!
+//! ```
+//! use fro_algebra::{Pred, Query};
+//! use fro_trees::{enumerate_trees, EnumLimit};
+//!
+//! let q = Query::rel("R1").join(
+//!     Query::rel("R2").outerjoin(Query::rel("R3"), Pred::eq_attr("R2.b", "R3.c")),
+//!     Pred::eq_attr("R1.a", "R2.b"),
+//! );
+//! let g = fro_graph::graph_of(&q).unwrap();
+//! let trees = enumerate_trees(&g, EnumLimit::default()).unwrap();
+//! // Two associations implement this graph; Theorem 1 says both
+//! // evaluate identically (the predicates are strong equalities).
+//! assert_eq!(trees.len(), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod enumerate;
+pub mod preserve;
+pub mod search;
+pub mod semijoin;
+pub mod transform;
+
+pub use enumerate::{
+    count_implementing_trees, enumerate_trees, is_implementing_tree, some_implementing_tree,
+    EnumLimit,
+};
+pub use preserve::is_result_preserving;
+pub use search::{bt_closure, constructive_sequence, find_bt_sequence, ClosureOptions};
+pub use transform::{applicable_bts, apply_bt, canonical_tree, Bt, BtError, Dir, Primitive};
+
+use fro_algebra::Query;
+
+/// Convenience: canonical forms of all implementing trees of
+/// `graph(q)`, or `None` when the graph is undefined or enumeration
+/// overflows the default limit.
+#[must_use]
+pub fn all_equivalent_shapes(q: &Query) -> Option<Vec<Query>> {
+    let g = fro_graph::graph_of(q).ok()?;
+    enumerate_trees(&g, EnumLimit::default()).ok()
+}

@@ -1,0 +1,261 @@
+//! Lemma 2: which basic transforms are result-preserving.
+//!
+//! A reassociation `[X ⊙1 Y ⊙2 Z]` is result-preserving exactly when
+//! the corresponding "three relations" identity of §2 holds:
+//!
+//! | pattern | identity | preserving |
+//! |---------|----------|------------|
+//! | `(X − Y) − Z ⇔ X − (Y − Z)` (incl. conjunct movement) | 1 | always |
+//! | `(X − Y) → Z ⇔ X − (Y → Z)` | 11 | always |
+//! | `(X → Y) − Z ⇔ X → (Y − Z)` | — | **never** (Example 2) |
+//! | `(X → Y) → Z ⇔ X → (Y → Z)` | 12 | iff `P_yz` strong w.r.t. `Y` |
+//! | exchange off the shared operand (`(X ← Y) → Z` family) | 13 (+ reversal-conjugates of 1, 11) | always |
+//! | mirror-exchange `(A ⊙1 (B ⊙2 C)) ⇔ (B ⊙2 (A ⊙1 C))` | 1 via reversal | joins only |
+//!
+//! Reversals are always result-preserving (the paper's reversal swaps
+//! operands and flips to the symmetric operator form; at the level of
+//! relation *values* — sets of tuples over a scheme — the result is
+//! unchanged).
+
+use crate::transform::{split, Bt, Dir, OpKind, Primitive};
+use fro_algebra::Query;
+
+/// Classify whether applying `bt` to `q` is result-preserving, per the
+/// §2 identities (Lemma 2's analysis). Returns `None` when the BT is
+/// not applicable at that site (so there is nothing to classify).
+///
+/// The classification is *sound for the identities' preconditions*: it
+/// answers "does the matching §2 identity guarantee equivalence?".
+/// A `false` means no identity applies — and for the two patterns the
+/// paper names (`X → Y − Z`, `X → Y ← Z`) there are concrete
+/// counterexample databases (Examples 2 and 3, reproduced in tests).
+#[must_use]
+pub fn is_result_preserving(q: &Query, bt: &Bt) -> Option<bool> {
+    // Walk to the site.
+    let mut node = q;
+    for d in &bt.path {
+        let (_, l, r, _) = split(node)?;
+        node = match d {
+            Dir::L => l,
+            Dir::R => r,
+        };
+    }
+    classify_at(node, bt.prim)
+}
+
+fn classify_at(node: &Query, prim: Primitive) -> Option<bool> {
+    match prim {
+        Primitive::Swap => {
+            // Applicable only on joins; reversal is always preserving.
+            let (k, ..) = split(node)?;
+            (k == OpKind::Join).then_some(true)
+        }
+        Primitive::AssocRtl => {
+            let (k2, l, _c, p2) = split(node)?;
+            let (k1, _a, b, _p1) = split(l)?;
+            // Conjunct movement case: applicability already forces both
+            // operators to be joins (identity 1) — preserving. The
+            // kind-based table below returns `true` for (Join, Join)
+            // whether or not conjuncts move.
+            Some(match (k1, k2) {
+                (OpKind::Join, OpKind::Join) => true,
+                (OpKind::Join, OpKind::Oj) => true, // identity 11
+                (OpKind::Oj, OpKind::Join) => false, // Example 2 pattern
+                (OpKind::Oj, OpKind::Oj) => p2.is_strong_on_rels(&b.rels()), // identity 12
+            })
+        }
+        Primitive::AssocLtr => {
+            let (k1, _a, r, _p1) = split(node)?;
+            let (k2, b, _c, p2) = split(r)?;
+            Some(match (k1, k2) {
+                (OpKind::Join, OpKind::Join) => true,
+                (OpKind::Join, OpKind::Oj) => true, // identity 11, right-to-left
+                (OpKind::Oj, OpKind::Join) => false, // Example 2 pattern
+                (OpKind::Oj, OpKind::Oj) => p2.is_strong_on_rels(&b.rels()), // identity 12
+            })
+        }
+        Primitive::Exchange => {
+            // Both operators hang off the shared operand A: identity 13
+            // for the outerjoin/outerjoin case, reversal-conjugated
+            // identities 1/11 otherwise. Always preserving.
+            let (_k2, l, _c, _p2) = split(node)?;
+            let (_k1, ..) = split(l)?;
+            Some(true)
+        }
+        Primitive::ExchangeMirror => {
+            // Both operators hang off the shared operand C. For joins
+            // this is identity 1 via reversal; any outerjoin involved
+            // creates a forbidden pattern at C (null-supplied relation
+            // on a join edge, or doubly null-supplied).
+            let (k1, _a, r, _p1) = split(node)?;
+            let (k2, ..) = split(r)?;
+            Some(matches!((k1, k2), (OpKind::Join, OpKind::Join)))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transform::apply_bt;
+    use fro_algebra::{Database, Pred, Relation, Value};
+
+    fn pq(a: &str, b: &str) -> Pred {
+        Pred::eq_attr(&format!("{a}.k{a}"), &format!("{b}.k{b}"))
+    }
+
+    fn root(prim: Primitive) -> Bt {
+        Bt { prim, path: vec![] }
+    }
+
+    #[test]
+    fn join_join_reassoc_preserving() {
+        let q = Query::rel("A")
+            .join(Query::rel("B"), pq("A", "B"))
+            .join(Query::rel("C"), pq("B", "C"));
+        assert_eq!(
+            is_result_preserving(&q, &root(Primitive::AssocRtl)),
+            Some(true)
+        );
+        assert_eq!(is_result_preserving(&q, &root(Primitive::Swap)), Some(true));
+    }
+
+    #[test]
+    fn identity_11_pattern_preserving() {
+        let q = Query::rel("A")
+            .join(Query::rel("B"), pq("A", "B"))
+            .outerjoin(Query::rel("C"), pq("B", "C"));
+        assert_eq!(
+            is_result_preserving(&q, &root(Primitive::AssocRtl)),
+            Some(true)
+        );
+    }
+
+    #[test]
+    fn example_2_pattern_not_preserving() {
+        // (A → B) − C: reassociating to A → (B − C) is the forbidden
+        // [X → Y − Z].
+        let q = Query::rel("A")
+            .outerjoin(Query::rel("B"), pq("A", "B"))
+            .join(Query::rel("C"), pq("B", "C"));
+        assert_eq!(
+            is_result_preserving(&q, &root(Primitive::AssocRtl)),
+            Some(false)
+        );
+
+        // Verify with the paper's Example 2 database that the rewrite
+        // really changes the result.
+        let mut db = Database::new();
+        db.insert(Relation::from_ints("A", &["kA"], &[&[1]]));
+        db.insert(Relation::from_ints("B", &["kB"], &[&[1]]));
+        db.insert(Relation::from_ints("C", &["kC"], &[&[9]]));
+        let t = apply_bt(&q, &root(Primitive::AssocRtl)).unwrap();
+        let r1 = q.eval(&db).unwrap();
+        let r2 = t.eval(&db).unwrap();
+        assert!(!r1.set_eq(&r2));
+    }
+
+    #[test]
+    fn identity_12_needs_strongness() {
+        // Strong predicate: preserving.
+        let strong = Query::rel("A")
+            .outerjoin(Query::rel("B"), pq("A", "B"))
+            .outerjoin(Query::rel("C"), pq("B", "C"));
+        assert_eq!(
+            is_result_preserving(&strong, &root(Primitive::AssocRtl)),
+            Some(true)
+        );
+
+        // Non-strong predicate (Example 3's P_bc): not preserving.
+        let pbc = Pred::eq_attr("B.kB", "C.kC").or(Pred::is_null("B.kB"));
+        let weak = Query::rel("A")
+            .outerjoin(Query::rel("B"), pq("A", "B"))
+            .outerjoin(Query::rel("C"), pbc);
+        assert_eq!(
+            is_result_preserving(&weak, &root(Primitive::AssocRtl)),
+            Some(false)
+        );
+
+        // And the rewrite really diverges on Example 3's database.
+        let mut db = Database::new();
+        db.insert(Relation::from_ints("A", &["kA"], &[&[10]]));
+        db.insert(Relation::from_values("B", &["kB"], vec![vec![Value::Null]]));
+        db.insert(Relation::from_ints("C", &["kC"], &[&[30]]));
+        let t = apply_bt(&weak, &root(Primitive::AssocRtl)).unwrap();
+        assert!(!weak.eval(&db).unwrap().set_eq(&t.eval(&db).unwrap()));
+    }
+
+    #[test]
+    fn identity_13_exchange_preserving() {
+        let q = Query::rel("A")
+            .outerjoin(Query::rel("B"), pq("A", "B"))
+            .outerjoin(Query::rel("C"), pq("A", "C"));
+        assert_eq!(
+            is_result_preserving(&q, &root(Primitive::Exchange)),
+            Some(true)
+        );
+    }
+
+    #[test]
+    fn mirror_exchange_only_joins() {
+        let joins = Query::rel("A").join(
+            Query::rel("B").join(Query::rel("C"), pq("B", "C")),
+            pq("A", "C"),
+        );
+        assert_eq!(
+            is_result_preserving(&joins, &root(Primitive::ExchangeMirror)),
+            Some(true)
+        );
+        let with_oj = Query::rel("A").outerjoin(
+            Query::rel("B").join(Query::rel("C"), pq("B", "C")),
+            pq("A", "C"),
+        );
+        assert_eq!(
+            is_result_preserving(&with_oj, &root(Primitive::ExchangeMirror)),
+            Some(false)
+        );
+    }
+
+    #[test]
+    fn ltr_classification_mirrors_rtl() {
+        let q = Query::rel("A").outerjoin(
+            Query::rel("B").join(Query::rel("C"), pq("B", "C")),
+            pq("A", "B"),
+        );
+        // A → (B − C) ⇒ (A → B) − C: Example 2, not preserving.
+        assert_eq!(
+            is_result_preserving(&q, &root(Primitive::AssocLtr)),
+            Some(false)
+        );
+        let q = Query::rel("A").join(
+            Query::rel("B").outerjoin(Query::rel("C"), pq("B", "C")),
+            pq("A", "B"),
+        );
+        assert_eq!(
+            is_result_preserving(&q, &root(Primitive::AssocLtr)),
+            Some(true)
+        );
+    }
+
+    #[test]
+    fn none_for_non_sites() {
+        let q = Query::rel("A");
+        assert_eq!(is_result_preserving(&q, &root(Primitive::AssocRtl)), None);
+        let oj = Query::rel("A").outerjoin(Query::rel("B"), pq("A", "B"));
+        // Swap on an outerjoin: not applicable → None.
+        assert_eq!(is_result_preserving(&oj, &root(Primitive::Swap)), None);
+    }
+
+    #[test]
+    fn deep_path_classification() {
+        let inner = Query::rel("B")
+            .outerjoin(Query::rel("C"), pq("B", "C"))
+            .join(Query::rel("D"), pq("C", "D"));
+        let q = Query::rel("A").join(inner, pq("A", "B"));
+        let bt = Bt {
+            prim: Primitive::AssocRtl,
+            path: vec![Dir::R],
+        };
+        assert_eq!(is_result_preserving(&q, &bt), Some(false)); // X→Y−Z inside
+    }
+}

@@ -1,0 +1,533 @@
+//! BT closure and BT-sequence search (the constructive side of
+//! Lemma 3).
+//!
+//! Lemma 3 states that any two implementing trees of the same graph are
+//! connected by a sequence of basic transforms; Theorem 1 then follows
+//! because on nice graphs (with strong predicates) every applicable BT
+//! is result-preserving (Lemma 2). [`bt_closure`] computes the set of
+//! trees reachable from a starting IT — optionally restricted to
+//! result-preserving BTs — and [`find_bt_sequence`] recovers an actual
+//! transform sequence between two ITs. The workspace test-suite uses
+//! these to *prove Lemma 3 exhaustively* on small graphs: the closure
+//! under all BTs must equal the full enumerated IT set.
+
+use crate::preserve::is_result_preserving;
+use crate::transform::{applicable_bts, apply_bt, canonical_tree, Bt};
+use fro_algebra::Query;
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// Options for closure/search walks.
+#[derive(Debug, Clone, Copy)]
+pub struct ClosureOptions {
+    /// Only follow BTs classified result-preserving by Lemma 2.
+    pub only_preserving: bool,
+    /// Abort after visiting this many distinct trees.
+    pub max_states: usize,
+}
+
+impl Default for ClosureOptions {
+    fn default() -> Self {
+        ClosureOptions {
+            only_preserving: false,
+            max_states: 100_000,
+        }
+    }
+}
+
+/// All canonical tree forms reachable from `q` by basic transforms.
+///
+/// The result always contains `canonical_tree(q)` itself. Reversals
+/// are implicit: states are canonical forms (join operands ordered),
+/// which identifies mirror-image trees exactly as the paper's reversal
+/// BT relates them.
+#[must_use]
+pub fn bt_closure(q: &Query, opts: ClosureOptions) -> Vec<Query> {
+    // Walk over *raw* trees (reversals are genuine intermediate states:
+    // a conjunct-moving reassociation may only apply after a reversal),
+    // then report one canonical representative per reversal class.
+    let mut seen: HashSet<Query> = HashSet::from([q.clone()]);
+    let mut queue = VecDeque::from([q.clone()]);
+    while let Some(cur) = queue.pop_front() {
+        if seen.len() >= opts.max_states {
+            break;
+        }
+        for bt in applicable_bts(&cur) {
+            if opts.only_preserving && is_result_preserving(&cur, &bt) != Some(true) {
+                continue;
+            }
+            if let Ok(next) = apply_bt(&cur, &bt) {
+                if seen.insert(next.clone()) {
+                    queue.push_back(next);
+                }
+            }
+        }
+    }
+    let canon: HashSet<Query> = seen.iter().map(canonical_tree).collect();
+    let mut out: Vec<Query> = canon.into_iter().collect();
+    out.sort();
+    out
+}
+
+/// Find a sequence of BTs transforming `from` into a tree whose
+/// canonical form matches `to`'s. Returns `None` when unreachable
+/// within `opts.max_states`.
+///
+/// Each returned [`Bt`] applies to the exact tree produced by the
+/// preceding step, so the sequence replays with [`replay`].
+#[must_use]
+pub fn find_bt_sequence(from: &Query, to: &Query, opts: ClosureOptions) -> Option<Vec<Bt>> {
+    let goal = canonical_tree(to);
+    if canonical_tree(from) == goal {
+        return Some(Vec::new());
+    }
+    let mut parent: HashMap<Query, (Query, Bt)> = HashMap::new();
+    let mut seen: HashSet<Query> = HashSet::from([from.clone()]);
+    let mut queue = VecDeque::from([from.clone()]);
+    while let Some(cur) = queue.pop_front() {
+        if seen.len() >= opts.max_states {
+            return None;
+        }
+        for bt in applicable_bts(&cur) {
+            if opts.only_preserving && is_result_preserving(&cur, &bt) != Some(true) {
+                continue;
+            }
+            let Ok(next) = apply_bt(&cur, &bt) else {
+                continue;
+            };
+            if !seen.insert(next.clone()) {
+                continue;
+            }
+            parent.insert(next.clone(), (cur.clone(), bt.clone()));
+            if canonical_tree(&next) == goal {
+                // Reconstruct.
+                let mut seq = Vec::new();
+                let mut node = next;
+                while let Some((prev, bt)) = parent.get(&node) {
+                    seq.push(bt.clone());
+                    node = prev.clone();
+                }
+                seq.reverse();
+                return Some(seq);
+            }
+            queue.push_back(next);
+        }
+    }
+    None
+}
+
+/// Replay a BT sequence from `start`.
+///
+/// # Errors
+/// Propagates the first [`crate::transform::BtError`].
+pub fn replay(start: &Query, seq: &[Bt]) -> Result<Query, crate::transform::BtError> {
+    let mut cur = start.clone();
+    for bt in seq {
+        cur = apply_bt(&cur, bt)?;
+    }
+    Ok(cur)
+}
+
+// ---------------------------------------------------------------------
+// The constructive Lemma 3 procedure.
+// ---------------------------------------------------------------------
+
+use crate::transform::{Dir, Primitive};
+use std::collections::BTreeSet as Set;
+
+fn node_at<'a>(q: &'a Query, path: &[Dir]) -> Option<&'a Query> {
+    let mut cur = q;
+    for d in path {
+        let (_, l, r, _) = crate::transform::split(cur)?;
+        cur = match d {
+            Dir::L => l,
+            Dir::R => r,
+        };
+    }
+    Some(cur)
+}
+
+/// The unique operator in `q` whose cut separates relations `a` and
+/// `b` (the operator "holding" the graph edge `a–b`), as a path.
+fn separating_op(q: &Query, a: &str, b: &str) -> Option<Vec<Dir>> {
+    let mut path = Vec::new();
+    let mut cur = q;
+    loop {
+        let (_, l, r, _) = crate::transform::split(cur)?;
+        let (lr, rr) = (l.rels(), r.rels());
+        let la = lr.contains(a);
+        let lb = lr.contains(b);
+        let ra = rr.contains(a);
+        let rb = rr.contains(b);
+        if (la && rb) || (lb && ra) {
+            return Some(path);
+        }
+        if la && lb {
+            path.push(Dir::L);
+            cur = l;
+        } else if ra && rb {
+            path.push(Dir::R);
+            cur = r;
+        } else {
+            return None; // one of the relations is absent
+        }
+    }
+}
+
+/// Raise the operator at `path` one level (it must have a parent),
+/// choosing the reassociation/exchange primitive the paper's proof
+/// sketch implies; returns the applied BT. Fails when no primitive is
+/// applicable (possible off the nice class).
+fn raise_once(q: &Query, path: &[Dir]) -> Option<(Query, Bt)> {
+    let (parent_path, last) = path.split_at(path.len() - 1);
+    let prims: &[Primitive] = match last[0] {
+        Dir::L => &[Primitive::AssocRtl, Primitive::Exchange],
+        Dir::R => &[Primitive::AssocLtr, Primitive::ExchangeMirror],
+    };
+    for &prim in prims {
+        let bt = Bt {
+            prim,
+            path: parent_path.to_vec(),
+        };
+        if let Ok(next) = apply_bt(q, &bt) {
+            return Some((next, bt));
+        }
+    }
+    None
+}
+
+/// The constructive Lemma 3 procedure: a BT sequence mapping `from`
+/// onto `to` (up to reversal / canonical form), built by hoisting the
+/// operator that holds each target cut's edge to the corresponding
+/// root and recursing — exactly the induction of the paper's proof
+/// sketch ("the application of k reassociations will map Q to an
+/// expression in which ⊙ is the root").
+///
+/// Complete when every target cut is held together by a *bridge* edge
+/// of the query graph (always true when the join core is acyclic —
+/// in particular for every chain/star/tree workload and every §5
+/// block). Returns `None` when a hoist stalls or a hoisted cut does
+/// not match the target (a cyclic-core case) — callers should fall
+/// back to [`find_bt_sequence`].
+#[must_use]
+pub fn constructive_sequence(from: &Query, to: &Query) -> Option<Vec<Bt>> {
+    let mut cur = from.clone();
+    let mut seq = Vec::new();
+    align(&mut cur, &mut Vec::new(), to, &mut seq).map(|()| seq)
+}
+
+fn align(cur: &mut Query, base: &mut Vec<Dir>, target: &Query, seq: &mut Vec<Bt>) -> Option<()> {
+    let sub = node_at(cur, base).expect("base path valid");
+    if canonical_tree(sub) == canonical_tree(target) {
+        return Some(());
+    }
+    // Leaf mismatch fails via split below.
+    let (_, tl, tr, tp) = crate::transform::split(target)?;
+    // The edge that holds the target root's cut.
+    let conjunct = tp.conjuncts().into_iter().next()?;
+    let rels: Vec<String> = conjunct.rels().into_iter().collect();
+    if rels.len() != 2 {
+        return None;
+    }
+
+    // Hoist the separating operator to the root of the aligned subtree.
+    loop {
+        let sub = node_at(cur, base).expect("base path valid");
+        let rel_path = separating_op(sub, &rels[0], &rels[1])?;
+        if rel_path.is_empty() {
+            break;
+        }
+        let mut abs: Vec<Dir> = base.clone();
+        abs.extend(rel_path.iter().copied());
+        let (next, bt) = raise_once(cur, &abs)?;
+        *cur = next;
+        seq.push(bt);
+    }
+
+    // The hoisted cut must match the target partition (bridge case).
+    let sub = node_at(cur, base).expect("base path valid");
+    let (_, sl, sr, _) = crate::transform::split(sub)?;
+    let (slr, srr): (Set<String>, Set<String>) = (sl.rels(), sr.rels());
+    let (tlr, trr): (Set<String>, Set<String>) = (tl.rels(), tr.rels());
+    if slr == trr && srr == tlr {
+        // Mirrored: swap (joins only; outerjoin orientation is fixed by
+        // the edge, so a mirrored outerjoin cut cannot occur).
+        let bt = Bt {
+            prim: Primitive::Swap,
+            path: base.clone(),
+        };
+        let next = apply_bt(cur, &bt).ok()?;
+        *cur = next;
+        seq.push(bt);
+    } else if !(slr == tlr && srr == trr) {
+        return None; // non-bridge cut (cyclic core): bail out
+    }
+
+    // Recurse into both operands.
+    base.push(Dir::L);
+    let ok_l = align(cur, base, tl, seq);
+    base.pop();
+    ok_l?;
+    base.push(Dir::R);
+    let ok_r = align(cur, base, tr, seq);
+    base.pop();
+    ok_r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enumerate::{enumerate_trees, EnumLimit};
+    use fro_algebra::Pred;
+    use fro_graph::QueryGraph;
+
+    fn p(a: &str, b: &str) -> Pred {
+        Pred::eq_attr(&format!("{a}.k{a}"), &format!("{b}.k{b}"))
+    }
+
+    /// Closure under *all* BTs from any IT must equal the enumerated IT
+    /// set (Lemma 3), for each given graph.
+    fn assert_lemma3(g: &QueryGraph) {
+        let all = enumerate_trees(g, EnumLimit::default()).unwrap();
+        let canon_all: std::collections::BTreeSet<Query> = all.iter().map(canonical_tree).collect();
+        let start = all.first().expect("non-empty IT set");
+        let closure: std::collections::BTreeSet<Query> =
+            bt_closure(start, ClosureOptions::default())
+                .into_iter()
+                .collect();
+        assert_eq!(
+            closure,
+            canon_all,
+            "closure ({}) vs enumeration ({}) differ on graph\n{g}",
+            closure.len(),
+            canon_all.len()
+        );
+    }
+
+    #[test]
+    fn lemma3_join_chain() {
+        let mut g = QueryGraph::new((0..4).map(|i| format!("R{i}")).collect());
+        for i in 0..3 {
+            g.add_join_edge(i, i + 1, p(&format!("R{i}"), &format!("R{}", i + 1)))
+                .unwrap();
+        }
+        assert_lemma3(&g);
+    }
+
+    #[test]
+    fn lemma3_join_cycle() {
+        // Triangle with conjunct-movement reassociations.
+        let mut g = QueryGraph::new((0..3).map(|i| format!("R{i}")).collect());
+        g.add_join_edge(0, 1, p("R0", "R1")).unwrap();
+        g.add_join_edge(1, 2, p("R1", "R2")).unwrap();
+        g.add_join_edge(0, 2, p("R0", "R2")).unwrap();
+        assert_lemma3(&g);
+    }
+
+    #[test]
+    fn lemma3_nice_mixed_graph() {
+        // Join core R0−R1 with OJ chain R1→R2→R3 and OJ leaf R0→R4.
+        let mut g = QueryGraph::new((0..5).map(|i| format!("R{i}")).collect());
+        g.add_join_edge(0, 1, p("R0", "R1")).unwrap();
+        g.add_outerjoin_edge(1, 2, p("R1", "R2")).unwrap();
+        g.add_outerjoin_edge(2, 3, p("R2", "R3")).unwrap();
+        g.add_outerjoin_edge(0, 4, p("R0", "R4")).unwrap();
+        assert_lemma3(&g);
+    }
+
+    #[test]
+    fn lemma3_oj_star() {
+        // R0 → R1, R0 → R2, R0 → R3 (identity 13 territory).
+        let mut g = QueryGraph::new((0..4).map(|i| format!("R{i}")).collect());
+        for i in 1..4 {
+            g.add_outerjoin_edge(0, i, p("R0", &format!("R{i}")))
+                .unwrap();
+        }
+        assert_lemma3(&g);
+    }
+
+    #[test]
+    fn lemma3_non_nice_example2() {
+        // Even on the non-nice Example 2 graph, BTs connect both ITs —
+        // they are just not result-preserving.
+        let mut g = QueryGraph::new((0..3).map(|i| format!("R{i}")).collect());
+        g.add_outerjoin_edge(0, 1, p("R0", "R1")).unwrap();
+        g.add_join_edge(1, 2, p("R1", "R2")).unwrap();
+        assert_lemma3(&g);
+    }
+
+    #[test]
+    fn preserving_closure_on_nice_graph_is_complete() {
+        // On a nice graph with strong predicates, even the
+        // preserving-only closure reaches every IT (Theorem 1's engine).
+        let mut g = QueryGraph::new((0..4).map(|i| format!("R{i}")).collect());
+        g.add_join_edge(0, 1, p("R0", "R1")).unwrap();
+        g.add_outerjoin_edge(1, 2, p("R1", "R2")).unwrap();
+        g.add_outerjoin_edge(2, 3, p("R2", "R3")).unwrap();
+        let all = enumerate_trees(&g, EnumLimit::default()).unwrap();
+        let start = &all[0];
+        let closure = bt_closure(
+            start,
+            ClosureOptions {
+                only_preserving: true,
+                max_states: 100_000,
+            },
+        );
+        assert_eq!(closure.len(), all.len());
+    }
+
+    #[test]
+    fn preserving_closure_on_example2_graph_is_partial() {
+        let mut g = QueryGraph::new((0..3).map(|i| format!("R{i}")).collect());
+        g.add_outerjoin_edge(0, 1, p("R0", "R1")).unwrap();
+        g.add_join_edge(1, 2, p("R1", "R2")).unwrap();
+        let all = enumerate_trees(&g, EnumLimit::default()).unwrap();
+        assert_eq!(all.len(), 2);
+        let closure = bt_closure(
+            &all[0],
+            ClosureOptions {
+                only_preserving: true,
+                max_states: 100_000,
+            },
+        );
+        // Stuck at the starting tree: the only connecting BT is
+        // non-preserving.
+        assert_eq!(closure.len(), 1);
+    }
+
+    #[test]
+    fn find_sequence_and_replay() {
+        let q1 = Query::rel("A")
+            .join(Query::rel("B"), p("A", "B"))
+            .join(Query::rel("C"), p("B", "C"));
+        let q2 = Query::rel("A").join(
+            Query::rel("B").join(Query::rel("C"), p("B", "C")),
+            p("A", "B"),
+        );
+        let seq = find_bt_sequence(&q1, &q2, ClosureOptions::default()).unwrap();
+        assert!(!seq.is_empty());
+        let end = replay(&q1, &seq).unwrap();
+        assert_eq!(canonical_tree(&end), canonical_tree(&q2));
+    }
+
+    #[test]
+    fn find_sequence_identity() {
+        let q = Query::rel("A").join(Query::rel("B"), p("A", "B"));
+        assert_eq!(
+            find_bt_sequence(&q, &q, ClosureOptions::default()),
+            Some(vec![])
+        );
+    }
+
+    #[test]
+    fn constructive_sequence_on_chain() {
+        // (R0 − R1) − R2 … left-deep to right-deep.
+        let ldeep = Query::rel("R0")
+            .join(Query::rel("R1"), p("R0", "R1"))
+            .join(Query::rel("R2"), p("R1", "R2"));
+        let rdeep = Query::rel("R0").join(
+            Query::rel("R1").join(Query::rel("R2"), p("R1", "R2")),
+            p("R0", "R1"),
+        );
+        let seq = constructive_sequence(&ldeep, &rdeep).expect("bridge cuts");
+        let end = replay(&ldeep, &seq).unwrap();
+        assert_eq!(canonical_tree(&end), canonical_tree(&rdeep));
+    }
+
+    #[test]
+    fn constructive_matches_bfs_on_random_nice_tree_graphs() {
+        use fro_graph::QueryGraph;
+        // Acyclic join core + OJ tails: constructive must succeed and
+        // land on the same canonical tree BFS reaches.
+        for seed in 0..12u64 {
+            let mut g = QueryGraph::new((0..5).map(|i| format!("R{i}")).collect());
+            g.add_join_edge(0, 1, p("R0", "R1")).unwrap();
+            g.add_join_edge(1, 2, p("R1", "R2")).unwrap();
+            let oj_src = 1 + (seed as usize % 2);
+            g.add_outerjoin_edge(oj_src, 3, p(&format!("R{oj_src}"), "R3"))
+                .unwrap();
+            g.add_outerjoin_edge(3, 4, p("R3", "R4")).unwrap();
+            let trees = enumerate_trees(&g, EnumLimit::default()).unwrap();
+            let a = &trees[seed as usize % trees.len()];
+            let b = &trees[(seed as usize * 7 + 3) % trees.len()];
+            let seq = constructive_sequence(a, b).unwrap_or_else(|| {
+                panic!(
+                    "constructive failed seed {seed}: {} → {}",
+                    a.shape(),
+                    b.shape()
+                )
+            });
+            let end = replay(a, &seq).unwrap();
+            assert_eq!(canonical_tree(&end), canonical_tree(b), "seed {seed}");
+            // On nice graphs with strong predicates every hoist step is
+            // result-preserving (Lemma 2): verify end-to-end.
+            let db = fro_testkit_free::db(&g, seed);
+            assert!(a.eval(&db).unwrap().set_eq(&b.eval(&db).unwrap()));
+        }
+    }
+
+    /// Minimal local data generator (fro-testkit depends on this crate,
+    /// so tests here cannot use it).
+    mod fro_testkit_free {
+        use fro_algebra::{Database, Relation, Value};
+        pub fn db(g: &fro_graph::QueryGraph, seed: u64) -> Database {
+            let mut db = Database::new();
+            for (i, name) in g.node_names().iter().enumerate() {
+                let key_col = format!("k{name}");
+                let rows: Vec<Vec<Value>> = (0..4)
+                    .map(|j| {
+                        vec![
+                            Value::Int(((seed + j + i as u64) % 3) as i64),
+                            Value::Int(j as i64),
+                        ]
+                    })
+                    .collect();
+                db.insert_named(
+                    name.clone(),
+                    Relation::from_values(name, &[&key_col, "v"], rows),
+                );
+            }
+            db
+        }
+    }
+
+    #[test]
+    fn constructive_gives_up_gracefully_on_cyclic_core() {
+        // Triangle: cuts are 2-edge sets — constructive declines, BFS
+        // still succeeds.
+        let mut g = fro_graph::QueryGraph::new((0..3).map(|i| format!("R{i}")).collect());
+        g.add_join_edge(0, 1, p("R0", "R1")).unwrap();
+        g.add_join_edge(1, 2, p("R1", "R2")).unwrap();
+        g.add_join_edge(0, 2, p("R0", "R2")).unwrap();
+        let trees = enumerate_trees(&g, EnumLimit::default()).unwrap();
+        let (a, b) = (&trees[0], &trees[trees.len() - 1]);
+        match constructive_sequence(a, b) {
+            Some(seq) => {
+                // If it succeeds anyway, the result must be correct.
+                let end = replay(a, &seq).unwrap();
+                assert_eq!(canonical_tree(&end), canonical_tree(b));
+            }
+            None => {
+                assert!(find_bt_sequence(a, b, ClosureOptions::default()).is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn unreachable_under_preserving_only() {
+        let mut g = QueryGraph::new((0..3).map(|i| format!("R{i}")).collect());
+        g.add_outerjoin_edge(0, 1, p("R0", "R1")).unwrap();
+        g.add_join_edge(1, 2, p("R1", "R2")).unwrap();
+        let all = enumerate_trees(&g, EnumLimit::default()).unwrap();
+        let seq = find_bt_sequence(
+            &all[0],
+            &all[1],
+            ClosureOptions {
+                only_preserving: true,
+                max_states: 10_000,
+            },
+        );
+        assert!(seq.is_none());
+        // But reachable with the full BT set.
+        assert!(find_bt_sequence(&all[0], &all[1], ClosureOptions::default()).is_some());
+    }
+}

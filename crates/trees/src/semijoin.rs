@@ -1,0 +1,560 @@
+//! §6.3's future-work conjecture, made executable: *"for join/semijoin
+//! queries, it appears that fewer basic transforms preserve the result,
+//! and therefore a smaller set of graphs will be freely reorderable —
+//! semijoin edges in series appear to be an additional forbidden
+//! subgraph."*
+//!
+//! This module defines query graphs over **join + semijoin** edges, the
+//! corresponding implementing trees, and a brute-force free-
+//! reorderability oracle, so the conjecture can be tested exhaustively
+//! on small worlds (see the `sj_conjecture` integration tests and
+//! experiment E12).
+//!
+//! Two departures from the join/outerjoin theory are forced by
+//! semijoin's *consuming* nature (the filter operand's attributes do
+//! not survive):
+//!
+//! * an implementing tree is valid only if every operator's predicate
+//!   references attributes that are still **visible** at that point —
+//!   a relation used as a semijoin filter disappears from its side;
+//! * consequently some graphs have *fewer* implementing trees than
+//!   their join/outerjoin analogues, and a graph whose semijoin edges
+//!   sit "in series" may admit associations that do not commute.
+//!
+//! The niceness analogue implemented by [`is_sj_nice`] forbids, on top
+//! of connectivity:
+//!
+//! 1. a semijoin edge chain `X ⋉→ Y ⋉→ Z` (semijoins in series — the
+//!    paper's conjectured new pattern),
+//! 2. a join edge incident to a node that some semijoin consumes
+//!    (`X ⋉→ Y − Z`), and
+//! 3. two semijoins consuming the same node (`X ⋉→ Y ←⋉ Z`),
+//! 4. semijoin-edge cycles,
+//!
+//! mirroring Lemma 1 with "null-supplied" replaced by "consumed".
+
+use fro_algebra::{Database, Pred, Query, Relation};
+use fro_graph::NodeSet;
+use std::fmt;
+
+/// Edge kinds in a join/semijoin graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SjEdgeKind {
+    /// Undirected join edge.
+    Join,
+    /// Directed semijoin edge `a ⋉→ b`: `a`'s side is filtered by (and
+    /// consumes) `b`'s side.
+    Semi,
+}
+
+/// An edge of a join/semijoin graph.
+#[derive(Debug, Clone)]
+pub struct SjEdge {
+    /// Edge kind.
+    pub kind: SjEdgeKind,
+    /// First endpoint (the surviving side for semijoin edges).
+    pub a: usize,
+    /// Second endpoint (the consumed side for semijoin edges).
+    pub b: usize,
+    /// The predicate label.
+    pub pred: Pred,
+}
+
+/// A query graph over join and semijoin edges.
+#[derive(Debug, Clone)]
+pub struct SjGraph {
+    nodes: Vec<String>,
+    edges: Vec<SjEdge>,
+}
+
+impl SjGraph {
+    /// Create a graph with the given node names.
+    ///
+    /// # Panics
+    /// If more than 64 nodes are supplied.
+    #[must_use]
+    pub fn new(nodes: Vec<String>) -> SjGraph {
+        assert!(nodes.len() <= 64);
+        SjGraph {
+            nodes,
+            edges: Vec::new(),
+        }
+    }
+
+    /// Node names.
+    #[must_use]
+    pub fn node_names(&self) -> &[String] {
+        &self.nodes
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn n_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The edges.
+    #[must_use]
+    pub fn edges(&self) -> &[SjEdge] {
+        &self.edges
+    }
+
+    /// Add a join edge.
+    pub fn add_join(&mut self, a: usize, b: usize, pred: Pred) {
+        assert!(a != b && a < self.nodes.len() && b < self.nodes.len());
+        self.edges.push(SjEdge {
+            kind: SjEdgeKind::Join,
+            a,
+            b,
+            pred,
+        });
+    }
+
+    /// Add a semijoin edge `a ⋉→ b` (`b` consumed).
+    pub fn add_semi(&mut self, a: usize, b: usize, pred: Pred) {
+        assert!(a != b && a < self.nodes.len() && b < self.nodes.len());
+        self.edges.push(SjEdge {
+            kind: SjEdgeKind::Semi,
+            a,
+            b,
+            pred,
+        });
+    }
+
+    /// Whether the node set is connected (over all edges).
+    #[must_use]
+    pub fn connected_in(&self, set: NodeSet) -> bool {
+        let Some(start) = set.lowest() else {
+            return true;
+        };
+        let mut seen = NodeSet::singleton(start);
+        let mut stack = vec![start];
+        while let Some(v) = stack.pop() {
+            for e in &self.edges {
+                let w = if e.a == v {
+                    e.b
+                } else if e.b == v {
+                    e.a
+                } else {
+                    continue;
+                };
+                if set.contains(w) && !seen.contains(w) {
+                    seen = seen.with(w);
+                    stack.push(w);
+                }
+            }
+        }
+        seen == set
+    }
+}
+
+impl fmt::Display for SjGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "nodes: {}", self.nodes.join(", "))?;
+        for e in &self.edges {
+            let sym = match e.kind {
+                SjEdgeKind::Join => "—",
+                SjEdgeKind::Semi => "⋉→",
+            };
+            writeln!(
+                f,
+                "  {} {sym} {}  [{}]",
+                self.nodes[e.a], self.nodes[e.b], e.pred
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// The niceness analogue for join/semijoin graphs (see module docs).
+#[must_use]
+pub fn is_sj_nice(g: &SjGraph) -> bool {
+    if !g.connected_in(NodeSet::full(g.n_nodes())) {
+        return false;
+    }
+    // Consumed-in-degree and series detection.
+    for y in 0..g.n_nodes() {
+        let consumers: Vec<usize> = g
+            .edges()
+            .iter()
+            .filter(|e| e.kind == SjEdgeKind::Semi && e.b == y)
+            .map(|e| e.a)
+            .collect();
+        if consumers.len() >= 2 {
+            return false; // X ⋉→ Y ←⋉ Z
+        }
+        if consumers.is_empty() {
+            continue;
+        }
+        // Y is consumed: it must touch no join edge …
+        if g.edges()
+            .iter()
+            .any(|e| e.kind == SjEdgeKind::Join && (e.a == y || e.b == y))
+        {
+            return false; // X ⋉→ Y − Z
+        }
+        // … and must not itself be the surviving side of a semijoin
+        // (semijoins in series — the §6.3 conjecture's new pattern).
+        if g.edges()
+            .iter()
+            .any(|e| e.kind == SjEdgeKind::Semi && e.a == y)
+        {
+            return false; // X ⋉→ Y ⋉→ Z
+        }
+    }
+    // No cycles among semijoin edges (undirected).
+    let mut parent: Vec<usize> = (0..g.n_nodes()).collect();
+    fn find(parent: &mut [usize], i: usize) -> usize {
+        let mut i = i;
+        while parent[i] != i {
+            parent[i] = parent[parent[i]];
+            i = parent[i];
+        }
+        i
+    }
+    for e in g.edges() {
+        if e.kind != SjEdgeKind::Semi {
+            continue;
+        }
+        let (ra, rb) = (find(&mut parent, e.a), find(&mut parent, e.b));
+        if ra == rb {
+            return false;
+        }
+        parent[ra] = rb;
+    }
+    true
+}
+
+/// Enumerate the implementing trees of a join/semijoin graph.
+///
+/// A cut is implementable by a join when every crossing edge is a join
+/// edge whose endpoints are *visible* on their sides; by a semijoin
+/// when exactly one semijoin edge crosses, its surviving endpoint is
+/// visible on its side and its consumed endpoint visible on the other.
+/// The tree's visible set after a semijoin is the surviving side's.
+/// Returns `(tree, visible-node-set)` pairs for the full graph.
+#[must_use]
+pub fn enumerate_sj_trees(g: &SjGraph) -> Vec<(Query, NodeSet)> {
+    let full = NodeSet::full(g.n_nodes());
+    if !g.connected_in(full) {
+        return Vec::new();
+    }
+    build(g, full)
+}
+
+fn build(g: &SjGraph, s: NodeSet) -> Vec<(Query, NodeSet)> {
+    if s.len() == 1 {
+        let i = s.lowest().expect("non-empty");
+        return vec![(Query::rel(g.node_names()[i].clone()), s)];
+    }
+    let mut out = Vec::new();
+    for left in s.anchored_proper_subsets() {
+        let right = s.minus(left);
+        if !g.connected_in(left) || !g.connected_in(right) {
+            continue;
+        }
+        // Crossing edges.
+        let crossing: Vec<&SjEdge> = g
+            .edges()
+            .iter()
+            .filter(|e| {
+                (left.contains(e.a) && right.contains(e.b))
+                    || (left.contains(e.b) && right.contains(e.a))
+            })
+            .collect();
+        if crossing.is_empty() {
+            continue; // Cartesian
+        }
+        let semis = crossing
+            .iter()
+            .filter(|e| e.kind == SjEdgeKind::Semi)
+            .count();
+        let lefts = build(g, left);
+        let rights = build(g, right);
+        if semis == 0 {
+            // Join cut: all endpoints must be visible.
+            let pred = Pred::from_conjuncts(crossing.iter().map(|e| e.pred.clone()));
+            for (lq, lv) in &lefts {
+                for (rq, rv) in &rights {
+                    let ok = crossing.iter().all(|e| {
+                        let (la, ra) = if left.contains(e.a) {
+                            (e.a, e.b)
+                        } else {
+                            (e.b, e.a)
+                        };
+                        lv.contains(la) && rv.contains(ra)
+                    });
+                    if ok {
+                        out.push((lq.clone().join(rq.clone(), pred.clone()), lv.union(*rv)));
+                    }
+                }
+            }
+        } else if semis == 1 && crossing.len() == 1 {
+            let e = crossing[0];
+            let forward = left.contains(e.a); // surviving side on the left?
+            for (lq, lv) in &lefts {
+                for (rq, rv) in &rights {
+                    let (surv_q, surv_v, cons_q, cons_v, sa, sb) = if forward {
+                        (lq, lv, rq, rv, e.a, e.b)
+                    } else {
+                        (rq, rv, lq, lv, e.a, e.b)
+                    };
+                    if surv_v.contains(sa) && cons_v.contains(sb) {
+                        out.push((
+                            surv_q.clone().semijoin(cons_q.clone(), e.pred.clone()),
+                            *surv_v,
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    // Deduplicate (different splits can reconstruct the same tree via
+    // commuted joins) — canonicalize join operand order.
+    let mut seen = std::collections::HashSet::new();
+    out.retain(|(q, _)| seen.insert(crate::transform::canonical_tree(q)));
+    out
+}
+
+/// Brute-force free-reorderability oracle: do all implementing trees
+/// evaluate equal on all the given databases? Returns `None` when the
+/// graph has fewer than two implementing trees (trivially reorderable).
+#[must_use]
+pub fn brute_force_reorderable(g: &SjGraph, dbs: &[Database]) -> Option<bool> {
+    let trees = enumerate_sj_trees(g);
+    if trees.len() < 2 {
+        return None;
+    }
+    for db in dbs {
+        let mut first: Option<Relation> = None;
+        for (t, _) in &trees {
+            let r = t.eval(db).expect("sj tree evaluates");
+            match &first {
+                None => first = Some(r),
+                Some(f) => {
+                    if !r.set_eq(f) {
+                        return Some(false);
+                    }
+                }
+            }
+        }
+    }
+    Some(true)
+}
+
+/// All connected join/semijoin graphs on 3 nodes (each unordered pair
+/// absent, join, or a semijoin in either direction) — the exhaustive
+/// universe for the §6.3 conjecture test.
+#[must_use]
+pub fn all_three_node_graphs() -> Vec<SjGraph> {
+    let key_eq = |a: usize, b: usize| Pred::eq_attr(&format!("R{a}.k"), &format!("R{b}.k"));
+    let pairs = [(0usize, 1usize), (0, 2), (1, 2)];
+    let mut out = Vec::new();
+    for mask in 0..(4u32.pow(3)) {
+        let mut g = SjGraph::new(vec!["R0".into(), "R1".into(), "R2".into()]);
+        let mut m = mask;
+        for &(a, b) in &pairs {
+            match m % 4 {
+                1 => g.add_join(a, b, key_eq(a, b)),
+                2 => g.add_semi(a, b, key_eq(a, b)),
+                3 => g.add_semi(b, a, key_eq(b, a)),
+                _ => {}
+            }
+            m /= 4;
+        }
+        if g.connected_in(NodeSet::full(3)) {
+            out.push(g);
+        }
+    }
+    out
+}
+
+/// Summary of the exhaustive §6.3 study on a graph universe.
+///
+/// The empirical finding this records: semijoin consumption makes the
+/// *dangerous* associations ill-typed rather than wrong — where a
+/// forbidden outerjoin pattern yields two well-formed trees that
+/// disagree (Example 2), the analogous semijoin pattern yields a
+/// **single** valid tree. "Fewer basic transforms preserve the result"
+/// thus manifests as plan-space collapse: the non-nice graphs are the
+/// ones an optimizer cannot reassociate at all.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SjStudy {
+    /// Graphs with ≥ 2 implementing trees that always agreed.
+    pub reorderable: usize,
+    /// Graphs with ≥ 2 implementing trees that disagreed somewhere.
+    pub not_reorderable: usize,
+    /// Graphs with exactly 1 implementing tree.
+    pub single_tree: usize,
+    /// Graphs with no implementing tree at all.
+    pub no_tree: usize,
+    /// Non-nice graphs that nevertheless had ≥ 2 implementing trees
+    /// (0 ⇒ the forbidden patterns always collapse the plan space).
+    pub non_nice_multi_tree: usize,
+    /// Nice graphs with ≥ 2 trees that disagreed somewhere (0 ⇒ the
+    /// conjectured class is sound).
+    pub false_accepts: usize,
+}
+
+/// Run the exhaustive study over a universe of graphs and databases.
+#[must_use]
+pub fn run_sj_study(graphs: &[SjGraph], dbs: &[Database]) -> SjStudy {
+    let mut s = SjStudy::default();
+    for g in graphs {
+        let n_trees = enumerate_sj_trees(g).len();
+        let nice = is_sj_nice(g);
+        match n_trees {
+            0 => s.no_tree += 1,
+            1 => s.single_tree += 1,
+            _ => {
+                if !nice {
+                    s.non_nice_multi_tree += 1;
+                }
+                match brute_force_reorderable(g, dbs) {
+                    Some(true) => s.reorderable += 1,
+                    Some(false) => {
+                        s.not_reorderable += 1;
+                        if nice {
+                            s.false_accepts += 1;
+                        }
+                    }
+                    None => unreachable!("≥2 trees"),
+                }
+            }
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fro_algebra::Value;
+
+    fn key_eq(a: usize, b: usize) -> Pred {
+        Pred::eq_attr(&format!("R{a}.k"), &format!("R{b}.k"))
+    }
+
+    /// Tiny exhaustive databases: each single-column relation holds a
+    /// subset of {0, 1}.
+    fn tiny_dbs() -> Vec<Database> {
+        let values = [Value::Int(0), Value::Int(1)];
+        let mut dbs = Vec::new();
+        for mask in 0..(4u32.pow(3)) {
+            let mut db = Database::new();
+            let mut m = mask;
+            for r in 0..3 {
+                let sub = m % 4;
+                m /= 4;
+                let rows: Vec<Vec<Value>> = (0..2)
+                    .filter(|i| sub & (1 << i) != 0)
+                    .map(|i| vec![values[i as usize].clone()])
+                    .collect();
+                let name = format!("R{r}");
+                db.insert_named(name.clone(), Relation::from_values(&name, &["k"], rows));
+            }
+            dbs.push(db);
+        }
+        dbs
+    }
+
+    #[test]
+    fn join_semijoin_star_is_reorderable() {
+        // A − B, A ⋉→ C: both hang off A; should reorder.
+        let mut g = SjGraph::new(vec!["R0".into(), "R1".into(), "R2".into()]);
+        g.add_join(0, 1, key_eq(0, 1));
+        g.add_semi(0, 2, key_eq(0, 2));
+        assert!(is_sj_nice(&g));
+        let trees = enumerate_sj_trees(&g);
+        assert!(trees.len() >= 2, "{}", trees.len());
+        assert_eq!(brute_force_reorderable(&g, &tiny_dbs()), Some(true));
+    }
+
+    #[test]
+    fn semijoin_into_joined_node_not_reorderable() {
+        // A ⋉→ B, B − C: the filter's relation also joins C.
+        let mut g = SjGraph::new(vec!["R0".into(), "R1".into(), "R2".into()]);
+        g.add_semi(0, 1, key_eq(0, 1));
+        g.add_join(1, 2, key_eq(1, 2));
+        assert!(!is_sj_nice(&g));
+        // Trees: R0 ⋉ (R1 − R2) and … (R0 ⋉ R1) − R2 is INVALID (R1
+        // consumed), so visibility may leave a single tree.
+        let trees = enumerate_sj_trees(&g);
+        for (t, _) in &trees {
+            // Every tree must evaluate without attribute errors.
+            for db in tiny_dbs().iter().take(4) {
+                let _ = t.eval(db).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn semijoins_in_series_detected() {
+        let mut g = SjGraph::new(vec!["R0".into(), "R1".into(), "R2".into()]);
+        g.add_semi(0, 1, key_eq(0, 1));
+        g.add_semi(1, 2, key_eq(1, 2));
+        assert!(!is_sj_nice(&g));
+    }
+
+    #[test]
+    fn two_semijoins_same_filter_detected() {
+        let mut g = SjGraph::new(vec!["R0".into(), "R1".into(), "R2".into()]);
+        g.add_semi(0, 2, key_eq(0, 2));
+        g.add_semi(1, 2, key_eq(1, 2));
+        assert!(!is_sj_nice(&g));
+    }
+
+    #[test]
+    fn visibility_excludes_consumed_attributes() {
+        // A ⋉→ B with B − C: the association ((A ⋉ B) − C) would
+        // reference B after consumption — must not be enumerated.
+        let mut g = SjGraph::new(vec!["R0".into(), "R1".into(), "R2".into()]);
+        g.add_semi(0, 1, key_eq(0, 1));
+        g.add_join(1, 2, key_eq(1, 2));
+        let trees = enumerate_sj_trees(&g);
+        for (t, _) in &trees {
+            let shape = t.shape();
+            assert!(
+                !shape.contains("(R0 ⋉ R1)"),
+                "consumed-attribute association enumerated: {shape}"
+            );
+        }
+    }
+
+    #[test]
+    fn sj_study_exhaustive_three_nodes_conjecture() {
+        let graphs = all_three_node_graphs();
+        let dbs = tiny_dbs();
+        let study = run_sj_study(&graphs, &dbs);
+        // The conjectured class is SOUND: no nice multi-tree graph ever
+        // disagreed.
+        assert_eq!(study.false_accepts, 0, "{study:?}");
+        // The §6.3 phenomenon, sharply: every non-nice graph's plan
+        // space collapses to ≤ 1 tree — the forbidden patterns are
+        // exactly the shapes where reassociation is impossible.
+        assert_eq!(study.non_nice_multi_tree, 0, "{study:?}");
+        // Every well-typed pair of associations agreed (semijoins do
+        // not pad, so no Example 2-style divergence is expressible).
+        assert_eq!(study.not_reorderable, 0, "{study:?}");
+        // Non-vacuity.
+        assert!(study.reorderable > 0, "{study:?}");
+        assert!(study.single_tree > 0, "{study:?}");
+        assert!(study.no_tree > 0, "{study:?}");
+    }
+
+    #[test]
+    fn pure_join_graphs_still_reorderable_here() {
+        let mut g = SjGraph::new(vec!["R0".into(), "R1".into(), "R2".into()]);
+        g.add_join(0, 1, key_eq(0, 1));
+        g.add_join(1, 2, key_eq(1, 2));
+        assert!(is_sj_nice(&g));
+        assert_eq!(brute_force_reorderable(&g, &tiny_dbs()), Some(true));
+    }
+
+    #[test]
+    fn display_shows_semijoin_arrows() {
+        let mut g = SjGraph::new(vec!["A".into(), "B".into()]);
+        g.add_semi(0, 1, Pred::eq_attr("A.k", "B.k"));
+        assert!(g.to_string().contains("⋉→"));
+    }
+}

@@ -1,0 +1,775 @@
+//! Basic transforms (BTs) on implementing trees (§3.2, Fig. 4).
+//!
+//! The paper defines two BTs — *reversal* (swap operands, replacing the
+//! operator by its symmetric form `←`/`◁`) and *reassociation*
+//! (`((Q1 ⊙1 Q2) ⊙2 Q3) ⇒ (Q1 ⊙1 (Q2 ⊙2 Q3))`, moving any `⊙2`
+//! conjunct that references `Q1` up into `⊙1`, which is only legal when
+//! both operators are regular joins).
+//!
+//! Our [`Query`] algebra keeps the preserved operand of an outerjoin on
+//! the left (there is no `←` constructor), so the paper's
+//! reversal-conjugated reassociations surface here as five concrete
+//! primitives:
+//!
+//! | primitive | rewrite | paper derivation |
+//! |-----------|---------|------------------|
+//! | [`Primitive::Swap`] | `(A − B) ⇒ (B − A)` | reversal (join only) |
+//! | [`Primitive::AssocRtl`] | `((A ⊙1 B) ⊙2 C) ⇒ (A ⊙1 (B ⊙2 C))` | reassociation |
+//! | [`Primitive::AssocLtr`] | `(A ⊙1 (B ⊙2 C)) ⇒ ((A ⊙1 B) ⊙2 C)` | reversal ∘ reassociation ∘ reversal |
+//! | [`Primitive::Exchange`] | `((A ⊙1 B) ⊙2 C) ⇒ ((A ⊙2 C) ⊙1 B)` when `⊙2` hangs off `A` | reversal-conjugated reassociation (identity 13 shape) |
+//! | [`Primitive::ExchangeMirror`] | `(A ⊙1 (B ⊙2 C)) ⇒ (B ⊙2 (A ⊙1 C))` when `⊙1` hangs off `C` | reversal-conjugated reassociation |
+//!
+//! Every primitive maps an implementing tree of `G` to another
+//! implementing tree of the same `G` (validated in tests); whether it
+//! also preserves `eval` is the subject of [`crate::preserve`].
+
+use fro_algebra::{Pred, Query};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Direction steps addressing a node in a tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dir {
+    /// Descend into the left operand.
+    L,
+    /// Descend into the right operand.
+    R,
+}
+
+/// The rewrite primitives (see module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Primitive {
+    /// Reversal of a join's operands.
+    Swap,
+    /// Left-deep to right-deep reassociation.
+    AssocRtl,
+    /// Right-deep to left-deep reassociation.
+    AssocLtr,
+    /// Exchange the two operators hanging off the left-deep operand.
+    Exchange,
+    /// Exchange the two operators hanging off the right-deep operand.
+    ExchangeMirror,
+}
+
+impl fmt::Display for Primitive {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Primitive::Swap => "swap",
+            Primitive::AssocRtl => "assoc→",
+            Primitive::AssocLtr => "assoc←",
+            Primitive::Exchange => "exchange",
+            Primitive::ExchangeMirror => "exchange~",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A basic transform: a primitive applied at the node reached by
+/// `path` from the root.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Bt {
+    /// The rewrite to perform.
+    pub prim: Primitive,
+    /// Steps from the root to the rewrite site.
+    pub path: Vec<Dir>,
+}
+
+impl fmt::Display for Bt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@", self.prim)?;
+        if self.path.is_empty() {
+            write!(f, "root")?;
+        }
+        for d in &self.path {
+            write!(f, "{}", if *d == Dir::L { 'L' } else { 'R' })?;
+        }
+        Ok(())
+    }
+}
+
+/// Why a BT could not be applied.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BtError {
+    /// The path does not address a node.
+    BadPath,
+    /// The primitive's structural/predicate preconditions failed.
+    NotApplicable(&'static str),
+}
+
+impl fmt::Display for BtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BtError::BadPath => write!(f, "path does not address a node"),
+            BtError::NotApplicable(why) => write!(f, "transform not applicable: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for BtError {}
+
+/// Operator kind of a join-like binary node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum OpKind {
+    /// Regular join.
+    Join,
+    /// Left outerjoin (left operand preserved).
+    Oj,
+}
+
+pub(crate) fn split(q: &Query) -> Option<(OpKind, &Query, &Query, &Pred)> {
+    match q {
+        Query::Join { left, right, pred } => Some((OpKind::Join, left, right, pred)),
+        Query::OuterJoin { left, right, pred } => Some((OpKind::Oj, left, right, pred)),
+        _ => None,
+    }
+}
+
+pub(crate) fn rebuild(kind: OpKind, l: Query, r: Query, pred: Pred) -> Query {
+    match kind {
+        OpKind::Join => l.join(r, pred),
+        OpKind::Oj => l.outerjoin(r, pred),
+    }
+}
+
+/// Whether the predicate references at least one relation from `rels`.
+fn refs_any(p: &Pred, rels: &BTreeSet<String>) -> bool {
+    p.rels().iter().any(|r| rels.contains(r))
+}
+
+/// Apply a primitive at the root of `q`.
+fn apply_at_root(q: &Query, prim: Primitive) -> Result<Query, BtError> {
+    match prim {
+        Primitive::Swap => match q {
+            Query::Join { left, right, pred } => Ok(Query::Join {
+                left: right.clone(),
+                right: left.clone(),
+                pred: pred.clone(),
+            }),
+            Query::OuterJoin { .. } => Err(BtError::NotApplicable(
+                "outerjoin reversal is the notational mirror (←); not a distinct tree here",
+            )),
+            _ => Err(BtError::NotApplicable("not a join-like node")),
+        },
+        Primitive::AssocRtl => assoc_rtl(q),
+        Primitive::AssocLtr => assoc_ltr(q),
+        Primitive::Exchange => exchange(q),
+        Primitive::ExchangeMirror => exchange_mirror(q),
+    }
+}
+
+/// `((A ⊙1 B) ⊙2 C) ⇒ (A ⊙1 (B ⊙2 C))`.
+fn assoc_rtl(q: &Query) -> Result<Query, BtError> {
+    let (k2, l, c, p2) = split(q).ok_or(BtError::NotApplicable("root not join-like"))?;
+    let (k1, a, b, p1) = split(l).ok_or(BtError::NotApplicable("left child not join-like"))?;
+    let rels_a = a.rels();
+    let rels_b = b.rels();
+
+    match k2 {
+        OpKind::Oj => {
+            // Outerjoin predicates are atomic single edges: no
+            // conjunct movement. The predicate must reference B (so the
+            // new inner operator spans B and C) and must not reference A.
+            if refs_any(p2, &rels_a) {
+                return Err(BtError::NotApplicable("outerjoin predicate references Q1"));
+            }
+            if !refs_any(p2, &rels_b) {
+                return Err(BtError::NotApplicable("predicate references nothing in Q2"));
+            }
+            Ok(rebuild(
+                k1,
+                a.clone(),
+                rebuild(k2, b.clone(), c.clone(), p2.clone()),
+                p1.clone(),
+            ))
+        }
+        OpKind::Join => {
+            let mut moved = Vec::new();
+            let mut stay = Vec::new();
+            for conj in p2.conjuncts() {
+                let refs_a = refs_any(&conj, &rels_a);
+                let refs_b = refs_any(&conj, &rels_b);
+                match (refs_a, refs_b) {
+                    (true, true) => {
+                        return Err(BtError::NotApplicable(
+                            "conjunct references both Q1 and Q2 (malformed IT)",
+                        ))
+                    }
+                    (true, false) => moved.push(conj),
+                    (false, true) => stay.push(conj),
+                    (false, false) => {
+                        return Err(BtError::NotApplicable(
+                            "conjunct references neither operand side",
+                        ))
+                    }
+                }
+            }
+            if stay.is_empty() {
+                return Err(BtError::NotApplicable(
+                    "predicate in ⊙2 references no relation in Q2",
+                ));
+            }
+            if !moved.is_empty() && k1 != OpKind::Join {
+                return Err(BtError::NotApplicable(
+                    "conjunct movement requires both operators to be regular joins",
+                ));
+            }
+            let new_inner = Query::Join {
+                left: Box::new(b.clone()),
+                right: Box::new(c.clone()),
+                pred: Pred::from_conjuncts(stay),
+            };
+            let new_p1 = Pred::from_conjuncts(p1.conjuncts().into_iter().chain(moved));
+            Ok(rebuild(k1, a.clone(), new_inner, new_p1))
+        }
+    }
+}
+
+/// `(A ⊙1 (B ⊙2 C)) ⇒ ((A ⊙1 B) ⊙2 C)`.
+fn assoc_ltr(q: &Query) -> Result<Query, BtError> {
+    let (k1, a, r, p1) = split(q).ok_or(BtError::NotApplicable("root not join-like"))?;
+    let (k2, b, c, p2) = split(r).ok_or(BtError::NotApplicable("right child not join-like"))?;
+    let rels_b = b.rels();
+    let rels_c = c.rels();
+
+    match k1 {
+        OpKind::Oj => {
+            if refs_any(p1, &rels_c) {
+                return Err(BtError::NotApplicable("outerjoin predicate references Q3"));
+            }
+            if !refs_any(p1, &rels_b) {
+                return Err(BtError::NotApplicable("predicate references nothing in Q2"));
+            }
+            Ok(rebuild(
+                k2,
+                rebuild(k1, a.clone(), b.clone(), p1.clone()),
+                c.clone(),
+                p2.clone(),
+            ))
+        }
+        OpKind::Join => {
+            let mut moved = Vec::new();
+            let mut stay = Vec::new();
+            for conj in p1.conjuncts() {
+                let refs_b = refs_any(&conj, &rels_b);
+                let refs_c = refs_any(&conj, &rels_c);
+                match (refs_b, refs_c) {
+                    (true, true) => {
+                        return Err(BtError::NotApplicable(
+                            "conjunct references both Q2 and Q3 (malformed IT)",
+                        ))
+                    }
+                    (false, true) => moved.push(conj),
+                    (true, false) => stay.push(conj),
+                    (false, false) => {
+                        return Err(BtError::NotApplicable(
+                            "conjunct references neither operand side",
+                        ))
+                    }
+                }
+            }
+            if stay.is_empty() {
+                return Err(BtError::NotApplicable(
+                    "predicate in ⊙1 references no relation in Q2",
+                ));
+            }
+            if !moved.is_empty() && k2 != OpKind::Join {
+                return Err(BtError::NotApplicable(
+                    "conjunct movement requires both operators to be regular joins",
+                ));
+            }
+            let new_inner = Query::Join {
+                left: Box::new(a.clone()),
+                right: Box::new(b.clone()),
+                pred: Pred::from_conjuncts(stay),
+            };
+            let new_p2 = Pred::from_conjuncts(p2.conjuncts().into_iter().chain(moved));
+            Ok(rebuild(k2, new_inner, c.clone(), new_p2))
+        }
+    }
+}
+
+/// `((A ⊙1 B) ⊙2 C) ⇒ ((A ⊙2 C) ⊙1 B)` when `⊙2` references only
+/// the `A` side of the left operand.
+fn exchange(q: &Query) -> Result<Query, BtError> {
+    let (k2, l, c, p2) = split(q).ok_or(BtError::NotApplicable("root not join-like"))?;
+    let (k1, a, b, p1) = split(l).ok_or(BtError::NotApplicable("left child not join-like"))?;
+    let rels_a = a.rels();
+    let rels_b = b.rels();
+    if refs_any(p2, &rels_b) {
+        return Err(BtError::NotApplicable(
+            "⊙2 predicate references Q2 (use reassociation)",
+        ));
+    }
+    if !refs_any(p2, &rels_a) {
+        return Err(BtError::NotApplicable(
+            "⊙2 predicate references nothing in Q1",
+        ));
+    }
+    Ok(rebuild(
+        k1,
+        rebuild(k2, a.clone(), c.clone(), p2.clone()),
+        b.clone(),
+        p1.clone(),
+    ))
+}
+
+/// `(A ⊙1 (B ⊙2 C)) ⇒ (B ⊙2 (A ⊙1 C))` when `⊙1` references only
+/// the `C` side of the right operand.
+fn exchange_mirror(q: &Query) -> Result<Query, BtError> {
+    let (k1, a, r, p1) = split(q).ok_or(BtError::NotApplicable("root not join-like"))?;
+    let (k2, b, c, p2) = split(r).ok_or(BtError::NotApplicable("right child not join-like"))?;
+    let rels_b = b.rels();
+    let rels_c = c.rels();
+    if refs_any(p1, &rels_b) {
+        return Err(BtError::NotApplicable(
+            "⊙1 predicate references Q2 (use reassociation)",
+        ));
+    }
+    if !refs_any(p1, &rels_c) {
+        return Err(BtError::NotApplicable(
+            "⊙1 predicate references nothing in Q3",
+        ));
+    }
+    Ok(rebuild(
+        k2,
+        b.clone(),
+        rebuild(k1, a.clone(), c.clone(), p1.clone()),
+        p2.clone(),
+    ))
+}
+
+/// Apply a BT to `q`.
+///
+/// # Errors
+/// [`BtError`] when the path is invalid or the primitive's
+/// preconditions fail at the addressed node.
+pub fn apply_bt(q: &Query, bt: &Bt) -> Result<Query, BtError> {
+    fn go(q: &Query, path: &[Dir], prim: Primitive) -> Result<Query, BtError> {
+        let Some((&step, rest)) = path.split_first() else {
+            return apply_at_root(q, prim);
+        };
+        let (kind, l, r, pred) = split(q).ok_or(BtError::BadPath)?;
+        Ok(match step {
+            Dir::L => rebuild(kind, go(l, rest, prim)?, r.clone(), pred.clone()),
+            Dir::R => rebuild(kind, l.clone(), go(r, rest, prim)?, pred.clone()),
+        })
+    }
+    go(q, &bt.path, bt.prim)
+}
+
+/// All BTs applicable anywhere in `q` (tried by construction).
+#[must_use]
+pub fn applicable_bts(q: &Query) -> Vec<Bt> {
+    let mut out = Vec::new();
+    fn walk(q: &Query, path: &mut Vec<Dir>, out: &mut Vec<Bt>) {
+        if let Some((_, l, r, _)) = split(q) {
+            for prim in [
+                Primitive::Swap,
+                Primitive::AssocRtl,
+                Primitive::AssocLtr,
+                Primitive::Exchange,
+                Primitive::ExchangeMirror,
+            ] {
+                if apply_at_root(q, prim).is_ok() {
+                    out.push(Bt {
+                        prim,
+                        path: path.clone(),
+                    });
+                }
+            }
+            path.push(Dir::L);
+            walk(l, path, out);
+            path.pop();
+            path.push(Dir::R);
+            walk(r, path, out);
+            path.pop();
+        }
+    }
+    walk(q, &mut Vec::new(), &mut out);
+    out
+}
+
+/// Canonical form of a join/outerjoin tree: join operands ordered by
+/// smallest leaf name, conjunct lists sorted. Two trees equal modulo
+/// reversal BTs (and conjunct bookkeeping) have identical canonical
+/// forms.
+#[must_use]
+pub fn canonical_tree(q: &Query) -> Query {
+    fn canon_pred(p: &Pred) -> Pred {
+        let mut cs: Vec<Pred> = p.conjuncts();
+        cs.sort();
+        Pred::from_conjuncts(cs)
+    }
+    match q {
+        Query::Join { left, right, pred } => {
+            let l = canonical_tree(left);
+            let r = canonical_tree(right);
+            let (l, r) = {
+                let lk = l.leaves().into_iter().min().unwrap_or_default();
+                let rk = r.leaves().into_iter().min().unwrap_or_default();
+                if lk <= rk {
+                    (l, r)
+                } else {
+                    (r, l)
+                }
+            };
+            l.join(r, canon_pred(pred))
+        }
+        Query::OuterJoin { left, right, pred } => {
+            canonical_tree(left).outerjoin(canonical_tree(right), canon_pred(pred))
+        }
+        // Non-commutative / auxiliary operators: canonicalize children
+        // in place (needed e.g. for the §6.3 semijoin study, where join
+        // subtrees sit under semijoin operators).
+        Query::SemiJoin { left, right, pred } => {
+            canonical_tree(left).semijoin(canonical_tree(right), canon_pred(pred))
+        }
+        Query::AntiJoin { left, right, pred } => {
+            canonical_tree(left).antijoin(canonical_tree(right), canon_pred(pred))
+        }
+        Query::FullOuterJoin { left, right, pred } => {
+            canonical_tree(left).full_outerjoin(canonical_tree(right), canon_pred(pred))
+        }
+        Query::Union { left, right } => canonical_tree(left).union(canonical_tree(right)),
+        Query::Restrict { input, pred } => canonical_tree(input).restrict(canon_pred(pred)),
+        Query::Project { input, attrs } => canonical_tree(input).project(attrs.clone()),
+        Query::GroupCount {
+            input,
+            group_attrs,
+            counted,
+        } => canonical_tree(input).group_count(group_attrs.clone(), counted.clone()),
+        Query::Goj {
+            left,
+            right,
+            pred,
+            subset,
+        } => canonical_tree(left).goj(
+            canonical_tree(right),
+            canon_pred(pred),
+            subset.clone(),
+        ),
+        leaf @ Query::Rel(_) => leaf.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fro_algebra::{Database, Pred, Relation};
+
+    fn pq(a: &str, b: &str) -> Pred {
+        Pred::eq_attr(&format!("{a}.k{a}"), &format!("{b}.k{b}"))
+    }
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        for (name, rows) in [
+            ("A", vec![vec![1], vec![2]]),
+            ("B", vec![vec![1], vec![3]]),
+            ("C", vec![vec![1], vec![2], vec![4]]),
+        ] {
+            let rows: Vec<&[i64]> = rows.iter().map(Vec::as_slice).collect();
+            db.insert(Relation::from_ints(name, &[&format!("k{name}")], &rows));
+        }
+        db
+    }
+
+    fn eq_on_db(a: &Query, b: &Query) -> bool {
+        let d = db();
+        a.eval(&d).unwrap().set_eq(&b.eval(&d).unwrap())
+    }
+
+    #[test]
+    fn swap_join_preserves_value() {
+        let q = Query::rel("A").join(Query::rel("B"), pq("A", "B"));
+        let s = apply_bt(
+            &q,
+            &Bt {
+                prim: Primitive::Swap,
+                path: vec![],
+            },
+        )
+        .unwrap();
+        assert_eq!(s.shape(), "(B − A)");
+        assert!(eq_on_db(&q, &s));
+    }
+
+    #[test]
+    fn swap_outerjoin_not_representable() {
+        let q = Query::rel("A").outerjoin(Query::rel("B"), pq("A", "B"));
+        let e = apply_bt(
+            &q,
+            &Bt {
+                prim: Primitive::Swap,
+                path: vec![],
+            },
+        );
+        assert!(matches!(e, Err(BtError::NotApplicable(_))));
+    }
+
+    #[test]
+    fn assoc_rtl_join_join() {
+        let q = Query::rel("A")
+            .join(Query::rel("B"), pq("A", "B"))
+            .join(Query::rel("C"), pq("B", "C"));
+        let t = apply_bt(
+            &q,
+            &Bt {
+                prim: Primitive::AssocRtl,
+                path: vec![],
+            },
+        )
+        .unwrap();
+        assert_eq!(t.shape(), "(A − (B − C))");
+        assert!(eq_on_db(&q, &t));
+    }
+
+    #[test]
+    fn assoc_rtl_moves_cycle_conjunct() {
+        // ((A − B) −{Pac ∧ Pbc} C) ⇒ (A −{Pab ∧ Pac} (B −{Pbc} C)).
+        let q = Query::rel("A")
+            .join(Query::rel("B"), pq("A", "B"))
+            .join(Query::rel("C"), pq("A", "C").and(pq("B", "C")));
+        let t = apply_bt(
+            &q,
+            &Bt {
+                prim: Primitive::AssocRtl,
+                path: vec![],
+            },
+        )
+        .unwrap();
+        assert_eq!(t.shape(), "(A − (B − C))");
+        // Root predicate now has two conjuncts (Pab, Pac).
+        assert_eq!(t.pred().unwrap().conjuncts().len(), 2);
+        assert!(eq_on_db(&q, &t));
+    }
+
+    #[test]
+    fn conjunct_movement_requires_joins() {
+        // ((A → B) −{Pac ∧ Pbc} C): moving Pac would need ⊙1 join.
+        let q = Query::rel("A")
+            .outerjoin(Query::rel("B"), pq("A", "B"))
+            .join(Query::rel("C"), pq("A", "C").and(pq("B", "C")));
+        let e = apply_bt(
+            &q,
+            &Bt {
+                prim: Primitive::AssocRtl,
+                path: vec![],
+            },
+        );
+        assert!(matches!(e, Err(BtError::NotApplicable(_))));
+    }
+
+    #[test]
+    fn assoc_rtl_requires_q2_reference() {
+        // ((A − B) ⊙2 C) with ⊙2 pred referencing only A.
+        let q = Query::rel("A")
+            .join(Query::rel("B"), pq("A", "B"))
+            .join(Query::rel("C"), pq("A", "C"));
+        let e = apply_bt(
+            &q,
+            &Bt {
+                prim: Primitive::AssocRtl,
+                path: vec![],
+            },
+        );
+        assert!(matches!(e, Err(BtError::NotApplicable(_))));
+        // But Exchange applies there.
+        let t = apply_bt(
+            &q,
+            &Bt {
+                prim: Primitive::Exchange,
+                path: vec![],
+            },
+        )
+        .unwrap();
+        assert_eq!(t.shape(), "((A − C) − B)");
+        assert!(eq_on_db(&q, &t));
+    }
+
+    #[test]
+    fn assoc_ltr_inverts_rtl() {
+        let q = Query::rel("A")
+            .join(Query::rel("B"), pq("A", "B"))
+            .join(Query::rel("C"), pq("B", "C"));
+        let t = apply_bt(
+            &q,
+            &Bt {
+                prim: Primitive::AssocRtl,
+                path: vec![],
+            },
+        )
+        .unwrap();
+        let back = apply_bt(
+            &t,
+            &Bt {
+                prim: Primitive::AssocLtr,
+                path: vec![],
+            },
+        )
+        .unwrap();
+        assert_eq!(back, q);
+    }
+
+    #[test]
+    fn assoc_identity_11_shape() {
+        // ((A − B) → C) ⇔ (A − (B → C)).
+        let lhs = Query::rel("A")
+            .join(Query::rel("B"), pq("A", "B"))
+            .outerjoin(Query::rel("C"), pq("B", "C"));
+        let t = apply_bt(
+            &lhs,
+            &Bt {
+                prim: Primitive::AssocRtl,
+                path: vec![],
+            },
+        )
+        .unwrap();
+        assert_eq!(t.shape(), "(A − (B → C))");
+        assert!(eq_on_db(&lhs, &t));
+    }
+
+    #[test]
+    fn assoc_identity_12_shape() {
+        // ((A → B) → C) ⇔ (A → (B → C)) with strong predicates.
+        let lhs = Query::rel("A")
+            .outerjoin(Query::rel("B"), pq("A", "B"))
+            .outerjoin(Query::rel("C"), pq("B", "C"));
+        let t = apply_bt(
+            &lhs,
+            &Bt {
+                prim: Primitive::AssocRtl,
+                path: vec![],
+            },
+        )
+        .unwrap();
+        assert_eq!(t.shape(), "(A → (B → C))");
+        assert!(eq_on_db(&lhs, &t));
+    }
+
+    #[test]
+    fn exchange_identity_13_shape() {
+        // ((A → B) → C) with both predicates off A ⇔ ((A → C) → B).
+        let lhs = Query::rel("A")
+            .outerjoin(Query::rel("B"), pq("A", "B"))
+            .outerjoin(Query::rel("C"), pq("A", "C"));
+        let t = apply_bt(
+            &lhs,
+            &Bt {
+                prim: Primitive::Exchange,
+                path: vec![],
+            },
+        )
+        .unwrap();
+        assert_eq!(t.shape(), "((A → C) → B)");
+        assert!(eq_on_db(&lhs, &t));
+    }
+
+    #[test]
+    fn exchange_mirror_shape() {
+        // (A → (B − C)) with the outerjoin predicate on C:
+        // ⇒ (B − (A → C)). Non-preserving in general (checked in
+        // preserve.rs); here we check the rewrite shape on a graph
+        // where it happens to matter structurally.
+        let q = Query::rel("A").outerjoin(
+            Query::rel("B").join(Query::rel("C"), pq("B", "C")),
+            pq("A", "C"),
+        );
+        let t = apply_bt(
+            &q,
+            &Bt {
+                prim: Primitive::ExchangeMirror,
+                path: vec![],
+            },
+        )
+        .unwrap();
+        assert_eq!(t.shape(), "(B − (A → C))");
+    }
+
+    #[test]
+    fn bt_at_deep_path() {
+        let q = Query::rel("A").join(
+            Query::rel("B").join(Query::rel("C"), pq("B", "C")),
+            pq("A", "B"),
+        );
+        // Swap the inner join via path [R].
+        let t = apply_bt(
+            &q,
+            &Bt {
+                prim: Primitive::Swap,
+                path: vec![Dir::R],
+            },
+        )
+        .unwrap();
+        assert_eq!(t.shape(), "(A − (C − B))");
+        let e = apply_bt(
+            &q,
+            &Bt {
+                prim: Primitive::Swap,
+                path: vec![Dir::L],
+            },
+        );
+        assert!(matches!(
+            e,
+            Err(BtError::BadPath) | Err(BtError::NotApplicable(_))
+        ));
+    }
+
+    #[test]
+    fn applicable_bts_enumeration() {
+        let q = Query::rel("A")
+            .join(Query::rel("B"), pq("A", "B"))
+            .join(Query::rel("C"), pq("B", "C"));
+        let bts = applicable_bts(&q);
+        // Root: Swap + AssocRtl apply; inner join: Swap.
+        assert!(bts
+            .iter()
+            .any(|b| b.prim == Primitive::AssocRtl && b.path.is_empty()));
+        assert!(bts
+            .iter()
+            .any(|b| b.prim == Primitive::Swap && b.path == vec![Dir::L]));
+        for bt in &bts {
+            let t = apply_bt(&q, bt).unwrap();
+            // Every applicable BT yields an IT of the same graph.
+            let g = fro_graph::graph_of(&q).unwrap();
+            assert!(
+                crate::enumerate::is_implementing_tree(&t, &g),
+                "{bt} produced non-IT {}",
+                t.shape()
+            );
+        }
+    }
+
+    #[test]
+    fn canonical_tree_identifies_mirrors() {
+        let q1 = Query::rel("A").join(Query::rel("B"), pq("A", "B"));
+        let q2 = Query::rel("B").join(Query::rel("A"), pq("A", "B"));
+        assert_eq!(canonical_tree(&q1), canonical_tree(&q2));
+        // Outerjoins are not reordered.
+        let o = Query::rel("B").outerjoin(Query::rel("A"), pq("A", "B"));
+        assert_eq!(canonical_tree(&o).shape(), "(B → A)");
+    }
+
+    #[test]
+    fn canonical_tree_sorts_conjuncts() {
+        let p1 = pq("A", "B");
+        let p2 = Pred::eq_attr("A.x", "B.x");
+        let q1 = Query::rel("A").join(Query::rel("B"), p1.clone().and(p2.clone()));
+        let q2 = Query::rel("A").join(Query::rel("B"), p2.and(p1));
+        assert_eq!(canonical_tree(&q1), canonical_tree(&q2));
+    }
+
+    #[test]
+    fn bt_display() {
+        let bt = Bt {
+            prim: Primitive::AssocRtl,
+            path: vec![Dir::L, Dir::R],
+        };
+        assert_eq!(bt.to_string(), "assoc→@LR");
+        let bt = Bt {
+            prim: Primitive::Swap,
+            path: vec![],
+        };
+        assert_eq!(bt.to_string(), "swap@root");
+    }
+}

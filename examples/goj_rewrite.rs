@@ -1,0 +1,83 @@
+//! Beyond free reorderability: Example 2's `X → (Y − Z)` cannot be
+//! reassociated by the result-preserving basic transforms — the two
+//! implementing trees of its graph genuinely disagree. This example
+//! shows (a) the disagreement, (b) the §4 simplification escape hatch
+//! when a strong predicate appears above, and (c) the §6.2 generalized
+//! outerjoin rewrite (identity 15) that recovers the other evaluation
+//! order anyway.
+//!
+//! Run with `cargo run --example goj_rewrite`.
+
+use fro::prelude::*;
+use fro_algebra::{CmpOp, Schema};
+use fro_core::goj_reorder::oj_of_join_to_goj;
+use fro_core::simplify::simplify;
+use std::sync::Arc;
+
+fn main() {
+    let pxy = Pred::eq_attr("X.a", "Y.b");
+    let pyz = Pred::eq_attr("Y.b2", "Z.c");
+
+    // Example 2's database: one tuple each, (y, z) not matching.
+    let mut db = Database::new();
+    db.insert(Relation::from_ints("X", &["a"], &[&[1]]));
+    db.insert(Relation::from_ints("Y", &["b", "b2"], &[&[1, 7]]));
+    db.insert(Relation::from_ints("Z", &["c"], &[&[99]]));
+
+    // ----------------------------------------------------------------
+    // (a) The two implementing trees disagree.
+    // ----------------------------------------------------------------
+    let q1 = Query::rel("X").outerjoin(
+        Query::rel("Y").join(Query::rel("Z"), pyz.clone()),
+        pxy.clone(),
+    );
+    let q2 = Query::rel("X")
+        .outerjoin(Query::rel("Y"), pxy.clone())
+        .join(Query::rel("Z"), pyz.clone());
+    println!("q1 = {}", q1.shape());
+    println!("q2 = {}", q2.shape());
+    let r1 = q1.eval(&db).unwrap();
+    let r2 = q2.eval(&db).unwrap();
+    println!("eval(q1):\n{r1}");
+    println!("eval(q2):\n{r2}");
+    assert!(!r1.set_eq(&r2), "Example 2: the trees must disagree");
+
+    let analysis = fro::core::analyze(&q1, Policy::Paper);
+    println!("analysis: {analysis}");
+    assert!(!analysis.is_freely_reorderable());
+
+    // ----------------------------------------------------------------
+    // (b) §4: a strong restriction above converts the outerjoin into a
+    // join, landing back in the freely-reorderable class.
+    // ----------------------------------------------------------------
+    let restricted = q1.clone().restrict(Pred::cmp_lit("Y.b", CmpOp::Gt, 0));
+    let (simplified, events) = simplify(&restricted);
+    println!("\n§4 simplification of σ[Y.b > 0](q1):");
+    for e in &events {
+        println!("  {e}");
+    }
+    println!("  result: {}", simplified.shape());
+    assert!(!events.is_empty());
+    assert!(
+        restricted
+            .eval(&db)
+            .unwrap()
+            .set_eq(&simplified.eval(&db).unwrap()),
+        "§4 rewrite must preserve the result"
+    );
+
+    // ----------------------------------------------------------------
+    // (c) §6.2: identity 15 turns q1 into (X → Y) GOJ[sch(X)] Z, an
+    // equivalent plan that evaluates the X–Y outerjoin *first*.
+    // ----------------------------------------------------------------
+    let mut catalog = Catalog::new();
+    catalog.add_table("X", Arc::new(Schema::of_relation("X", &["a"])), 1);
+    catalog.add_table("Y", Arc::new(Schema::of_relation("Y", &["b", "b2"])), 1);
+    catalog.add_table("Z", Arc::new(Schema::of_relation("Z", &["c"])), 1);
+    let rewritten = oj_of_join_to_goj(&q1, &catalog).expect("identity 15 applies");
+    println!("\n§6.2 rewrite (identity 15): {}", rewritten.shape());
+    let r3 = rewritten.eval(&db).unwrap();
+    println!("eval(rewritten):\n{r3}");
+    assert!(r1.set_eq(&r3), "identity 15 must preserve the result");
+    println!("ok: the generalized outerjoin recovered the other order.");
+}

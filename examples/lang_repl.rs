@@ -1,0 +1,58 @@
+//! An interactive shell for the §5 UnNest/Link language over the
+//! paper's entity world: type `Select All From …` queries, get the
+//! result, the query graph, and the reorderability verdict.
+//!
+//! ```text
+//! cargo run --example lang_repl
+//! fro> Select All From DEPARTMENT-->Manager Where DEPARTMENT.Location = 'Zurich'
+//! ```
+//!
+//! Piping works too:
+//! `echo "Select All From EMPLOYEE*ChildName" | cargo run --example lang_repl`
+
+use fro_lang::{model::paper_world, parse, run::plan_query, translate};
+use std::io::{self, BufRead, Write};
+
+fn main() {
+    let world = paper_world();
+    println!("fro §5 shell — paper world loaded:");
+    println!("  EMPLOYEE(Name, D#, Rank, *ChildName)");
+    println!("  DEPARTMENT(D#, Location, -->Manager, -->Secretary, -->Audit)");
+    println!("  REPORT(Title, Findings)");
+    println!("example: Select All From EMPLOYEE*ChildName, DEPARTMENT Where EMPLOYEE.D# = DEPARTMENT.D#");
+    println!("(empty line or EOF quits)\n");
+
+    let stdin = io::stdin();
+    loop {
+        print!("fro> ");
+        let _ = io::stdout().flush();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("read error: {e}");
+                break;
+            }
+        }
+        let src = line.trim();
+        if src.is_empty() {
+            break;
+        }
+        match parse(src).and_then(|block| translate(&block, &world)) {
+            Err(e) => println!("error: {e}\n"),
+            Ok(t) => {
+                println!("query graph:\n{}", t.graph);
+                println!("analysis: {}", t.analysis);
+                let trees = fro_trees::count_implementing_trees(&t.graph, false);
+                println!("implementing trees: {trees} (all equivalent — Theorem 1)");
+                match plan_query(&t).map(|q| q.eval(&t.database)) {
+                    Ok(Ok(rel)) => println!("result ({} rows):\n{rel}", rel.len()),
+                    Ok(Err(e)) => println!("eval error: {e}\n"),
+                    Err(e) => println!("plan error: {e}\n"),
+                }
+            }
+        }
+    }
+    println!("bye.");
+}

@@ -1,0 +1,73 @@
+//! Quickstart: query graphs, implementing trees, and Theorem 1.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use fro::prelude::*;
+use fro_trees::canonical_tree;
+
+fn main() {
+    // ------------------------------------------------------------------
+    // 1. A join/outerjoin query (Example 1 of the paper), deliberately
+    //    written in the expensive association: R1 − (R2 → R3).
+    // ------------------------------------------------------------------
+    let q = Query::rel("R1").join(
+        Query::rel("R2").outerjoin(Query::rel("R3"), Pred::eq_attr("R2.k2", "R3.k3")),
+        Pred::eq_attr("R1.k1", "R2.k2"),
+    );
+    println!("query      : {}", q.shape());
+
+    // ------------------------------------------------------------------
+    // 2. Its query graph abstracts the association away.
+    // ------------------------------------------------------------------
+    let graph = graph_of(&q).expect("graph is defined");
+    println!("query graph:\n{graph}");
+
+    // ------------------------------------------------------------------
+    // 3. Theorem 1: nice graph + strong predicates ⇒ freely reorderable.
+    // ------------------------------------------------------------------
+    let analysis = fro::core::analyze(&q, Policy::Paper);
+    println!("analysis   : {analysis}");
+    assert!(analysis.is_freely_reorderable());
+
+    // ------------------------------------------------------------------
+    // 4. Every implementing tree of the graph evaluates identically.
+    // ------------------------------------------------------------------
+    let trees = enumerate_trees(&graph, EnumLimit::default()).unwrap();
+    println!("implementing trees ({}):", trees.len());
+    for t in &trees {
+        println!("  {}", t.shape());
+    }
+
+    let mut db = Database::new();
+    db.insert(Relation::from_ints("R1", &["k1"], &[&[0]]));
+    db.insert(Relation::from_ints("R2", &["k2"], &[&[0], &[1], &[2]]));
+    db.insert(Relation::from_ints("R3", &["k3"], &[&[1], &[2], &[9]]));
+    let results: Vec<Relation> = trees.iter().map(|t| t.eval(&db).unwrap()).collect();
+    for r in &results[1..] {
+        assert!(r.set_eq(&results[0]), "Theorem 1 violated?!");
+    }
+    println!("\nall {} trees agree; result:", trees.len());
+    println!("{}", results[0]);
+
+    // ------------------------------------------------------------------
+    // 5. The optimizer exploits the freedom: same result, better plan.
+    // ------------------------------------------------------------------
+    let mut storage = Storage::from_database(&db);
+    for (t, a) in [("R1", "R1.k1"), ("R2", "R2.k2"), ("R3", "R3.k3")] {
+        storage.create_index(t, &[fro::algebra::Attr::parse(a)]);
+    }
+    let catalog = Catalog::from_storage(&storage);
+    let optimized = optimize(&q, &catalog, Policy::Paper).unwrap();
+    println!("chosen plan (reordered = {}):", optimized.reordered);
+    println!("{}", optimized.plan.explain());
+    let mut stats = ExecStats::new();
+    let out = execute(&optimized.plan, &storage, &mut stats).unwrap();
+    assert!(out.set_eq(&results[0]));
+    println!("execution counters: {stats}");
+
+    // A fun aside: canonical forms identify mirror-image join trees.
+    let mirrored = Query::rel("R2").join(Query::rel("R1"), Pred::eq_attr("R1.k1", "R2.k2"));
+    let original = Query::rel("R1").join(Query::rel("R2"), Pred::eq_attr("R1.k1", "R2.k2"));
+    assert_eq!(canonical_tree(&mirrored), canonical_tree(&original));
+    println!("\nok.");
+}

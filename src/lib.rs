@@ -1,0 +1,60 @@
+//! # fro — Freely-Reorderable Outerjoins
+//!
+//! A complete Rust implementation of Rosenthal & Galindo-Legaria,
+//! *"Query Graphs, Implementing Trees, and Freely-Reorderable
+//! Outerjoins"* (SIGMOD 1990): the relational algebra with nulls and
+//! strong predicates, query graphs and their implementing trees, the
+//! free-reorderability theorem with a checker, the §4 simplification
+//! rules, the §5 UnNest/Link language, the §6.2 generalized outerjoin,
+//! and a cost-based optimizer + execution engine that reproduce the
+//! paper's Example 1 cost asymmetry exactly.
+//!
+//! This crate is a facade re-exporting the workspace's public API:
+//!
+//! | module | crate | paper section |
+//! |--------|-------|---------------|
+//! | [`algebra`] | `fro-algebra` | §1.2, §2 (operators, identities) |
+//! | [`graph`] | `fro-graph` | §1.2–1.3, §3.1 (query graphs, niceness) |
+//! | [`trees`] | `fro-trees` | §3 (implementing trees, basic transforms) |
+//! | [`core`] | `fro-core` | Theorem 1, §4, §6 (checker, simplifier, optimizer) |
+//! | [`exec`] | `fro-exec` | Example 1's engine (indexes, counters) |
+//! | [`lang`] | `fro-lang` | §5 (UnNest/Link language) |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use fro::prelude::*;
+//!
+//! // Example 1, written in the "wrong" association.
+//! let q = Query::rel("R1").join(
+//!     Query::rel("R2").outerjoin(Query::rel("R3"), Pred::eq_attr("R2.k2", "R3.k3")),
+//!     Pred::eq_attr("R1.k1", "R2.k2"),
+//! );
+//!
+//! // Theorem 1 says the graph alone determines the result.
+//! assert!(fro::core::is_freely_reorderable(&q));
+//!
+//! // So every implementing tree evaluates identically …
+//! let graph = fro::graph::graph_of(&q).unwrap();
+//! let trees = fro::trees::enumerate_trees(&graph, Default::default()).unwrap();
+//! assert_eq!(trees.len(), 2); // (R1−R2)→R3 and R1−(R2→R3)
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use fro_algebra as algebra;
+pub use fro_core as core;
+pub use fro_exec as exec;
+pub use fro_graph as graph;
+pub use fro_lang as lang;
+pub use fro_trees as trees;
+
+/// One-stop imports for applications.
+pub mod prelude {
+    pub use fro_algebra::prelude::*;
+    pub use fro_core::{analyze, is_freely_reorderable, optimize, Catalog, Policy};
+    pub use fro_exec::{execute, ExecStats, PhysPlan, Storage};
+    pub use fro_graph::{graph_of, QueryGraph};
+    pub use fro_trees::{enumerate_trees, EnumLimit};
+}

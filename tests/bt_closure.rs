@@ -1,0 +1,158 @@
+//! Lemma 2 + Lemma 3, end to end, on random graphs:
+//!
+//! * every *applicable* BT on an implementing tree of a nice graph
+//!   with strong predicates is classified result-preserving, and
+//!   actually preserves `eval` on random databases (Lemma 2);
+//! * the closure under all BTs reaches the full enumerated tree set
+//!   (Lemma 3), and the preserving-only closure does too on
+//!   nice+strong graphs (the mechanism behind Theorem 1);
+//! * a BT classified *non*-preserving really changes the result for
+//!   some database (the classification is not conservative noise).
+
+use fro_testkit::{
+    db_for_graph, random_connected_graph, random_implementing_tree, random_nice_graph, GraphSpec,
+};
+use fro_trees::{
+    applicable_bts, apply_bt, bt_closure, canonical_tree, enumerate_trees, find_bt_sequence,
+    is_result_preserving, ClosureOptions, EnumLimit,
+};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Lemma 2: on nice graphs with strong predicates, every
+    /// applicable BT is classified preserving and preserves eval.
+    #[test]
+    fn applicable_bts_preserve_on_nice_strong(
+        core in 1usize..4,
+        oj in 0usize..3,
+        gseed in 0u64..10_000,
+        tseed in 0u64..10_000,
+        dseed in 0u64..10_000,
+    ) {
+        let spec = GraphSpec { core, oj_nodes: oj, extra_core_edges: 0, strong: true };
+        let g = random_nice_graph(&spec, gseed);
+        let q = random_implementing_tree(&g, tseed).expect("connected");
+        let db = db_for_graph(&g, 5, 3, 0.2, dseed);
+        let base = q.eval(&db).expect("eval");
+        for bt in applicable_bts(&q) {
+            let verdict = is_result_preserving(&q, &bt);
+            prop_assert_eq!(
+                verdict,
+                Some(true),
+                "BT {} on {} classified {:?} on a nice+strong graph",
+                bt,
+                q.shape(),
+                verdict
+            );
+            let next = apply_bt(&q, &bt).expect("applicable");
+            prop_assert!(
+                next.eval(&db).expect("eval").set_eq(&base),
+                "BT {} changed the result of {}",
+                bt,
+                q.shape()
+            );
+        }
+    }
+
+    /// Lemma 3: closure under all BTs = full enumerated set, even on
+    /// non-nice graphs.
+    #[test]
+    fn closure_reaches_all_trees(
+        n in 2usize..5,
+        ojp in 0u32..100,
+        gseed in 0u64..10_000,
+        tseed in 0u64..10_000,
+    ) {
+        let g = random_connected_graph(n, f64::from(ojp) / 100.0, gseed);
+        let all: BTreeSet<_> = enumerate_trees(&g, EnumLimit::default())
+            .expect("connected")
+            .iter()
+            .map(canonical_tree)
+            .collect();
+        let start = random_implementing_tree(&g, tseed).expect("connected");
+        let reached: BTreeSet<_> = bt_closure(&start, ClosureOptions::default())
+            .into_iter()
+            .collect();
+        prop_assert_eq!(reached, all, "closure mismatch on\n{}", g);
+    }
+
+    /// Preserving-only closure is complete on nice+strong graphs.
+    #[test]
+    fn preserving_closure_complete_on_nice_strong(
+        core in 1usize..4,
+        oj in 0usize..3,
+        gseed in 0u64..10_000,
+        tseed in 0u64..10_000,
+    ) {
+        let spec = GraphSpec { core, oj_nodes: oj, extra_core_edges: 0, strong: true };
+        let g = random_nice_graph(&spec, gseed);
+        let all: BTreeSet<_> = enumerate_trees(&g, EnumLimit::default())
+            .expect("connected")
+            .iter()
+            .map(canonical_tree)
+            .collect();
+        let start = random_implementing_tree(&g, tseed).expect("connected");
+        let reached: BTreeSet<_> = bt_closure(
+            &start,
+            ClosureOptions { only_preserving: true, max_states: 200_000 },
+        )
+        .into_iter()
+        .collect();
+        prop_assert_eq!(reached, all, "preserving closure incomplete on nice graph\n{}", g);
+    }
+
+    /// BT sequences found between random tree pairs replay correctly.
+    #[test]
+    fn bt_sequences_replay(
+        core in 2usize..5,
+        gseed in 0u64..10_000,
+        t1 in 0u64..10_000,
+        t2 in 0u64..10_000,
+    ) {
+        let spec = GraphSpec { core, oj_nodes: 1, extra_core_edges: 0, strong: true };
+        let g = random_nice_graph(&spec, gseed);
+        let a = random_implementing_tree(&g, t1).expect("connected");
+        let b = random_implementing_tree(&g, t2).expect("connected");
+        let seq = find_bt_sequence(&a, &b, ClosureOptions::default())
+            .expect("Lemma 3: reachable");
+        let end = fro_trees::search::replay(&a, &seq).expect("replays");
+        prop_assert_eq!(canonical_tree(&end), canonical_tree(&b));
+    }
+}
+
+/// Non-preserving classifications are justified: each such BT changes
+/// the result for some database.
+#[test]
+fn non_preserving_bts_really_change_results() {
+    let mut checked = 0;
+    for gseed in 0..40u64 {
+        let g = random_connected_graph(3, 0.7, gseed);
+        let Some(q) = random_implementing_tree(&g, gseed) else {
+            continue;
+        };
+        for bt in applicable_bts(&q) {
+            if is_result_preserving(&q, &bt) != Some(false) {
+                continue;
+            }
+            let next = apply_bt(&q, &bt).unwrap();
+            let mut witnessed = false;
+            for dseed in 0..60u64 {
+                let db = db_for_graph(&g, 3, 3, 0.25, dseed);
+                if !q.eval(&db).unwrap().set_eq(&next.eval(&db).unwrap()) {
+                    witnessed = true;
+                    break;
+                }
+            }
+            assert!(
+                witnessed,
+                "BT {bt} on {} was classified non-preserving but never differed",
+                q.shape()
+            );
+            checked += 1;
+        }
+    }
+    assert!(checked > 0, "no non-preserving BTs encountered at all");
+}

@@ -1,0 +1,134 @@
+//! Cross-implementation checks: the hash/index physical engine must
+//! agree with the reference nested-loop evaluator on every random
+//! query, whether lowered syntactically or reordered by the DP.
+
+use fro_algebra::Attr;
+use fro_core::{optimize, optimizer::lower, Catalog, Policy};
+use fro_exec::{execute, ExecStats, Storage};
+use fro_testkit::{
+    db_for_graph, random_connected_graph, random_implementing_tree, random_nice_graph, GraphSpec,
+};
+use proptest::prelude::*;
+
+fn indexed_storage(db: &fro_algebra::Database) -> Storage {
+    let mut storage = Storage::from_database(db);
+    let names: Vec<String> = db.names().map(str::to_owned).collect();
+    for name in names {
+        storage.create_index(&name, &[Attr::new(&name, "k")]);
+    }
+    storage
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Syntactic lowering of arbitrary implementing trees.
+    #[test]
+    fn lowered_plans_match_reference(
+        n in 2usize..6,
+        ojp in 0u32..100,
+        gseed in 0u64..10_000,
+        tseed in 0u64..10_000,
+        dseed in 0u64..10_000,
+        rows in 1usize..10,
+        nulls in 0u32..30,
+    ) {
+        let g = random_connected_graph(n, f64::from(ojp) / 100.0, gseed);
+        let q = random_implementing_tree(&g, tseed).expect("connected");
+        let db = db_for_graph(&g, rows, 4, f64::from(nulls) / 100.0, dseed);
+        let storage = indexed_storage(&db);
+        let catalog = Catalog::from_storage(&storage);
+
+        let plan = lower(&q, &catalog).expect("lowerable");
+        let mut stats = ExecStats::new();
+        let got = execute(&plan, &storage, &mut stats).expect("executes");
+        let want = q.eval(&db).expect("reference eval");
+        prop_assert!(
+            got.set_eq(&want),
+            "engine disagrees with reference\nquery {}\nplan:\n{}",
+            q.shape(),
+            plan.explain()
+        );
+    }
+
+    /// Optimized (possibly reordered) plans for nice graphs.
+    #[test]
+    fn optimized_plans_match_reference(
+        core in 0usize..3,
+        oj in 0usize..3,
+        gseed in 0u64..10_000,
+        tseed in 0u64..10_000,
+        dseed in 0u64..10_000,
+        rows in 1usize..10,
+    ) {
+        let spec = GraphSpec {
+            core: 1 + core,
+            oj_nodes: oj,
+            extra_core_edges: 0,
+            strong: true,
+        };
+        let g = random_nice_graph(&spec, gseed);
+        let q = random_implementing_tree(&g, tseed).expect("connected");
+        let db = db_for_graph(&g, rows, 4, 0.15, dseed);
+        let storage = indexed_storage(&db);
+        let catalog = Catalog::from_storage(&storage);
+
+        let optimized = optimize(&q, &catalog, Policy::Paper).expect("optimizes");
+        prop_assert!(optimized.reordered, "nice graphs must take the DP path");
+        let mut stats = ExecStats::new();
+        let got = execute(&optimized.plan, &storage, &mut stats).expect("executes");
+        let want = q.eval(&db).expect("reference eval");
+        prop_assert!(
+            got.set_eq(&want),
+            "optimizer changed the result\nquery {}\nplan:\n{}",
+            q.shape(),
+            optimized.plan.explain()
+        );
+    }
+
+    /// Physical GOJ against the reference GOJ.
+    #[test]
+    fn goj_plan_matches_reference(
+        rows in 1usize..10,
+        dseed in 0u64..10_000,
+    ) {
+        use fro_algebra::{Pred, Query};
+        let g = random_connected_graph(2, 0.0, 1);
+        let db = db_for_graph(&g, rows, 4, 0.2, dseed);
+        let storage = indexed_storage(&db);
+        let catalog = Catalog::from_storage(&storage);
+        let q = Query::rel("R0").goj(
+            Query::rel("R1"),
+            Pred::eq_attr("R0.k", "R1.k"),
+            vec![Attr::parse("R0.k")],
+        );
+        let plan = lower(&q, &catalog).unwrap();
+        let mut stats = ExecStats::new();
+        let got = execute(&plan, &storage, &mut stats).unwrap();
+        prop_assert!(got.set_eq(&q.eval(&db).unwrap()));
+    }
+}
+
+/// The reordered plan must never *cost more* than the syntactic plan
+/// under the engine's own counters, on Example 1 style workloads.
+#[test]
+fn dp_never_loses_to_syntactic_on_example1_family() {
+    for n in [10usize, 100, 1000] {
+        let ex = fro_testkit::workloads::example1(n);
+        let syn = lower(&ex.bad_query, &ex.catalog).unwrap();
+        let mut syn_stats = ExecStats::new();
+        let a = execute(&syn, &ex.storage, &mut syn_stats).unwrap();
+        let opt = optimize(&ex.bad_query, &ex.catalog, Policy::Paper).unwrap();
+        let mut opt_stats = ExecStats::new();
+        let b = execute(&opt.plan, &ex.storage, &mut opt_stats).unwrap();
+        assert!(a.set_eq(&b));
+        assert!(
+            opt_stats.tuples_retrieved <= syn_stats.tuples_retrieved,
+            "n={n}: reordered {} > syntactic {}",
+            opt_stats.tuples_retrieved,
+            syn_stats.tuples_retrieved
+        );
+        assert_eq!(opt_stats.tuples_retrieved, 3);
+        assert_eq!(syn_stats.tuples_retrieved as usize, 2 * n + 1);
+    }
+}

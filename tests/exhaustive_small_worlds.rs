@@ -1,0 +1,155 @@
+//! Exhaustive small-world validation of Theorem 1.
+//!
+//! Enumerate *every* join/outerjoin graph on 3 nodes (each unordered
+//! pair: absent, join, or an outerjoin in either direction), with
+//! strong and weak predicate variants, and *every* tiny database over
+//! a two-value domain with nulls. Then check:
+//!
+//! * **soundness** — whenever the checker (any policy) says "freely
+//!   reorderable", all implementing trees agree on all databases;
+//! * **anti-vacuity** — for the graphs the `MinimalChain` policy
+//!   rejects that still have ≥ 2 implementing trees, a concrete
+//!   counterexample database exists (so the theorem's hypotheses are
+//!   not just sufficient but sharply targeted on this universe).
+
+use fro_algebra::{Database, Pred, Relation, Value};
+use fro_core::reorder::{analyze_graph, Policy};
+use fro_graph::QueryGraph;
+use fro_trees::{enumerate_trees, EnumLimit};
+
+fn key_eq(a: usize, b: usize) -> Pred {
+    Pred::eq_attr(&format!("R{a}.k"), &format!("R{b}.k"))
+}
+
+fn weak(a: usize, b: usize) -> Pred {
+    // Weak w.r.t. the preserved side `a` (Example 3's recipe).
+    key_eq(a, b).or(Pred::is_null(&format!("R{a}.k")))
+}
+
+/// All graphs on 3 nodes; `weak_oj` selects the outerjoin label.
+fn all_graphs(weak_oj: bool) -> Vec<QueryGraph> {
+    let pairs = [(0usize, 1usize), (0, 2), (1, 2)];
+    let mut out = Vec::new();
+    for mask in 0..(4u32.pow(3)) {
+        let mut g = QueryGraph::new(vec!["R0".into(), "R1".into(), "R2".into()]);
+        let mut m = mask;
+        for &(a, b) in &pairs {
+            let choice = m % 4;
+            m /= 4;
+            match choice {
+                1 => g.add_join_edge(a, b, key_eq(a, b)).unwrap(),
+                2 => {
+                    let p = if weak_oj { weak(a, b) } else { key_eq(a, b) };
+                    g.add_outerjoin_edge(a, b, p).unwrap();
+                }
+                3 => {
+                    let p = if weak_oj { weak(b, a) } else { key_eq(b, a) };
+                    g.add_outerjoin_edge(b, a, p).unwrap();
+                }
+                _ => {}
+            }
+        }
+        if g.is_connected() {
+            out.push(g);
+        }
+    }
+    out
+}
+
+/// Every database where each of the three single-column relations has
+/// a subset of {0, 1, null} as rows: 8^3 = 512 databases.
+fn all_tiny_databases() -> Vec<Database> {
+    let values = [Value::Int(0), Value::Int(1), Value::Null];
+    let mut dbs = Vec::new();
+    for mask in 0..(8u32.pow(3)) {
+        let mut db = Database::new();
+        let mut m = mask;
+        for r in 0..3 {
+            let sub = m % 8;
+            m /= 8;
+            let rows: Vec<Vec<Value>> = (0..3)
+                .filter(|i| sub & (1 << i) != 0)
+                .map(|i| vec![values[i as usize].clone()])
+                .collect();
+            let name = format!("R{r}");
+            db.insert_named(name.clone(), Relation::from_values(&name, &["k"], rows));
+        }
+        dbs.push(db);
+    }
+    dbs
+}
+
+#[test]
+fn exhaustive_three_node_soundness_and_anti_vacuity() {
+    let dbs = all_tiny_databases();
+    let mut accepted = 0usize;
+    let mut rejected_with_witness = 0usize;
+    let mut rejected_multi_tree = 0usize;
+
+    for weak_oj in [false, true] {
+        for g in all_graphs(weak_oj) {
+            let trees = enumerate_trees(&g, EnumLimit::default()).expect("connected");
+            // Disagreement witness, if any.
+            let mut witness = false;
+            'dbs: for db in &dbs {
+                let mut first: Option<Relation> = None;
+                for t in &trees {
+                    let r = t.eval(db).expect("eval");
+                    match &first {
+                        None => first = Some(r),
+                        Some(f) => {
+                            if !r.set_eq(f) {
+                                witness = true;
+                                break 'dbs;
+                            }
+                        }
+                    }
+                }
+            }
+
+            for policy in [Policy::Paper, Policy::Strict, Policy::MinimalChain] {
+                let verdict = analyze_graph(&g, policy).is_freely_reorderable();
+                if verdict {
+                    accepted += 1;
+                    assert!(
+                        !witness,
+                        "UNSOUND: policy {policy:?} accepted but trees disagree:\n{g}"
+                    );
+                }
+            }
+
+            // Anti-vacuity bookkeeping for the most permissive policy.
+            if !analyze_graph(&g, Policy::MinimalChain).is_freely_reorderable() && trees.len() > 1 {
+                rejected_multi_tree += 1;
+                if witness {
+                    rejected_with_witness += 1;
+                }
+            }
+        }
+    }
+
+    assert!(accepted > 0, "no graph was ever accepted");
+    assert!(
+        rejected_multi_tree > 0,
+        "no rejected multi-tree graphs found"
+    );
+    // Sharpness on this universe: every rejected multi-tree graph has a
+    // real counterexample database.
+    assert_eq!(
+        rejected_with_witness, rejected_multi_tree,
+        "some rejected graphs never disagreed — hypotheses may be too strong on 3 nodes"
+    );
+}
+
+#[test]
+fn exhaustive_three_node_counts() {
+    // Document the landscape (guards against silent generator drift):
+    // connected 3-node graphs, per outerjoin labeling.
+    let strong = all_graphs(false);
+    assert_eq!(strong.len(), 54); // 64 labelings − 10 disconnected ones
+    let nice = strong
+        .iter()
+        .filter(|g| fro_graph::check_nice(g).is_nice())
+        .count();
+    assert_eq!(nice, 19, "nice-graph census changed");
+}

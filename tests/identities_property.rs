@@ -1,0 +1,263 @@
+//! Property tests for the §2 / §6.2 identities over random databases.
+//!
+//! Inputs follow the paper's `⊙` convention — `P_xy` references `X`
+//! and `Y`, `P_yz` references `Y` and `Z` — with strong (plain
+//! equality) predicates where an identity requires them, and weakened
+//! predicates to verify the preconditions are real.
+
+use fro_algebra::identities as id;
+use fro_algebra::{Attr, Database, Pred, Relation, Value};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Random X(a), Y(b, b2), Z(c) relations with nulls.
+fn xyz(rows: usize, domain: i64, null_pct: u32, seed: u64) -> (Relation, Relation, Relation) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let val = |rng: &mut StdRng| {
+        if rng.gen_ratio(null_pct, 100) {
+            Value::Null
+        } else {
+            Value::Int(rng.gen_range(0..domain))
+        }
+    };
+    let x = Relation::from_values(
+        "X",
+        &["a"],
+        (0..rows).map(|_| vec![val(&mut rng)]).collect(),
+    );
+    let y = Relation::from_values(
+        "Y",
+        &["b", "b2"],
+        (0..rows)
+            .map(|_| vec![val(&mut rng), val(&mut rng)])
+            .collect(),
+    );
+    let z = Relation::from_values(
+        "Z",
+        &["c"],
+        (0..rows).map(|_| vec![val(&mut rng)]).collect(),
+    );
+    (x, y, z)
+}
+
+fn pxy() -> Pred {
+    Pred::eq_attr("X.a", "Y.b")
+}
+fn pyz() -> Pred {
+    Pred::eq_attr("Y.b2", "Z.c")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn identities_1_to_13_hold(
+        rows in 1usize..8,
+        domain in 1i64..5,
+        null_pct in 0u32..41,
+        seed in 0u64..100_000,
+    ) {
+        let (x, y, z) = xyz(rows, domain, null_pct, seed);
+        let checks: Vec<(&str, id::Sides)> = vec![
+            ("1", id::identity_1(&x, &y, &z, &pxy(), None, &pyz()).unwrap()),
+            ("1c", id::identity_1(
+                &x, &y, &z, &pxy(),
+                Some(&Pred::cmp_attr("X.a", fro_algebra::CmpOp::Le, "Z.c")),
+                &pyz(),
+            ).unwrap()),
+            ("2", id::identity_2(&x, &y, &z, &pxy(), &pyz()).unwrap()),
+            ("3", id::identity_3(&x, &y, &z, &pxy(), &pyz()).unwrap()),
+            ("7", id::identity_7(&x, &y, &z, &pxy(), &pyz()).unwrap()),
+            ("8", id::identity_8(&x, &y, &z, &pxy(), &pyz()).unwrap()),
+            ("9", id::identity_9(&x, &y, &z, &pxy(), &pyz()).unwrap()),
+            ("10", id::identity_10(&x, &y, &pxy()).unwrap()),
+            ("11", id::identity_11(&x, &y, &z, &pxy(), &pyz()).unwrap()),
+            ("12", id::identity_12(&x, &y, &z, &pxy(), &pyz()).unwrap()),
+            ("13", id::identity_13(&x, &y, &z, &Pred::eq_attr("Y.b", "X.a"), &pyz()).unwrap()),
+        ];
+        for (name, (lhs, rhs)) in checks {
+            prop_assert!(lhs.set_eq(&rhs), "identity {name} failed (seed {seed})");
+        }
+    }
+
+    #[test]
+    fn distributivity_identities_4_to_6_hold(
+        rows in 1usize..7,
+        domain in 1i64..5,
+        null_pct in 0u32..41,
+        seed in 0u64..100_000,
+    ) {
+        let (x, y1, _) = xyz(rows, domain, null_pct, seed);
+        let (_, y2, _) = xyz(rows, domain, null_pct, seed.wrapping_add(17));
+        let p = pxy();
+        let (l, r) = id::identity_4(&x, &y1, &y2, &p).unwrap();
+        prop_assert!(l.set_eq(&r), "identity 4 (seed {seed})");
+        let (l, r) = id::identity_5(&x, &y1, &y2, &p).unwrap();
+        prop_assert!(l.set_eq(&r), "identity 5 (seed {seed})");
+        let (l, r) = id::identity_6(&x, &y1, &y2, &p).unwrap();
+        prop_assert!(l.set_eq(&r), "identity 6 (seed {seed})");
+    }
+
+    #[test]
+    fn goj_identities_15_16_hold(
+        rows in 1usize..7,
+        domain in 1i64..5,
+        null_pct in 0u32..31,
+        seed in 0u64..100_000,
+    ) {
+        let (x, y, z) = xyz(rows, domain, null_pct, seed);
+        let (l, r) = id::identity_15(&x, &y, &z, &pxy(), &pyz()).unwrap();
+        prop_assert!(l.set_eq(&r), "identity 15 (seed {seed})");
+        let s = vec![Attr::parse("Y.b"), Attr::parse("Y.b2")];
+        let (l, r) = id::identity_16(&x, &y, &z, &pxy(), &pyz(), &s).unwrap();
+        prop_assert!(l.set_eq(&r), "identity 16 (seed {seed})");
+    }
+
+    #[test]
+    fn fig3_derivation_chain_holds(
+        rows in 1usize..6,
+        domain in 1i64..4,
+        null_pct in 0u32..31,
+        seed in 0u64..100_000,
+    ) {
+        let (x, y, z) = xyz(rows, domain, null_pct, seed);
+        let steps = id::fig3_derivation(&x, &y, &z, &pxy(), &pyz()).unwrap();
+        for (i, w) in steps.windows(2).enumerate() {
+            prop_assert!(
+                w[0].set_eq(&w[1]),
+                "Fig 3 step {} → {} differs (seed {seed})",
+                i + 1,
+                i + 2
+            );
+        }
+    }
+
+    /// Identity 10 through the Query layer as well (eval path).
+    #[test]
+    fn outerjoin_expansion_through_query_eval(
+        rows in 1usize..7,
+        domain in 1i64..5,
+        seed in 0u64..100_000,
+    ) {
+        let (x, y, _) = xyz(rows, domain, 20, seed);
+        let mut db = Database::new();
+        db.insert(x);
+        db.insert(y);
+        use fro_algebra::Query;
+        let oj = Query::rel("X").outerjoin(Query::rel("Y"), pxy());
+        let expanded = Query::rel("X")
+            .join(Query::rel("Y"), pxy())
+            .union(Query::rel("X").antijoin(Query::rel("Y"), pxy()));
+        prop_assert!(oj.eval(&db).unwrap().set_eq(&expanded.eval(&db).unwrap()));
+    }
+}
+
+/// The strongness precondition of identity 12 is real: with Example
+/// 3's weak predicate it must fail for *some* random input.
+#[test]
+fn identity_12_fails_without_strongness_somewhere() {
+    let weak_pyz = Pred::eq_attr("Y.b2", "Z.c").or(Pred::is_null("Y.b2"));
+    let mut found = false;
+    for seed in 0..500u64 {
+        let (x, y, z) = xyz(3, 3, 40, seed);
+        let (l, r) = id::identity_12(&x, &y, &z, &pxy(), &weak_pyz).unwrap();
+        if !l.set_eq(&r) {
+            found = true;
+            break;
+        }
+    }
+    assert!(
+        found,
+        "weak identity 12 never failed — precondition looks vacuous"
+    );
+}
+
+/// Identities 8/9's strongness precondition is real too.
+#[test]
+fn identities_8_9_fail_without_strongness_somewhere() {
+    let weak_pyz = Pred::eq_attr("Y.b2", "Z.c").or(Pred::is_null("Y.b2"));
+    let mut found8 = false;
+    let mut found9 = false;
+    for seed in 0..500u64 {
+        let (x, y, z) = xyz(3, 3, 40, seed);
+        let (l, empty) = id::identity_8(&x, &y, &z, &pxy(), &weak_pyz).unwrap();
+        if !l.set_eq(&empty) {
+            found8 = true;
+        }
+        let (l, r) = id::identity_9(&x, &y, &z, &pxy(), &weak_pyz).unwrap();
+        if !l.set_eq(&r) {
+            found9 = true;
+        }
+        if found8 && found9 {
+            break;
+        }
+    }
+    assert!(found8, "identity 8 never failed with a weak predicate");
+    assert!(found9, "identity 9 never failed with a weak predicate");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Two-sided outerjoin decomposes into the union of both one-sided
+    /// outerjoins (under the §2.1 padding convention), and restricts
+    /// back to each side per the §4 argument.
+    #[test]
+    fn full_outerjoin_decomposition(
+        rows in 1usize..8,
+        domain in 1i64..5,
+        null_pct in 0u32..41,
+        seed in 0u64..100_000,
+    ) {
+        let (x, y, _) = xyz(rows, domain, null_pct, seed);
+        let full = fro_algebra::ops::full_outerjoin(&x, &y, &pxy()).unwrap();
+        let l = fro_algebra::ops::outerjoin(&x, &y, &pxy()).unwrap();
+        let r = fro_algebra::ops::outerjoin(&y, &x, &pxy()).unwrap();
+        let u = fro_algebra::ops::union(&l, &r).unwrap();
+        prop_assert!(full.set_eq(&u), "A ↔ B ≠ (A→B) ∪ (B→A) at seed {seed}");
+
+        // Strong restriction on X recovers the X-preserving half.
+        let strong_x = Pred::cmp_lit("X.a", fro_algebra::CmpOp::Ge, 0);
+        let restricted = fro_algebra::ops::restrict(&full, &strong_x).unwrap();
+        let left_restricted = fro_algebra::ops::restrict(&l, &strong_x).unwrap();
+        prop_assert!(restricted.set_eq(&left_restricted));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// §6.3 fragment: the semijoin analogues of identities 2 and 3
+    /// hold unconditionally.
+    #[test]
+    fn semijoin_identities_hold(
+        rows in 1usize..8,
+        domain in 1i64..5,
+        null_pct in 0u32..41,
+        seed in 0u64..100_000,
+    ) {
+        let (x, y, z) = xyz(rows, domain, null_pct, seed);
+        let (l, r) = id::identity_sj2(&x, &y, &z, &pxy(), &pyz()).unwrap();
+        prop_assert!(l.set_eq(&r), "sj-identity 2 (seed {seed})");
+        let (l, r) = id::identity_sj3(&x, &y, &z, &Pred::eq_attr("Y.b", "X.a"), &pyz()).unwrap();
+        prop_assert!(l.set_eq(&r), "sj-identity 3 (seed {seed})");
+    }
+}
+
+/// Semijoins in series genuinely constrain evaluation: dropping the
+/// inner filter changes the result for some input (anti-vacuity for
+/// the §6.3 forbidden pattern).
+#[test]
+fn semijoin_series_filter_bites_somewhere() {
+    let mut found = false;
+    for seed in 0..300u64 {
+        let (x, y, z) = xyz(4, 3, 20, seed);
+        let (l, r) = id::semijoin_series_shape(&x, &y, &z, &pxy(), &pyz()).unwrap();
+        if !l.set_eq(&r) {
+            found = true;
+            break;
+        }
+    }
+    assert!(found, "the inner semijoin filter never mattered");
+}

@@ -1,0 +1,129 @@
+//! Optimizer-wide properties: every planning path (syntactic lowering,
+//! exhaustive DP, greedy) must produce the same *result*, and the DP
+//! must never be beaten on its own estimated cost.
+
+use fro_algebra::Attr;
+use fro_core::optimizer::{dp_optimize, greedy_optimize, lower};
+use fro_core::{optimize, Catalog, Policy};
+use fro_exec::{execute, ExecStats, Storage};
+use fro_testkit::{db_for_graph, random_implementing_tree, random_nice_graph, GraphSpec};
+use proptest::prelude::*;
+
+fn indexed_storage(db: &fro_algebra::Database) -> Storage {
+    let mut storage = Storage::from_database(db);
+    let names: Vec<String> = db.names().map(str::to_owned).collect();
+    for name in names {
+        storage.create_index(&name, &[Attr::new(&name, "k")]);
+    }
+    storage
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn all_planning_paths_agree(
+        core in 1usize..4,
+        oj in 0usize..3,
+        gseed in 0u64..10_000,
+        tseed in 0u64..10_000,
+        dseed in 0u64..10_000,
+        rows in 1usize..10,
+    ) {
+        let spec = GraphSpec { core, oj_nodes: oj, extra_core_edges: 0, strong: true };
+        let g = random_nice_graph(&spec, gseed);
+        let q = random_implementing_tree(&g, tseed).expect("connected");
+        let db = db_for_graph(&g, rows, 4, 0.15, dseed);
+        let storage = indexed_storage(&db);
+        let catalog = Catalog::from_storage(&storage);
+        let reference = q.eval(&db).expect("reference");
+
+        // Syntactic.
+        let syn = lower(&q, &catalog).expect("lowers");
+        let mut st = ExecStats::new();
+        let a = execute(&syn, &storage, &mut st).expect("runs");
+        prop_assert!(a.set_eq(&reference), "syntactic diverged");
+
+        // Exhaustive DP.
+        let dp = dp_optimize(&g, &catalog).expect("dp");
+        let mut st = ExecStats::new();
+        let b = execute(&dp.plan, &storage, &mut st).expect("runs");
+        prop_assert!(b.set_eq(&reference), "dp diverged:\n{}", dp.plan);
+
+        // Greedy.
+        let gr = greedy_optimize(&g, &catalog).expect("greedy");
+        let mut st = ExecStats::new();
+        let c = execute(&gr.plan, &storage, &mut st).expect("runs");
+        prop_assert!(c.set_eq(&reference), "greedy diverged:\n{}", gr.plan);
+
+        // The exhaustive DP is optimal within its own cost model:
+        // greedy can never have *lower* estimated cost.
+        prop_assert!(
+            dp.cost <= gr.cost + 1e-6,
+            "greedy ({}) beat the exhaustive DP ({})",
+            gr.cost,
+            dp.cost
+        );
+    }
+
+    /// `optimize` is deterministic and stable: same inputs, same plan.
+    #[test]
+    fn optimize_deterministic(
+        core in 1usize..4,
+        oj in 0usize..3,
+        gseed in 0u64..10_000,
+        tseed in 0u64..10_000,
+    ) {
+        let spec = GraphSpec { core, oj_nodes: oj, extra_core_edges: 0, strong: true };
+        let g = random_nice_graph(&spec, gseed);
+        let q = random_implementing_tree(&g, tseed).expect("connected");
+        let mut catalog = Catalog::new();
+        for name in g.node_names() {
+            catalog.add_table(
+                name,
+                std::sync::Arc::new(fro_algebra::Schema::of_relation(name, &["k", "v"])),
+                100,
+            );
+        }
+        let p1 = optimize(&q, &catalog, Policy::Paper).expect("optimizes");
+        let p2 = optimize(&q, &catalog, Policy::Paper).expect("optimizes");
+        prop_assert_eq!(p1.plan, p2.plan);
+        prop_assert_eq!(p1.est_cost, p2.est_cost);
+    }
+}
+
+/// The DP's estimated cost is monotone in the right direction on
+/// Example 1: driving from the tiny relation must be the chosen plan
+/// at every scale.
+#[test]
+fn dp_choice_stable_across_scales() {
+    for n in [10usize, 1_000, 100_000] {
+        let ex = fro_testkit::workloads::example1(n);
+        let g = fro_graph::graph_of(&ex.bad_query).unwrap();
+        let dp = dp_optimize(&g, &ex.catalog).unwrap();
+        let text = dp.plan.explain();
+        assert!(text.contains("Scan R1"), "n={n}:\n{text}");
+        assert!(!text.contains("Scan R2"), "n={n}:\n{text}");
+    }
+}
+
+/// Greedy and DP coincide exactly on two-relation graphs (only one
+/// merge to make).
+#[test]
+fn greedy_equals_dp_on_pairs() {
+    for seed in 0..20u64 {
+        let spec = GraphSpec {
+            core: 2,
+            oj_nodes: 0,
+            extra_core_edges: 0,
+            strong: true,
+        };
+        let g = random_nice_graph(&spec, seed);
+        let db = db_for_graph(&g, 6, 4, 0.1, seed);
+        let storage = indexed_storage(&db);
+        let catalog = Catalog::from_storage(&storage);
+        let dp = dp_optimize(&g, &catalog).unwrap();
+        let gr = greedy_optimize(&g, &catalog).unwrap();
+        assert!((dp.cost - gr.cost).abs() < 1e-9, "seed {seed}");
+    }
+}

@@ -1,0 +1,172 @@
+//! §4 simplification and §5 language, cross-crate:
+//!
+//! * the simplification rule preserves query results on random
+//!   databases and only ever *removes* outerjoins;
+//! * the §4 conjecture probe: simplification of a freely-reorderable
+//!   query under top-level restrictions stays freely reorderable;
+//! * every parsed §5 block is freely reorderable and all its
+//!   implementing trees agree (Theorem 1 through the language).
+
+use fro_algebra::{CmpOp, Pred, Query};
+use fro_core::simplify::simplify;
+use fro_lang::model::paper_world;
+use fro_lang::{parse, translate};
+use fro_testkit::{db_for_graph, random_implementing_tree, random_nice_graph, GraphSpec};
+use proptest::prelude::*;
+
+fn count_outerjoins(q: &Query) -> usize {
+    let here = usize::from(matches!(q, Query::OuterJoin { .. }));
+    here + q
+        .children()
+        .iter()
+        .map(|c| count_outerjoins(c))
+        .sum::<usize>()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Simplification preserves semantics and never adds outerjoins.
+    #[test]
+    fn simplification_preserves_results(
+        core in 1usize..4,
+        oj in 1usize..4,
+        gseed in 0u64..10_000,
+        tseed in 0u64..10_000,
+        dseed in 0u64..10_000,
+        which in 0usize..8,
+    ) {
+        let spec = GraphSpec { core, oj_nodes: oj, extra_core_edges: 0, strong: true };
+        let g = random_nice_graph(&spec, gseed);
+        let tree = random_implementing_tree(&g, tseed).expect("connected");
+        // Restrict on a random relation's key: strong predicate.
+        let rels: Vec<String> = tree.rels().into_iter().collect();
+        let target = &rels[which % rels.len()];
+        let q = tree.restrict(Pred::cmp_lit(&format!("{target}.k"), CmpOp::Ge, 0));
+
+        let (s, events) = simplify(&q);
+        let db = db_for_graph(&g, 5, 3, 0.25, dseed);
+        prop_assert!(
+            q.eval(&db).unwrap().set_eq(&s.eval(&db).unwrap()),
+            "simplification changed the result\nfrom {}\nto   {}\nevents {:?}",
+            q.shape(),
+            s.shape(),
+            events
+        );
+        prop_assert!(count_outerjoins(&s) <= count_outerjoins(&q));
+        prop_assert_eq!(count_outerjoins(&q) - count_outerjoins(&s), events.len());
+    }
+
+    /// §4 conjecture probe: post-outerjoin restrictions + simplification
+    /// keep the OJ/J part freely reorderable.
+    #[test]
+    fn simplified_queries_stay_reorderable(
+        core in 1usize..4,
+        oj in 1usize..4,
+        gseed in 0u64..10_000,
+        tseed in 0u64..10_000,
+        which in 0usize..8,
+    ) {
+        let spec = GraphSpec { core, oj_nodes: oj, extra_core_edges: 0, strong: true };
+        let g = random_nice_graph(&spec, gseed);
+        let tree = random_implementing_tree(&g, tseed).expect("connected");
+        prop_assert!(fro_core::is_freely_reorderable(&tree));
+        let rels: Vec<String> = tree.rels().into_iter().collect();
+        let target = &rels[which % rels.len()];
+        let q = tree.restrict(Pred::cmp_lit(&format!("{target}.k"), CmpOp::Ge, 0));
+        let (s, _) = simplify(&q);
+        let inner = match s {
+            Query::Restrict { input, .. } => *input,
+            other => other,
+        };
+        prop_assert!(
+            fro_core::is_freely_reorderable(&inner),
+            "simplification broke reorderability: {}",
+            inner.shape()
+        );
+    }
+}
+
+#[test]
+fn every_paper_query_block_is_freely_reorderable_with_agreeing_trees() {
+    let world = paper_world();
+    let sources = [
+        "Select All From EMPLOYEE*ChildName, DEPARTMENT \
+         Where EMPLOYEE.D# = DEPARTMENT.D# and DEPARTMENT.Location = 'Queretaro'",
+        "Select All From DEPARTMENT-->Manager-->Audit Where DEPARTMENT.Location = 'Zurich'",
+        "Select All From EMPLOYEE*ChildName, DEPARTMENT-->Manager-->Audit \
+         Where EMPLOYEE.D# = DEPARTMENT.D# and DEPARTMENT.Location = 'Zurich' \
+         and EMPLOYEE.Rank > 10",
+        "Select All From DEPARTMENT-->Manager, EMPLOYEE \
+         Where EMPLOYEE.D# = DEPARTMENT.D#",
+        "Select All From EMPLOYEE*ChildName",
+    ];
+    for src in sources {
+        let t = translate(&parse(src).unwrap(), &world).unwrap();
+        assert!(t.analysis.is_freely_reorderable(), "{src}");
+        let trees = fro_trees::enumerate_trees(&t.graph, fro_trees::EnumLimit::default()).unwrap();
+        let results: Vec<_> = trees.iter().map(|q| q.eval(&t.database).unwrap()).collect();
+        assert!(
+            fro_testkit::all_set_eq(&results),
+            "trees disagree for block: {src}"
+        );
+    }
+}
+
+#[test]
+fn language_blocks_optimize_and_execute() {
+    use fro_core::{optimize, Catalog, Policy};
+    use fro_exec::{execute, ExecStats, Storage};
+
+    let world = paper_world();
+    let src = "Select All From EMPLOYEE*ChildName, DEPARTMENT-->Manager \
+               Where EMPLOYEE.D# = DEPARTMENT.D#";
+    let t = translate(&parse(src).unwrap(), &world).unwrap();
+    let storage = Storage::from_database(&t.database);
+    let catalog = Catalog::from_storage(&storage);
+    let q = fro_trees::some_implementing_tree(&t.graph).unwrap();
+    let optimized = optimize(&q, &catalog, Policy::Paper).unwrap();
+    assert!(
+        optimized.reordered,
+        "language blocks are always reorderable"
+    );
+    let mut stats = ExecStats::new();
+    let got = execute(&optimized.plan, &storage, &mut stats).unwrap();
+    let want = q.eval(&t.database).unwrap();
+    assert!(got.set_eq(&want));
+}
+
+#[test]
+fn ri_rewrite_example_from_section_4() {
+    use fro_core::simplify::apply_ri_constraint;
+    use fro_core::Policy;
+    let p = |a: &str, b: &str| Pred::eq_attr(a, b);
+    let q = Query::rel("R1").outerjoin(
+        Query::rel("R2").outerjoin(Query::rel("R3"), p("R2.k", "R3.k")),
+        p("R1.k", "R2.k"),
+    );
+    assert!(fro_core::is_freely_reorderable(&q));
+    let (rw, analysis) = apply_ri_constraint(&q, "R2", "R3", Policy::Paper);
+    assert!(!analysis.is_freely_reorderable());
+    // And the rewrite is semantically justified exactly when the RI
+    // constraint holds — verify on conforming data (every R2 matches).
+    let mut db = fro_algebra::Database::new();
+    db.insert(fro_algebra::Relation::from_ints("R1", &["k"], &[&[1]]));
+    db.insert(fro_algebra::Relation::from_ints(
+        "R2",
+        &["k"],
+        &[&[1], &[2]],
+    ));
+    db.insert(fro_algebra::Relation::from_ints(
+        "R3",
+        &["k"],
+        &[&[1], &[2]],
+    ));
+    assert!(q.eval(&db).unwrap().set_eq(&rw.eval(&db).unwrap()));
+    // On non-conforming data the rewrite (correctly) differs.
+    let mut db2 = fro_algebra::Database::new();
+    db2.insert(fro_algebra::Relation::from_ints("R1", &["k"], &[&[1]]));
+    db2.insert(fro_algebra::Relation::from_ints("R2", &["k"], &[&[1]]));
+    db2.insert(fro_algebra::Relation::from_ints("R3", &["k"], &[&[9]]));
+    assert!(!q.eval(&db2).unwrap().set_eq(&rw.eval(&db2).unwrap()));
+}

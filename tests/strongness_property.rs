@@ -1,0 +1,189 @@
+//! The strongness analysis is *sound*: whenever
+//! [`Pred::is_strong_on_rel`] claims a predicate rejects all-null
+//! tuples of a relation, brute-force evaluation over a small domain
+//! must never find a `True`. (Completeness is not required — the
+//! analysis may be conservative — but we also measure that it is exact
+//! on the comparison/IS NULL fragment the paper works in.)
+
+use fro::algebra::{CmpOp, Pred, Scalar, Schema, Truth, Tuple, Value};
+use fro_algebra::Attr;
+use proptest::prelude::*;
+
+/// The fixed scheme for generated predicates: R.a, R.b, S.c.
+fn schema() -> Schema {
+    Schema::new(vec![
+        Attr::parse("R.a"),
+        Attr::parse("R.b"),
+        Attr::parse("S.c"),
+    ])
+    .unwrap()
+}
+
+fn scalar_strategy() -> impl Strategy<Value = Scalar> {
+    prop_oneof![
+        Just(Scalar::attr("R.a")),
+        Just(Scalar::attr("R.b")),
+        Just(Scalar::attr("S.c")),
+        (0i64..3).prop_map(Scalar::int),
+        Just(Scalar::Lit(Value::Null)),
+    ]
+}
+
+fn cmp_op_strategy() -> impl Strategy<Value = CmpOp> {
+    prop_oneof![
+        Just(CmpOp::Eq),
+        Just(CmpOp::Ne),
+        Just(CmpOp::Lt),
+        Just(CmpOp::Le),
+        Just(CmpOp::Gt),
+        Just(CmpOp::Ge),
+    ]
+}
+
+fn pred_strategy() -> impl Strategy<Value = Pred> {
+    let leaf = prop_oneof![
+        (cmp_op_strategy(), scalar_strategy(), scalar_strategy())
+            .prop_map(|(op, lhs, rhs)| Pred::cmp(op, lhs, rhs)),
+        scalar_strategy().prop_map(Pred::IsNull),
+        Just(Pred::always()),
+        Just(Pred::Const(Truth::False)),
+    ];
+    leaf.prop_recursive(3, 24, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
+            inner.prop_map(Pred::not),
+        ]
+    })
+}
+
+/// The paper's predicate fragment: comparisons between *distinct*
+/// attributes, `IS NULL` on attributes, and positive (`AND`/`OR`)
+/// combinations. Negation and literals are excluded because they can
+/// encode unsatisfiable sub-predicates (`¬IsNull(x) ∧ IsNull(x)`,
+/// `x < 0 ∧ x > 1`) whose strongness is a satisfiability question no
+/// syntactic analysis answers exactly — soundness over the full
+/// language is covered by the other test.
+fn paper_pred_strategy() -> impl Strategy<Value = Pred> {
+    let attrs = ["R.a", "R.b", "S.c"];
+    let attr_pair = prop_oneof![
+        Just(("R.a", "R.b")),
+        Just(("R.a", "S.c")),
+        Just(("R.b", "S.c")),
+    ];
+    let leaf = prop_oneof![
+        (cmp_op_strategy(), attr_pair).prop_map(|(op, (a, b))| Pred::cmp(
+            op,
+            Scalar::attr(a),
+            Scalar::attr(b)
+        )),
+        (0..attrs.len()).prop_map(move |i| Pred::is_null(attrs[i])),
+    ];
+    leaf.prop_recursive(3, 24, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
+        ]
+    })
+}
+
+/// All tuples over the scheme with the R-attributes pinned to null and
+/// S.c ranging over a small domain (including null).
+fn tuples_with_r_null() -> Vec<Tuple> {
+    [Value::Null, Value::Int(0), Value::Int(1), Value::Int(2)]
+        .into_iter()
+        .map(|c| Tuple::new(vec![Value::Null, Value::Null, c]))
+        .collect()
+}
+
+/// All tuples over the full small domain (for the exactness probe).
+fn all_tuples() -> Vec<Tuple> {
+    let dom = [Value::Null, Value::Int(0), Value::Int(1)];
+    let mut out = Vec::new();
+    for a in &dom {
+        for b in &dom {
+            for c in &dom {
+                out.push(Tuple::new(vec![a.clone(), b.clone(), c.clone()]));
+            }
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Soundness: a strong verdict is never wrong.
+    #[test]
+    fn strongness_analysis_is_sound(pred in pred_strategy()) {
+        let s = schema();
+        if pred.is_strong_on_rel("R") {
+            for t in tuples_with_r_null() {
+                let v = pred.eval(&t, &s).expect("fixed scheme");
+                prop_assert!(
+                    v != Truth::True,
+                    "predicate {pred} claimed strong on R but evaluated True on {t}"
+                );
+            }
+        }
+    }
+
+    /// Exactness on the *paper's* fragment — attribute comparisons on
+    /// distinct attributes, `IS NULL`, and boolean combinations (no
+    /// literals, so no unsatisfiable sub-predicates, which are beyond
+    /// any syntactic analysis): when the analysis says "not strong",
+    /// the predicate genuinely can be True with all R-attributes null.
+    #[test]
+    fn strongness_analysis_is_exact_on_paper_fragment(pred in paper_pred_strategy()) {
+        let s = schema();
+        let refs_r = pred.rels().contains("R");
+        if refs_r && !pred.is_strong_on_rel("R") {
+            let can_be_true = tuples_with_r_null()
+                .iter()
+                .any(|t| pred.eval(t, &s).expect("fixed scheme") == Truth::True);
+            prop_assert!(
+                can_be_true,
+                "predicate {pred} declared not-strong but never evaluates True with R null"
+            );
+        }
+    }
+
+    /// 3VL evaluation is total and deterministic over the domain.
+    #[test]
+    fn eval_total_and_deterministic(pred in pred_strategy()) {
+        let s = schema();
+        for t in all_tuples() {
+            let v1 = pred.eval(&t, &s).expect("total");
+            let v2 = pred.eval(&t, &s).expect("total");
+            prop_assert_eq!(v1, v2);
+        }
+    }
+
+    /// De Morgan at the predicate level, under full 3VL evaluation.
+    #[test]
+    fn predicate_de_morgan(a in pred_strategy(), b in pred_strategy()) {
+        let s = schema();
+        let lhs = a.clone().and(b.clone()).not();
+        let rhs = a.not().or(b.not());
+        for t in all_tuples() {
+            prop_assert_eq!(
+                lhs.eval(&t, &s).expect("total"),
+                rhs.eval(&t, &s).expect("total")
+            );
+        }
+    }
+
+    /// Conjunct splitting/rebuilding preserves semantics.
+    #[test]
+    fn conjunct_roundtrip_preserves_semantics(pred in pred_strategy()) {
+        let s = schema();
+        let rebuilt = Pred::from_conjuncts(pred.conjuncts());
+        for t in all_tuples() {
+            prop_assert_eq!(
+                pred.eval(&t, &s).expect("total"),
+                rebuilt.eval(&t, &s).expect("total"),
+                "conjunct roundtrip changed {} at {}", pred, t
+            );
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! Property tests for Theorem 1: on nice graphs with strong outerjoin
+//! predicates, *every* implementing tree evaluates to the same result,
+//! on every database. Plus anti-vacuity: dropping either hypothesis is
+//! observably unsound.
+
+use fro_testkit::{db_for_graph, random_connected_graph, random_nice_graph, GraphSpec};
+use fro_trees::{enumerate_trees, EnumLimit};
+use proptest::prelude::*;
+
+fn spec_from(core: usize, oj: usize, chords: usize, strong: bool) -> GraphSpec {
+    GraphSpec {
+        core: 1 + core % 4,
+        oj_nodes: oj % 4,
+        extra_core_edges: chords % 2,
+        strong,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The theorem itself, end to end.
+    #[test]
+    fn all_implementing_trees_agree_on_nice_strong_graphs(
+        core in 0usize..4,
+        oj in 0usize..4,
+        chords in 0usize..2,
+        gseed in 0u64..1_000,
+        dseed in 0u64..1_000,
+        rows in 1usize..7,
+        domain in 1i64..5,
+        nulls in 0u32..40,
+    ) {
+        let spec = spec_from(core, oj, chords, true);
+        let g = random_nice_graph(&spec, gseed);
+        let db = db_for_graph(&g, rows, domain, f64::from(nulls) / 100.0, dseed);
+        let trees = enumerate_trees(&g, EnumLimit { max_trees: 3000 })
+            .expect("connected nice graph");
+        let results: Vec<_> = trees
+            .iter()
+            .map(|t| t.eval(&db).expect("eval"))
+            .collect();
+        for (i, r) in results.iter().enumerate().skip(1) {
+            prop_assert!(
+                r.set_eq(&results[0]),
+                "trees disagree on nice+strong graph\n{}\ntree0 {}\ntree{} {}",
+                g,
+                trees[0].shape(),
+                i,
+                trees[i].shape()
+            );
+        }
+    }
+
+    /// The optimizer's reorderability verdict agrees with brute force
+    /// *in the sound direction* on arbitrary graphs: whenever the
+    /// checker says "freely reorderable", all trees agree.
+    #[test]
+    fn checker_is_sound_on_arbitrary_graphs(
+        n in 2usize..6,
+        ojp in 0u32..100,
+        gseed in 0u64..1_000,
+        dseed in 0u64..1_000,
+    ) {
+        let g = random_connected_graph(n, f64::from(ojp) / 100.0, gseed);
+        let verdict = fro_core::reorder::analyze_graph(&g, fro_core::Policy::Paper)
+            .is_freely_reorderable();
+        if verdict {
+            let db = db_for_graph(&g, 5, 3, 0.15, dseed);
+            let trees = enumerate_trees(&g, EnumLimit { max_trees: 3000 }).unwrap();
+            let results: Vec<_> = trees.iter().map(|t| t.eval(&db).unwrap()).collect();
+            prop_assert!(fro_testkit::all_set_eq(&results), "checker accepted\n{g}");
+        }
+    }
+}
+
+/// Anti-vacuity for strongness: weak outerjoin predicates on an
+/// outerjoin *chain* must produce an observable disagreement for some
+/// seed (Example 3 generalized).
+#[test]
+fn weak_predicates_break_reorderability_somewhere() {
+    let mut found = false;
+    'outer: for gseed in 0..60u64 {
+        let spec = GraphSpec {
+            core: 1,
+            oj_nodes: 3,
+            extra_core_edges: 0,
+            strong: false,
+        };
+        let g = random_nice_graph(&spec, gseed);
+        // Need an actual chain for identity 12 to matter.
+        let has_chain = (0..g.n_nodes()).any(|i| {
+            g.oj_in_degree(i) > 0
+                && g.edges()
+                    .iter()
+                    .any(|e| e.kind() == fro_graph::EdgeKind::OuterJoin && e.a() == i)
+        });
+        if !has_chain {
+            continue;
+        }
+        for dseed in 0..40u64 {
+            let db = db_for_graph(&g, 4, 3, 0.35, dseed);
+            let trees = enumerate_trees(&g, EnumLimit::default()).unwrap();
+            let results: Vec<_> = trees.iter().map(|t| t.eval(&db).unwrap()).collect();
+            if !fro_testkit::all_set_eq(&results) {
+                found = true;
+                break 'outer;
+            }
+        }
+    }
+    assert!(
+        found,
+        "weak predicates never produced a counterexample — the strongness hypothesis looks vacuous"
+    );
+}
+
+/// Anti-vacuity for niceness: the Example 2 pattern must produce an
+/// observable disagreement for some database.
+#[test]
+fn example2_pattern_breaks_reorderability_somewhere() {
+    use fro_algebra::Pred;
+    let mut g = fro_graph::QueryGraph::new(vec!["R0".into(), "R1".into(), "R2".into()]);
+    g.add_outerjoin_edge(0, 1, Pred::eq_attr("R0.k", "R1.k"))
+        .unwrap();
+    g.add_join_edge(1, 2, Pred::eq_attr("R1.k", "R2.k"))
+        .unwrap();
+    let trees = enumerate_trees(&g, EnumLimit::default()).unwrap();
+    assert_eq!(trees.len(), 2);
+    let mut found = false;
+    for dseed in 0..40u64 {
+        let db = db_for_graph(&g, 3, 3, 0.1, dseed);
+        let results: Vec<_> = trees.iter().map(|t| t.eval(&db).unwrap()).collect();
+        if !fro_testkit::all_set_eq(&results) {
+            found = true;
+            break;
+        }
+    }
+    assert!(found, "Example 2's graph never disagreed");
+}
+
+/// All three strongness policies are sound (they differ only in how
+/// many queries they admit, never in admitting a bad one).
+#[test]
+fn all_policies_sound_on_random_graphs() {
+    use fro_core::Policy;
+    for gseed in 0..30u64 {
+        let g = random_connected_graph(5, 0.5, gseed);
+        for policy in [Policy::Paper, Policy::Strict, Policy::MinimalChain] {
+            if !fro_core::reorder::analyze_graph(&g, policy).is_freely_reorderable() {
+                continue;
+            }
+            for dseed in 0..10u64 {
+                let db = db_for_graph(&g, 4, 3, 0.2, dseed);
+                let trees = enumerate_trees(&g, EnumLimit::default()).unwrap();
+                let results: Vec<_> = trees.iter().map(|t| t.eval(&db).unwrap()).collect();
+                assert!(
+                    fro_testkit::all_set_eq(&results),
+                    "policy {policy:?} admitted a non-reorderable graph:\n{g}"
+                );
+            }
+        }
+    }
+}
