@@ -76,6 +76,19 @@ impl BoundScalar {
             BoundScalar::Lit(v) => v,
         }
     }
+
+    fn eval_split<'a>(&'a self, left: &'a Tuple, right: &'a Tuple) -> &'a Value {
+        match self {
+            BoundScalar::Col(i) => {
+                if *i < left.arity() {
+                    left.get(*i)
+                } else {
+                    right.get(*i - left.arity())
+                }
+            }
+            BoundScalar::Lit(v) => v,
+        }
+    }
 }
 
 impl BoundPred {
@@ -116,6 +129,29 @@ impl BoundPred {
             BoundPred::And(a, b) => a.eval(t).and(b.eval(t)),
             BoundPred::Or(a, b) => a.eval(t).or(b.eval(t)),
             BoundPred::Not(p) => p.eval(t).not(),
+            BoundPred::Const(c) => *c,
+        }
+    }
+
+    /// Evaluate on the *virtual* concatenation `(left, right)` without
+    /// materializing it: column `i` reads from `left` when
+    /// `i < left.arity()`, from `right` at offset `i - left.arity()`
+    /// otherwise. Equivalent to `self.eval(&left.concat(right))` when
+    /// `self` was bound against the concatenated scheme — the join
+    /// kernels use this to reject candidate pairs without allocating.
+    #[must_use]
+    pub fn eval_split(&self, left: &Tuple, right: &Tuple) -> Truth {
+        match self {
+            BoundPred::Cmp(op, l, r) => {
+                match l.eval_split(left, right).cmp3(r.eval_split(left, right)) {
+                    None => Truth::Unknown,
+                    Some(ord) => Truth::from_bool(op.test(ord)),
+                }
+            }
+            BoundPred::IsNull(s) => Truth::from_bool(s.eval_split(left, right).is_null()),
+            BoundPred::And(a, b) => a.eval_split(left, right).and(b.eval_split(left, right)),
+            BoundPred::Or(a, b) => a.eval_split(left, right).or(b.eval_split(left, right)),
+            BoundPred::Not(p) => p.eval_split(left, right).not(),
             BoundPred::Const(c) => *c,
         }
     }
@@ -567,5 +603,32 @@ mod tests {
         let sj = semijoin(&r1(), &r2(), &p12()).unwrap();
         assert_eq!(sj.schema().as_ref(), r1().schema().as_ref());
         assert_eq!(sj.len(), 1);
+    }
+
+    #[test]
+    fn eval_split_agrees_with_eval_on_concat() {
+        let l = r1();
+        let r = r2();
+        let schema = Arc::new(l.schema().concat(r.schema()).unwrap());
+        let preds = [
+            p12(),
+            Pred::always(),
+            Pred::is_null("R2.b"),
+            p12().not(),
+            p12().and(Pred::cmp_lit("R1.a", CmpOp::Ge, 2)),
+            p12().or(Pred::is_null("R1.a")),
+        ];
+        for p in &preds {
+            let bound = BoundPred::bind(p, &schema).unwrap();
+            for lt in &l {
+                for rt in &r {
+                    assert_eq!(
+                        bound.eval_split(lt, rt),
+                        bound.eval(&lt.concat(rt)),
+                        "{p}"
+                    );
+                }
+            }
+        }
     }
 }

@@ -1,0 +1,119 @@
+//! Thread-scaling benchmark for the morsel-driven hash-join executor.
+//!
+//! Builds a ≥100k-row probe-side hash join, runs it at 1/2/4/8 worker
+//! threads, and writes `BENCH_engine.json` at the repository root with
+//! probe-rows-per-second for each thread count. The machine's
+//! `available_parallelism` is recorded alongside: on a single-core
+//! container the wall-clock curve is flat by construction, and the
+//! field lets a reader tell that apart from an engine that fails to
+//! scale.
+
+use fro_algebra::{Attr, Pred, Relation, Value};
+use fro_exec::{execute_with, ExecConfig, ExecStats, JoinKind, PhysPlan, Storage};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const PROBE_ROWS: usize = 200_000;
+const BUILD_ROWS: usize = 20_000;
+const KEY_DOMAIN: i64 = 50_000;
+const REPS: usize = 3;
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn build_storage(seed: u64) -> Storage {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let probe_rows: Vec<Vec<Value>> = (0..PROBE_ROWS)
+        .map(|i| vec![Value::Int(i as i64), Value::Int(rng.gen_range(0..KEY_DOMAIN))])
+        .collect();
+    let build_rows: Vec<Vec<Value>> = (0..BUILD_ROWS)
+        .map(|i| vec![Value::Int(i as i64), Value::Int(rng.gen_range(0..KEY_DOMAIN))])
+        .collect();
+    let mut s = Storage::new();
+    s.insert("P", Relation::from_values("P", &["id", "k"], probe_rows));
+    s.insert("B", Relation::from_values("B", &["id", "k"], build_rows));
+    s
+}
+
+fn main() {
+    let storage = build_storage(42);
+    let plan = PhysPlan::HashJoin {
+        kind: JoinKind::LeftOuter,
+        probe: Box::new(PhysPlan::scan("P")),
+        build: Box::new(PhysPlan::scan("B")),
+        probe_keys: vec![Attr::parse("P.k")],
+        build_keys: vec![Attr::parse("B.k")],
+        residual: Pred::always(),
+    };
+
+    let mut baseline_rows = None;
+    let mut results = Vec::new();
+    for threads in THREAD_COUNTS {
+        let cfg = ExecConfig::with_threads(threads);
+        // Warm-up run (also determinism check against the 1-thread run).
+        let mut st = ExecStats::new();
+        let out = execute_with(&plan, &storage, &mut st, &cfg).expect("join runs");
+        match &baseline_rows {
+            None => baseline_rows = Some(out.rows().to_vec()),
+            Some(rows) => assert_eq!(
+                out.rows(),
+                &rows[..],
+                "parallel output diverged at {threads} threads"
+            ),
+        }
+        let mut best = f64::INFINITY;
+        for _ in 0..REPS {
+            let mut st = ExecStats::new();
+            let t = Instant::now();
+            let out = execute_with(&plan, &storage, &mut st, &cfg).expect("join runs");
+            let secs = t.elapsed().as_secs_f64();
+            std::hint::black_box(out.len());
+            best = best.min(secs);
+        }
+        let rows_per_sec = PROBE_ROWS as f64 / best;
+        println!(
+            "threads={threads:>2}  best={best:.4}s  probe rows/sec={rows_per_sec:.0}"
+        );
+        results.push((threads, best, rows_per_sec));
+    }
+
+    let output_rows = baseline_rows.map_or(0, |r| r.len());
+    let base = results[0].2;
+    let speedup_at = |t: usize| {
+        results
+            .iter()
+            .find(|&&(threads, _, _)| threads == t)
+            .map_or(0.0, |&(_, _, rps)| rps / base)
+    };
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"bench\": \"hash_join_thread_scaling\",");
+    let _ = writeln!(json, "  \"join\": \"left-outer hash join, zero-copy build side\",");
+    let _ = writeln!(json, "  \"probe_rows\": {PROBE_ROWS},");
+    let _ = writeln!(json, "  \"build_rows\": {BUILD_ROWS},");
+    let _ = writeln!(json, "  \"output_rows\": {output_rows},");
+    let _ = writeln!(json, "  \"morsel_rows\": {},", ExecConfig::default().morsel_rows);
+    let _ = writeln!(
+        json,
+        "  \"available_parallelism\": {},",
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    );
+    let _ = writeln!(json, "  \"reps\": {REPS},");
+    let _ = writeln!(json, "  \"results\": [");
+    for (i, (threads, secs, rps)) in results.iter().enumerate() {
+        let comma = if i + 1 == results.len() { "" } else { "," };
+        let _ = writeln!(
+            json,
+            "    {{\"threads\": {threads}, \"best_secs\": {secs:.6}, \"probe_rows_per_sec\": {rps:.0}}}{comma}"
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"speedup_2_threads\": {:.3},", speedup_at(2));
+    let _ = writeln!(json, "  \"speedup_4_threads\": {:.3}", speedup_at(4));
+    json.push_str("}\n");
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");
+    std::fs::write(path, &json).expect("write BENCH_engine.json");
+    println!("wrote {path}");
+}

@@ -60,6 +60,7 @@ pub mod optimizer;
 pub mod reorder;
 pub mod simplify;
 
+pub use fro_exec::ExecConfig;
 pub use optimizer::{optimize, Catalog, OptError, Optimized};
 pub use reorder::{analyze, is_freely_reorderable, Analysis, Policy, Violation};
 pub use simplify::{simplify, SimplificationEvent};

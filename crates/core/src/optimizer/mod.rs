@@ -15,8 +15,8 @@ pub mod lower;
 pub mod stats;
 
 use crate::reorder::{analyze, Analysis, Policy};
-use fro_algebra::Query;
-use fro_exec::PhysPlan;
+use fro_algebra::{Query, Relation};
+use fro_exec::{ExecConfig, ExecError, ExecStats, PhysPlan, Storage};
 use std::fmt;
 
 pub use cost::{estimate_plan, Estimate};
@@ -60,6 +60,32 @@ pub struct Optimized {
     /// Whether the plan came from the reordering DP (`true`) or the
     /// syntactic fallback (`false`).
     pub reordered: bool,
+}
+
+impl Optimized {
+    /// Run the chosen plan sequentially (one thread).
+    ///
+    /// # Errors
+    /// [`ExecError`] for unknown tables, missing indexes, or
+    /// unresolved attributes.
+    pub fn run(&self, storage: &Storage, stats: &mut ExecStats) -> Result<Relation, ExecError> {
+        fro_exec::execute(&self.plan, storage, stats)
+    }
+
+    /// Run the chosen plan under an explicit [`ExecConfig`] — the
+    /// morsel-driven parallel executor. Results (rows *and* row order)
+    /// are identical at any thread count.
+    ///
+    /// # Errors
+    /// Same failure modes as [`Optimized::run`].
+    pub fn run_with(
+        &self,
+        storage: &Storage,
+        stats: &mut ExecStats,
+        cfg: &ExecConfig,
+    ) -> Result<Relation, ExecError> {
+        fro_exec::execute_with(&self.plan, storage, stats, cfg)
+    }
 }
 
 /// Optimize a query: reorder freely when Theorem 1 allows, otherwise
@@ -195,6 +221,34 @@ mod tests {
         let mut st2 = ExecStats::new();
         let got2 = execute(&syn, &storage, &mut st2).unwrap();
         assert!(got2.set_eq(&expect));
+    }
+
+    #[test]
+    fn run_with_parallel_config_matches_sequential_run() {
+        use fro_algebra::{Database, Relation};
+        use fro_exec::{ExecConfig, ExecStats, Storage};
+
+        let mut db = Database::new();
+        db.insert(Relation::from_ints("R1", &["k1"], &[&[1], &[5]]));
+        db.insert(Relation::from_ints("R2", &["k2"], &[&[1], &[2], &[5]]));
+        db.insert(Relation::from_ints("R3", &["k3"], &[&[2], &[5]]));
+        let mut storage = Storage::from_database(&db);
+        for (t, a) in [("R1", "R1.k1"), ("R2", "R2.k2"), ("R3", "R3.k3")] {
+            storage.create_index(t, &[Attr::parse(a)]);
+        }
+        let cat = Catalog::from_storage(&storage);
+        let q = Query::rel("R1").join(
+            Query::rel("R2").outerjoin(Query::rel("R3"), p("R2.k2", "R3.k3")),
+            p("R1.k1", "R2.k2"),
+        );
+        let opt = optimize(&q, &cat, Policy::Paper).unwrap();
+        let mut seq_st = ExecStats::new();
+        let seq = opt.run(&storage, &mut seq_st).unwrap();
+        let mut par_st = ExecStats::new();
+        let cfg = ExecConfig::with_threads(4).morsel_rows(1);
+        let par = opt.run_with(&storage, &mut par_st, &cfg).unwrap();
+        assert_eq!(seq.rows(), par.rows());
+        assert_eq!(seq_st, par_st);
     }
 
     #[test]

@@ -45,13 +45,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod config;
 pub mod engine;
 pub mod index;
 pub mod plan;
 pub mod stats;
 pub mod storage;
 
-pub use engine::{execute, explain_analyze, ExecError};
+pub use config::ExecConfig;
+pub use engine::{execute, execute_with, explain_analyze, explain_analyze_with, ExecError};
 pub use plan::{JoinKind, PhysPlan};
 pub use stats::ExecStats;
 pub use storage::{Storage, Table};

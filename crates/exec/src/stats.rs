@@ -32,6 +32,20 @@ impl ExecStats {
         ExecStats::default()
     }
 
+    /// Fold another accumulator into this one. Every counter is a plain
+    /// sum, so merging is commutative and associative: the parallel
+    /// executor gives each worker a private `ExecStats` and merges them
+    /// after the join barrier, and the totals are identical to a
+    /// sequential run regardless of how morsels were interleaved.
+    pub fn merge(&mut self, other: &ExecStats) {
+        self.tuples_retrieved += other.tuples_retrieved;
+        self.index_probes += other.index_probes;
+        self.comparisons += other.comparisons;
+        self.hash_build_rows += other.hash_build_rows;
+        self.rows_output += other.rows_output;
+        self.rows_materialized += other.rows_materialized;
+    }
+
     /// A scalar "work" summary used by benches: retrieved tuples plus
     /// materialized rows plus comparisons (all unit-weighted; the shape
     /// of comparisons is what matters, not an absolute cost model).
@@ -76,6 +90,33 @@ mod tests {
             ..ExecStats::default()
         };
         assert_eq!(s.work(), 18);
+    }
+
+    #[test]
+    fn merge_sums_every_counter() {
+        let mut a = ExecStats {
+            tuples_retrieved: 1,
+            index_probes: 2,
+            comparisons: 3,
+            hash_build_rows: 4,
+            rows_output: 5,
+            rows_materialized: 6,
+        };
+        let b = ExecStats {
+            tuples_retrieved: 10,
+            index_probes: 20,
+            comparisons: 30,
+            hash_build_rows: 40,
+            rows_output: 50,
+            rows_materialized: 60,
+        };
+        a.merge(&b);
+        assert_eq!(a.tuples_retrieved, 11);
+        assert_eq!(a.index_probes, 22);
+        assert_eq!(a.comparisons, 33);
+        assert_eq!(a.hash_build_rows, 44);
+        assert_eq!(a.rows_output, 55);
+        assert_eq!(a.rows_materialized, 66);
     }
 
     #[test]

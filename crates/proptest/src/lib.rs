@@ -1,0 +1,322 @@
+//! Offline stand-in for the subset of `proptest` 1.x this workspace
+//! uses.
+//!
+//! The build environment has no registry access, so the workspace
+//! supplies its own property-testing harness behind the same paths
+//! (`proptest::prelude::*`, `proptest!`, `prop_oneof!`, …). Unlike
+//! upstream proptest it does **no shrinking**: a failing case panics
+//! with the case number, and every run is fully deterministic — case
+//! `i` of test `t` always draws the same values, so a failure
+//! reproduces by itself.
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::{BoxedStrategy, Just, OneOf, Strategy};
+pub use test_runner::TestRng;
+
+/// Per-test configuration (`#![proptest_config(…)]`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Types with a canonical strategy (`any::<T>()`).
+pub trait Arbitrary: Sized {
+    /// The canonical strategy for the type.
+    fn arbitrary() -> BoxedStrategy<Self>;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary() -> BoxedStrategy<bool> {
+        BoxedStrategy::new(|rng: &mut TestRng| rng.random_bool(0.5))
+    }
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary() -> BoxedStrategy<$t> {
+                BoxedStrategy::new(|rng: &mut TestRng| rng.random_u64() as $t)
+            }
+        }
+    )*};
+}
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// The canonical strategy for `A` — mirror of `proptest::arbitrary::any`.
+#[must_use]
+pub fn any<A: Arbitrary>() -> BoxedStrategy<A> {
+    A::arbitrary()
+}
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use super::{BoxedStrategy, Strategy, TestRng};
+    use std::ops::{Range, RangeInclusive};
+
+    /// A range of collection sizes.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> SizeRange {
+            SizeRange {
+                lo: *r.start(),
+                hi_inclusive: *r.end(),
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange {
+                lo: n,
+                hi_inclusive: n,
+            }
+        }
+    }
+
+    /// `Vec` strategy: a length drawn from `size`, then that many
+    /// elements.
+    pub fn vec<S>(element: S, size: impl Into<SizeRange>) -> BoxedStrategy<Vec<S::Value>>
+    where
+        S: Strategy + 'static,
+        S::Value: 'static,
+    {
+        let size = size.into();
+        BoxedStrategy::new(move |rng: &mut TestRng| {
+            let len = rng.random_usize(size.lo, size.hi_inclusive);
+            (0..len).map(|_| element.sample(rng)).collect()
+        })
+    }
+}
+
+/// Option strategies (`proptest::option::of`).
+pub mod option {
+    use super::{BoxedStrategy, Strategy, TestRng};
+
+    /// `None` half the time, `Some(inner)` otherwise.
+    pub fn of<S>(inner: S) -> BoxedStrategy<Option<S::Value>>
+    where
+        S: Strategy + 'static,
+        S::Value: 'static,
+    {
+        BoxedStrategy::new(move |rng: &mut TestRng| {
+            if rng.random_bool(0.5) {
+                Some(inner.sample(rng))
+            } else {
+                None
+            }
+        })
+    }
+}
+
+/// The glob import every property test starts with.
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume};
+    pub use crate::{prop_oneof, proptest, Arbitrary, ProptestConfig};
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                use rand::Rng;
+                rng.rng_mut().gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                use rand::Rng;
+                rng.rng_mut().gen_range(self.clone())
+            }
+        }
+    )*};
+}
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Assert inside a property; mirrors `proptest::prop_assert!` except
+/// that failure panics immediately (no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Equality assert inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Inequality assert inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Skip the current case when an assumption fails. Upstream proptest
+/// re-draws; this harness simply returns from the case closure.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return;
+        }
+    };
+}
+
+/// Pick one strategy uniformly among the arms; all arms must share a
+/// value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::OneOf::new(vec![$($crate::Strategy::boxed($strat)),+])
+    };
+}
+
+/// Define deterministic property tests; mirrors `proptest::proptest!`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    (@with_config ($cfg:expr)
+        $($(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block)*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                for case in 0..config.cases {
+                    let mut _proptest_rng =
+                        $crate::TestRng::deterministic(stringify!($name), case);
+                    $(let $arg =
+                        $crate::Strategy::sample(&($strat), &mut _proptest_rng);)*
+                    // One closure per case so `prop_assume!` can early-
+                    // return without aborting the whole property.
+                    (|| $body)();
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn deterministic_draws() {
+        let s = 0u64..1000;
+        let mut a = crate::TestRng::deterministic("t", 3);
+        let mut b = crate::TestRng::deterministic("t", 3);
+        assert_eq!(s.sample(&mut a), s.sample(&mut b));
+    }
+
+    #[test]
+    fn oneof_and_map_compose() {
+        let s = prop_oneof![Just(1i64), (10i64..20).prop_map(|v| v * 2)];
+        let mut rng = crate::TestRng::deterministic("compose", 0);
+        let mut saw_just = false;
+        let mut saw_mapped = false;
+        for _ in 0..200 {
+            match s.sample(&mut rng) {
+                1 => saw_just = true,
+                v if (20..40).contains(&v) && v % 2 == 0 => saw_mapped = true,
+                v => panic!("unexpected draw {v}"),
+            }
+        }
+        assert!(saw_just && saw_mapped);
+    }
+
+    #[test]
+    fn recursive_strategies_terminate() {
+        #[derive(Debug, Clone)]
+        enum E {
+            Leaf(#[allow(dead_code)] i64),
+            Pair(Box<E>, Box<E>),
+        }
+        fn depth(e: &E) -> usize {
+            match e {
+                E::Leaf(_) => 0,
+                E::Pair(a, b) => 1 + depth(a).max(depth(b)),
+            }
+        }
+        let leaf = (0i64..3).prop_map(E::Leaf);
+        let strat = leaf.prop_recursive(3, 24, 2, |inner| {
+            (inner.clone(), inner).prop_map(|(a, b)| E::Pair(Box::new(a), Box::new(b)))
+        });
+        let mut rng = crate::TestRng::deterministic("rec", 1);
+        for _ in 0..100 {
+            assert!(depth(&strat.sample(&mut rng)) <= 3);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_draws_in_range(x in 2usize..6, y in 0i64..=3) {
+            prop_assert!((2..6).contains(&x));
+            prop_assert!((0..=3).contains(&y));
+        }
+
+        #[test]
+        fn assume_skips(x in 0u64..10) {
+            prop_assume!(x > 4);
+            prop_assert!(x > 4);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_works(opt in crate::option::of(0i64..5),
+                                v in crate::collection::vec(0usize..4, 0..3)) {
+            if let Some(x) = opt { prop_assert!(x < 5); }
+            prop_assert!(v.len() < 3);
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! Deterministic per-case RNG for the property harness.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// RNG handed to strategies. Case `i` of test `name` always produces
+/// the same stream, in every run, on every machine.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    rng: StdRng,
+}
+
+impl TestRng {
+    /// Seed from a test name and case index (FNV-1a over the name,
+    /// mixed with the case number).
+    #[must_use]
+    pub fn deterministic(test_name: &str, case: u32) -> TestRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        let seed = h ^ (u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        TestRng {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The underlying generator, for range sampling.
+    pub fn rng_mut(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+
+    /// Uniform `usize` in `lo..=hi`.
+    #[must_use]
+    pub fn random_usize(&mut self, lo: usize, hi: usize) -> usize {
+        self.rng.gen_range(lo..=hi)
+    }
+
+    /// A raw 64-bit draw.
+    #[must_use]
+    pub fn random_u64(&mut self) -> u64 {
+        self.rng.gen_range(0u64..=u64::MAX)
+    }
+
+    /// `true` with probability `p`.
+    #[must_use]
+    pub fn random_bool(&mut self, p: f64) -> bool {
+        self.rng.gen_bool(p)
+    }
+}

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Tier-1 verification plus the engine scaling bench.
+#
+# Offline-safe: every dependency is a workspace path crate (including
+# the vendored rand/proptest/criterion stand-ins under crates/), so no
+# step touches a registry or the network.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build (release) =="
+cargo build --release
+
+echo "== tests =="
+cargo test -q
+
+echo "== clippy (deny warnings) =="
+cargo clippy --all-targets -- -D warnings
+
+echo "== engine scaling bench -> BENCH_engine.json =="
+cargo run -q --release -p fro-bench --bin scaling
+
+echo "ci.sh: all checks passed"

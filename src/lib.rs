@@ -54,7 +54,7 @@ pub use fro_trees as trees;
 pub mod prelude {
     pub use fro_algebra::prelude::*;
     pub use fro_core::{analyze, is_freely_reorderable, optimize, Catalog, Policy};
-    pub use fro_exec::{execute, ExecStats, PhysPlan, Storage};
+    pub use fro_exec::{execute, execute_with, ExecConfig, ExecStats, PhysPlan, Storage};
     pub use fro_graph::{graph_of, QueryGraph};
     pub use fro_trees::{enumerate_trees, EnumLimit};
 }

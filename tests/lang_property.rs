@@ -113,7 +113,7 @@ proptest! {
         let src = block_source(&[], &dept_steps, true, None, None);
         let world = synthetic_entity_world(3, 2, world_seed);
         let block = parse(&src).expect("parses");
-        let Ok(t) = translate(&block, &world) else { return Ok(()); };
+        let Ok(t) = translate(&block, &world) else { return; };
         let via_run = fro_lang::run(&src, &world).expect("runs");
         let trees =
             fro_trees::enumerate_trees(&t.graph, fro_trees::EnumLimit::default()).unwrap();
