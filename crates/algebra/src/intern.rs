@@ -1,0 +1,538 @@
+//! Dense identifier interning: [`RelId`], [`AttrId`], [`RelSet`] and
+//! the [`Interner`] that owns the string ↔ id mapping.
+//!
+//! The paper's central object is the query graph over a *set* of
+//! relations — Theorem 1 makes the graph alone an unambiguous query
+//! representation, and the §6.1 DP enumerates connected *subsets* of
+//! its nodes. Everything downstream of parsing therefore wants
+//! relations and attributes as small dense integers and relation sets
+//! as bitsets, not as strings and `BTreeSet<String>`s.
+//!
+//! Names are interned **once**, when a query (or a storage/catalog)
+//! enters the system; afterwards every lookup is an array index and
+//! every set operation a word of bit arithmetic. The strings survive
+//! only for rendering, error messages, and `explain()` — the interner
+//! is the single place that can translate back.
+
+use crate::schema::{Attr, Schema};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Dense identifier of an interned relation (a table or an alias).
+///
+/// Ids are assigned contiguously from 0 in interning order, so a
+/// `RelId` doubles as an index into `Vec`s that are dense by relation
+/// — the representation [`crate::RelSet`] and the storage/catalog
+/// layers key on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RelId(u32);
+
+impl RelId {
+    /// Construct from a raw index (used by the owning interner).
+    #[must_use]
+    pub fn from_index(i: usize) -> RelId {
+        RelId(u32::try_from(i).expect("relation id fits in u32"))
+    }
+
+    /// The dense index this id names.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for RelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// Dense identifier of an interned attribute.
+///
+/// Each attribute carries its precomputed owner ([`RelId`]) and column
+/// offset inside the owner's scheme, so predicate binding and
+/// statistics lookups are plain array reads — no per-use name scan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AttrId(u32);
+
+impl AttrId {
+    /// Construct from a raw index (used by the owning interner).
+    #[must_use]
+    pub fn from_index(i: usize) -> AttrId {
+        AttrId(u32::try_from(i).expect("attribute id fits in u32"))
+    }
+
+    /// The dense index this id names.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for AttrId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "a{}", self.0)
+    }
+}
+
+/// A set of dense relation ids, as a 64-bit bitset.
+///
+/// This is the one set representation shared by the whole stack:
+/// `fro_graph::NodeSet` is a re-export of this type (a query graph's
+/// node ids *are* the query's dense relation ids), the optimizer's DP
+/// memo keys on it, and the storage layer uses the same indices.
+/// Capped at 64 relations — far beyond what exhaustive implementing-
+/// tree enumeration can visit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct RelSet(u64);
+
+impl RelSet {
+    /// The largest member count (and largest member index + 1) a
+    /// `RelSet` can represent.
+    pub const MAX_MEMBERS: usize = 64;
+
+    /// The empty set.
+    #[must_use]
+    pub fn empty() -> RelSet {
+        RelSet(0)
+    }
+
+    /// `{0, 1, …, n-1}`.
+    ///
+    /// # Panics
+    /// If `n > 64`.
+    #[must_use]
+    pub fn full(n: usize) -> RelSet {
+        assert!(n <= 64, "relation sets are limited to 64 members");
+        if n == 64 {
+            RelSet(u64::MAX)
+        } else {
+            RelSet((1u64 << n) - 1)
+        }
+    }
+
+    /// The singleton `{i}`.
+    #[must_use]
+    pub fn singleton(i: usize) -> RelSet {
+        RelSet(1u64 << i)
+    }
+
+    /// Construct from raw bits.
+    #[must_use]
+    pub fn from_bits(bits: u64) -> RelSet {
+        RelSet(bits)
+    }
+
+    /// The raw bits.
+    #[must_use]
+    pub fn bits(self) -> u64 {
+        self.0
+    }
+
+    /// Insert a member, returning the new set.
+    #[must_use]
+    pub fn with(self, i: usize) -> RelSet {
+        RelSet(self.0 | (1u64 << i))
+    }
+
+    /// Remove a member, returning the new set.
+    #[must_use]
+    pub fn without(self, i: usize) -> RelSet {
+        RelSet(self.0 & !(1u64 << i))
+    }
+
+    /// Membership test.
+    #[must_use]
+    pub fn contains(self, i: usize) -> bool {
+        self.0 & (1u64 << i) != 0
+    }
+
+    /// Set union.
+    #[must_use]
+    pub fn union(self, other: RelSet) -> RelSet {
+        RelSet(self.0 | other.0)
+    }
+
+    /// Set intersection.
+    #[must_use]
+    pub fn intersect(self, other: RelSet) -> RelSet {
+        RelSet(self.0 & other.0)
+    }
+
+    /// Set difference.
+    #[must_use]
+    pub fn minus(self, other: RelSet) -> RelSet {
+        RelSet(self.0 & !other.0)
+    }
+
+    /// Whether the set is empty.
+    #[must_use]
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Number of members.
+    #[must_use]
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Whether `self ⊆ other`.
+    #[must_use]
+    pub fn is_subset_of(self, other: RelSet) -> bool {
+        self.0 & !other.0 == 0
+    }
+
+    /// The smallest member, if any.
+    #[must_use]
+    pub fn lowest(self) -> Option<usize> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(self.0.trailing_zeros() as usize)
+        }
+    }
+
+    /// Iterate members in increasing order.
+    pub fn iter(self) -> impl Iterator<Item = usize> {
+        let mut bits = self.0;
+        std::iter::from_fn(move || {
+            if bits == 0 {
+                None
+            } else {
+                let i = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                Some(i)
+            }
+        })
+    }
+
+    /// Iterate all non-empty proper subsets of `self` that contain
+    /// `self`'s lowest member — exactly the left-hand sides needed to
+    /// enumerate unordered 2-partitions of `self` without repeats.
+    pub fn anchored_proper_subsets(self) -> impl Iterator<Item = RelSet> {
+        let anchor = self.lowest().map_or(0u64, |i| 1u64 << i);
+        let rest = self.0 & !anchor;
+        // Enumerate subsets of `rest` (including empty, excluding full)
+        // and OR in the anchor.
+        let mut sub: u64 = 0;
+        let mut done = rest == 0; // a 1-element set has no proper split
+        std::iter::from_fn(move || {
+            if done {
+                return None;
+            }
+            let current = sub | anchor;
+            // Advance to the next subset of `rest`.
+            sub = (sub.wrapping_sub(rest)) & rest;
+            if sub == 0 {
+                done = true; // wrapped: the last emitted was rest|anchor (full) — guard below
+            }
+            Some(RelSet(current))
+        })
+        .filter(move |s| s.0 != self.0) // exclude the full set
+    }
+}
+
+impl fmt::Display for RelSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (k, i) in self.iter().enumerate() {
+            if k > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{i}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl FromIterator<usize> for RelSet {
+    fn from_iter<T: IntoIterator<Item = usize>>(iter: T) -> Self {
+        iter.into_iter().fold(RelSet::empty(), |acc, i| acc.with(i))
+    }
+}
+
+/// One interned attribute: the qualified name plus its precomputed
+/// `(relation, column offset)` resolution.
+#[derive(Debug, Clone)]
+struct AttrEntry {
+    attr: Attr,
+    rel: RelId,
+    col: u32,
+}
+
+/// The string ↔ dense-id mapping for relations and attributes.
+///
+/// Owned by the catalog (and mirrored by storage); built exactly once
+/// when relations are registered. Everything after that point hands
+/// around [`RelId`]/[`AttrId`]/[`RelSet`] and comes back here only to
+/// render a name for an error message or an `explain()` line.
+#[derive(Debug, Clone, Default)]
+pub struct Interner {
+    rel_names: Vec<Arc<str>>,
+    rel_ids: HashMap<Arc<str>, RelId>,
+    attrs: Vec<AttrEntry>,
+    attr_ids: HashMap<Attr, AttrId>,
+    /// Per relation, its attribute ids in column order.
+    rel_attrs: Vec<Vec<AttrId>>,
+}
+
+impl Interner {
+    /// An empty interner.
+    #[must_use]
+    pub fn new() -> Interner {
+        Interner::default()
+    }
+
+    /// Number of interned relations.
+    #[must_use]
+    pub fn n_rels(&self) -> usize {
+        self.rel_names.len()
+    }
+
+    /// Whether nothing has been interned.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rel_names.is_empty()
+    }
+
+    /// Intern a relation name (idempotent): returns the existing id
+    /// when the name is already known.
+    pub fn intern_rel(&mut self, name: &str) -> RelId {
+        if let Some(&id) = self.rel_ids.get(name) {
+            return id;
+        }
+        let id = RelId::from_index(self.rel_names.len());
+        let shared: Arc<str> = Arc::from(name);
+        self.rel_names.push(shared.clone());
+        self.rel_ids.insert(shared, id);
+        self.rel_attrs.push(Vec::new());
+        id
+    }
+
+    /// Intern a relation together with its scheme: every attribute is
+    /// assigned an [`AttrId`] carrying its column offset. Re-registering
+    /// a relation replaces its attribute set (the old ids go stale).
+    pub fn register_relation(&mut self, name: &str, schema: &Schema) -> RelId {
+        let id = self.intern_rel(name);
+        // Drop stale attribute ids from a previous registration.
+        for old in std::mem::take(&mut self.rel_attrs[id.index()]) {
+            let attr = self.attrs[old.index()].attr.clone();
+            if self.attr_ids.get(&attr) == Some(&old) {
+                self.attr_ids.remove(&attr);
+            }
+        }
+        let mut cols = Vec::with_capacity(schema.len());
+        for (c, attr) in schema.attrs().iter().enumerate() {
+            let aid = AttrId::from_index(self.attrs.len());
+            self.attrs.push(AttrEntry {
+                attr: attr.clone(),
+                rel: id,
+                col: u32::try_from(c).expect("column offset fits in u32"),
+            });
+            self.attr_ids.insert(attr.clone(), aid);
+            cols.push(aid);
+        }
+        self.rel_attrs[id.index()] = cols;
+        id
+    }
+
+    /// Look up a relation id by name.
+    #[must_use]
+    pub fn rel_id(&self, name: &str) -> Option<RelId> {
+        self.rel_ids.get(name).copied()
+    }
+
+    /// The name of an interned relation.
+    ///
+    /// # Panics
+    /// If the id was not produced by this interner.
+    #[must_use]
+    pub fn rel_name(&self, id: RelId) -> &str {
+        &self.rel_names[id.index()]
+    }
+
+    /// All interned relation names in id order.
+    pub fn rel_names(&self) -> impl Iterator<Item = &str> {
+        self.rel_names.iter().map(|n| n.as_ref())
+    }
+
+    /// Look up an attribute id.
+    #[must_use]
+    pub fn attr_id(&self, attr: &Attr) -> Option<AttrId> {
+        self.attr_ids.get(attr).copied()
+    }
+
+    /// The qualified attribute an id names.
+    ///
+    /// # Panics
+    /// If the id was not produced by this interner.
+    #[must_use]
+    pub fn attr(&self, id: AttrId) -> &Attr {
+        &self.attrs[id.index()].attr
+    }
+
+    /// The owning relation of an attribute (precomputed).
+    ///
+    /// # Panics
+    /// If the id was not produced by this interner.
+    #[must_use]
+    pub fn attr_rel(&self, id: AttrId) -> RelId {
+        self.attrs[id.index()].rel
+    }
+
+    /// The column offset of an attribute within its relation's scheme
+    /// (precomputed).
+    ///
+    /// # Panics
+    /// If the id was not produced by this interner.
+    #[must_use]
+    pub fn attr_col(&self, id: AttrId) -> u32 {
+        self.attrs[id.index()].col
+    }
+
+    /// The attribute ids of a relation, in column order.
+    ///
+    /// # Panics
+    /// If the id was not produced by this interner.
+    #[must_use]
+    pub fn attrs_of(&self, id: RelId) -> &[AttrId] {
+        &self.rel_attrs[id.index()]
+    }
+
+    /// The nearest interned relation name to `name` by edit distance —
+    /// for "unknown table" error messages. Returns `None` when the
+    /// interner is empty or nothing is plausibly close (distance
+    /// greater than half the longer name, minimum 2).
+    #[must_use]
+    pub fn suggest(&self, name: &str) -> Option<&str> {
+        let lower = name.to_lowercase();
+        let mut best: Option<(usize, &str)> = None;
+        for cand in self.rel_names.iter().map(|n| n.as_ref()) {
+            // Case-insensitive distance: `report` should find `REPORT`.
+            let d = edit_distance(&lower, &cand.to_lowercase());
+            let better = match best {
+                None => true,
+                // Ties break lexicographically for determinism.
+                Some((bd, bn)) => d < bd || (d == bd && cand < bn),
+            };
+            if better {
+                best = Some((d, cand));
+            }
+        }
+        let (d, cand) = best?;
+        let budget = (name.len().max(cand.len()) / 2).max(2);
+        (d <= budget).then_some(cand)
+    }
+}
+
+/// Levenshtein edit distance (two-row dynamic program) — cheap enough
+/// for catalog-sized name lists in error paths.
+#[must_use]
+pub fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relset_basics() {
+        let s = RelSet::empty().with(1).with(3);
+        assert!(s.contains(1) && s.contains(3) && !s.contains(2));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.lowest(), Some(1));
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![1, 3]);
+        assert_eq!(s.without(1).iter().collect::<Vec<_>>(), vec![3]);
+        assert!(RelSet::singleton(2).is_subset_of(RelSet::full(3)));
+        assert_eq!(
+            RelSet::full(3).minus(s).iter().collect::<Vec<_>>(),
+            vec![0, 2]
+        );
+        assert_eq!(s.to_string(), "{1,3}");
+        assert_eq!([0usize, 2].into_iter().collect::<RelSet>().len(), 2);
+        assert_eq!(RelSet::full(64).len(), 64);
+    }
+
+    #[test]
+    fn anchored_subsets_enumerate_splits() {
+        let s = RelSet::full(3);
+        let subs: Vec<RelSet> = s.anchored_proper_subsets().collect();
+        assert_eq!(subs.len(), 3);
+        for sub in &subs {
+            assert!(sub.contains(0) && sub.is_subset_of(s));
+            assert_ne!(*sub, s);
+        }
+        assert_eq!(RelSet::singleton(4).anchored_proper_subsets().count(), 0);
+    }
+
+    #[test]
+    fn interner_assigns_dense_ids() {
+        let mut it = Interner::new();
+        let r = it.register_relation("R", &Schema::of_relation("R", &["k", "v"]));
+        let s = it.register_relation("S", &Schema::of_relation("S", &["k"]));
+        assert_eq!(r.index(), 0);
+        assert_eq!(s.index(), 1);
+        assert_eq!(it.n_rels(), 2);
+        assert_eq!(it.rel_id("R"), Some(r));
+        assert_eq!(it.rel_id("missing"), None);
+        assert_eq!(it.rel_name(s), "S");
+
+        let rv = it.attr_id(&Attr::parse("R.v")).unwrap();
+        assert_eq!(it.attr_rel(rv), r);
+        assert_eq!(it.attr_col(rv), 1);
+        assert_eq!(it.attr(rv), &Attr::parse("R.v"));
+        assert_eq!(it.attrs_of(r).len(), 2);
+        // Interning the same name again returns the same id.
+        assert_eq!(it.intern_rel("R"), r);
+    }
+
+    #[test]
+    fn reregistration_replaces_attrs() {
+        let mut it = Interner::new();
+        let r = it.register_relation("R", &Schema::of_relation("R", &["a"]));
+        let old = it.attr_id(&Attr::parse("R.a")).unwrap();
+        let r2 = it.register_relation("R", &Schema::of_relation("R", &["b", "a"]));
+        assert_eq!(r, r2);
+        let new = it.attr_id(&Attr::parse("R.a")).unwrap();
+        assert_ne!(old, new);
+        assert_eq!(it.attr_col(new), 1);
+        assert_eq!(it.attrs_of(r).len(), 2);
+    }
+
+    #[test]
+    fn edit_distance_and_suggest() {
+        assert_eq!(edit_distance("", "abc"), 3);
+        assert_eq!(edit_distance("kitten", "sitting"), 3);
+        assert_eq!(edit_distance("same", "same"), 0);
+        let mut it = Interner::new();
+        for name in ["EMPLOYEE", "DEPARTMENT", "REPORT"] {
+            it.intern_rel(name);
+        }
+        assert_eq!(it.suggest("EMPLOYE"), Some("EMPLOYEE"));
+        assert_eq!(it.suggest("Report"), Some("REPORT"));
+        // Nothing close: no suggestion.
+        assert_eq!(it.suggest("xyz"), None);
+        assert_eq!(Interner::new().suggest("R"), None);
+    }
+}

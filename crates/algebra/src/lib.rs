@@ -49,6 +49,7 @@ pub mod error;
 pub mod expr;
 pub mod goj;
 pub mod identities;
+pub mod intern;
 pub mod ops;
 pub mod predicate;
 pub mod relation;
@@ -60,6 +61,7 @@ pub mod value;
 pub use database::Database;
 pub use error::AlgebraError;
 pub use expr::Query;
+pub use intern::{AttrId, Interner, RelId, RelSet};
 pub use predicate::{CmpOp, Pred, Scalar};
 pub use relation::Relation;
 pub use schema::{Attr, Schema};

@@ -622,11 +622,7 @@ mod tests {
             let bound = BoundPred::bind(p, &schema).unwrap();
             for lt in &l {
                 for rt in &r {
-                    assert_eq!(
-                        bound.eval_split(lt, rt),
-                        bound.eval(&lt.concat(rt)),
-                        "{p}"
-                    );
+                    assert_eq!(bound.eval_split(lt, rt), bound.eval(&lt.concat(rt)), "{p}");
                 }
             }
         }

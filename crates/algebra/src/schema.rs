@@ -9,8 +9,9 @@
 //! needs.
 
 use crate::error::AlgebraError;
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, HashMap};
 use std::fmt;
+use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
 /// A qualified attribute name: `relation.attribute`.
@@ -70,38 +71,66 @@ impl From<&str> for Attr {
 /// The *order* fixes the physical column layout of [`crate::Tuple`]s;
 /// set-level operations (padding, union, equivalence) canonicalize
 /// through attribute names so order never affects query semantics.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+///
+/// A column-offset map is precomputed at construction, making
+/// [`Schema::index_of`] (and hence predicate binding) an `O(1)` hash
+/// lookup instead of a linear name scan. The map is derived state:
+/// equality and hashing consider only the attribute sequence.
+#[derive(Debug, Clone)]
 pub struct Schema {
     attrs: Vec<Attr>,
+    cols: HashMap<Attr, usize>,
+}
+
+impl PartialEq for Schema {
+    fn eq(&self, other: &Schema) -> bool {
+        self.attrs == other.attrs
+    }
+}
+
+impl Eq for Schema {}
+
+impl Hash for Schema {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.attrs.hash(state);
+    }
 }
 
 impl Schema {
+    /// Internal constructor: attrs are already known to be distinct.
+    fn from_attrs(attrs: Vec<Attr>) -> Schema {
+        let cols = attrs
+            .iter()
+            .enumerate()
+            .map(|(i, a)| (a.clone(), i))
+            .collect();
+        Schema { attrs, cols }
+    }
+
     /// Build a schema from a list of attributes.
     ///
     /// # Errors
     /// Returns [`AlgebraError::DuplicateAttr`] if an attribute repeats.
     pub fn new(attrs: Vec<Attr>) -> Result<Schema, AlgebraError> {
-        let mut seen = BTreeSet::new();
-        for a in &attrs {
-            if !seen.insert(a.clone()) {
+        let mut cols = HashMap::with_capacity(attrs.len());
+        for (i, a) in attrs.iter().enumerate() {
+            if cols.insert(a.clone(), i).is_some() {
                 return Err(AlgebraError::DuplicateAttr(a.to_string()));
             }
         }
-        Ok(Schema { attrs })
+        Ok(Schema { attrs, cols })
     }
 
     /// Build the schema of a ground relation from unqualified names.
     #[must_use]
     pub fn of_relation(rel: &str, names: &[&str]) -> Schema {
-        Schema {
-            attrs: names.iter().map(|n| Attr::new(rel, n)).collect(),
-        }
+        Schema::from_attrs(names.iter().map(|n| Attr::new(rel, n)).collect())
     }
 
     /// The empty schema.
     #[must_use]
     pub fn empty() -> Schema {
-        Schema { attrs: Vec::new() }
+        Schema::from_attrs(Vec::new())
     }
 
     /// Number of attributes.
@@ -122,10 +151,11 @@ impl Schema {
         &self.attrs
     }
 
-    /// Column position of `attr`, if present.
+    /// Column position of `attr`, if present — an `O(1)` lookup in the
+    /// precomputed offset map.
     #[must_use]
     pub fn index_of(&self, attr: &Attr) -> Option<usize> {
-        self.attrs.iter().position(|a| a == attr)
+        self.cols.get(attr).copied()
     }
 
     /// Whether `attr` is part of this schema.
@@ -158,7 +188,7 @@ impl Schema {
         }
         let mut attrs = self.attrs.clone();
         attrs.extend(other.attrs.iter().cloned());
-        Ok(Schema { attrs })
+        Ok(Schema::from_attrs(attrs))
     }
 
     /// The canonical (sorted-attribute) permutation of this schema,
@@ -168,7 +198,7 @@ impl Schema {
         let mut idx: Vec<usize> = (0..self.attrs.len()).collect();
         idx.sort_by(|&i, &j| self.attrs[i].cmp(&self.attrs[j]));
         let attrs = idx.iter().map(|&i| self.attrs[i].clone()).collect();
-        (Schema { attrs }, idx)
+        (Schema::from_attrs(attrs), idx)
     }
 
     /// Union of attribute sets, in canonical (sorted) order — the
@@ -181,9 +211,7 @@ impl Schema {
             .chain(other.attrs.iter())
             .cloned()
             .collect();
-        Schema {
-            attrs: set.into_iter().collect(),
-        }
+        Schema::from_attrs(set.into_iter().collect())
     }
 }
 

@@ -1,0 +1,150 @@
+//! Optimizer-throughput benchmark for the interned plan algebra.
+//!
+//! Times the full `optimize()` entry point (analysis + exhaustive DP)
+//! on syntactic join chains of 8–12 relations, the DP alone on random
+//! nice graphs, and the greedy reorderer on a 30-relation chain, then
+//! writes `BENCH_optimizer.json` at the repository root. The DP rows
+//! record `pairs_examined` and csg–cmp pairs per second — the unit of
+//! optimizer work that the `RelSet`-keyed memo and per-cut
+//! memoization are meant to make cheap.
+
+use fro_core::optimizer::{dp_optimize, greedy_optimize, optimize, Catalog};
+use fro_core::reorder::Policy;
+use fro_exec::Storage;
+use fro_testkit::graphgen::{db_for_graph, random_nice_graph, GraphSpec};
+use fro_testkit::workloads::chain;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const REPS: usize = 5;
+
+struct Row {
+    bench: String,
+    n_rels: usize,
+    best_secs: f64,
+    pairs_examined: u64,
+    est_cost: f64,
+}
+
+fn time_best(reps: usize, mut f: impl FnMut() -> (u64, f64)) -> (f64, u64, f64) {
+    let mut best = f64::INFINITY;
+    let (mut pairs, mut cost) = (0, 0.0);
+    for _ in 0..reps {
+        let t = Instant::now();
+        let (p, c) = f();
+        let secs = t.elapsed().as_secs_f64();
+        if secs < best {
+            best = secs;
+        }
+        pairs = p;
+        cost = c;
+    }
+    (best, pairs, cost)
+}
+
+fn main() {
+    let mut rows: Vec<Row> = Vec::new();
+
+    // Full optimize() on syntactic chains: Theorem 1 analysis, graph
+    // extraction, and the DP all on the clock.
+    for k in [8usize, 10, 12] {
+        let (_storage, catalog, q) = chain(k, 10, 7);
+        let (best, pairs, cost) = time_best(REPS, || {
+            let out = optimize(std::hint::black_box(&q), &catalog, Policy::Paper)
+                .expect("chain optimizes");
+            assert!(out.reordered, "chains are freely reorderable");
+            (0, out.est_cost)
+        });
+        // pairs_examined is only reported by the DP entry point; rerun
+        // it once for the count.
+        let _ = pairs;
+        let g = fro_core::reorder::analyze(&q, Policy::Paper)
+            .graph
+            .expect("chain has a graph");
+        let pairs = dp_optimize(&g, &catalog).expect("dp runs").pairs_examined;
+        println!("optimize/chain{k}: best={best:.6}s pairs={pairs}");
+        rows.push(Row {
+            bench: format!("optimize_chain_{k}"),
+            n_rels: k,
+            best_secs: best,
+            pairs_examined: pairs,
+            est_cost: cost,
+        });
+    }
+
+    // DP alone on random nice graphs (join core + outerjoin forest).
+    for (n_core, n_oj, seed) in [(6usize, 4usize, 11u64), (7, 5, 13)] {
+        let n = n_core + n_oj;
+        let spec = GraphSpec {
+            core: n_core,
+            oj_nodes: n_oj,
+            extra_core_edges: 2,
+            strong: true,
+        };
+        let g = random_nice_graph(&spec, seed);
+        let db = db_for_graph(&g, 50, 40, 0.0, seed);
+        let catalog = Catalog::from_storage(&Storage::from_database(&db));
+        let (best, pairs, cost) = time_best(REPS, || {
+            let r = dp_optimize(std::hint::black_box(&g), &catalog).expect("dp runs");
+            (r.pairs_examined, r.cost)
+        });
+        println!("dp/nice{n}: best={best:.6}s pairs={pairs}");
+        rows.push(Row {
+            bench: format!("dp_nice_graph_{n}"),
+            n_rels: n,
+            best_secs: best,
+            pairs_examined: pairs,
+            est_cost: cost,
+        });
+    }
+
+    // Greedy on a 30-relation chain — far past the DP cap; exercises
+    // the persistent per-cut memo across merge rounds.
+    {
+        let (_storage, catalog, q) = chain(30, 10, 7);
+        let g = fro_core::reorder::analyze(&q, Policy::Paper)
+            .graph
+            .expect("chain has a graph");
+        let (best, merges, cost) = time_best(REPS, || {
+            let r = greedy_optimize(std::hint::black_box(&g), &catalog).expect("greedy runs");
+            (r.merges_examined, r.cost)
+        });
+        println!("greedy/chain30: best={best:.6}s merges={merges}");
+        rows.push(Row {
+            bench: "greedy_chain_30".to_owned(),
+            n_rels: 30,
+            best_secs: best,
+            pairs_examined: merges,
+            est_cost: cost,
+        });
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"bench\": \"optimizer_throughput\",");
+    let _ = writeln!(
+        json,
+        "  \"keying\": \"interned: RelSet memo keys, RelId bases, per-cut memoized splits\","
+    );
+    let _ = writeln!(json, "  \"reps\": {REPS},");
+    let _ = writeln!(json, "  \"results\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 == rows.len() { "" } else { "," };
+        let pairs_per_sec = if r.best_secs > 0.0 {
+            r.pairs_examined as f64 / r.best_secs
+        } else {
+            0.0
+        };
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{}\", \"n_rels\": {}, \"best_secs\": {:.6}, \"pairs_examined\": {}, \"pairs_per_sec\": {:.0}, \"est_cost\": {:.1}}}{comma}",
+            r.bench, r.n_rels, r.best_secs, r.pairs_examined, pairs_per_sec, r.est_cost
+        );
+    }
+    let _ = writeln!(json, "  ]");
+    json.push_str("}\n");
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_optimizer.json");
+    std::fs::write(path, &json).expect("write BENCH_optimizer.json");
+    println!("wrote {path}");
+}

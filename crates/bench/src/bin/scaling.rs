@@ -24,10 +24,20 @@ const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
 fn build_storage(seed: u64) -> Storage {
     let mut rng = StdRng::seed_from_u64(seed);
     let probe_rows: Vec<Vec<Value>> = (0..PROBE_ROWS)
-        .map(|i| vec![Value::Int(i as i64), Value::Int(rng.gen_range(0..KEY_DOMAIN))])
+        .map(|i| {
+            vec![
+                Value::Int(i as i64),
+                Value::Int(rng.gen_range(0..KEY_DOMAIN)),
+            ]
+        })
         .collect();
     let build_rows: Vec<Vec<Value>> = (0..BUILD_ROWS)
-        .map(|i| vec![Value::Int(i as i64), Value::Int(rng.gen_range(0..KEY_DOMAIN))])
+        .map(|i| {
+            vec![
+                Value::Int(i as i64),
+                Value::Int(rng.gen_range(0..KEY_DOMAIN)),
+            ]
+        })
         .collect();
     let mut s = Storage::new();
     s.insert("P", Relation::from_values("P", &["id", "k"], probe_rows));
@@ -71,9 +81,7 @@ fn main() {
             best = best.min(secs);
         }
         let rows_per_sec = PROBE_ROWS as f64 / best;
-        println!(
-            "threads={threads:>2}  best={best:.4}s  probe rows/sec={rows_per_sec:.0}"
-        );
+        println!("threads={threads:>2}  best={best:.4}s  probe rows/sec={rows_per_sec:.0}");
         results.push((threads, best, rows_per_sec));
     }
 
@@ -89,11 +97,18 @@ fn main() {
     let mut json = String::new();
     json.push_str("{\n");
     let _ = writeln!(json, "  \"bench\": \"hash_join_thread_scaling\",");
-    let _ = writeln!(json, "  \"join\": \"left-outer hash join, zero-copy build side\",");
+    let _ = writeln!(
+        json,
+        "  \"join\": \"left-outer hash join, zero-copy build side\","
+    );
     let _ = writeln!(json, "  \"probe_rows\": {PROBE_ROWS},");
     let _ = writeln!(json, "  \"build_rows\": {BUILD_ROWS},");
     let _ = writeln!(json, "  \"output_rows\": {output_rows},");
-    let _ = writeln!(json, "  \"morsel_rows\": {},", ExecConfig::default().morsel_rows);
+    let _ = writeln!(
+        json,
+        "  \"morsel_rows\": {},",
+        ExecConfig::default().morsel_rows
+    );
     let _ = writeln!(
         json,
         "  \"available_parallelism\": {},",

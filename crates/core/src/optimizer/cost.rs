@@ -7,7 +7,7 @@
 //! exactly why `(R1 − R2) → R3` costs 3 touches while
 //! `R1 − (R2 → R3)` costs `2·|R2| + 1` when driven the wrong way.
 
-use super::lower::split_equi;
+use super::lower::split_equi_by_name;
 use super::stats::Catalog;
 use fro_exec::{JoinKind, PhysPlan};
 use std::collections::BTreeSet;
@@ -174,7 +174,7 @@ pub fn cut_selectivity(
     left_rels: &BTreeSet<String>,
     right_rels: &BTreeSet<String>,
 ) -> f64 {
-    let (pairs, residual) = split_equi(pred, left_rels, right_rels);
+    let (pairs, residual) = split_equi_by_name(pred, left_rels, right_rels);
     let mut sel = catalog.selectivity(&residual);
     for (a, b) in &pairs {
         sel *= 1.0 / (catalog.distinct_of(a).max(catalog.distinct_of(b)).max(1) as f64);

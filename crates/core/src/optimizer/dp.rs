@@ -9,15 +9,21 @@
 //! reorderability (Theorem 1) is exactly the licence that makes every
 //! such plan correct, so the DP needs no validity analysis beyond the
 //! cut classification itself.
+//!
+//! The memo is keyed on [`RelSet`] and every per-cut question
+//! (classification, key pairs, selectivities, index preconditions) is
+//! answered by the shared [`super::cuts`] machinery — candidate plans
+//! are costed arithmetically and a [`PhysPlan`] is built only for the
+//! per-subset winner, so the inner loop touches no strings and clones
+//! no plans.
 
-use super::cost::join_rows;
-use super::lower::split_equi;
+use super::cuts::{best_shape, materialize, Candidate, CutClass, CutCtx};
 use super::stats::Catalog;
 use super::OptError;
-use fro_algebra::Pred;
+use fro_algebra::{RelId, RelSet};
 use fro_exec::{JoinKind, PhysPlan};
-use fro_graph::{classify_cut, CutKind, NodeSet, QueryGraph};
-use std::collections::{BTreeSet, HashMap};
+use fro_graph::QueryGraph;
+use std::collections::HashMap;
 
 /// The DP's per-subset best plan (also reused by the greedy
 /// heuristic).
@@ -26,9 +32,10 @@ pub(crate) struct Entry {
     pub(crate) plan: PhysPlan,
     pub(crate) cost: f64,
     pub(crate) rows: f64,
-    /// `Some(table)` when the plan is a bare scan of one base table —
-    /// the precondition for turning it into an index-join inner side.
-    pub(crate) base: Option<String>,
+    /// `Some(id)` when the plan is a bare scan of one catalog-known
+    /// base table — the precondition for turning it into an index-join
+    /// inner side.
+    pub(crate) base: Option<RelId>,
 }
 
 /// The final plan chosen by [`dp_optimize`].
@@ -47,10 +54,6 @@ pub struct DpResult {
 /// Exhaustive-DP node limit (3^n csg–cmp pairs).
 pub const DP_MAX_NODES: usize = 18;
 
-fn rels_of(g: &QueryGraph, s: NodeSet) -> BTreeSet<String> {
-    s.iter().map(|i| g.node_name(i).to_owned()).collect()
-}
-
 /// Optimize a (freely-reorderable) query graph by exhaustive DP.
 ///
 /// # Errors
@@ -63,22 +66,23 @@ pub fn dp_optimize(g: &QueryGraph, catalog: &Catalog) -> Result<DpResult, OptErr
             "exhaustive DP capped at {DP_MAX_NODES} relations; query has {n}"
         )));
     }
-    let full = NodeSet::full(n);
+    let full = RelSet::full(n);
     if !g.connected_in(full) {
         return Err(OptError::Disconnected);
     }
 
-    let mut table: HashMap<u64, Entry> = HashMap::new();
+    let mut ctx = CutCtx::new(g, catalog);
+    let mut table: HashMap<RelSet, Entry> = HashMap::new();
     for i in 0..n {
-        let name = g.node_name(i).to_owned();
-        let rows = catalog.rows_of(&name) as f64;
+        let name = g.node_name(i);
+        let rows = catalog.rows_of(name) as f64;
         table.insert(
-            NodeSet::singleton(i).bits(),
+            RelSet::singleton(i),
             Entry {
-                plan: PhysPlan::scan(name.clone()),
+                plan: PhysPlan::scan(name.to_owned()),
                 cost: rows,
                 rows,
-                base: Some(name),
+                base: catalog.rel_id(name),
             },
         );
     }
@@ -90,70 +94,66 @@ pub fn dp_optimize(g: &QueryGraph, catalog: &Catalog) -> Result<DpResult, OptErr
         .collect();
     subsets.sort_by_key(|m| m.count_ones());
     for &bits in &subsets {
-        let s = NodeSet::from_bits(bits);
+        let s = RelSet::from_bits(bits);
         if s.len() < 2 || !g.connected_in(s) {
             continue;
         }
-        let mut best: Option<Entry> = None;
+        // Best candidate over every cut of `s`, as pure arithmetic:
+        // (candidate, probe side, build side). Only the winner is
+        // materialized into a plan, below.
+        let mut best: Option<(Candidate, RelSet, RelSet)> = None;
+        let consider = |best: &mut Option<(Candidate, RelSet, RelSet)>,
+                        cand: Candidate,
+                        p: RelSet,
+                        b: RelSet| {
+            if best.as_ref().is_none_or(|(bc, _, _)| cand.cost < bc.cost) {
+                *best = Some((cand, p, b));
+            }
+        };
         for left in s.anchored_proper_subsets() {
             let right = s.minus(left);
             if !g.connected_in(left) || !g.connected_in(right) {
                 continue;
             }
-            let (le, re) = match (table.get(&left.bits()), table.get(&right.bits())) {
-                (Some(a), Some(b)) => (a.clone(), b.clone()),
-                _ => continue,
+            let (Some(le), Some(re)) = (table.get(&left), table.get(&right)) else {
+                continue;
             };
-            match classify_cut(g, left, right) {
-                CutKind::Joins(edges) => {
+            let lo_is_left = left.bits() <= right.bits();
+            let info = ctx.info(left, right);
+            match info.class {
+                CutClass::None => {}
+                CutClass::Joins => {
                     pairs_examined += 1;
-                    let pred =
-                        Pred::from_conjuncts(edges.iter().map(|&i| g.edges()[i].pred().clone()));
-                    for (probe, pset, build, bset) in
-                        [(&le, left, &re, right), (&re, right, &le, left)]
-                    {
-                        for cand in
-                            combine(g, catalog, probe, pset, build, bset, JoinKind::Inner, &pred)
-                        {
-                            if best.as_ref().is_none_or(|b| cand.cost < b.cost) {
-                                best = Some(cand);
-                            }
-                        }
+                    for (pset, pe, bset, be, probe_is_lo) in [
+                        (left, le, right, re, lo_is_left),
+                        (right, re, left, le, !lo_is_left),
+                    ] {
+                        let cand = best_shape(info, pe, be, probe_is_lo, JoinKind::Inner);
+                        consider(&mut best, cand, pset, bset);
                     }
                 }
-                CutKind::SingleOuterjoin { edge, forward } => {
+                CutClass::OuterjoinProbeLo | CutClass::OuterjoinProbeHi => {
                     pairs_examined += 1;
-                    let pred = g.edges()[edge].pred().clone();
-                    let (probe, pset, build, bset) = if forward {
-                        (&le, left, &re, right)
+                    let probe_is_lo = info.class == CutClass::OuterjoinProbeLo;
+                    let (pset, pe, bset, be) = if probe_is_lo == lo_is_left {
+                        (left, le, right, re)
                     } else {
-                        (&re, right, &le, left)
+                        (right, re, left, le)
                     };
-                    for cand in combine(
-                        g,
-                        catalog,
-                        probe,
-                        pset,
-                        build,
-                        bset,
-                        JoinKind::LeftOuter,
-                        &pred,
-                    ) {
-                        if best.as_ref().is_none_or(|b| cand.cost < b.cost) {
-                            best = Some(cand);
-                        }
-                    }
+                    let cand = best_shape(info, pe, be, probe_is_lo, JoinKind::LeftOuter);
+                    consider(&mut best, cand, pset, bset);
                 }
-                CutKind::Cartesian | CutKind::Mixed => {}
             }
         }
-        if let Some(e) = best {
-            table.insert(bits, e);
+        if let Some((cand, pset, bset)) = best {
+            let info = ctx.info(pset, bset);
+            let entry = materialize(cand, info, &table[&pset], &table[&bset], catalog);
+            table.insert(s, entry);
         }
     }
 
     table
-        .remove(&full.bits())
+        .remove(&full)
         .map(|e| DpResult {
             plan: e.plan,
             cost: e.cost,
@@ -165,109 +165,10 @@ pub fn dp_optimize(g: &QueryGraph, catalog: &Catalog) -> Result<DpResult, OptErr
         })
 }
 
-/// Candidate physical plans for `probe ⊙ build` over a cut predicate.
-#[allow(clippy::too_many_arguments)]
-pub(crate) fn combine(
-    g: &QueryGraph,
-    catalog: &Catalog,
-    probe: &Entry,
-    probe_set: NodeSet,
-    build: &Entry,
-    build_set: NodeSet,
-    kind: JoinKind,
-    pred: &Pred,
-) -> Vec<Entry> {
-    let probe_rels = rels_of(g, probe_set);
-    let build_rels = rels_of(g, build_set);
-    let (pairs, residual) = split_equi(pred, &probe_rels, &build_rels);
-    let residual_sel = catalog.selectivity(&residual);
-    let mut key_sel = 1.0;
-    for (a, b) in &pairs {
-        key_sel *= 1.0 / (catalog.distinct_of(a).max(catalog.distinct_of(b)).max(1) as f64);
-    }
-    let sel = key_sel * residual_sel;
-    let rows = join_rows(kind, probe.rows, build.rows, sel);
-    let mut out = Vec::new();
-
-    if pairs.is_empty() {
-        out.push(Entry {
-            plan: PhysPlan::NlJoin {
-                kind,
-                left: Box::new(probe.plan.clone()),
-                right: Box::new(build.plan.clone()),
-                pred: pred.clone(),
-            },
-            cost: probe.cost + build.cost + probe.rows * build.rows + rows,
-            rows,
-            base: None,
-        });
-        return out;
-    }
-
-    let (probe_keys, build_keys): (Vec<_>, Vec<_>) = pairs.into_iter().unzip();
-
-    // Index nested-loop: build side must be a bare indexed base table;
-    // its scan cost is *not* paid.
-    if let Some(tname) = &build.base {
-        if catalog
-            .table(tname)
-            .is_some_and(|t| t.has_index(&build_keys))
-        {
-            let retrieved = probe.rows * build.rows * key_sel;
-            out.push(Entry {
-                plan: PhysPlan::IndexJoin {
-                    kind,
-                    outer: Box::new(probe.plan.clone()),
-                    inner: tname.clone(),
-                    outer_keys: probe_keys.clone(),
-                    inner_keys: build_keys.clone(),
-                    residual: residual.clone(),
-                },
-                cost: probe.cost + probe.rows + retrieved + rows,
-                rows,
-                base: None,
-            });
-        }
-    }
-
-    out.push(Entry {
-        plan: PhysPlan::HashJoin {
-            kind,
-            probe: Box::new(probe.plan.clone()),
-            build: Box::new(build.plan.clone()),
-            probe_keys: probe_keys.clone(),
-            build_keys: build_keys.clone(),
-            residual: residual.clone(),
-        },
-        cost: probe.cost + build.cost + build.rows + probe.rows + rows,
-        rows,
-        base: None,
-    });
-
-    // Sort-merge join: competitive when inputs are large and the
-    // output small (no hash table residency), and the only equi
-    // alternative our engine offers beyond hash/index.
-    let sort = |n: f64| n * (n.max(2.0)).log2();
-    out.push(Entry {
-        plan: PhysPlan::MergeJoin {
-            kind,
-            left: Box::new(probe.plan.clone()),
-            right: Box::new(build.plan.clone()),
-            left_keys: probe_keys,
-            right_keys: build_keys,
-            residual,
-        },
-        cost: probe.cost + build.cost + sort(probe.rows) + sort(build.rows) + rows,
-        rows,
-        base: None,
-    });
-    out
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fro_algebra::{Attr, Schema};
+    use fro_algebra::{Attr, Pred, Schema};
     use std::sync::Arc;
 
     fn example1_graph() -> QueryGraph {

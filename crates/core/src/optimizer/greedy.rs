@@ -7,12 +7,19 @@
 //! whose merged plan is cheapest; stop when one component remains.
 //! `O(n³)` pair evaluations instead of `3ⁿ` csg–cmp pairs — the same
 //! "fill in Join or else Outerjoin" rule, applied greedily.
+//!
+//! Cut classification, key-pair extraction, and selectivities come
+//! from one [`CutCtx`] held across merge rounds: a cut's properties
+//! depend only on the two node sets, so the memo keeps paying off as
+//! the same component pairs are re-examined round after round.
 
-use super::dp::{combine, Entry};
+use super::cuts::{best_shape, materialize, Candidate, CutClass, CutCtx};
+use super::dp::Entry;
 use super::stats::Catalog;
 use super::OptError;
+use fro_algebra::RelSet;
 use fro_exec::{JoinKind, PhysPlan};
-use fro_graph::{classify_cut, CutKind, NodeSet, QueryGraph};
+use fro_graph::QueryGraph;
 
 /// The plan chosen by [`greedy_optimize`].
 #[derive(Debug, Clone)]
@@ -36,20 +43,21 @@ pub struct GreedyResult {
 /// the syntactic tree itself witnesses a full merge order).
 pub fn greedy_optimize(g: &QueryGraph, catalog: &Catalog) -> Result<GreedyResult, OptError> {
     let n = g.n_nodes();
-    if !g.connected_in(NodeSet::full(n)) {
+    if !g.connected_in(RelSet::full(n)) {
         return Err(OptError::Disconnected);
     }
-    let mut components: Vec<(NodeSet, Entry)> = (0..n)
+    let mut ctx = CutCtx::new(g, catalog);
+    let mut components: Vec<(RelSet, Entry)> = (0..n)
         .map(|i| {
-            let name = g.node_name(i).to_owned();
-            let rows = catalog.rows_of(&name) as f64;
+            let name = g.node_name(i);
+            let rows = catalog.rows_of(name) as f64;
             (
-                NodeSet::singleton(i),
+                RelSet::singleton(i),
                 Entry {
-                    plan: PhysPlan::scan(name.clone()),
+                    plan: PhysPlan::scan(name.to_owned()),
                     cost: rows,
                     rows,
-                    base: Some(name),
+                    base: catalog.rel_id(name),
                 },
             )
         })
@@ -57,63 +65,51 @@ pub fn greedy_optimize(g: &QueryGraph, catalog: &Catalog) -> Result<GreedyResult
 
     let mut merges_examined = 0u64;
     while components.len() > 1 {
-        let mut best: Option<(usize, usize, Entry)> = None;
+        // (i, j, winning candidate, probe-is-component-i).
+        let mut best: Option<(usize, usize, Candidate, bool)> = None;
         for i in 0..components.len() {
             for j in i + 1..components.len() {
                 let (si, ei) = &components[i];
                 let (sj, ej) = &components[j];
-                let candidates = match classify_cut(g, *si, *sj) {
-                    CutKind::Joins(edges) => {
-                        merges_examined += 1;
-                        let pred = fro_algebra::Pred::from_conjuncts(
-                            edges.iter().map(|&e| g.edges()[e].pred().clone()),
-                        );
-                        let mut cands =
-                            combine(g, catalog, ei, *si, ej, *sj, JoinKind::Inner, &pred);
-                        cands.extend(combine(
-                            g,
-                            catalog,
-                            ej,
-                            *sj,
-                            ei,
-                            *si,
-                            JoinKind::Inner,
-                            &pred,
-                        ));
-                        cands
+                let lo_is_i = si.bits() <= sj.bits();
+                let info = ctx.info(*si, *sj);
+                let mut consider = |cand: Candidate, probe_is_i: bool| {
+                    if best.as_ref().is_none_or(|(_, _, b, _)| cand.cost < b.cost) {
+                        best = Some((i, j, cand, probe_is_i));
                     }
-                    CutKind::SingleOuterjoin { edge, forward } => {
-                        merges_examined += 1;
-                        let pred = g.edges()[edge].pred().clone();
-                        let (probe, pset, build, bset) = if forward {
-                            (ei, *si, ej, *sj)
-                        } else {
-                            (ej, *sj, ei, *si)
-                        };
-                        combine(
-                            g,
-                            catalog,
-                            probe,
-                            pset,
-                            build,
-                            bset,
-                            JoinKind::LeftOuter,
-                            &pred,
-                        )
-                    }
-                    CutKind::Cartesian | CutKind::Mixed => continue,
                 };
-                for cand in candidates {
-                    if best.as_ref().is_none_or(|(_, _, b)| cand.cost < b.cost) {
-                        best = Some((i, j, cand));
+                match info.class {
+                    CutClass::None => {}
+                    CutClass::Joins => {
+                        merges_examined += 1;
+                        for (pe, be, probe_is_i) in [(ei, ej, true), (ej, ei, false)] {
+                            let probe_is_lo = probe_is_i == lo_is_i;
+                            let cand = best_shape(info, pe, be, probe_is_lo, JoinKind::Inner);
+                            consider(cand, probe_is_i);
+                        }
+                    }
+                    CutClass::OuterjoinProbeLo | CutClass::OuterjoinProbeHi => {
+                        merges_examined += 1;
+                        let probe_is_lo = info.class == CutClass::OuterjoinProbeLo;
+                        let probe_is_i = probe_is_lo == lo_is_i;
+                        let (pe, be) = if probe_is_i { (ei, ej) } else { (ej, ei) };
+                        let cand = best_shape(info, pe, be, probe_is_lo, JoinKind::LeftOuter);
+                        consider(cand, probe_is_i);
                     }
                 }
             }
         }
-        let Some((i, j, entry)) = best else {
+        let Some((i, j, cand, probe_is_i)) = best else {
             return Err(OptError::Unsupported(
                 "greedy merge wedged: no implementable component pair".into(),
             ));
+        };
+        let entry = {
+            let (si, ei) = &components[i];
+            let (sj, ej) = &components[j];
+            let info = ctx.info(*si, *sj);
+            let (pe, be) = if probe_is_i { (ei, ej) } else { (ej, ei) };
+            materialize(cand, info, pe, be, catalog)
         };
         let (sj, _) = components.swap_remove(j); // j > i, safe order
         let (si, _) = components.swap_remove(i);

@@ -9,6 +9,7 @@
 //! is always correct.
 
 pub mod cost;
+pub mod cuts;
 pub mod dp;
 pub mod greedy;
 pub mod lower;
@@ -20,9 +21,10 @@ use fro_exec::{ExecConfig, ExecError, ExecStats, PhysPlan, Storage};
 use std::fmt;
 
 pub use cost::{estimate_plan, Estimate};
+pub use cuts::{split_equi, RelMap};
 pub use dp::{dp_optimize, DpResult};
 pub use greedy::{greedy_optimize, GreedyResult};
-pub use lower::lower;
+pub use lower::{lower, lower_by_name, split_equi_by_name};
 pub use stats::{Catalog, TableInfo};
 
 /// Optimizer failures.

@@ -1,9 +1,17 @@
 //! The optimizer's catalog: per-table cardinalities, per-attribute
 //! distinct counts, available indexes, and selectivity estimation.
+//!
+//! The catalog owns an [`Interner`]: table names are interned exactly
+//! once when a table is registered, and [`TableInfo`] records live in
+//! a `Vec` dense by [`RelId`]. Statistics are stored by *column
+//! offset*, so an id-keyed lookup ([`Catalog::distinct_of_id`],
+//! [`Catalog::rows_of_id`], [`Catalog::has_index_cols`]) is pure array
+//! arithmetic. The name-keyed API survives as a thin shim over the
+//! interner for construction-time and display-time callers.
 
-use fro_algebra::{Attr, CmpOp, Pred, Scalar, Schema};
+use fro_algebra::{Attr, AttrId, CmpOp, Interner, Pred, RelId, Scalar, Schema};
 use fro_exec::Storage;
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeSet;
 use std::sync::Arc;
 
 /// Statistics and physical metadata for one base table.
@@ -13,33 +21,69 @@ pub struct TableInfo {
     pub schema: Arc<Schema>,
     /// Row count.
     pub rows: u64,
-    /// Distinct-value counts per attribute (missing ⇒ assume `rows`).
-    pub distinct: BTreeMap<Attr, u64>,
-    /// Attribute sets with a hash index (each sorted).
-    pub indexes: BTreeSet<Vec<Attr>>,
+    /// Distinct-value counts per column (missing ⇒ assume `rows`).
+    distinct: Vec<Option<u64>>,
+    /// Column-offset sets with a hash index (each sorted).
+    indexes: BTreeSet<Vec<u32>>,
 }
 
 impl TableInfo {
+    fn new(schema: Arc<Schema>, rows: u64) -> TableInfo {
+        let distinct = vec![None; schema.len()];
+        TableInfo {
+            schema,
+            rows,
+            distinct,
+            indexes: BTreeSet::new(),
+        }
+    }
+
     /// Distinct count of an attribute (defaults to the row count,
     /// i.e. key-like).
     #[must_use]
     pub fn distinct_of(&self, a: &Attr) -> u64 {
-        self.distinct.get(a).copied().unwrap_or(self.rows.max(1))
+        self.schema
+            .index_of(a)
+            .map_or_else(|| self.rows.max(1), |c| self.distinct_col(c))
+    }
+
+    /// Distinct count of a column offset (defaults to the row count).
+    #[must_use]
+    pub fn distinct_col(&self, col: usize) -> u64 {
+        self.distinct
+            .get(col)
+            .copied()
+            .flatten()
+            .unwrap_or(self.rows.max(1))
     }
 
     /// Whether the attributes (in any order) carry an index.
     #[must_use]
     pub fn has_index(&self, attrs: &[Attr]) -> bool {
-        let mut key: Vec<Attr> = attrs.to_vec();
-        key.sort();
-        self.indexes.contains(&key)
+        let mut cols = Vec::with_capacity(attrs.len());
+        for a in attrs {
+            match self.schema.index_of(a) {
+                Some(c) => cols.push(u32::try_from(c).expect("column offset fits in u32")),
+                None => return false,
+            }
+        }
+        cols.sort_unstable();
+        self.indexes.contains(&cols)
+    }
+
+    /// Whether the column offsets (pre-sorted) carry an index.
+    #[must_use]
+    pub fn has_index_cols(&self, cols: &[u32]) -> bool {
+        self.indexes.contains(cols)
     }
 }
 
-/// The optimizer catalog: a name → [`TableInfo`] map.
+/// The optimizer catalog: an interner plus [`TableInfo`] records dense
+/// by [`RelId`].
 #[derive(Debug, Clone, Default)]
 pub struct Catalog {
-    tables: BTreeMap<String, TableInfo>,
+    interner: Interner,
+    tables: Vec<TableInfo>,
 }
 
 impl Catalog {
@@ -57,68 +101,104 @@ impl Catalog {
         for (name, table) in storage.iter() {
             let rel = table.relation();
             let schema = rel.schema().clone();
-            let mut distinct = BTreeMap::new();
-            for (c, attr) in schema.attrs().iter().enumerate() {
+            let id = cat.register(name, schema.clone(), rel.len() as u64);
+            let info = &mut cat.tables[id.index()];
+            for c in 0..schema.len() {
                 let set: std::collections::HashSet<_> =
                     rel.rows().iter().map(|t| t.get(c)).collect();
-                distinct.insert(attr.clone(), set.len() as u64);
+                info.distinct[c] = Some(set.len() as u64);
             }
-            let mut indexes = BTreeSet::new();
             for ix in table.indexes() {
-                let mut key: Vec<Attr> = ix
+                let cols: Vec<u32> = ix
                     .key_cols()
                     .iter()
-                    .map(|&c| schema.attrs()[c].clone())
+                    .map(|&c| u32::try_from(c).expect("column offset fits in u32"))
                     .collect();
-                key.sort();
-                indexes.insert(key);
+                // `key_cols` are already sorted by construction.
+                info.indexes.insert(cols);
             }
-            cat.tables.insert(
-                name.to_owned(),
-                TableInfo {
-                    schema,
-                    rows: rel.len() as u64,
-                    distinct,
-                    indexes,
-                },
-            );
         }
         cat
     }
 
     /// Register a table by hand (for synthetic what-if experiments).
+    /// Re-registering a name replaces its statistics and indexes.
     pub fn add_table(&mut self, name: impl Into<String>, schema: Arc<Schema>, rows: u64) {
-        self.tables.insert(
-            name.into(),
-            TableInfo {
-                schema,
-                rows,
-                distinct: BTreeMap::new(),
-                indexes: BTreeSet::new(),
-            },
-        );
+        let name = name.into();
+        self.register(&name, schema, rows);
     }
 
-    /// Set a distinct count.
+    fn register(&mut self, name: &str, schema: Arc<Schema>, rows: u64) -> RelId {
+        let id = self.interner.register_relation(name, &schema);
+        let info = TableInfo::new(schema, rows);
+        if id.index() == self.tables.len() {
+            self.tables.push(info);
+        } else {
+            self.tables[id.index()] = info;
+        }
+        id
+    }
+
+    /// Set a distinct count (ignored when the table or attribute is
+    /// unknown).
     pub fn set_distinct(&mut self, attr: &Attr, distinct: u64) {
-        if let Some(t) = self.tables.get_mut(attr.rel()) {
-            t.distinct.insert(attr.clone(), distinct);
+        if let Some(t) = self.table_mut(attr.rel()) {
+            if let Some(c) = t.schema.index_of(attr) {
+                t.distinct[c] = Some(distinct);
+            }
         }
     }
 
-    /// Declare an index.
+    /// Declare an index (ignored when the table is unknown or any
+    /// attribute is missing from its scheme).
     pub fn add_index(&mut self, rel: &str, attrs: &[Attr]) {
-        if let Some(t) = self.tables.get_mut(rel) {
-            let mut key = attrs.to_vec();
-            key.sort();
-            t.indexes.insert(key);
+        let Some(t) = self.table_mut(rel) else {
+            return;
+        };
+        let mut cols = Vec::with_capacity(attrs.len());
+        for a in attrs {
+            match t.schema.index_of(a) {
+                Some(c) => cols.push(u32::try_from(c).expect("column offset fits in u32")),
+                None => return,
+            }
         }
+        cols.sort_unstable();
+        t.indexes.insert(cols);
     }
 
-    /// Look up a table.
+    /// The interner owning this catalog's name ↔ id mapping.
+    #[must_use]
+    pub fn interner(&self) -> &Interner {
+        &self.interner
+    }
+
+    /// Resolve a table name to its dense id.
+    #[must_use]
+    pub fn rel_id(&self, name: &str) -> Option<RelId> {
+        self.interner.rel_id(name)
+    }
+
+    /// Resolve an attribute to its dense id.
+    #[must_use]
+    pub fn attr_id(&self, attr: &Attr) -> Option<AttrId> {
+        self.interner.attr_id(attr)
+    }
+
+    /// Look up a table by name (shim over the interner).
     #[must_use]
     pub fn table(&self, name: &str) -> Option<&TableInfo> {
-        self.tables.get(name)
+        self.rel_id(name).and_then(|id| self.table_by_id(id))
+    }
+
+    fn table_mut(&mut self, name: &str) -> Option<&mut TableInfo> {
+        let id = self.interner.rel_id(name)?;
+        self.tables.get_mut(id.index())
+    }
+
+    /// Look up a table by dense id — one bounds-checked array read.
+    #[must_use]
+    pub fn table_by_id(&self, id: RelId) -> Option<&TableInfo> {
+        self.tables.get(id.index())
     }
 
     /// All attributes of the given ground relations, in catalog order.
@@ -126,7 +206,7 @@ impl Catalog {
     pub fn attrs_of_rels<'a>(&self, rels: impl IntoIterator<Item = &'a String>) -> Vec<Attr> {
         let mut out = Vec::new();
         for r in rels {
-            if let Some(t) = self.tables.get(r) {
+            if let Some(t) = self.table(r) {
                 out.extend(t.schema.attrs().iter().cloned());
             }
         }
@@ -137,13 +217,35 @@ impl Catalog {
     /// unknown; 1000 when even the table is unknown).
     #[must_use]
     pub fn distinct_of(&self, a: &Attr) -> u64 {
-        self.tables.get(a.rel()).map_or(1000, |t| t.distinct_of(a))
+        self.table(a.rel()).map_or(1000, |t| t.distinct_of(a))
+    }
+
+    /// Distinct count for an interned attribute: two array reads via
+    /// its precomputed `(relation, column)` resolution.
+    #[must_use]
+    pub fn distinct_of_id(&self, id: AttrId) -> u64 {
+        let rel = self.interner.attr_rel(id);
+        let col = self.interner.attr_col(id) as usize;
+        self.table_by_id(rel).map_or(1000, |t| t.distinct_col(col))
     }
 
     /// Row count of a table (1000 when unknown).
     #[must_use]
     pub fn rows_of(&self, rel: &str) -> u64 {
-        self.tables.get(rel).map_or(1000, |t| t.rows)
+        self.table(rel).map_or(1000, |t| t.rows)
+    }
+
+    /// Row count of a table by dense id (1000 when unknown).
+    #[must_use]
+    pub fn rows_of_id(&self, id: RelId) -> u64 {
+        self.table_by_id(id).map_or(1000, |t| t.rows)
+    }
+
+    /// Whether a table carries an index on exactly the given column
+    /// offsets (pre-sorted).
+    #[must_use]
+    pub fn has_index_cols(&self, id: RelId, cols: &[u32]) -> bool {
+        self.table_by_id(id).is_some_and(|t| t.has_index_cols(cols))
     }
 
     /// Independence-assumption selectivity of a predicate: equality
@@ -209,6 +311,22 @@ mod tests {
     }
 
     #[test]
+    fn id_keyed_lookups_agree_with_names() {
+        let cat = Catalog::from_storage(&storage());
+        let rid = cat.rel_id("R").unwrap();
+        assert_eq!(cat.rows_of_id(rid), cat.rows_of("R"));
+        for a in ["R.k", "R.v"] {
+            let attr = Attr::parse(a);
+            let aid = cat.attr_id(&attr).unwrap();
+            assert_eq!(cat.distinct_of_id(aid), cat.distinct_of(&attr));
+            assert_eq!(cat.interner().attr_rel(aid), rid);
+        }
+        assert!(cat.has_index_cols(rid, &[0]));
+        assert!(!cat.has_index_cols(rid, &[1]));
+        assert_eq!(cat.rel_id("missing"), None);
+    }
+
+    #[test]
     fn selectivity_equality_uses_distincts() {
         let cat = Catalog::from_storage(&storage());
         let p = Pred::eq_attr("R.k", "R.v");
@@ -249,5 +367,18 @@ mod tests {
         assert!(cat.table("T").unwrap().has_index(&[Attr::parse("T.id")]));
         let attrs = cat.attrs_of_rels(&["T".to_owned()]);
         assert_eq!(attrs.len(), 1);
+    }
+
+    #[test]
+    fn reregistration_replaces_stats_under_same_id() {
+        let mut cat = Catalog::new();
+        cat.add_table("T", Arc::new(Schema::of_relation("T", &["id"])), 10);
+        cat.add_index("T", &[Attr::parse("T.id")]);
+        let id = cat.rel_id("T").unwrap();
+        cat.add_table("T", Arc::new(Schema::of_relation("T", &["id"])), 20);
+        assert_eq!(cat.rel_id("T"), Some(id));
+        assert_eq!(cat.rows_of("T"), 20);
+        // Indexes do not survive re-registration.
+        assert!(!cat.table("T").unwrap().has_index(&[Attr::parse("T.id")]));
     }
 }

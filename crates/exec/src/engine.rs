@@ -39,8 +39,14 @@ use std::sync::Arc;
 /// Execution failures.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ExecError {
-    /// A scan or index join referenced an unknown table.
-    UnknownTable(String),
+    /// A scan or index join referenced an unknown table. Carries the
+    /// nearest interned name (by edit distance) when one is close.
+    UnknownTable {
+        /// The name that failed to resolve.
+        name: String,
+        /// The closest known table name, if any is plausibly close.
+        suggestion: Option<String>,
+    },
     /// An index join required an index that does not exist.
     MissingIndex {
         /// Table that lacks the index.
@@ -57,7 +63,13 @@ pub enum ExecError {
 impl fmt::Display for ExecError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ExecError::UnknownTable(t) => write!(f, "unknown table `{t}`"),
+            ExecError::UnknownTable { name, suggestion } => {
+                write!(f, "unknown table `{name}`")?;
+                if let Some(s) = suggestion {
+                    write!(f, " (did you mean `{s}`?)")?;
+                }
+                Ok(())
+            }
             ExecError::MissingIndex { table, attrs } => {
                 write!(f, "table `{table}` has no index on ({attrs})")
             }
@@ -366,9 +378,7 @@ fn run(
 ) -> Result<Relation, ExecError> {
     let out = match plan {
         PhysPlan::Scan { rel } => {
-            let t = storage
-                .get(rel)
-                .ok_or_else(|| ExecError::UnknownTable(rel.clone()))?;
+            let t = storage.lookup(rel)?;
             stats.tuples_retrieved += t.len() as u64;
             t.relation().clone()
         }
@@ -561,9 +571,7 @@ fn index_join(
                 .into(),
         )));
     }
-    let inner_table = storage
-        .get(inner_name)
-        .ok_or_else(|| ExecError::UnknownTable(inner_name.to_owned()))?;
+    let inner_table = storage.lookup(inner_name)?;
     let inner_rel = inner_table.relation();
     let mut inner_cols = resolve_cols(inner_rel.schema(), inner_keys)?;
     // The index stores sorted key columns; align outer key order with it.
@@ -859,9 +867,7 @@ fn annotate(
 
     let (label, rel) = match plan {
         PhysPlan::Scan { rel } => {
-            let t = storage
-                .get(rel)
-                .ok_or_else(|| ExecError::UnknownTable(rel.clone()))?;
+            let t = storage.lookup(rel)?;
             stats.tuples_retrieved += t.len() as u64;
             (format!("Scan {rel}"), t.relation().clone())
         }
@@ -1026,7 +1032,7 @@ mod tests {
         let mut st = ExecStats::new();
         assert!(matches!(
             execute(&PhysPlan::scan("nope"), &s, &mut st),
-            Err(ExecError::UnknownTable(_))
+            Err(ExecError::UnknownTable { .. })
         ));
     }
 
@@ -1660,7 +1666,10 @@ mod tests {
     fn parallel_join_on_empty_inputs() {
         let mut s = Storage::new();
         s.insert("E", Relation::from_values("E", &["k"], vec![]));
-        s.insert("F", Relation::from_values("F", &["j"], vec![vec![Value::Int(1)]]));
+        s.insert(
+            "F",
+            Relation::from_values("F", &["j"], vec![vec![Value::Int(1)]]),
+        );
         for (probe, build) in [("E", "F"), ("F", "E"), ("E", "E")] {
             for kind in ALL_KINDS {
                 let plan = PhysPlan::HashJoin {

@@ -1,8 +1,14 @@
-//! In-memory storage: named tables plus their hash indexes.
+//! In-memory storage: tables plus their hash indexes, resolved through
+//! a dense `RelId → Table` vector.
+//!
+//! Names are interned exactly once, at [`Storage::insert`]; every later
+//! lookup is an array index. The name-keyed API ([`Storage::get`] and
+//! friends) survives as a thin compatibility shim over the interner,
+//! and failed lookups come back with a nearest-name suggestion.
 
+use crate::engine::ExecError;
 use crate::index::HashIndex;
-use fro_algebra::{Attr, Database, Relation};
-use std::collections::BTreeMap;
+use fro_algebra::{Attr, Database, Interner, RelId, Relation};
 
 /// A stored base table: the relation plus any indexes built on it.
 #[derive(Debug, Clone)]
@@ -70,10 +76,12 @@ impl Table {
     }
 }
 
-/// A set of named tables.
+/// A set of tables, stored densely by [`RelId`] with an interner
+/// owning the name mapping.
 #[derive(Debug, Clone, Default)]
 pub struct Storage {
-    tables: BTreeMap<String, Table>,
+    interner: Interner,
+    tables: Vec<Table>,
 }
 
 impl Storage {
@@ -88,7 +96,7 @@ impl Storage {
     pub fn from_database(db: &Database) -> Storage {
         let mut s = Storage::new();
         for (name, rel) in db.iter() {
-            s.tables.insert(name.to_owned(), Table::new(rel.clone()));
+            s.insert(name, rel.clone());
         }
         s
     }
@@ -98,41 +106,85 @@ impl Storage {
     #[must_use]
     pub fn to_database(&self) -> Database {
         let mut db = Database::new();
-        for (name, t) in &self.tables {
-            db.insert_named(name.clone(), t.relation().clone());
+        for (name, t) in self.iter() {
+            db.insert_named(name.to_owned(), t.relation().clone());
         }
         db
     }
 
-    /// Register a table.
+    /// Register a table: interns the name (once) and places the table
+    /// in the dense slot its [`RelId`] names. Re-inserting a name
+    /// replaces the table under the same id.
     pub fn insert(&mut self, name: impl Into<String>, rel: Relation) -> &mut Table {
         let name = name.into();
-        self.tables.insert(name.clone(), Table::new(rel));
-        self.tables.get_mut(&name).expect("just inserted")
+        let id = self.interner.register_relation(&name, rel.schema());
+        let table = Table::new(rel);
+        if id.index() == self.tables.len() {
+            self.tables.push(table);
+        } else {
+            self.tables[id.index()] = table;
+        }
+        &mut self.tables[id.index()]
     }
 
-    /// Look up a table.
+    /// The interner owning this storage's name ↔ id mapping.
+    #[must_use]
+    pub fn interner(&self) -> &Interner {
+        &self.interner
+    }
+
+    /// Resolve a table name to its dense id.
+    #[must_use]
+    pub fn rel_id(&self, name: &str) -> Option<RelId> {
+        self.interner.rel_id(name)
+    }
+
+    /// Look up a table by dense id — the hot path: one bounds-checked
+    /// array read, no hashing, no string compare.
+    #[must_use]
+    pub fn get_by_id(&self, id: RelId) -> Option<&Table> {
+        self.tables.get(id.index())
+    }
+
+    /// Look up a table by name (compatibility shim over the interner).
     #[must_use]
     pub fn get(&self, name: &str) -> Option<&Table> {
-        self.tables.get(name)
+        self.rel_id(name).and_then(|id| self.get_by_id(id))
+    }
+
+    /// Look up a table by name, producing a diagnosable error on a
+    /// miss: the unknown name plus the nearest catalog name (by edit
+    /// distance), when one is plausibly close.
+    ///
+    /// # Errors
+    /// [`ExecError::UnknownTable`] when the name is not interned.
+    pub fn lookup(&self, name: &str) -> Result<&Table, ExecError> {
+        self.get(name).ok_or_else(|| ExecError::UnknownTable {
+            name: name.to_owned(),
+            suggestion: self.interner.suggest(name).map(str::to_owned),
+        })
     }
 
     /// Mutable access (e.g. to add indexes).
     #[must_use]
     pub fn get_mut(&mut self, name: &str) -> Option<&mut Table> {
-        self.tables.get_mut(name)
+        let id = self.interner.rel_id(name)?;
+        self.tables.get_mut(id.index())
     }
 
     /// Create an index on `rel_name(attrs…)`; `false` if missing.
     pub fn create_index(&mut self, rel_name: &str, attrs: &[Attr]) -> bool {
-        self.tables
-            .get_mut(rel_name)
+        self.get_mut(rel_name)
             .is_some_and(|t| t.create_index(attrs))
     }
 
-    /// Iterate `(name, table)` pairs.
+    /// Iterate `(name, table)` pairs in name order (deterministic
+    /// regardless of insertion order).
     pub fn iter(&self) -> impl Iterator<Item = (&str, &Table)> {
-        self.tables.iter().map(|(k, v)| (k.as_str(), v))
+        let mut ids: Vec<RelId> = (0..self.tables.len()).map(RelId::from_index).collect();
+        ids.sort_by_key(|&id| self.interner.rel_name(id));
+        ids.into_iter()
+            .map(|id| (self.interner.rel_name(id), &self.tables[id.index()]))
     }
 }
 

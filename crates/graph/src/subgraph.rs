@@ -1,176 +1,17 @@
-//! Bitset node-sets, connectivity within a node subset, and the cut
+//! Node-sets, connectivity within a node subset, and the cut
 //! classification underlying implementing-tree enumeration.
+//!
+//! A query graph's node ids *are* the query's dense relation ids, so a
+//! set of nodes is exactly a set of relations: [`NodeSet`] is the
+//! `u64`-bitset [`fro_algebra::RelSet`], re-exported under its
+//! graph-side name. One representation flows unchanged from graph
+//! construction through the optimizer's DP memo to the storage layer.
 
-use crate::graph::{EdgeKind, NodeId, QueryGraph};
-use std::fmt;
+use crate::graph::{EdgeKind, QueryGraph};
 
-/// A set of graph nodes, as a 64-bit bitset (graphs are capped at 64
-/// relations, far beyond what exhaustive IT enumeration can visit).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
-pub struct NodeSet(u64);
-
-impl NodeSet {
-    /// The empty set.
-    #[must_use]
-    pub fn empty() -> NodeSet {
-        NodeSet(0)
-    }
-
-    /// `{0, 1, …, n-1}`.
-    ///
-    /// # Panics
-    /// If `n > 64`.
-    #[must_use]
-    pub fn full(n: usize) -> NodeSet {
-        assert!(n <= 64, "query graphs are limited to 64 relations");
-        if n == 64 {
-            NodeSet(u64::MAX)
-        } else {
-            NodeSet((1u64 << n) - 1)
-        }
-    }
-
-    /// The singleton `{i}`.
-    #[must_use]
-    pub fn singleton(i: NodeId) -> NodeSet {
-        NodeSet(1u64 << i)
-    }
-
-    /// Construct from raw bits.
-    #[must_use]
-    pub fn from_bits(bits: u64) -> NodeSet {
-        NodeSet(bits)
-    }
-
-    /// The raw bits.
-    #[must_use]
-    pub fn bits(self) -> u64 {
-        self.0
-    }
-
-    /// Insert a node, returning the new set.
-    #[must_use]
-    pub fn with(self, i: NodeId) -> NodeSet {
-        NodeSet(self.0 | (1u64 << i))
-    }
-
-    /// Remove a node, returning the new set.
-    #[must_use]
-    pub fn without(self, i: NodeId) -> NodeSet {
-        NodeSet(self.0 & !(1u64 << i))
-    }
-
-    /// Membership test.
-    #[must_use]
-    pub fn contains(self, i: NodeId) -> bool {
-        self.0 & (1u64 << i) != 0
-    }
-
-    /// Set union.
-    #[must_use]
-    pub fn union(self, other: NodeSet) -> NodeSet {
-        NodeSet(self.0 | other.0)
-    }
-
-    /// Set intersection.
-    #[must_use]
-    pub fn intersect(self, other: NodeSet) -> NodeSet {
-        NodeSet(self.0 & other.0)
-    }
-
-    /// Set difference.
-    #[must_use]
-    pub fn minus(self, other: NodeSet) -> NodeSet {
-        NodeSet(self.0 & !other.0)
-    }
-
-    /// Whether the set is empty.
-    #[must_use]
-    pub fn is_empty(self) -> bool {
-        self.0 == 0
-    }
-
-    /// Number of members.
-    #[must_use]
-    pub fn len(self) -> usize {
-        self.0.count_ones() as usize
-    }
-
-    /// Whether `self ⊆ other`.
-    #[must_use]
-    pub fn is_subset_of(self, other: NodeSet) -> bool {
-        self.0 & !other.0 == 0
-    }
-
-    /// The smallest member, if any.
-    #[must_use]
-    pub fn lowest(self) -> Option<NodeId> {
-        if self.0 == 0 {
-            None
-        } else {
-            Some(self.0.trailing_zeros() as NodeId)
-        }
-    }
-
-    /// Iterate members in increasing order.
-    pub fn iter(self) -> impl Iterator<Item = NodeId> {
-        let mut bits = self.0;
-        std::iter::from_fn(move || {
-            if bits == 0 {
-                None
-            } else {
-                let i = bits.trailing_zeros() as NodeId;
-                bits &= bits - 1;
-                Some(i)
-            }
-        })
-    }
-
-    /// Iterate all non-empty proper subsets of `self` that contain
-    /// `self`'s lowest member — exactly the left-hand sides needed to
-    /// enumerate unordered 2-partitions of `self` without repeats.
-    pub fn anchored_proper_subsets(self) -> impl Iterator<Item = NodeSet> {
-        let anchor = self.lowest().map_or(0u64, |i| 1u64 << i);
-        let rest = self.0 & !anchor;
-        // Enumerate subsets of `rest` (including empty, excluding full)
-        // and OR in the anchor.
-        let mut sub: u64 = 0;
-        let mut done = rest == 0; // a 1-element set has no proper split
-        std::iter::from_fn(move || {
-            if done {
-                return None;
-            }
-            let current = sub | anchor;
-            // Advance to the next subset of `rest`.
-            sub = (sub.wrapping_sub(rest)) & rest;
-            if sub == 0 {
-                done = true; // wrapped: the last emitted was rest|anchor (full) — guard below
-            }
-            Some(NodeSet(current))
-        })
-        .filter(move |s| s.0 != self.0) // exclude the full set
-    }
-}
-
-impl fmt::Display for NodeSet {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{{")?;
-        for (k, i) in self.iter().enumerate() {
-            if k > 0 {
-                write!(f, ",")?;
-            }
-            write!(f, "{i}")?;
-        }
-        write!(f, "}}")
-    }
-}
-
-impl FromIterator<NodeId> for NodeSet {
-    fn from_iter<T: IntoIterator<Item = NodeId>>(iter: T) -> Self {
-        iter.into_iter()
-            .fold(NodeSet::empty(), |acc, i| acc.with(i))
-    }
-}
+/// A set of graph nodes — the same bitset the rest of the stack uses
+/// for relation sets (see [`fro_algebra::RelSet`]).
+pub use fro_algebra::RelSet as NodeSet;
 
 /// How a 2-partition `(left, right)` of a connected node set relates to
 /// the graph's edges — this decides which operator (if any) an

@@ -21,7 +21,7 @@
 use crate::ast::{PathOp, QueryBlock, Rhs};
 use crate::error::LangError;
 use crate::model::{EntityDb, FieldType};
-use fro_algebra::{Database, Pred, Scalar};
+use fro_algebra::{Database, Interner, Pred, Scalar};
 use fro_core::reorder::{analyze_graph, Analysis, Policy};
 use fro_graph::QueryGraph;
 use std::collections::BTreeMap;
@@ -42,6 +42,11 @@ pub struct TranslatedBlock {
     pub base_aliases: Vec<String>,
     /// Aliases introduced by `*`/`-->` (not mentionable in WHERE).
     pub derived_aliases: Vec<String>,
+    /// Name ↔ id resolution for the block's relations and attributes,
+    /// built exactly once here, where the query enters the system.
+    /// `RelId(i)` is graph node `i`, so downstream bitset work needs
+    /// no further name lookups.
+    pub interner: Interner,
 }
 
 /// A relation accumulated while walking one From-item: its alias and,
@@ -245,6 +250,15 @@ pub fn translate(block: &QueryBlock, edb: &EntityDb) -> Result<TranslatedBlock, 
         return Err(LangError::NotReorderable(analysis.to_string()));
     }
 
+    // Intern every alias in graph-node order so relation ids and node
+    // ids coincide; attributes resolve to (rel, column) here and never
+    // again.
+    let mut interner = Interner::new();
+    for alias in graph.node_names() {
+        let rel = database.get(alias).expect("every node has a relation");
+        interner.register_relation(alias, rel.schema());
+    }
+
     Ok(TranslatedBlock {
         graph,
         database,
@@ -252,6 +266,7 @@ pub fn translate(block: &QueryBlock, edb: &EntityDb) -> Result<TranslatedBlock, 
         analysis,
         base_aliases,
         derived_aliases,
+        interner,
     })
 }
 
@@ -384,6 +399,23 @@ mod tests {
             tb("Select All From EMPLOYEE Where EMPLOYEE.Rank > 10 and EMPLOYEE.D# = EMPLOYEE.Rank");
         assert_eq!(t.restrictions.len(), 2);
         assert_eq!(t.graph.edges().len(), 0);
+    }
+
+    #[test]
+    fn interner_ids_align_with_graph_nodes() {
+        let t = tb("Select All From EMPLOYEE*ChildName, DEPARTMENT \
+             Where EMPLOYEE.D# = DEPARTMENT.D#");
+        assert_eq!(t.interner.n_rels(), t.graph.n_nodes());
+        for i in 0..t.graph.n_nodes() {
+            let name = t.graph.node_name(i);
+            let id = t.interner.rel_id(name).expect("alias interned");
+            assert_eq!(id.index(), i, "RelId must equal graph node id");
+            // Every attribute of the alias resolved to a column.
+            let rel = t.database.get(name).unwrap();
+            for a in rel.schema().attrs() {
+                assert!(t.interner.attr_id(a).is_some(), "unresolved {a}");
+            }
+        }
     }
 
     #[test]

@@ -443,11 +443,7 @@ pub fn canonical_tree(q: &Query) -> Query {
             right,
             pred,
             subset,
-        } => canonical_tree(left).goj(
-            canonical_tree(right),
-            canon_pred(pred),
-            subset.clone(),
-        ),
+        } => canonical_tree(left).goj(canonical_tree(right), canon_pred(pred), subset.clone()),
         leaf @ Query::Rel(_) => leaf.clone(),
     }
 }

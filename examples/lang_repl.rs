@@ -19,7 +19,9 @@ fn main() {
     println!("  EMPLOYEE(Name, D#, Rank, *ChildName)");
     println!("  DEPARTMENT(D#, Location, -->Manager, -->Secretary, -->Audit)");
     println!("  REPORT(Title, Findings)");
-    println!("example: Select All From EMPLOYEE*ChildName, DEPARTMENT Where EMPLOYEE.D# = DEPARTMENT.D#");
+    println!(
+        "example: Select All From EMPLOYEE*ChildName, DEPARTMENT Where EMPLOYEE.D# = DEPARTMENT.D#"
+    );
     println!("(empty line or EOF quits)\n");
 
     let stdin = io::stdin();

@@ -1,11 +1,14 @@
 #!/usr/bin/env bash
-# Tier-1 verification plus the engine scaling bench.
+# Tier-1 verification plus the engine and optimizer benches.
 #
 # Offline-safe: every dependency is a workspace path crate (including
 # the vendored rand/proptest/criterion stand-ins under crates/), so no
 # step touches a registry or the network.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+echo "== format check =="
+cargo fmt --check
 
 echo "== build (release) =="
 cargo build --release
@@ -16,7 +19,13 @@ cargo test -q
 echo "== clippy (deny warnings) =="
 cargo clippy --all-targets -- -D warnings
 
+echo "== docs (deny warnings) =="
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q
+
 echo "== engine scaling bench -> BENCH_engine.json =="
 cargo run -q --release -p fro-bench --bin scaling
+
+echo "== optimizer bench -> BENCH_optimizer.json =="
+cargo run -q --release -p fro-bench --bin optimize
 
 echo "ci.sh: all checks passed"
