@@ -54,6 +54,7 @@ pub mod ops;
 pub mod predicate;
 pub mod relation;
 pub mod schema;
+pub mod sig;
 pub mod truth;
 pub mod tuple;
 pub mod value;
@@ -65,6 +66,7 @@ pub use intern::{AttrId, Interner, RelId, RelSet};
 pub use predicate::{CmpOp, Pred, Scalar};
 pub use relation::Relation;
 pub use schema::{Attr, Schema};
+pub use sig::{sig_hash_of, SigHash, StableHasher};
 pub use truth::Truth;
 pub use tuple::Tuple;
 pub use value::Value;

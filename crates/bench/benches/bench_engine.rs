@@ -60,8 +60,16 @@ fn bench_joins(c: &mut Criterion) {
     group.sample_size(10);
     for n in [200usize, 400] {
         let s = storage(n);
-        let l = s.get("L").unwrap().relation().clone();
-        let r = s.get("R").unwrap().relation().clone();
+        let l = s
+            .get_by_id(s.rel_id("L").unwrap())
+            .unwrap()
+            .relation()
+            .clone();
+        let r = s
+            .get_by_id(s.rel_id("R").unwrap())
+            .unwrap()
+            .relation()
+            .clone();
         let p = Pred::eq_attr("L.k", "R.k");
         group.bench_with_input(BenchmarkId::new("nl_outerjoin", n), &n, |b, _| {
             b.iter(|| black_box(ops::outerjoin(&l, &r, &p).unwrap()));

@@ -1,5 +1,10 @@
 //! E9 timing: the §5 language pipeline — lex/parse, translate (+
 //! reorderability check), and end-to-end evaluation.
+//!
+//! Deliberately times the deprecated reference `run` path: it is the
+//! oracle the engine is checked against, and its throughput bounds the
+//! property-test suite.
+#![allow(deprecated)]
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use fro_lang::model::paper_world;

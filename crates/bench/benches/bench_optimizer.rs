@@ -27,6 +27,9 @@ fn bench_end_to_end(c: &mut Criterion) {
         let (storage, catalog, q) = chain(k, 64, 3);
         group.bench_with_input(BenchmarkId::new("reordered", k), &k, |b, _| {
             b.iter(|| {
+                // Measure cold planning: without this, every iteration
+                // after the first is a plan-cache hit.
+                catalog.clear_plan_cache();
                 let opt = optimize(&q, &catalog, Policy::Paper).unwrap();
                 let mut stats = ExecStats::new();
                 black_box(execute(&opt.plan, &storage, &mut stats).unwrap())

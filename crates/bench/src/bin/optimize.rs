@@ -50,6 +50,10 @@ fn main() {
     for k in [8usize, 10, 12] {
         let (_storage, catalog, q) = chain(k, 10, 7);
         let (best, pairs, cost) = time_best(REPS, || {
+            // This row measures cold planning throughput; drop the
+            // catalog's cross-query plan cache so every rep re-plans
+            // (the warm path is measured by `plancache`).
+            catalog.clear_plan_cache();
             let out = optimize(std::hint::black_box(&q), &catalog, Policy::Paper)
                 .expect("chain optimizes");
             assert!(out.reordered, "chains are freely reorderable");

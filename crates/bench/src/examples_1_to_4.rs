@@ -57,7 +57,12 @@ pub fn e1_example1_cost(quick: bool) -> String {
             let rows = if name == "R1" { 1 } else { 10_000_000u64 };
             catalog.add_table(
                 name,
-                ex.storage.get(name).unwrap().relation().schema().clone(),
+                ex.storage
+                    .get_by_id(ex.storage.rel_id(name).unwrap())
+                    .unwrap()
+                    .relation()
+                    .schema()
+                    .clone(),
                 rows,
             );
             catalog.set_distinct(&fro_algebra::Attr::new(name, attr), rows);

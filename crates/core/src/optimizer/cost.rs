@@ -7,10 +7,8 @@
 //! exactly why `(R1 − R2) → R3` costs 3 touches while
 //! `R1 − (R2 → R3)` costs `2·|R2| + 1` when driven the wrong way.
 
-use super::lower::split_equi_by_name;
 use super::stats::Catalog;
 use fro_exec::{JoinKind, PhysPlan};
-use std::collections::BTreeSet;
 
 /// An estimated (cost, output-rows) pair.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -165,16 +163,20 @@ pub fn estimate_plan(plan: &PhysPlan, catalog: &Catalog) -> Estimate {
 }
 
 /// The combined equality selectivity of the equi-conjuncts between two
-/// relation sets, times the residual selectivity — used identically by
-/// the DP combiner and [`estimate_plan`].
+/// relation sets, times the residual selectivity — a name-keyed
+/// testing oracle for the id-keyed selectivities computed in
+/// `cuts::CutCtx`. Hidden from the public surface; enable the
+/// `testing-oracles` feature to use it.
+#[cfg(any(test, feature = "testing-oracles"))]
+#[doc(hidden)]
 #[must_use]
 pub fn cut_selectivity(
     catalog: &Catalog,
     pred: &fro_algebra::Pred,
-    left_rels: &BTreeSet<String>,
-    right_rels: &BTreeSet<String>,
+    left_rels: &std::collections::BTreeSet<String>,
+    right_rels: &std::collections::BTreeSet<String>,
 ) -> f64 {
-    let (pairs, residual) = split_equi_by_name(pred, left_rels, right_rels);
+    let (pairs, residual) = super::lower::split_equi_by_name_impl(pred, left_rels, right_rels);
     let mut sel = catalog.selectivity(&residual);
     for (a, b) in &pairs {
         sel *= 1.0 / (catalog.distinct_of(a).max(catalog.distinct_of(b)).max(1) as f64);
@@ -186,6 +188,7 @@ pub fn cut_selectivity(
 mod tests {
     use super::*;
     use fro_algebra::{Attr, Pred, Schema};
+    use std::collections::BTreeSet;
     use std::sync::Arc;
 
     fn catalog() -> Catalog {

@@ -18,12 +18,14 @@
 //! no plans.
 
 use super::cuts::{best_shape, materialize, Candidate, CutClass, CutCtx};
+use super::plancache::{CacheCtx, CacheStats, CachedEntry};
 use super::stats::Catalog;
 use super::OptError;
 use fro_algebra::{RelId, RelSet};
 use fro_exec::{JoinKind, PhysPlan};
 use fro_graph::QueryGraph;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// The DP's per-subset best plan (also reused by the greedy
 /// heuristic).
@@ -48,18 +50,37 @@ pub struct DpResult {
     /// Its estimated output cardinality.
     pub rows: f64,
     /// Number of csg–cmp pairs examined (plan-space size indicator).
+    /// Zero on a full cache hit: nothing was enumerated.
     pub pairs_examined: u64,
+    /// Plan-cache accounting for this optimization.
+    pub cache: CacheStats,
 }
 
 /// Exhaustive-DP node limit (3^n csg–cmp pairs).
 pub const DP_MAX_NODES: usize = 18;
 
-/// Optimize a (freely-reorderable) query graph by exhaustive DP.
+/// Optimize a (freely-reorderable) query graph by exhaustive DP,
+/// without consulting the plan cache.
 ///
 /// # Errors
 /// [`OptError::Unsupported`] beyond [`DP_MAX_NODES`] relations;
 /// [`OptError::Disconnected`] when no implementing tree exists.
 pub fn dp_optimize(g: &QueryGraph, catalog: &Catalog) -> Result<DpResult, OptError> {
+    dp_optimize_with(g, catalog, None)
+}
+
+/// [`dp_optimize`], threading the catalog's plan cache: with a
+/// [`CacheCtx`] every connected subset is looked up before its cuts
+/// are enumerated and each per-subset winner is inserted after. A hit
+/// on the full set short-circuits the whole DP (zero csg–cmp pairs).
+///
+/// # Errors
+/// Same failure modes as [`dp_optimize`].
+pub fn dp_optimize_with(
+    g: &QueryGraph,
+    catalog: &Catalog,
+    cache: Option<&CacheCtx>,
+) -> Result<DpResult, OptError> {
     let n = g.n_nodes();
     if n > DP_MAX_NODES {
         return Err(OptError::Unsupported(format!(
@@ -69,6 +90,22 @@ pub fn dp_optimize(g: &QueryGraph, catalog: &Catalog) -> Result<DpResult, OptErr
     let full = RelSet::full(n);
     if !g.connected_in(full) {
         return Err(OptError::Disconnected);
+    }
+
+    let epoch = catalog.epoch();
+    let pc = catalog.plan_cache();
+    let mut cstats = CacheStats::default();
+    // Full-set fast path: a repeated query costs one hash probe.
+    if let Some(cctx) = cache {
+        if let Some(hit) = pc.lookup(cctx, full, epoch, &mut cstats) {
+            return Ok(DpResult {
+                plan: hit.plan.clone(),
+                cost: hit.cost,
+                rows: hit.rows,
+                pairs_examined: 0,
+                cache: cstats,
+            });
+        }
     }
 
     let mut ctx = CutCtx::new(g, catalog);
@@ -97,6 +134,13 @@ pub fn dp_optimize(g: &QueryGraph, catalog: &Catalog) -> Result<DpResult, OptErr
         let s = RelSet::from_bits(bits);
         if s.len() < 2 || !g.connected_in(s) {
             continue;
+        }
+        // Consult the cache before enumerating this subset's cuts.
+        if let Some(cctx) = cache {
+            if let Some(hit) = pc.lookup(cctx, s, epoch, &mut cstats) {
+                table.insert(s, hit.to_entry());
+                continue;
+            }
         }
         // Best candidate over every cut of `s`, as pure arithmetic:
         // (candidate, probe side, build side). Only the winner is
@@ -148,6 +192,14 @@ pub fn dp_optimize(g: &QueryGraph, catalog: &Catalog) -> Result<DpResult, OptErr
         if let Some((cand, pset, bset)) = best {
             let info = ctx.info(pset, bset);
             let entry = materialize(cand, info, &table[&pset], &table[&bset], catalog);
+            if let Some(cctx) = cache {
+                pc.insert(
+                    cctx,
+                    s,
+                    Arc::new(CachedEntry::from_entry(&entry, epoch)),
+                    &mut cstats,
+                );
+            }
             table.insert(s, entry);
         }
     }
@@ -159,6 +211,7 @@ pub fn dp_optimize(g: &QueryGraph, catalog: &Catalog) -> Result<DpResult, OptErr
             cost: e.cost,
             rows: e.rows,
             pairs_examined,
+            cache: cstats,
         })
         .ok_or_else(|| {
             OptError::Unsupported("no implementable association found for the full graph".into())
@@ -278,6 +331,40 @@ mod tests {
         cat.add_table("B", Arc::new(Schema::of_relation("B", &["y"])), 10);
         let r = dp_optimize(&g, &cat).unwrap();
         assert!(matches!(r.plan, PhysPlan::NlJoin { .. }));
+    }
+
+    #[test]
+    fn warm_cache_skips_all_enumeration() {
+        use crate::reorder::Policy;
+        let g = example1_graph();
+        let cat = example1_catalog();
+        let cctx = CacheCtx::for_graph(&g, Policy::Paper);
+        let cold = dp_optimize_with(&g, &cat, Some(&cctx)).unwrap();
+        assert!(cold.pairs_examined > 0);
+        assert_eq!(cold.cache.hits, 0);
+        let warm = dp_optimize_with(&g, &cat, Some(&cctx)).unwrap();
+        assert_eq!(
+            warm.pairs_examined, 0,
+            "full-set hit must enumerate nothing"
+        );
+        assert_eq!(warm.cache.hits, 1);
+        assert_eq!(warm.plan.explain(), cold.plan.explain());
+        assert!((warm.cost - cold.cost).abs() < 1e-12);
+    }
+
+    #[test]
+    fn epoch_bump_invalidates_cached_plans() {
+        use crate::reorder::Policy;
+        use fro_algebra::Attr;
+        let g = example1_graph();
+        let mut cat = example1_catalog();
+        let cctx = CacheCtx::for_graph(&g, Policy::Paper);
+        dp_optimize_with(&g, &cat, Some(&cctx)).unwrap();
+        // A stats change bumps the epoch: the warm entry is stale.
+        cat.set_distinct(&Attr::parse("R2.k2"), 5);
+        let replanned = dp_optimize_with(&g, &cat, Some(&cctx)).unwrap();
+        assert!(replanned.pairs_examined > 0, "stale entries must re-plan");
+        assert!(replanned.cache.stale >= 1);
     }
 
     #[test]

@@ -15,11 +15,13 @@
 
 use super::cuts::{best_shape, materialize, Candidate, CutClass, CutCtx};
 use super::dp::Entry;
+use super::plancache::{CacheCtx, CacheStats, CachedEntry};
 use super::stats::Catalog;
 use super::OptError;
 use fro_algebra::RelSet;
 use fro_exec::{JoinKind, PhysPlan};
 use fro_graph::QueryGraph;
+use std::sync::Arc;
 
 /// The plan chosen by [`greedy_optimize`].
 #[derive(Debug, Clone)]
@@ -30,11 +32,14 @@ pub struct GreedyResult {
     pub cost: f64,
     /// Its estimated output cardinality.
     pub rows: f64,
-    /// Number of candidate merges evaluated.
+    /// Number of candidate merges evaluated. Zero on a full cache hit.
     pub merges_examined: u64,
+    /// Plan-cache accounting for this optimization.
+    pub cache: CacheStats,
 }
 
-/// Greedily reorder a freely-reorderable query graph.
+/// Greedily reorder a freely-reorderable query graph, without
+/// consulting the plan cache.
 ///
 /// # Errors
 /// [`OptError::Disconnected`] when no implementing tree exists;
@@ -42,9 +47,39 @@ pub struct GreedyResult {
 /// with no implementable pair — cannot happen on nice graphs, where
 /// the syntactic tree itself witnesses a full merge order).
 pub fn greedy_optimize(g: &QueryGraph, catalog: &Catalog) -> Result<GreedyResult, OptError> {
+    greedy_optimize_with(g, catalog, None)
+}
+
+/// [`greedy_optimize`], threading the catalog's plan cache: a hit on
+/// the full relation set short-circuits the merge loop entirely, and
+/// every merged component's winner is inserted for future queries over
+/// the same graph (the DP can reuse them too — the key space is
+/// shared).
+///
+/// # Errors
+/// Same failure modes as [`greedy_optimize`].
+pub fn greedy_optimize_with(
+    g: &QueryGraph,
+    catalog: &Catalog,
+    cache: Option<&CacheCtx>,
+) -> Result<GreedyResult, OptError> {
     let n = g.n_nodes();
     if !g.connected_in(RelSet::full(n)) {
         return Err(OptError::Disconnected);
+    }
+    let epoch = catalog.epoch();
+    let pc = catalog.plan_cache();
+    let mut cstats = CacheStats::default();
+    if let Some(cctx) = cache {
+        if let Some(hit) = pc.lookup(cctx, RelSet::full(n), epoch, &mut cstats) {
+            return Ok(GreedyResult {
+                plan: hit.plan.clone(),
+                cost: hit.cost,
+                rows: hit.rows,
+                merges_examined: 0,
+                cache: cstats,
+            });
+        }
     }
     let mut ctx = CutCtx::new(g, catalog);
     let mut components: Vec<(RelSet, Entry)> = (0..n)
@@ -113,7 +148,16 @@ pub fn greedy_optimize(g: &QueryGraph, catalog: &Catalog) -> Result<GreedyResult
         };
         let (sj, _) = components.swap_remove(j); // j > i, safe order
         let (si, _) = components.swap_remove(i);
-        components.push((si.union(sj), entry));
+        let merged = si.union(sj);
+        if let Some(cctx) = cache {
+            pc.insert(
+                cctx,
+                merged,
+                Arc::new(CachedEntry::from_entry(&entry, epoch)),
+                &mut cstats,
+            );
+        }
+        components.push((merged, entry));
     }
 
     let (_, e) = components.pop().expect("one component remains");
@@ -122,6 +166,7 @@ pub fn greedy_optimize(g: &QueryGraph, catalog: &Catalog) -> Result<GreedyResult
         cost: e.cost,
         rows: e.rows,
         merges_examined,
+        cache: cstats,
     })
 }
 
@@ -212,6 +257,21 @@ mod tests {
             }
         }
         assert_eq!(count_lo(&r.plan), 2);
+    }
+
+    #[test]
+    fn greedy_warm_cache_short_circuits() {
+        use super::super::plancache::CacheCtx;
+        use crate::reorder::Policy;
+        let g = chain_graph(30);
+        let cat = catalog(30, 0);
+        let cctx = CacheCtx::for_graph(&g, Policy::Paper);
+        let cold = greedy_optimize_with(&g, &cat, Some(&cctx)).unwrap();
+        assert!(cold.merges_examined > 0);
+        let warm = greedy_optimize_with(&g, &cat, Some(&cctx)).unwrap();
+        assert_eq!(warm.merges_examined, 0);
+        assert_eq!(warm.cache.hits, 1);
+        assert_eq!(warm.plan.explain(), cold.plan.explain());
     }
 
     #[test]

@@ -13,6 +13,7 @@ pub mod cuts;
 pub mod dp;
 pub mod greedy;
 pub mod lower;
+pub mod plancache;
 pub mod stats;
 
 use crate::reorder::{analyze, Analysis, Policy};
@@ -22,9 +23,15 @@ use std::fmt;
 
 pub use cost::{estimate_plan, Estimate};
 pub use cuts::{split_equi, RelMap};
-pub use dp::{dp_optimize, DpResult};
-pub use greedy::{greedy_optimize, GreedyResult};
-pub use lower::{lower, lower_by_name, split_equi_by_name};
+pub use dp::{dp_optimize, dp_optimize_with, DpResult};
+pub use greedy::{greedy_optimize, greedy_optimize_with, GreedyResult};
+pub use lower::lower;
+#[cfg(feature = "testing-oracles")]
+#[doc(hidden)]
+pub use lower::{lower_by_name, split_equi_by_name};
+pub use plancache::{
+    graph_signature, CacheCtx, CacheStats, CachedEntry, GraphSignature, PlanCache,
+};
 pub use stats::{Catalog, TableInfo};
 
 /// Optimizer failures.
@@ -62,9 +69,37 @@ pub struct Optimized {
     /// Whether the plan came from the reordering DP (`true`) or the
     /// syntactic fallback (`false`).
     pub reordered: bool,
+    /// csg–cmp pairs (DP) or candidate merges (greedy) enumerated.
+    /// Zero when the whole plan came out of the cache.
+    pub pairs_examined: u64,
+    /// Plan-cache accounting for this optimization (all zero on the
+    /// non-reordering fallback path, which never consults the cache).
+    pub cache: CacheStats,
 }
 
 impl Optimized {
+    /// An EXPLAIN-style rendering: the plan tree followed by the
+    /// estimates, the reordering verdict, and the plan-cache counters.
+    #[must_use]
+    pub fn explain(&self) -> String {
+        use std::fmt::Write;
+        let mut out = self.plan.explain();
+        if !out.ends_with('\n') {
+            out.push('\n');
+        }
+        let _ = writeln!(
+            out,
+            "est_cost: {:.1}  est_rows: {:.1}",
+            self.est_cost, self.est_rows
+        );
+        let _ = writeln!(
+            out,
+            "reordered: {}  pairs_examined: {}",
+            self.reordered, self.pairs_examined
+        );
+        let _ = writeln!(out, "plan_cache: {}", self.cache);
+        out
+    }
     /// Run the chosen plan sequentially (one thread).
     ///
     /// # Errors
@@ -99,7 +134,10 @@ pub fn optimize(q: &Query, catalog: &Catalog, policy: Policy) -> Result<Optimize
     let analysis = analyze(q, policy);
     if analysis.is_freely_reorderable() {
         if let Some(g) = &analysis.graph {
-            match dp_optimize(g, catalog) {
+            // One signature computation covers both the DP and the
+            // greedy fallback: they share the cache's key space.
+            let cctx = CacheCtx::for_graph(g, policy);
+            match dp_optimize_with(g, catalog, Some(&cctx)) {
                 Ok(r) => {
                     return Ok(Optimized {
                         plan: r.plan,
@@ -107,17 +145,21 @@ pub fn optimize(q: &Query, catalog: &Catalog, policy: Policy) -> Result<Optimize
                         est_rows: r.rows,
                         analysis,
                         reordered: true,
+                        pairs_examined: r.pairs_examined,
+                        cache: r.cache,
                     })
                 }
                 // Too large for exhaustive DP: reorder greedily.
                 Err(OptError::Unsupported(_)) => {
-                    if let Ok(r) = greedy::greedy_optimize(g, catalog) {
+                    if let Ok(r) = greedy::greedy_optimize_with(g, catalog, Some(&cctx)) {
                         return Ok(Optimized {
                             plan: r.plan,
                             est_cost: r.cost,
                             est_rows: r.rows,
                             analysis,
                             reordered: true,
+                            pairs_examined: r.merges_examined,
+                            cache: r.cache,
                         });
                     }
                 }
@@ -133,6 +175,8 @@ pub fn optimize(q: &Query, catalog: &Catalog, policy: Policy) -> Result<Optimize
         est_rows: est.rows,
         analysis,
         reordered: false,
+        pairs_examined: 0,
+        cache: CacheStats::default(),
     })
 }
 

@@ -1,0 +1,536 @@
+//! The catalog-owned, cross-query plan cache.
+//!
+//! Theorem 1 turns a nice, strong query graph into an unambiguous plan
+//! key: every implementing tree of the graph is equivalent, so a
+//! memoized subplan for a connected [`RelSet`] is reusable by *any*
+//! query whose graph matches — not just a repeat of the same SQL
+//! string, but any alpha-equivalent phrasing (different association,
+//! different From-List order). The cache therefore keys on
+//! `(`[`GraphSignature`]`, canonical RelSet, `[`Policy`]`)` and is
+//! owned by the [`Catalog`](super::stats::Catalog), whose `epoch`
+//! counter ties cached plans to the statistics they were costed
+//! against: every stats mutation bumps the epoch, and entries from
+//! older epochs are evicted lazily on their next lookup.
+//!
+//! ## Canonical node numbering
+//!
+//! A query graph numbers its nodes in From-List order, so the same
+//! graph written with relations in a different order would produce
+//! different `RelSet` bits. [`CacheCtx::for_graph`] computes the
+//! canonical permutation (nodes sorted by relation name) once per
+//! optimization; both the signature and every cached set are expressed
+//! in canonical numbering, so alpha-equivalent queries collide — which
+//! is the point.
+
+use super::dp::Entry;
+use crate::reorder::Policy;
+use fro_algebra::{RelId, RelSet, SigHash, StableHasher};
+use fro_exec::PhysPlan;
+use fro_graph::{EdgeKind, QueryGraph};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Arc, Mutex};
+
+/// A stable structural hash of a query graph: interned relation names
+/// in canonical order, edge kinds, outerjoin directions, and predicate
+/// shapes (including literals — cached plans embed them).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GraphSignature(u64);
+
+impl GraphSignature {
+    /// The raw 64-bit digest.
+    #[must_use]
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for GraphSignature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+/// Compute a graph's signature together with the canonical node
+/// permutation `perm[node] = canonical rank` (nodes sorted by name).
+#[must_use]
+pub fn graph_signature(g: &QueryGraph) -> (GraphSignature, Vec<usize>) {
+    let n = g.n_nodes();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&i| g.node_name(i));
+    let mut perm = vec![0usize; n];
+    for (rank, &i) in order.iter().enumerate() {
+        perm[i] = rank;
+    }
+
+    let mut h = StableHasher::new();
+    h.write_u64(n as u64);
+    for &i in &order {
+        h.write_str(g.node_name(i));
+    }
+    // Edges in a canonical order: join edges are undirected (endpoints
+    // sorted), outerjoin edges keep their preserved-endpoint-first
+    // direction. Sorting the encoded tuples makes the signature
+    // independent of edge insertion order.
+    let mut edges: Vec<(u8, usize, usize, u64)> = g
+        .edges()
+        .iter()
+        .map(|e| {
+            let (ca, cb) = (perm[e.a()], perm[e.b()]);
+            let (tag, x, y) = match e.kind() {
+                EdgeKind::Join => (0u8, ca.min(cb), ca.max(cb)),
+                EdgeKind::OuterJoin => (1u8, ca, cb),
+            };
+            let mut ph = StableHasher::new();
+            e.pred().sig_hash(&mut ph);
+            (tag, x, y, ph.finish())
+        })
+        .collect();
+    edges.sort_unstable();
+    h.write_u64(edges.len() as u64);
+    for (tag, x, y, pred_hash) in edges {
+        h.write_u8(tag);
+        h.write_u64(x as u64);
+        h.write_u64(y as u64);
+        h.write_u64(pred_hash);
+    }
+    (GraphSignature(h.finish()), perm)
+}
+
+/// Per-optimization cache context: the graph's signature, the
+/// canonical node permutation, and the policy the plan was produced
+/// under — everything a [`RelSet`] needs to become a cache key.
+#[derive(Debug, Clone)]
+pub struct CacheCtx {
+    /// The graph's signature.
+    pub sig: GraphSignature,
+    /// `perm[node] = canonical rank`.
+    pub perm: Vec<usize>,
+    /// The reorderability policy in force.
+    pub policy: Policy,
+}
+
+impl CacheCtx {
+    /// Build the context for one graph (one signature computation).
+    #[must_use]
+    pub fn for_graph(g: &QueryGraph, policy: Policy) -> CacheCtx {
+        let (sig, perm) = graph_signature(g);
+        CacheCtx { sig, perm, policy }
+    }
+
+    /// Remap a query-numbered set into canonical numbering.
+    #[must_use]
+    pub fn canon(&self, s: RelSet) -> RelSet {
+        s.iter()
+            .fold(RelSet::empty(), |acc, i| acc.with(self.perm[i]))
+    }
+
+    fn key(&self, s: RelSet) -> CacheKey {
+        CacheKey {
+            sig: self.sig,
+            set: self.canon(s).bits(),
+            policy: self.policy,
+        }
+    }
+}
+
+/// A memoized per-subset winner: the materialized plan subtree and the
+/// arithmetic the DP needs to splice it back in.
+#[derive(Debug, Clone)]
+pub struct CachedEntry {
+    /// The winning physical subplan for the subset.
+    pub plan: PhysPlan,
+    /// Its estimated cost (tuples touched).
+    pub cost: f64,
+    /// Its estimated output cardinality.
+    pub rows: f64,
+    /// `Some(id)` when the plan is a bare scan of a catalog base table
+    /// (the index-join inner-side precondition).
+    pub base: Option<RelId>,
+    /// Catalog epoch the entry was costed under.
+    epoch: u64,
+}
+
+impl CachedEntry {
+    pub(crate) fn from_entry(e: &Entry, epoch: u64) -> CachedEntry {
+        CachedEntry {
+            plan: e.plan.clone(),
+            cost: e.cost,
+            rows: e.rows,
+            base: e.base,
+            epoch,
+        }
+    }
+
+    pub(crate) fn to_entry(&self) -> Entry {
+        Entry {
+            plan: self.plan.clone(),
+            cost: self.cost,
+            rows: self.rows,
+            base: self.base,
+        }
+    }
+}
+
+/// Hit/miss accounting, both per-optimization (in
+/// [`Optimized`](super::Optimized)) and cumulative (in the cache).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that found nothing (stale entries count here too).
+    pub misses: u64,
+    /// Entries dropped by the capacity bound.
+    pub evictions: u64,
+    /// Entries dropped lazily because their epoch was stale.
+    pub stale: u64,
+}
+
+impl CacheStats {
+    /// Fold another stats block into this one.
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.evictions += other.evictions;
+        self.stale += other.stale;
+    }
+}
+
+impl fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "hits={} misses={} evictions={} stale={}",
+            self.hits, self.misses, self.evictions, self.stale
+        )
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct CacheKey {
+    sig: GraphSignature,
+    set: u64,
+    policy: Policy,
+}
+
+#[derive(Debug, Clone)]
+struct Slot {
+    entry: Arc<CachedEntry>,
+    last_used: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Inner {
+    map: HashMap<CacheKey, Slot>,
+    tick: u64,
+    capacity: usize,
+    stats: CacheStats,
+}
+
+/// Default capacity: plenty for thousands of distinct subplans while
+/// bounding a long-lived session's footprint.
+pub const DEFAULT_PLAN_CACHE_CAPACITY: usize = 4096;
+
+/// The bounded, epoch-aware subplan cache. Interior-mutable so the
+/// optimizer can consult it through the `&Catalog` it already holds;
+/// a `Mutex` (never held across user code) keeps it `Sync`.
+#[derive(Debug)]
+pub struct PlanCache {
+    inner: Mutex<Inner>,
+}
+
+impl PlanCache {
+    /// An empty cache with the default capacity.
+    #[must_use]
+    pub fn new() -> PlanCache {
+        PlanCache::with_capacity(DEFAULT_PLAN_CACHE_CAPACITY)
+    }
+
+    /// An empty cache holding at most `capacity` entries.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> PlanCache {
+        PlanCache {
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                tick: 0,
+                capacity: capacity.max(1),
+                stats: CacheStats::default(),
+            }),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().expect("plan cache lock never poisoned")
+    }
+
+    /// Look up the subplan for `set` under `ctx`, against the current
+    /// catalog `epoch`. A stale entry (older epoch) is removed and
+    /// reported as a miss; `local` receives the per-call accounting.
+    pub(crate) fn lookup(
+        &self,
+        ctx: &CacheCtx,
+        set: RelSet,
+        epoch: u64,
+        local: &mut CacheStats,
+    ) -> Option<Arc<CachedEntry>> {
+        let key = ctx.key(set);
+        let mut guard = self.lock();
+        let inner = &mut *guard;
+        inner.tick += 1;
+        let tick = inner.tick;
+        match inner.map.get_mut(&key) {
+            Some(slot) if slot.entry.epoch == epoch => {
+                slot.last_used = tick;
+                inner.stats.hits += 1;
+                local.hits += 1;
+                Some(Arc::clone(&slot.entry))
+            }
+            Some(_) => {
+                inner.map.remove(&key);
+                inner.stats.stale += 1;
+                inner.stats.misses += 1;
+                local.stale += 1;
+                local.misses += 1;
+                None
+            }
+            None => {
+                inner.stats.misses += 1;
+                local.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Insert (or refresh) the winner for `set`. At capacity, the
+    /// least-recently-used quarter is evicted in one batch — LRU-ish:
+    /// strict recency order inside the batch, amortized O(1) per
+    /// insert.
+    pub(crate) fn insert(
+        &self,
+        ctx: &CacheCtx,
+        set: RelSet,
+        entry: Arc<CachedEntry>,
+        local: &mut CacheStats,
+    ) {
+        let key = ctx.key(set);
+        let mut guard = self.lock();
+        let inner = &mut *guard;
+        inner.tick += 1;
+        let tick = inner.tick;
+        if inner.map.len() >= inner.capacity && !inner.map.contains_key(&key) {
+            let mut ages: Vec<(u64, CacheKey)> =
+                inner.map.iter().map(|(k, s)| (s.last_used, *k)).collect();
+            ages.sort_unstable_by_key(|&(t, _)| t);
+            let drop_n = (inner.capacity / 4).max(1);
+            for (_, k) in ages.into_iter().take(drop_n) {
+                inner.map.remove(&k);
+                inner.stats.evictions += 1;
+                local.evictions += 1;
+            }
+        }
+        inner.map.insert(
+            key,
+            Slot {
+                entry,
+                last_used: tick,
+            },
+        );
+    }
+
+    /// Cumulative statistics since construction (or the last clear).
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        self.lock().stats
+    }
+
+    /// Number of live entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.lock().map.len()
+    }
+
+    /// Whether the cache holds no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop every entry and reset the statistics.
+    pub fn clear(&self) {
+        let mut inner = self.lock();
+        inner.map.clear();
+        inner.stats = CacheStats::default();
+        inner.tick = 0;
+    }
+
+    /// Change the capacity bound (evicting nothing until the next
+    /// insert presses against it).
+    pub fn set_capacity(&self, capacity: usize) {
+        self.lock().capacity = capacity.max(1);
+    }
+}
+
+impl Default for PlanCache {
+    fn default() -> PlanCache {
+        PlanCache::new()
+    }
+}
+
+impl Clone for PlanCache {
+    fn clone(&self) -> PlanCache {
+        PlanCache {
+            inner: Mutex::new(self.lock().clone()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fro_algebra::Pred;
+
+    fn chain(names: &[&str]) -> QueryGraph {
+        let mut g = QueryGraph::new(names.iter().map(|s| (*s).to_owned()).collect());
+        for i in 0..names.len() - 1 {
+            g.add_join_edge(
+                i,
+                i + 1,
+                Pred::eq_attr(&format!("{}.k", names[i]), &format!("{}.k", names[i + 1])),
+            )
+            .unwrap();
+        }
+        g
+    }
+
+    #[test]
+    fn alpha_equivalent_graphs_share_a_signature() {
+        // Same tables and edges, nodes listed in a different order.
+        let g1 = chain(&["A", "B", "C"]);
+        let mut g2 = QueryGraph::new(vec!["C".into(), "A".into(), "B".into()]);
+        g2.add_join_edge(1, 2, Pred::eq_attr("A.k", "B.k")).unwrap();
+        g2.add_join_edge(2, 0, Pred::eq_attr("B.k", "C.k")).unwrap();
+        let (s1, p1) = graph_signature(&g1);
+        let (s2, p2) = graph_signature(&g2);
+        assert_eq!(s1, s2);
+        // And the canonical remap sends {A} to the same bit.
+        let c1 = CacheCtx {
+            sig: s1,
+            perm: p1,
+            policy: Policy::Paper,
+        };
+        let c2 = CacheCtx {
+            sig: s2,
+            perm: p2,
+            policy: Policy::Paper,
+        };
+        assert_eq!(
+            c1.canon(RelSet::singleton(0)),
+            c2.canon(RelSet::singleton(1))
+        );
+    }
+
+    #[test]
+    fn different_structure_different_signature() {
+        let join = chain(&["A", "B"]);
+        let mut oj = QueryGraph::new(vec!["A".into(), "B".into()]);
+        oj.add_outerjoin_edge(0, 1, Pred::eq_attr("A.k", "B.k"))
+            .unwrap();
+        let mut oj_rev = QueryGraph::new(vec!["A".into(), "B".into()]);
+        oj_rev
+            .add_outerjoin_edge(1, 0, Pred::eq_attr("A.k", "B.k"))
+            .unwrap();
+        let s = |g: &QueryGraph| graph_signature(g).0;
+        // Join vs outerjoin, and the two outerjoin directions, all
+        // differ.
+        assert_ne!(s(&join), s(&oj));
+        assert_ne!(s(&oj), s(&oj_rev));
+        // Different predicate shape differs too.
+        let mut theta = QueryGraph::new(vec!["A".into(), "B".into()]);
+        theta
+            .add_join_edge(0, 1, Pred::cmp_attr("A.k", fro_algebra::CmpOp::Lt, "B.k"))
+            .unwrap();
+        assert_ne!(s(&join), s(&theta));
+    }
+
+    #[test]
+    fn lookup_miss_then_hit_then_stale() {
+        let g = chain(&["A", "B"]);
+        let ctx = CacheCtx::for_graph(&g, Policy::Paper);
+        let cache = PlanCache::new();
+        let set = RelSet::full(2);
+        let mut local = CacheStats::default();
+        assert!(cache.lookup(&ctx, set, 1, &mut local).is_none());
+        let entry = Arc::new(CachedEntry {
+            plan: PhysPlan::scan("A"),
+            cost: 1.0,
+            rows: 1.0,
+            base: None,
+            epoch: 1,
+        });
+        cache.insert(&ctx, set, entry, &mut local);
+        assert!(cache.lookup(&ctx, set, 1, &mut local).is_some());
+        // Epoch bump: the entry is stale, dropped lazily.
+        assert!(cache.lookup(&ctx, set, 2, &mut local).is_none());
+        assert_eq!(local.hits, 1);
+        assert_eq!(local.misses, 2);
+        assert_eq!(local.stale, 1);
+        assert!(cache.is_empty());
+        let global = cache.stats();
+        assert_eq!(global.hits, 1);
+        assert_eq!(global.stale, 1);
+    }
+
+    #[test]
+    fn capacity_bound_evicts_least_recently_used() {
+        let g = chain(&["A", "B", "C", "D"]);
+        let ctx = CacheCtx::for_graph(&g, Policy::Paper);
+        let cache = PlanCache::with_capacity(4);
+        let mut local = CacheStats::default();
+        let mk = || {
+            Arc::new(CachedEntry {
+                plan: PhysPlan::scan("A"),
+                cost: 1.0,
+                rows: 1.0,
+                base: None,
+                epoch: 0,
+            })
+        };
+        let sets: Vec<RelSet> = (0..4).map(RelSet::singleton).collect();
+        for &s in &sets {
+            cache.insert(&ctx, s, mk(), &mut local);
+        }
+        // Touch everything but the first, then overflow.
+        for &s in &sets[1..] {
+            assert!(cache.lookup(&ctx, s, 0, &mut local).is_some());
+        }
+        cache.insert(&ctx, RelSet::full(4), mk(), &mut local);
+        assert!(local.evictions >= 1);
+        // The untouched entry was in the evicted batch.
+        let mut probe = CacheStats::default();
+        assert!(cache.lookup(&ctx, sets[0], 0, &mut probe).is_none());
+        assert!(cache.lookup(&ctx, RelSet::full(4), 0, &mut probe).is_some());
+    }
+
+    #[test]
+    fn policy_partitions_the_key_space() {
+        let g = chain(&["A", "B"]);
+        let paper = CacheCtx::for_graph(&g, Policy::Paper);
+        let strict = CacheCtx::for_graph(&g, Policy::Strict);
+        let cache = PlanCache::new();
+        let mut local = CacheStats::default();
+        let entry = Arc::new(CachedEntry {
+            plan: PhysPlan::scan("A"),
+            cost: 1.0,
+            rows: 1.0,
+            base: None,
+            epoch: 0,
+        });
+        cache.insert(&paper, RelSet::full(2), entry, &mut local);
+        assert!(cache
+            .lookup(&strict, RelSet::full(2), 0, &mut local)
+            .is_none());
+        assert!(cache
+            .lookup(&paper, RelSet::full(2), 0, &mut local)
+            .is_some());
+    }
+}

@@ -9,6 +9,7 @@
 //! arithmetic. The name-keyed API survives as a thin shim over the
 //! interner for construction-time and display-time callers.
 
+use super::plancache::{CacheStats, PlanCache};
 use fro_algebra::{Attr, AttrId, CmpOp, Interner, Pred, RelId, Scalar, Schema};
 use fro_exec::Storage;
 use std::collections::BTreeSet;
@@ -79,11 +80,20 @@ impl TableInfo {
 }
 
 /// The optimizer catalog: an interner plus [`TableInfo`] records dense
-/// by [`RelId`].
+/// by [`RelId`], an epoch counter that versions the statistics, and the
+/// catalog-owned cross-query [`PlanCache`].
+///
+/// Every statistics mutation ([`Catalog::add_table`],
+/// [`Catalog::set_distinct`], [`Catalog::add_index`]) bumps the epoch;
+/// cached plans remember the epoch they were costed under and are
+/// evicted lazily when it no longer matches — a stats change silently
+/// invalidates every plan without walking the cache.
 #[derive(Debug, Clone, Default)]
 pub struct Catalog {
     interner: Interner,
     tables: Vec<TableInfo>,
+    epoch: u64,
+    plan_cache: PlanCache,
 }
 
 impl Catalog {
@@ -136,16 +146,22 @@ impl Catalog {
         } else {
             self.tables[id.index()] = info;
         }
+        self.epoch += 1;
         id
     }
 
     /// Set a distinct count (ignored when the table or attribute is
     /// unknown).
     pub fn set_distinct(&mut self, attr: &Attr, distinct: u64) {
+        let mut changed = false;
         if let Some(t) = self.table_mut(attr.rel()) {
             if let Some(c) = t.schema.index_of(attr) {
                 t.distinct[c] = Some(distinct);
+                changed = true;
             }
+        }
+        if changed {
+            self.epoch += 1;
         }
     }
 
@@ -164,6 +180,31 @@ impl Catalog {
         }
         cols.sort_unstable();
         t.indexes.insert(cols);
+        self.epoch += 1;
+    }
+
+    /// The statistics epoch: incremented by every mutation. Plans
+    /// cached under an older epoch are stale.
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The catalog-owned cross-query plan cache.
+    #[must_use]
+    pub fn plan_cache(&self) -> &PlanCache {
+        &self.plan_cache
+    }
+
+    /// Cumulative plan-cache statistics.
+    #[must_use]
+    pub fn cache_stats(&self) -> CacheStats {
+        self.plan_cache.stats()
+    }
+
+    /// Drop every cached plan (statistics and epoch are untouched).
+    pub fn clear_plan_cache(&self) {
+        self.plan_cache.clear();
     }
 
     /// The interner owning this catalog's name ↔ id mapping.
@@ -367,6 +408,27 @@ mod tests {
         assert!(cat.table("T").unwrap().has_index(&[Attr::parse("T.id")]));
         let attrs = cat.attrs_of_rels(&["T".to_owned()]);
         assert_eq!(attrs.len(), 1);
+    }
+
+    #[test]
+    fn epoch_bumps_on_every_stats_mutation() {
+        let mut cat = Catalog::new();
+        let e0 = cat.epoch();
+        cat.add_table("T", Arc::new(Schema::of_relation("T", &["id"])), 10);
+        let e1 = cat.epoch();
+        assert!(e1 > e0);
+        cat.set_distinct(&Attr::parse("T.id"), 10);
+        let e2 = cat.epoch();
+        assert!(e2 > e1);
+        cat.add_index("T", &[Attr::parse("T.id")]);
+        let e3 = cat.epoch();
+        assert!(e3 > e2);
+        // No-op mutations (unknown table/attr) leave the epoch alone.
+        cat.set_distinct(&Attr::parse("missing.x"), 1);
+        cat.add_index("missing", &[Attr::parse("missing.x")]);
+        cat.set_distinct(&Attr::parse("T.nope"), 1);
+        cat.add_index("T", &[Attr::parse("T.nope")]);
+        assert_eq!(cat.epoch(), e3);
     }
 
     #[test]

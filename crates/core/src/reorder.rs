@@ -20,7 +20,7 @@ use fro_graph::{check_nice, EdgeKind, GraphError, NiceViolation, QueryGraph};
 use std::fmt;
 
 /// Which strongness condition to require of outerjoin predicates.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Policy {
     /// The theorem's stated condition: every outerjoin predicate must
     /// be strong w.r.t. (the attributes it references from) its

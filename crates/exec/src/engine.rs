@@ -378,7 +378,7 @@ fn run(
 ) -> Result<Relation, ExecError> {
     let out = match plan {
         PhysPlan::Scan { rel } => {
-            let t = storage.lookup(rel)?;
+            let t = storage.lookup_named(rel)?;
             stats.tuples_retrieved += t.len() as u64;
             t.relation().clone()
         }
@@ -571,7 +571,7 @@ fn index_join(
                 .into(),
         )));
     }
-    let inner_table = storage.lookup(inner_name)?;
+    let inner_table = storage.lookup_named(inner_name)?;
     let inner_rel = inner_table.relation();
     let mut inner_cols = resolve_cols(inner_rel.schema(), inner_keys)?;
     // The index stores sorted key columns; align outer key order with it.
@@ -867,7 +867,7 @@ fn annotate(
 
     let (label, rel) = match plan {
         PhysPlan::Scan { rel } => {
-            let t = storage.lookup(rel)?;
+            let t = storage.lookup_named(rel)?;
             stats.tuples_retrieved += t.len() as u64;
             (format!("Scan {rel}"), t.relation().clone())
         }

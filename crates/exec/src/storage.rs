@@ -2,9 +2,15 @@
 //! a dense `RelId → Table` vector.
 //!
 //! Names are interned exactly once, at [`Storage::insert`]; every later
-//! lookup is an array index. The name-keyed API ([`Storage::get`] and
-//! friends) survives as a thin compatibility shim over the interner,
-//! and failed lookups come back with a nearest-name suggestion.
+//! lookup is an array index. Names legitimately enter at registration
+//! time ([`Storage::insert`], [`Storage::create_index`]), but the
+//! name-keyed *read* API (`get`, `lookup`, `get_mut`) is a hidden
+//! compatibility shim available only under the `testing-oracles`
+//! feature — the public read surface is id-keyed.
+//!
+//! Storage carries its own epoch counter, bumped by every data or
+//! index mutation, so a session can notice that its derived catalog
+//! (and therefore the catalog's plan cache) is out of date.
 
 use crate::engine::ExecError;
 use crate::index::HashIndex;
@@ -82,6 +88,7 @@ impl Table {
 pub struct Storage {
     interner: Interner,
     tables: Vec<Table>,
+    epoch: u64,
 }
 
 impl Storage {
@@ -124,7 +131,16 @@ impl Storage {
         } else {
             self.tables[id.index()] = table;
         }
+        self.epoch += 1;
         &mut self.tables[id.index()]
+    }
+
+    /// The data epoch: incremented by every table insert or index
+    /// build. A session compares it against the epoch its derived
+    /// catalog was built from to know when to refresh statistics.
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// The interner owning this storage's name ↔ id mapping.
@@ -146,26 +162,48 @@ impl Storage {
         self.tables.get(id.index())
     }
 
-    /// Look up a table by name (compatibility shim over the interner).
-    #[must_use]
-    pub fn get(&self, name: &str) -> Option<&Table> {
+    /// Name-keyed table read, always available inside the crate (the
+    /// engine resolves plan-embedded names through this).
+    pub(crate) fn get_named(&self, name: &str) -> Option<&Table> {
         self.rel_id(name).and_then(|id| self.get_by_id(id))
     }
 
-    /// Look up a table by name, producing a diagnosable error on a
-    /// miss: the unknown name plus the nearest catalog name (by edit
-    /// distance), when one is plausibly close.
-    ///
-    /// # Errors
-    /// [`ExecError::UnknownTable`] when the name is not interned.
-    pub fn lookup(&self, name: &str) -> Result<&Table, ExecError> {
-        self.get(name).ok_or_else(|| ExecError::UnknownTable {
+    /// Name-keyed lookup with a diagnosable error: the unknown name
+    /// plus the nearest catalog name (by edit distance), when one is
+    /// plausibly close.
+    pub(crate) fn lookup_named(&self, name: &str) -> Result<&Table, ExecError> {
+        self.get_named(name).ok_or_else(|| ExecError::UnknownTable {
             name: name.to_owned(),
             suggestion: self.interner.suggest(name).map(str::to_owned),
         })
     }
 
-    /// Mutable access (e.g. to add indexes).
+    /// Name-keyed testing oracle for table reads. Hidden from the
+    /// public surface; the id-keyed path is [`Storage::get_by_id`].
+    #[cfg(any(test, feature = "testing-oracles"))]
+    #[doc(hidden)]
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<&Table> {
+        self.get_named(name)
+    }
+
+    /// Name-keyed testing oracle for diagnosable lookups. Hidden from
+    /// the public surface; the id-keyed path is [`Storage::get_by_id`].
+    ///
+    /// # Errors
+    /// [`ExecError::UnknownTable`] when the name is not interned.
+    #[cfg(any(test, feature = "testing-oracles"))]
+    #[doc(hidden)]
+    pub fn lookup(&self, name: &str) -> Result<&Table, ExecError> {
+        self.lookup_named(name)
+    }
+
+    /// Name-keyed testing oracle for mutable table access. Hidden from
+    /// the public surface; mutation goes through [`Storage::insert`]
+    /// and [`Storage::create_index`]. Does **not** bump the epoch —
+    /// oracle use only.
+    #[cfg(any(test, feature = "testing-oracles"))]
+    #[doc(hidden)]
     #[must_use]
     pub fn get_mut(&mut self, name: &str) -> Option<&mut Table> {
         let id = self.interner.rel_id(name)?;
@@ -174,8 +212,17 @@ impl Storage {
 
     /// Create an index on `rel_name(attrs…)`; `false` if missing.
     pub fn create_index(&mut self, rel_name: &str, attrs: &[Attr]) -> bool {
-        self.get_mut(rel_name)
-            .is_some_and(|t| t.create_index(attrs))
+        let Some(id) = self.interner.rel_id(rel_name) else {
+            return false;
+        };
+        let Some(t) = self.tables.get_mut(id.index()) else {
+            return false;
+        };
+        let built = t.create_index(attrs);
+        if built {
+            self.epoch += 1;
+        }
+        built
     }
 
     /// Iterate `(name, table)` pairs in name order (deterministic
@@ -221,5 +268,21 @@ mod tests {
     fn table_empty_check() {
         let t = Table::new(Relation::from_ints("R", &["a"], &[]));
         assert!(t.is_empty());
+    }
+
+    #[test]
+    fn epoch_bumps_on_data_and_index_mutation() {
+        let mut s = Storage::new();
+        let e0 = s.epoch();
+        s.insert("R", Relation::from_ints("R", &["k"], &[&[1]]));
+        let e1 = s.epoch();
+        assert!(e1 > e0);
+        assert!(s.create_index("R", &[Attr::parse("R.k")]));
+        let e2 = s.epoch();
+        assert!(e2 > e1);
+        // Failed index builds leave the epoch alone.
+        assert!(!s.create_index("R", &[Attr::parse("R.zzz")]));
+        assert!(!s.create_index("Q", &[Attr::parse("Q.k")]));
+        assert_eq!(s.epoch(), e2);
     }
 }

@@ -26,14 +26,19 @@
 
 //! ## Example
 //!
-//! ```
-//! use fro_lang::{model::paper_world, run};
+//! Parse and translate, then evaluate any implementing tree (the
+//! `fro::Session` front door does this — plus optimization and plan
+//! caching — in one call):
 //!
-//! let out = run(
+//! ```
+//! use fro_lang::{model::paper_world, parse, run::plan_query, translate};
+//!
+//! let block = parse(
 //!     "Select All From DEPARTMENT-->Manager Where DEPARTMENT.Location = 'Zurich'",
-//!     &paper_world(),
 //! )
 //! .unwrap();
+//! let t = translate(&block, &paper_world()).unwrap();
+//! let out = plan_query(&t).unwrap().eval(&t.database).unwrap();
 //! assert_eq!(out.len(), 1);
 //! ```
 
@@ -52,5 +57,6 @@ pub use ast::{FromItem, PathOp, QueryBlock, Rhs, WhereCond};
 pub use error::LangError;
 pub use model::{EntityDb, EntityType, FieldType, FieldValue};
 pub use parser::parse;
+#[allow(deprecated)] // re-export keeps the old entry points reachable
 pub use run::{run, run_parsed};
 pub use translate::{translate, TranslatedBlock};

@@ -32,6 +32,11 @@ pub fn plan_query(t: &TranslatedBlock) -> Result<Query, LangError> {
 ///
 /// # Errors
 /// Any [`LangError`] from translation or evaluation.
+#[deprecated(
+    since = "0.1.0",
+    note = "use the `fro::Session` front door (`Session::from_entity_db(..).query(..)`), \
+            which optimizes, caches and executes instead of reference-evaluating"
+)]
 pub fn run_parsed(block: &QueryBlock, edb: &EntityDb) -> Result<Relation, LangError> {
     let t = translate(block, edb)?;
     let q = plan_query(&t)?;
@@ -43,11 +48,18 @@ pub fn run_parsed(block: &QueryBlock, edb: &EntityDb) -> Result<Relation, LangEr
 ///
 /// # Errors
 /// Any [`LangError`].
+#[deprecated(
+    since = "0.1.0",
+    note = "use the `fro::Session` front door (`Session::from_entity_db(..).query(..)`), \
+            which optimizes, caches and executes instead of reference-evaluating"
+)]
 pub fn run(src: &str, edb: &EntityDb) -> Result<Relation, LangError> {
+    #[allow(deprecated)]
     run_parsed(&parse(src)?, edb)
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the tests exercise the deprecated reference path
 mod tests {
     use super::*;
     use crate::model::paper_world;

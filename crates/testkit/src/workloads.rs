@@ -280,6 +280,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)] // the deprecated reference path is the oracle here
     fn synthetic_world_runs_paper_queries() {
         let world = synthetic_entity_world(6, 4, 3);
         let out = fro_lang::run(

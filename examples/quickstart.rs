@@ -1,4 +1,5 @@
-//! Quickstart: query graphs, implementing trees, and Theorem 1.
+//! Quickstart: query graphs, implementing trees, Theorem 1, and the
+//! `Session` front door with its catalog-owned plan cache.
 //!
 //! Run with `cargo run --example quickstart`.
 
@@ -50,20 +51,52 @@ fn main() {
     println!("{}", results[0]);
 
     // ------------------------------------------------------------------
-    // 5. The optimizer exploits the freedom: same result, better plan.
+    // 5. The Session front door: one object owns the catalog (with its
+    //    plan cache), the storage, the policy and the exec config.
     // ------------------------------------------------------------------
-    let mut storage = Storage::from_database(&db);
-    for (t, a) in [("R1", "R1.k1"), ("R2", "R2.k2"), ("R3", "R3.k3")] {
-        storage.create_index(t, &[fro::algebra::Attr::parse(a)]);
+    let mut session = Session::new();
+    for (name, rel) in db.iter() {
+        session.insert_table(name, rel.clone());
     }
-    let catalog = Catalog::from_storage(&storage);
-    let optimized = optimize(&q, &catalog, Policy::Paper).unwrap();
-    println!("chosen plan (reordered = {}):", optimized.reordered);
-    println!("{}", optimized.plan.explain());
-    let mut stats = ExecStats::new();
-    let out = execute(&optimized.plan, &storage, &mut stats).unwrap();
+    for (t, a) in [("R1", "R1.k1"), ("R2", "R2.k2"), ("R3", "R3.k3")] {
+        session.create_index(t, &[fro::algebra::Attr::parse(a)]);
+    }
+
+    let prepared = session.prepare(&q).expect("optimizes");
+    println!(
+        "chosen plan (reordered = {}):",
+        prepared.optimized().reordered
+    );
+    println!("{}", prepared.explain());
+    let (out, stats) = prepared.run_with_stats().expect("executes");
     assert!(out.set_eq(&results[0]));
     println!("execution counters: {stats}");
+    drop(prepared);
+
+    // ------------------------------------------------------------------
+    // 6. Prepare the same query again: the catalog epoch is unchanged,
+    //    so the whole plan comes out of the cache — zero enumeration.
+    // ------------------------------------------------------------------
+    let warm = session.prepare(&q).expect("optimizes");
+    assert_eq!(warm.optimized().pairs_examined, 0);
+    assert!(warm.optimized().cache.hits >= 1);
+    println!(
+        "warm prepare: pairs_examined = {}, session cache: {}",
+        warm.optimized().pairs_examined,
+        session.cache_stats()
+    );
+    drop(warm);
+
+    // A statistics change bumps the epoch and invalidates stale plans.
+    session
+        .catalog_mut()
+        .set_distinct(&fro::algebra::Attr::parse("R2.k2"), 1_000_000);
+    let replanned = session.prepare(&q).expect("optimizes");
+    assert!(replanned.optimized().pairs_examined > 0);
+    println!(
+        "after stats change: re-planned with {} pairs examined",
+        replanned.optimized().pairs_examined
+    );
 
     // A fun aside: canonical forms identify mirror-image join trees.
     let mirrored = Query::rel("R2").join(Query::rel("R1"), Pred::eq_attr("R1.k1", "R2.k2"));

@@ -1,13 +1,15 @@
 //! §5 of the paper: a language whose every query block is freely
 //! reorderable. Reproduces the paper's three example queries over the
-//! UnNest (`*`) and Link (`-->`) operators.
+//! UnNest (`*`) and Link (`-->`) operators, executed through the
+//! `Session` front door (optimizer + engine + plan cache).
 //!
 //! Run with `cargo run --example unnest_link`.
 
-use fro_lang::{model::paper_world, parse, run, translate};
+use fro::Session;
+use fro_lang::{model::paper_world, parse, translate};
 
 fn main() {
-    let world = paper_world();
+    let mut session = Session::from_entity_db(paper_world());
 
     // ----------------------------------------------------------------
     // Query 1 (§5.1): every employee of a Queretaro department, one
@@ -16,7 +18,7 @@ fn main() {
     let q1 = "Select All From EMPLOYEE*ChildName, DEPARTMENT \
               Where EMPLOYEE.D# = DEPARTMENT.D# and DEPARTMENT.Location = 'Queretaro'";
     println!("Q1: {q1}");
-    let out = run(q1, &world).unwrap();
+    let out = session.query(q1).unwrap().run().unwrap();
     println!("{out}");
 
     // ----------------------------------------------------------------
@@ -26,7 +28,7 @@ fn main() {
     let q2 = "Select All From DEPARTMENT-->Manager-->Audit \
               Where DEPARTMENT.Location = 'Zurich'";
     println!("Q2: {q2}");
-    let out = run(q2, &world).unwrap();
+    let out = session.query(q2).unwrap().run().unwrap();
     println!("{out}");
 
     // ----------------------------------------------------------------
@@ -36,8 +38,18 @@ fn main() {
               Where EMPLOYEE.D# = DEPARTMENT.D# and DEPARTMENT.Location = 'Zurich' \
               and EMPLOYEE.Rank > 10";
     println!("Q3: {q3}");
-    let out = run(q3, &world).unwrap();
+    let prepared = session.query(q3).unwrap();
+    println!("chosen plan:\n{}", prepared.explain());
+    let out = prepared.run().unwrap();
     println!("{out}");
+    drop(prepared);
+
+    // Repeating a block keeps the catalog epoch (the tables resync
+    // without a statistics change), so the plan cache answers.
+    let again = session.query(q3).unwrap();
+    assert_eq!(again.optimized().pairs_examined, 0);
+    drop(again);
+    println!("re-issued Q3: plan cache hit — {}", session.cache_stats());
 
     // ----------------------------------------------------------------
     // §5.3: the translation of every block is freely reorderable —
@@ -45,7 +57,7 @@ fn main() {
     // point outward to fresh derived relations, predicates strong).
     // ----------------------------------------------------------------
     let block = parse(q3).unwrap();
-    let t = translate(&block, &world).unwrap();
+    let t = translate(&block, &paper_world()).unwrap();
     println!("prosecutor query graph:\n{}", t.graph);
     println!("analysis: {}", t.analysis);
     assert!(t.analysis.is_freely_reorderable());

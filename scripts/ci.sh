@@ -16,6 +16,9 @@ cargo build --release
 echo "== tests =="
 cargo test -q
 
+echo "== tests (testing-oracles: name-keyed oracle equivalence) =="
+cargo test -q --features testing-oracles
+
 echo "== clippy (deny warnings) =="
 cargo clippy --all-targets -- -D warnings
 
@@ -27,5 +30,8 @@ cargo run -q --release -p fro-bench --bin scaling
 
 echo "== optimizer bench -> BENCH_optimizer.json =="
 cargo run -q --release -p fro-bench --bin optimize
+
+echo "== plan-cache bench -> BENCH_plancache.json =="
+cargo run -q --release -p fro-bench --bin plancache
 
 echo "ci.sh: all checks passed"

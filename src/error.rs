@@ -1,0 +1,153 @@
+//! The unified error type of the `fro` facade.
+//!
+//! Each layer of the workspace keeps its own error enum
+//! ([`LangError`], [`OptError`], [`ExecError`]); the [`Session`] front
+//! door folds them into one [`FroError`] so applications match on a
+//! single type and log a single stable [`FroError::code`] string.
+//!
+//! [`Session`]: crate::Session
+
+use fro_core::optimizer::OptError;
+use fro_exec::ExecError;
+use fro_lang::LangError;
+use std::fmt;
+
+/// Any failure between source text (or an algebra [`Query`]) and an
+/// executed result.
+///
+/// [`Query`]: fro_algebra::Query
+#[derive(Debug, Clone, PartialEq)]
+pub enum FroError {
+    /// Parsing, translation or reference evaluation of a §5 query
+    /// block failed.
+    Lang(LangError),
+    /// The optimizer rejected the query.
+    Opt(OptError),
+    /// The execution engine failed (unknown table, missing index, …).
+    Exec(ExecError),
+    /// [`Session::query`] was called on a session constructed without
+    /// an entity model ([`Session::from_entity_db`] provides one).
+    ///
+    /// [`Session::query`]: crate::Session::query
+    /// [`Session::from_entity_db`]: crate::Session::from_entity_db
+    NoEntityModel,
+}
+
+impl FroError {
+    /// A stable machine-readable code, one per failure shape. Codes
+    /// never change meaning across releases; new codes may be added.
+    #[must_use]
+    pub fn code(&self) -> &'static str {
+        match self {
+            FroError::Lang(e) => match e {
+                LangError::Lex { .. } => "LANG_LEX",
+                LangError::Parse(_) => "LANG_PARSE",
+                LangError::UnknownType(_) => "LANG_UNKNOWN_TYPE",
+                LangError::UnknownField { .. } => "LANG_UNKNOWN_FIELD",
+                LangError::WrongFieldKind { .. } => "LANG_WRONG_FIELD_KIND",
+                LangError::AmbiguousField(_) => "LANG_AMBIGUOUS_FIELD",
+                LangError::DuplicateAlias(_) => "LANG_DUPLICATE_ALIAS",
+                LangError::RestrictionOnDerived(_) => "LANG_RESTRICTION_ON_DERIVED",
+                LangError::UnknownAttr(_) => "LANG_UNKNOWN_ATTR",
+                LangError::Disconnected => "LANG_DISCONNECTED",
+                LangError::NotReorderable(_) => "LANG_NOT_REORDERABLE",
+                LangError::Eval(_) => "LANG_EVAL",
+            },
+            FroError::Opt(e) => match e {
+                OptError::Unsupported(_) => "OPT_UNSUPPORTED",
+                OptError::Disconnected => "OPT_DISCONNECTED",
+            },
+            FroError::Exec(e) => match e {
+                ExecError::UnknownTable { .. } => "EXEC_UNKNOWN_TABLE",
+                ExecError::MissingIndex { .. } => "EXEC_MISSING_INDEX",
+                ExecError::KeyArityMismatch => "EXEC_KEY_ARITY_MISMATCH",
+                ExecError::Algebra(_) => "EXEC_ALGEBRA",
+            },
+            FroError::NoEntityModel => "SESSION_NO_ENTITY_MODEL",
+        }
+    }
+}
+
+impl fmt::Display for FroError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] ", self.code())?;
+        match self {
+            FroError::Lang(e) => e.fmt(f),
+            FroError::Opt(e) => e.fmt(f),
+            FroError::Exec(e) => e.fmt(f),
+            FroError::NoEntityModel => {
+                write!(
+                    f,
+                    "session has no entity model; build it with Session::from_entity_db \
+                     (or with_entity_db) before calling query()"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for FroError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FroError::Lang(e) => Some(e),
+            FroError::Opt(e) => Some(e),
+            FroError::Exec(e) => Some(e),
+            FroError::NoEntityModel => None,
+        }
+    }
+}
+
+impl From<LangError> for FroError {
+    fn from(e: LangError) -> FroError {
+        FroError::Lang(e)
+    }
+}
+
+impl From<OptError> for FroError {
+    fn from(e: OptError) -> FroError {
+        FroError::Opt(e)
+    }
+}
+
+impl From<ExecError> for FroError {
+    fn from(e: ExecError) -> FroError {
+        FroError::Exec(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_stable_and_prefixed_by_layer() {
+        let cases: Vec<(FroError, &str)> = vec![
+            (LangError::Parse("x".into()).into(), "LANG_PARSE"),
+            (LangError::Disconnected.into(), "LANG_DISCONNECTED"),
+            (OptError::Disconnected.into(), "OPT_DISCONNECTED"),
+            (OptError::Unsupported("n".into()).into(), "OPT_UNSUPPORTED"),
+            (
+                ExecError::UnknownTable {
+                    name: "T".into(),
+                    suggestion: None,
+                }
+                .into(),
+                "EXEC_UNKNOWN_TABLE",
+            ),
+            (FroError::NoEntityModel, "SESSION_NO_ENTITY_MODEL"),
+        ];
+        for (e, code) in cases {
+            assert_eq!(e.code(), code);
+            // Display leads with the code so log lines are greppable.
+            assert!(e.to_string().starts_with(&format!("[{code}]")), "{e}");
+        }
+    }
+
+    #[test]
+    fn source_exposes_the_layer_error() {
+        use std::error::Error;
+        let e: FroError = LangError::Parse("x".into()).into();
+        assert!(e.source().is_some());
+        assert!(FroError::NoEntityModel.source().is_none());
+    }
+}

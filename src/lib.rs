@@ -22,8 +22,16 @@
 //!
 //! ## Quickstart
 //!
+//! The [`Session`] front door owns the catalog (statistics + plan
+//! cache), the storage, the policy and the execution config:
+//!
 //! ```
 //! use fro::prelude::*;
+//!
+//! let mut session = Session::new();
+//! session.insert_table("R1", Relation::from_ints("R1", &["k1"], &[&[0]]));
+//! session.insert_table("R2", Relation::from_ints("R2", &["k2"], &[&[0], &[1]]));
+//! session.insert_table("R3", Relation::from_ints("R3", &["k3"], &[&[1], &[9]]));
 //!
 //! // Example 1, written in the "wrong" association.
 //! let q = Query::rel("R1").join(
@@ -31,13 +39,17 @@
 //!     Pred::eq_attr("R1.k1", "R2.k2"),
 //! );
 //!
-//! // Theorem 1 says the graph alone determines the result.
+//! // Theorem 1 says the graph alone determines the result, so the
+//! // optimizer is free to reorder — and to reuse cached plans.
 //! assert!(fro::core::is_freely_reorderable(&q));
+//! let prepared = session.prepare(&q).unwrap();
+//! let out = prepared.run().unwrap();
+//! assert_eq!(out.len(), 1);
 //!
-//! // So every implementing tree evaluates identically …
-//! let graph = fro::graph::graph_of(&q).unwrap();
-//! let trees = fro::trees::enumerate_trees(&graph, Default::default()).unwrap();
-//! assert_eq!(trees.len(), 2); // (R1−R2)→R3 and R1−(R2→R3)
+//! // Preparing the same (or an alpha-equivalent) query again is a
+//! // pure plan-cache hit: zero enumeration.
+//! let warm = session.prepare(&q).unwrap();
+//! assert_eq!(warm.optimized().pairs_examined, 0);
 //! ```
 
 #![forbid(unsafe_code)]
@@ -50,9 +62,17 @@ pub use fro_graph as graph;
 pub use fro_lang as lang;
 pub use fro_trees as trees;
 
+mod error;
+mod session;
+
+pub use error::FroError;
+pub use session::{Prepared, Session};
+
 /// One-stop imports for applications.
 pub mod prelude {
+    pub use crate::{FroError, Prepared, Session};
     pub use fro_algebra::prelude::*;
+    pub use fro_core::optimizer::CacheStats;
     pub use fro_core::{analyze, is_freely_reorderable, optimize, Catalog, Policy};
     pub use fro_exec::{execute, execute_with, ExecConfig, ExecStats, PhysPlan, Storage};
     pub use fro_graph::{graph_of, QueryGraph};

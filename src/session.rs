@@ -1,0 +1,385 @@
+//! The unified front door: a [`Session`] owns the catalog (and with it
+//! the cross-query plan cache), the storage, the reordering policy and
+//! the execution configuration, so an application talks to one object
+//! instead of threading four through every call.
+//!
+//! Two entry points produce a [`Prepared`] statement:
+//!
+//! * [`Session::query`] — §5 UnNest/Link source text, for sessions
+//!   built over an [`EntityDb`];
+//! * [`Session::prepare`] — an algebra [`Query`] over tables loaded
+//!   with [`Session::insert_table`] / [`Session::from_storage`].
+//!
+//! Both run the cost-based optimizer, which consults the
+//! catalog-owned plan cache: repeating a query (or an
+//! alpha-equivalent one) skips enumeration entirely, and any
+//! statistics change bumps the catalog epoch so stale plans are never
+//! served. [`Prepared::explain`] surfaces the cache counters;
+//! [`Prepared::run`] executes against the session's storage.
+
+use crate::error::FroError;
+use fro_algebra::{Attr, Query, Relation};
+use fro_core::optimizer::{optimize, CacheStats, Optimized};
+use fro_core::{Catalog, Policy};
+use fro_exec::{execute_with, ExecConfig, ExecStats, PhysPlan, Storage};
+use fro_lang::{parse, translate, EntityDb, LangError};
+use fro_trees::some_implementing_tree;
+
+/// A query session: catalog + storage + policy + execution config,
+/// with the catalog-owned plan cache warm across queries.
+#[derive(Debug, Clone, Default)]
+pub struct Session {
+    catalog: Catalog,
+    storage: Storage,
+    policy: Policy,
+    exec_config: ExecConfig,
+    edb: Option<EntityDb>,
+}
+
+impl Session {
+    /// An empty session (Paper policy, sequential execution).
+    #[must_use]
+    pub fn new() -> Session {
+        Session::default()
+    }
+
+    /// A session over existing storage; the catalog is derived with
+    /// exact statistics ([`Catalog::from_storage`]).
+    #[must_use]
+    pub fn from_storage(storage: Storage) -> Session {
+        Session {
+            catalog: Catalog::from_storage(&storage),
+            storage,
+            ..Session::default()
+        }
+    }
+
+    /// A session over an entity model, enabling [`Session::query`].
+    #[must_use]
+    pub fn from_entity_db(edb: EntityDb) -> Session {
+        Session {
+            edb: Some(edb),
+            ..Session::default()
+        }
+    }
+
+    /// Replace the reordering policy (builder style).
+    #[must_use]
+    pub fn with_policy(mut self, policy: Policy) -> Session {
+        self.policy = policy;
+        self
+    }
+
+    /// Replace the execution configuration (builder style).
+    #[must_use]
+    pub fn with_exec_config(mut self, cfg: ExecConfig) -> Session {
+        self.exec_config = cfg;
+        self
+    }
+
+    /// Attach an entity model (builder style), enabling
+    /// [`Session::query`].
+    #[must_use]
+    pub fn with_entity_db(mut self, edb: EntityDb) -> Session {
+        self.edb = Some(edb);
+        self
+    }
+
+    /// The session catalog (statistics, epoch, plan cache).
+    #[must_use]
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Mutable catalog access for what-if statistics experiments.
+    /// Every mutation bumps the catalog epoch, so cached plans costed
+    /// under the old statistics are invalidated automatically.
+    pub fn catalog_mut(&mut self) -> &mut Catalog {
+        &mut self.catalog
+    }
+
+    /// The session storage.
+    #[must_use]
+    pub fn storage(&self) -> &Storage {
+        &self.storage
+    }
+
+    /// The reordering policy in effect.
+    #[must_use]
+    pub fn policy(&self) -> Policy {
+        self.policy
+    }
+
+    /// Cumulative plan-cache counters for this session's catalog.
+    #[must_use]
+    pub fn cache_stats(&self) -> CacheStats {
+        self.catalog.cache_stats()
+    }
+
+    /// Load (or replace) a table: stores the relation and registers
+    /// exact statistics — row count and per-column distinct counts —
+    /// in the catalog, bumping the epoch.
+    pub fn insert_table(&mut self, name: impl Into<String>, rel: Relation) {
+        let name = name.into();
+        self.register_stats(&name, &rel);
+        self.storage.insert(name, rel);
+    }
+
+    /// Build a hash index on `rel(attrs…)` in storage and declare it
+    /// to the catalog. Returns `false` (doing nothing) when the table
+    /// or an attribute is unknown.
+    pub fn create_index(&mut self, rel: &str, attrs: &[Attr]) -> bool {
+        let built = self.storage.create_index(rel, attrs);
+        if built {
+            self.catalog.add_index(rel, attrs);
+        }
+        built
+    }
+
+    /// Optimize an algebra query against the session catalog.
+    ///
+    /// The optimizer consults the plan cache first: preparing the same
+    /// (or an alpha-equivalent) query again on an unchanged catalog
+    /// returns the cached plan with zero enumeration.
+    ///
+    /// # Errors
+    /// [`FroError::Opt`] when the query is disconnected or uses an
+    /// operator the engine cannot run.
+    pub fn prepare(&self, q: &Query) -> Result<Prepared<'_>, FroError> {
+        let optimized = optimize(q, &self.catalog, self.policy)?;
+        Ok(Prepared {
+            session: self,
+            optimized,
+        })
+    }
+
+    /// Parse, translate and optimize a §5 UnNest/Link query block.
+    ///
+    /// The block's ground relations (bases and derived) are synced
+    /// into the session storage; catalog statistics are refreshed only
+    /// when they actually changed, so repeating a query keeps the
+    /// epoch — and with it the plan cache — warm. Where-List
+    /// restrictions are applied as filters above the reordered join
+    /// tree, exactly where the reference evaluator puts them.
+    ///
+    /// # Errors
+    /// [`FroError::NoEntityModel`] without an entity model;
+    /// [`FroError::Lang`] for parse/translation failures;
+    /// [`FroError::Opt`] from the optimizer.
+    pub fn query(&mut self, src: &str) -> Result<Prepared<'_>, FroError> {
+        let edb = self.edb.as_ref().ok_or(FroError::NoEntityModel)?;
+        let block = parse(src)?;
+        let t = translate(&block, edb)?;
+        let tree =
+            some_implementing_tree(&t.graph).ok_or(FroError::Lang(LangError::Disconnected))?;
+        self.sync_tables(&t.database);
+        let optimized = optimize(&tree, &self.catalog, self.policy)?;
+        // Fold the Where-List restrictions on top of the chosen plan —
+        // the same placement as the reference evaluator's
+        // `plan_query`, so results coincide tree by tree.
+        let Optimized {
+            plan,
+            est_cost,
+            mut est_rows,
+            analysis,
+            reordered,
+            pairs_examined,
+            cache,
+        } = optimized;
+        let plan = t.restrictions.iter().fold(plan, |p, r| PhysPlan::Filter {
+            input: Box::new(p),
+            pred: r.clone(),
+        });
+        for r in &t.restrictions {
+            est_rows *= self.catalog.selectivity(r);
+        }
+        Ok(Prepared {
+            session: self,
+            optimized: Optimized {
+                plan,
+                est_cost,
+                est_rows,
+                analysis,
+                reordered,
+                pairs_examined,
+                cache,
+            },
+        })
+    }
+
+    /// Sync a translated block's relations into storage, refreshing
+    /// catalog statistics only when row count or scheme changed —
+    /// an unchanged catalog keeps its epoch, so the plan cache stays
+    /// warm across repeated queries.
+    fn sync_tables(&mut self, db: &fro_algebra::Database) {
+        for (name, rel) in db.iter() {
+            let stale = self
+                .catalog
+                .table(name)
+                .is_none_or(|info| info.rows != rel.len() as u64 || info.schema != *rel.schema());
+            if stale {
+                self.register_stats(name, rel);
+            }
+            self.storage.insert(name, rel.clone());
+        }
+    }
+
+    /// Register exact statistics for one relation: row count plus true
+    /// per-column distinct counts.
+    fn register_stats(&mut self, name: &str, rel: &Relation) {
+        self.catalog
+            .add_table(name, rel.schema().clone(), rel.len() as u64);
+        for (c, a) in rel.schema().attrs().iter().enumerate() {
+            let distinct: std::collections::HashSet<_> =
+                rel.rows().iter().map(|t| t.get(c)).collect();
+            self.catalog.set_distinct(a, distinct.len() as u64);
+        }
+    }
+}
+
+/// An optimized statement bound to its session, ready to run.
+#[derive(Debug)]
+pub struct Prepared<'s> {
+    session: &'s Session,
+    optimized: Optimized,
+}
+
+impl Prepared<'_> {
+    /// The optimizer's full outcome (plan, estimates, analysis,
+    /// cache counters).
+    #[must_use]
+    pub fn optimized(&self) -> &Optimized {
+        &self.optimized
+    }
+
+    /// The chosen physical plan.
+    #[must_use]
+    pub fn plan(&self) -> &PhysPlan {
+        &self.optimized.plan
+    }
+
+    /// EXPLAIN: plan tree, cost estimates, reordering verdict, and
+    /// plan-cache counters for this optimization.
+    #[must_use]
+    pub fn explain(&self) -> String {
+        self.optimized.explain()
+    }
+
+    /// Execute against the session's storage.
+    ///
+    /// # Errors
+    /// [`FroError::Exec`] on engine failures.
+    pub fn run(&self) -> Result<Relation, FroError> {
+        Ok(self.run_with_stats()?.0)
+    }
+
+    /// Execute, additionally returning the engine's work counters.
+    ///
+    /// # Errors
+    /// [`FroError::Exec`] on engine failures.
+    pub fn run_with_stats(&self) -> Result<(Relation, ExecStats), FroError> {
+        let mut stats = ExecStats::new();
+        let out = execute_with(
+            &self.optimized.plan,
+            &self.session.storage,
+            &mut stats,
+            &self.session.exec_config,
+        )?;
+        Ok((out, stats))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fro_algebra::Pred;
+    use fro_lang::model::paper_world;
+
+    fn algebra_session() -> Session {
+        let mut s = Session::new();
+        s.insert_table("R1", Relation::from_ints("R1", &["k1"], &[&[0]]));
+        s.insert_table(
+            "R2",
+            Relation::from_ints("R2", &["k2"], &[&[0], &[1], &[2]]),
+        );
+        s.insert_table(
+            "R3",
+            Relation::from_ints("R3", &["k3"], &[&[1], &[2], &[9]]),
+        );
+        s
+    }
+
+    fn example1() -> Query {
+        Query::rel("R1").join(
+            Query::rel("R2").outerjoin(Query::rel("R3"), Pred::eq_attr("R2.k2", "R3.k3")),
+            Pred::eq_attr("R1.k1", "R2.k2"),
+        )
+    }
+
+    #[test]
+    fn prepare_runs_and_warms_the_cache() {
+        let s = algebra_session();
+        let q = example1();
+        let cold = s.prepare(&q).unwrap();
+        let cold_out = cold.run().unwrap();
+        assert!(cold.optimized().pairs_examined > 0);
+        let warm = s.prepare(&q).unwrap();
+        assert_eq!(warm.optimized().pairs_examined, 0, "full-set cache hit");
+        assert!(warm.optimized().cache.hits >= 1);
+        assert!(warm.run().unwrap().set_eq(&cold_out));
+        assert_eq!(cold.explain(), {
+            // Cache counters differ between the two runs; plans agree.
+            let c = cold.plan().explain();
+            let w = warm.plan().explain();
+            assert_eq!(c, w);
+            cold.explain()
+        });
+    }
+
+    #[test]
+    fn stats_mutation_through_session_invalidates_plans() {
+        let mut s = algebra_session();
+        let q = example1();
+        let _ = s.prepare(&q).unwrap();
+        s.catalog_mut()
+            .set_distinct(&Attr::parse("R2.k2"), 1_000_000);
+        let replanned = s.prepare(&q).unwrap();
+        assert!(
+            replanned.optimized().pairs_examined > 0,
+            "stale plan evicted"
+        );
+        assert!(replanned.optimized().cache.stale >= 1);
+    }
+
+    #[test]
+    fn query_requires_an_entity_model() {
+        let mut s = Session::new();
+        let e = s.query("Select All From EMPLOYEE*ChildName").unwrap_err();
+        assert_eq!(e.code(), "SESSION_NO_ENTITY_MODEL");
+    }
+
+    #[test]
+    fn lang_query_matches_reference_and_warms() {
+        let src = "Select All From EMPLOYEE*ChildName, DEPARTMENT \
+                   Where EMPLOYEE.D# = DEPARTMENT.D# and DEPARTMENT.Location = 'Queretaro'";
+        #[allow(deprecated)]
+        let want = fro_lang::run(src, &paper_world()).unwrap();
+        let mut s = Session::from_entity_db(paper_world());
+        let out = s.query(src).unwrap().run().unwrap();
+        assert!(out.set_eq(&want));
+        assert_eq!(out.len(), 3);
+        // Re-issuing the same block hits the cache: the tables resync
+        // without a statistics change, so the epoch (and cache) hold.
+        let again = s.query(src).unwrap();
+        assert_eq!(again.optimized().pairs_examined, 0);
+        assert!(again.optimized().cache.hits >= 1);
+        assert!(again.run().unwrap().set_eq(&want));
+    }
+
+    #[test]
+    fn lang_query_surfaces_parse_errors_with_codes() {
+        let mut s = Session::from_entity_db(paper_world());
+        let e = s.query("From nothing").unwrap_err();
+        assert_eq!(e.code(), "LANG_PARSE");
+    }
+}

@@ -3,6 +3,11 @@
 //! shims it replaced: same split decisions, same plans (to the
 //! `explain()` string), same results, same `ExecStats`, and
 //! insertion-order-independent — plus diagnosable storage misses.
+//!
+//! The name-keyed side of every oracle pair is `#[doc(hidden)]` behind
+//! the `testing-oracles` feature, so this whole file compiles only
+//! under `--features testing-oracles` (scripts/ci.sh runs it).
+#![cfg(feature = "testing-oracles")]
 
 use fro_algebra::{Pred, RelSet};
 use fro_core::optimizer::{

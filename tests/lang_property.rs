@@ -114,6 +114,7 @@ proptest! {
         let world = synthetic_entity_world(3, 2, world_seed);
         let block = parse(&src).expect("parses");
         let Ok(t) = translate(&block, &world) else { return; };
+        #[allow(deprecated)] // the deprecated reference path is the oracle here
         let via_run = fro_lang::run(&src, &world).expect("runs");
         let trees =
             fro_trees::enumerate_trees(&t.graph, fro_trees::EnumLimit::default()).unwrap();
