@@ -291,6 +291,15 @@ impl Interner {
         self.rel_names.len()
     }
 
+    /// Number of attribute ids ever assigned (including ids staled by
+    /// relation re-registration) — the length of any dense
+    /// `AttrId`-indexed side table, such as
+    /// [`crate::ops::AttrCols`].
+    #[must_use]
+    pub fn n_attrs(&self) -> usize {
+        self.attrs.len()
+    }
+
     /// Whether nothing has been interned.
     #[must_use]
     pub fn is_empty(&self) -> bool {

@@ -15,6 +15,7 @@
 //! | `GOJ[S](R1,R2)` (§6.2)   | [`goj`] |
 
 use crate::error::AlgebraError;
+use crate::intern::{AttrId, Interner, RelId};
 use crate::predicate::{CmpOp, Pred, Scalar};
 use crate::relation::Relation;
 use crate::schema::{Attr, Schema};
@@ -91,6 +92,133 @@ impl BoundScalar {
     }
 }
 
+/// A predicate whose attribute references have been resolved through
+/// an [`Interner`]: each reference carries its dense [`AttrId`] plus
+/// the precomputed `(owner relation, column offset)` the interner
+/// assigned at registration. Interning happens once per predicate;
+/// binding an `IPred` against a schema ([`BoundPred::bind_interned`])
+/// is then pure integer-indexed lookups — no string hashing, no name
+/// resolution.
+#[derive(Debug, Clone)]
+pub enum IPred {
+    /// Comparison of two interned scalars.
+    Cmp(CmpOp, IScalar, IScalar),
+    /// `IS NULL` test.
+    IsNull(IScalar),
+    /// Conjunction.
+    And(Box<IPred>, Box<IPred>),
+    /// Disjunction.
+    Or(Box<IPred>, Box<IPred>),
+    /// Negation.
+    Not(Box<IPred>),
+    /// Constant.
+    Const(Truth),
+}
+
+/// A scalar term of an [`IPred`].
+#[derive(Debug, Clone)]
+pub enum IScalar {
+    /// An interned attribute reference.
+    Attr {
+        /// The dense attribute id.
+        id: AttrId,
+        /// The owning base relation (precomputed by the interner).
+        rel: RelId,
+        /// Column offset within the owner's base scheme (precomputed).
+        /// When binding against exactly that base scheme this *is* the
+        /// bound column — no per-schema map is needed.
+        col: u32,
+    },
+    /// A literal value.
+    Lit(Value),
+}
+
+impl IScalar {
+    fn from_scalar(s: &Scalar, it: &Interner) -> Option<IScalar> {
+        match s {
+            Scalar::Lit(v) => Some(IScalar::Lit(v.clone())),
+            Scalar::Attr(a) => {
+                let id = it.attr_id(a)?;
+                Some(IScalar::Attr {
+                    id,
+                    rel: it.attr_rel(id),
+                    col: it.attr_col(id),
+                })
+            }
+        }
+    }
+}
+
+impl IPred {
+    /// Intern every attribute reference of `p`. Returns `None` when
+    /// any attribute is unknown to the interner (e.g. a derived
+    /// attribute such as an aggregate output) — callers fall back to
+    /// name-based [`BoundPred::bind`].
+    #[must_use]
+    pub fn from_pred(p: &Pred, it: &Interner) -> Option<IPred> {
+        Some(match p {
+            Pred::Cmp { op, lhs, rhs } => IPred::Cmp(
+                *op,
+                IScalar::from_scalar(lhs, it)?,
+                IScalar::from_scalar(rhs, it)?,
+            ),
+            Pred::IsNull(s) => IPred::IsNull(IScalar::from_scalar(s, it)?),
+            Pred::And(a, b) => IPred::And(
+                Box::new(IPred::from_pred(a, it)?),
+                Box::new(IPred::from_pred(b, it)?),
+            ),
+            Pred::Or(a, b) => IPred::Or(
+                Box::new(IPred::from_pred(a, it)?),
+                Box::new(IPred::from_pred(b, it)?),
+            ),
+            Pred::Not(x) => IPred::Not(Box::new(IPred::from_pred(x, it)?)),
+            Pred::Const(t) => IPred::Const(*t),
+        })
+    }
+}
+
+/// A dense `AttrId → column offset` map for one schema, built in a
+/// single pass: slot `id.index()` holds the column where that
+/// attribute sits in the schema (or a sentinel when absent). Resolving
+/// an interned attribute against the schema is then one array read —
+/// the direct-lookup binding the interner's precomputed `attr_col`
+/// was groundwork for.
+#[derive(Debug, Clone)]
+pub struct AttrCols {
+    cols: Vec<u32>,
+}
+
+impl AttrCols {
+    const ABSENT: u32 = u32::MAX;
+
+    /// Map every interned attribute of `schema` to its column offset.
+    /// Non-interned schema columns (derived attributes) are simply
+    /// absent from the map; duplicate attributes keep the first
+    /// occurrence, matching [`Schema::index_of`].
+    #[must_use]
+    pub fn for_schema(schema: &Schema, it: &Interner) -> AttrCols {
+        let mut cols = vec![AttrCols::ABSENT; it.n_attrs()];
+        for (c, attr) in schema.attrs().iter().enumerate() {
+            if let Some(id) = it.attr_id(attr) {
+                let slot = &mut cols[id.index()];
+                if *slot == AttrCols::ABSENT {
+                    *slot = u32::try_from(c).expect("column offset fits in u32");
+                }
+            }
+        }
+        AttrCols { cols }
+    }
+
+    /// The column offset of `id` in the mapped schema, if present.
+    #[must_use]
+    pub fn col_of(&self, id: AttrId) -> Option<usize> {
+        match self.cols.get(id.index()) {
+            Some(&c) if c != AttrCols::ABSENT => Some(c as usize),
+            _ => None,
+        }
+    }
+}
+
 impl BoundPred {
     /// Resolve attribute references against `schema`.
     ///
@@ -114,6 +242,36 @@ impl BoundPred {
             ),
             Pred::Not(x) => BoundPred::Not(Box::new(BoundPred::bind(x, schema)?)),
             Pred::Const(t) => BoundPred::Const(*t),
+        })
+    }
+
+    /// Bind an interned predicate through a per-schema [`AttrCols`]
+    /// map: every attribute resolution is a dense-array read keyed on
+    /// [`AttrId`] — no name hashing. Returns `None` when any attribute
+    /// is absent from the schema; callers fall back to the name-based
+    /// [`BoundPred::bind`] for its diagnosable error. Binds to exactly
+    /// the columns `bind` would choose, so evaluation is identical.
+    #[must_use]
+    pub fn bind_interned(p: &IPred, cols: &AttrCols) -> Option<BoundPred> {
+        let scalar = |s: &IScalar| -> Option<BoundScalar> {
+            match s {
+                IScalar::Lit(v) => Some(BoundScalar::Lit(v.clone())),
+                IScalar::Attr { id, .. } => cols.col_of(*id).map(BoundScalar::Col),
+            }
+        };
+        Some(match p {
+            IPred::Cmp(op, l, r) => BoundPred::Cmp(*op, scalar(l)?, scalar(r)?),
+            IPred::IsNull(s) => BoundPred::IsNull(scalar(s)?),
+            IPred::And(a, b) => BoundPred::And(
+                Box::new(BoundPred::bind_interned(a, cols)?),
+                Box::new(BoundPred::bind_interned(b, cols)?),
+            ),
+            IPred::Or(a, b) => BoundPred::Or(
+                Box::new(BoundPred::bind_interned(a, cols)?),
+                Box::new(BoundPred::bind_interned(b, cols)?),
+            ),
+            IPred::Not(x) => BoundPred::Not(Box::new(BoundPred::bind_interned(x, cols)?)),
+            IPred::Const(t) => BoundPred::Const(*t),
         })
     }
 
@@ -626,5 +784,70 @@ mod tests {
                 }
             }
         }
+    }
+
+    fn test_interner() -> Interner {
+        let mut it = Interner::new();
+        it.register_relation("R1", r1().schema());
+        it.register_relation("R2", r2().schema());
+        it
+    }
+
+    #[test]
+    fn interned_scalars_carry_precomputed_resolution() {
+        let it = test_interner();
+        let p = Pred::cmp_lit("R2.b", CmpOp::Ge, 1);
+        let Some(IPred::Cmp(_, IScalar::Attr { id, rel, col }, IScalar::Lit(_))) =
+            IPred::from_pred(&p, &it)
+        else {
+            panic!("interning a catalog attribute must succeed");
+        };
+        assert_eq!(rel, it.attr_rel(id));
+        assert_eq!(col, it.attr_col(id));
+        assert_eq!(it.attr(id), &Attr::parse("R2.b"));
+        // Within the owner's own base scheme the precomputed offset IS
+        // the binding.
+        assert_eq!(
+            col as usize,
+            r2().schema().index_of(&Attr::parse("R2.b")).unwrap()
+        );
+    }
+
+    #[test]
+    fn interned_binding_matches_name_binding() {
+        let it = test_interner();
+        let l = r1();
+        let r = r2();
+        let schema = Arc::new(l.schema().concat(r.schema()).unwrap());
+        let cols = AttrCols::for_schema(&schema, &it);
+        let preds = [
+            p12(),
+            Pred::always(),
+            Pred::is_null("R2.b"),
+            p12().not(),
+            p12().and(Pred::cmp_lit("R1.a", CmpOp::Ge, 2)),
+            p12().or(Pred::is_null("R1.a")),
+        ];
+        for p in &preds {
+            let by_name = BoundPred::bind(p, &schema).unwrap();
+            let ip = IPred::from_pred(p, &it).expect("catalog attrs intern");
+            let by_id = BoundPred::bind_interned(&ip, &cols).expect("present in schema");
+            for lt in &l {
+                for rt in &r {
+                    assert_eq!(by_id.eval_split(lt, rt), by_name.eval_split(lt, rt), "{p}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn interning_unknown_attrs_falls_back() {
+        let it = test_interner();
+        // Unknown to the interner: interning refuses.
+        assert!(IPred::from_pred(&Pred::is_null("Z.q"), &it).is_none());
+        // Interned but absent from the schema: binding refuses.
+        let ip = IPred::from_pred(&Pred::is_null("R2.b"), &it).unwrap();
+        let cols = AttrCols::for_schema(r1().schema(), &it);
+        assert!(BoundPred::bind_interned(&ip, &cols).is_none());
     }
 }

@@ -1,15 +1,20 @@
-//! Thread-scaling benchmark for the morsel-driven hash-join executor.
+//! Thread- and partition-scaling benchmark for the radix-partitioned
+//! morsel-driven hash-join executor.
 //!
-//! Builds a ≥100k-row probe-side hash join, runs it at 1/2/4/8 worker
-//! threads, and writes `BENCH_engine.json` at the repository root with
-//! probe-rows-per-second for each thread count. The machine's
+//! Builds a ≥100k-row probe-side hash join and sweeps worker threads
+//! (1/2/4/8) × radix partitions (1/4/16/64), writing
+//! `BENCH_engine.json` at the repository root with build-phase and
+//! probe-phase wall-clock reported separately for every cell. Output
+//! rows are asserted bit-identical across the whole sweep — the
+//! partitioned engine's core contract. The machine's
 //! `available_parallelism` is recorded alongside: on a single-core
 //! container the wall-clock curve is flat by construction, and the
 //! field lets a reader tell that apart from an engine that fails to
 //! scale.
 
-use fro_algebra::{Attr, Pred, Relation, Value};
-use fro_exec::{execute_with, ExecConfig, ExecStats, JoinKind, PhysPlan, Storage};
+use fro_algebra::{Attr, Pred, Relation, Tuple, Value};
+use fro_exec::engine::hash_join_timed;
+use fro_exec::{ExecConfig, ExecStats, JoinKind};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::fmt::Write as _;
@@ -20,10 +25,11 @@ const BUILD_ROWS: usize = 20_000;
 const KEY_DOMAIN: i64 = 50_000;
 const REPS: usize = 3;
 const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+const PARTITION_COUNTS: [usize; 4] = [1, 4, 16, 64];
 
-fn build_storage(seed: u64) -> Storage {
+fn table(name: &str, rows: usize, seed: u64) -> Relation {
     let mut rng = StdRng::seed_from_u64(seed);
-    let probe_rows: Vec<Vec<Value>> = (0..PROBE_ROWS)
+    let rows: Vec<Vec<Value>> = (0..rows)
         .map(|i| {
             vec![
                 Value::Int(i as i64),
@@ -31,75 +37,112 @@ fn build_storage(seed: u64) -> Storage {
             ]
         })
         .collect();
-    let build_rows: Vec<Vec<Value>> = (0..BUILD_ROWS)
-        .map(|i| {
-            vec![
-                Value::Int(i as i64),
-                Value::Int(rng.gen_range(0..KEY_DOMAIN)),
-            ]
-        })
-        .collect();
-    let mut s = Storage::new();
-    s.insert("P", Relation::from_values("P", &["id", "k"], probe_rows));
-    s.insert("B", Relation::from_values("B", &["id", "k"], build_rows));
-    s
+    Relation::from_values(name, &["id", "k"], rows)
+}
+
+struct Cell {
+    threads: usize,
+    partitions: usize,
+    best_secs: f64,
+    build_secs: f64,
+    probe_secs: f64,
+    rows_per_sec: f64,
 }
 
 fn main() {
-    let storage = build_storage(42);
-    let plan = PhysPlan::HashJoin {
-        kind: JoinKind::LeftOuter,
-        probe: Box::new(PhysPlan::scan("P")),
-        build: Box::new(PhysPlan::scan("B")),
-        probe_keys: vec![Attr::parse("P.k")],
-        build_keys: vec![Attr::parse("B.k")],
-        residual: Pred::always(),
+    let probe = table("P", PROBE_ROWS, 42);
+    let build = table("B", BUILD_ROWS, 43);
+    let probe_keys = [Attr::parse("P.k")];
+    let build_keys = [Attr::parse("B.k")];
+    let residual = Pred::always();
+
+    let run = |cfg: &ExecConfig| -> (Relation, ExecStats, f64, f64) {
+        let mut st = ExecStats::new();
+        let (out, build_secs, probe_secs) = hash_join_timed(
+            JoinKind::LeftOuter,
+            &probe,
+            &build,
+            &probe_keys,
+            &build_keys,
+            &residual,
+            &mut st,
+            cfg,
+        )
+        .expect("join runs");
+        (out, st, build_secs, probe_secs)
     };
 
-    let mut baseline_rows = None;
-    let mut results = Vec::new();
-    for threads in THREAD_COUNTS {
-        let cfg = ExecConfig::with_threads(threads);
-        // Warm-up run (also determinism check against the 1-thread run).
-        let mut st = ExecStats::new();
-        let out = execute_with(&plan, &storage, &mut st, &cfg).expect("join runs");
-        match &baseline_rows {
-            None => baseline_rows = Some(out.rows().to_vec()),
-            Some(rows) => assert_eq!(
-                out.rows(),
-                &rows[..],
-                "parallel output diverged at {threads} threads"
-            ),
+    let mut baseline_rows: Option<Vec<Tuple>> = None;
+    let mut baseline_stats: Option<ExecStats> = None;
+    let mut cells: Vec<Cell> = Vec::new();
+    for partitions in PARTITION_COUNTS {
+        for threads in THREAD_COUNTS {
+            let cfg = ExecConfig::with_threads(threads).partitions(partitions);
+            // Warm-up run doubles as the bit-identity check against the
+            // sequential unpartitioned baseline: same rows, same order,
+            // same scalar counters at every (threads, partitions).
+            let (out, st, _, _) = run(&cfg);
+            match &baseline_rows {
+                None => {
+                    baseline_rows = Some(out.rows().to_vec());
+                    baseline_stats = Some(st);
+                }
+                Some(rows) => {
+                    assert_eq!(
+                        out.rows(),
+                        &rows[..],
+                        "output diverged at {threads} threads, {partitions} partitions"
+                    );
+                    assert_eq!(
+                        Some(st),
+                        baseline_stats,
+                        "counters diverged at {threads} threads, {partitions} partitions"
+                    );
+                }
+            }
+            let (mut best, mut best_build, mut best_probe) = (f64::INFINITY, 0.0, 0.0);
+            for _ in 0..REPS {
+                let t = Instant::now();
+                let (out, _, build_secs, probe_secs) = run(&cfg);
+                let secs = t.elapsed().as_secs_f64();
+                std::hint::black_box(out.len());
+                if secs < best {
+                    best = secs;
+                    best_build = build_secs;
+                    best_probe = probe_secs;
+                }
+            }
+            let rows_per_sec = PROBE_ROWS as f64 / best;
+            println!(
+                "threads={threads:>2} partitions={partitions:>2}  best={best:.4}s \
+                 (build={best_build:.4}s probe={best_probe:.4}s)  probe rows/sec={rows_per_sec:.0}"
+            );
+            cells.push(Cell {
+                threads,
+                partitions,
+                best_secs: best,
+                build_secs: best_build,
+                probe_secs: best_probe,
+                rows_per_sec,
+            });
         }
-        let mut best = f64::INFINITY;
-        for _ in 0..REPS {
-            let mut st = ExecStats::new();
-            let t = Instant::now();
-            let out = execute_with(&plan, &storage, &mut st, &cfg).expect("join runs");
-            let secs = t.elapsed().as_secs_f64();
-            std::hint::black_box(out.len());
-            best = best.min(secs);
-        }
-        let rows_per_sec = PROBE_ROWS as f64 / best;
-        println!("threads={threads:>2}  best={best:.4}s  probe rows/sec={rows_per_sec:.0}");
-        results.push((threads, best, rows_per_sec));
     }
 
     let output_rows = baseline_rows.map_or(0, |r| r.len());
-    let base = results[0].2;
-    let speedup_at = |t: usize| {
-        results
+    let rps_at = |t: usize, p: usize| {
+        cells
             .iter()
-            .find(|&&(threads, _, _)| threads == t)
-            .map_or(0.0, |&(_, _, rps)| rps / base)
+            .find(|c| c.threads == t && c.partitions == p)
+            .map_or(0.0, |c| c.rows_per_sec)
     };
+    let base = rps_at(1, 1);
 
     let mut json = String::new();
     json.push_str("{\n");
-    let _ = writeln!(json, "  \"bench\": \"hash_join_thread_scaling\",");
+    let _ = writeln!(json, "  \"bench\": \"hash_join_partition_scaling\",");
     let _ = writeln!(
         json,
-        "  \"join\": \"left-outer hash join, zero-copy build side\","
+        "  \"join\": \"left-outer hash join, radix-partitioned zero-copy build side\","
     );
     let _ = writeln!(json, "  \"probe_rows\": {PROBE_ROWS},");
     let _ = writeln!(json, "  \"build_rows\": {BUILD_ROWS},");
@@ -116,16 +159,23 @@ fn main() {
     );
     let _ = writeln!(json, "  \"reps\": {REPS},");
     let _ = writeln!(json, "  \"results\": [");
-    for (i, (threads, secs, rps)) in results.iter().enumerate() {
-        let comma = if i + 1 == results.len() { "" } else { "," };
+    for (i, c) in cells.iter().enumerate() {
+        let comma = if i + 1 == cells.len() { "" } else { "," };
         let _ = writeln!(
             json,
-            "    {{\"threads\": {threads}, \"best_secs\": {secs:.6}, \"probe_rows_per_sec\": {rps:.0}}}{comma}"
+            "    {{\"threads\": {}, \"partitions\": {}, \"best_secs\": {:.6}, \
+             \"build_secs\": {:.6}, \"probe_secs\": {:.6}, \"probe_rows_per_sec\": {:.0}}}{comma}",
+            c.threads, c.partitions, c.best_secs, c.build_secs, c.probe_secs, c.rows_per_sec
         );
     }
     let _ = writeln!(json, "  ],");
-    let _ = writeln!(json, "  \"speedup_2_threads\": {:.3},", speedup_at(2));
-    let _ = writeln!(json, "  \"speedup_4_threads\": {:.3}", speedup_at(4));
+    let _ = writeln!(json, "  \"speedup_2_threads\": {:.3},", rps_at(2, 1) / base);
+    let _ = writeln!(json, "  \"speedup_4_threads\": {:.3},", rps_at(4, 1) / base);
+    let _ = writeln!(
+        json,
+        "  \"speedup_16_partitions\": {:.3}",
+        rps_at(1, 16) / base
+    );
     json.push_str("}\n");
 
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");

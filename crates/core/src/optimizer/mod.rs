@@ -75,6 +75,13 @@ pub struct Optimized {
     /// Plan-cache accounting for this optimization (all zero on the
     /// non-reordering fallback path, which never consults the cache).
     pub cache: CacheStats,
+    /// Hash-join partition count suggested from catalog statistics (the
+    /// largest base-relation cardinality in the query, fed through
+    /// [`fro_exec::suggest_partitions`]). A hint, not a mandate: the
+    /// session front door substitutes it when the caller's
+    /// [`ExecConfig`] says "auto" (`partitions = 0`), and results are
+    /// identical at any partition count regardless.
+    pub suggested_partitions: usize,
 }
 
 impl Optimized {
@@ -94,8 +101,8 @@ impl Optimized {
         );
         let _ = writeln!(
             out,
-            "reordered: {}  pairs_examined: {}",
-            self.reordered, self.pairs_examined
+            "reordered: {}  pairs_examined: {}  suggested_partitions: {}",
+            self.reordered, self.pairs_examined, self.suggested_partitions
         );
         let _ = writeln!(out, "plan_cache: {}", self.cache);
         out
@@ -132,6 +139,17 @@ impl Optimized {
 /// [`OptError`] for unsupported operators or oversized DP inputs.
 pub fn optimize(q: &Query, catalog: &Catalog, policy: Policy) -> Result<Optimized, OptError> {
     let analysis = analyze(q, policy);
+    // Partition hint from catalog statistics: the build side of any
+    // join in any ordering is bounded by the largest base relation, so
+    // size partitions for that worst case. Purely advisory — every
+    // partition count yields bit-identical results.
+    let suggested_partitions = fro_exec::suggest_partitions(
+        q.rels()
+            .iter()
+            .map(|r| catalog.rows_of(r))
+            .max()
+            .unwrap_or(0),
+    );
     if analysis.is_freely_reorderable() {
         if let Some(g) = &analysis.graph {
             // One signature computation covers both the DP and the
@@ -147,6 +165,7 @@ pub fn optimize(q: &Query, catalog: &Catalog, policy: Policy) -> Result<Optimize
                         reordered: true,
                         pairs_examined: r.pairs_examined,
                         cache: r.cache,
+                        suggested_partitions,
                     })
                 }
                 // Too large for exhaustive DP: reorder greedily.
@@ -160,6 +179,7 @@ pub fn optimize(q: &Query, catalog: &Catalog, policy: Policy) -> Result<Optimize
                             reordered: true,
                             pairs_examined: r.merges_examined,
                             cache: r.cache,
+                            suggested_partitions,
                         });
                     }
                 }
@@ -177,6 +197,7 @@ pub fn optimize(q: &Query, catalog: &Catalog, policy: Policy) -> Result<Optimize
         reordered: false,
         pairs_examined: 0,
         cache: CacheStats::default(),
+        suggested_partitions,
     })
 }
 

@@ -6,10 +6,27 @@
 //! and each worker probes into a private output buffer. Buffers are
 //! concatenated in morsel-index order, so the output rows — order
 //! included — are bit-identical to a sequential probe regardless of
-//! scheduling. The hash-join build side is materialized once into a
-//! shared immutable [`JoinTable`] that stores only key *hashes* and row
-//! ids (no key values are copied); candidates are re-checked for exact
-//! key equality against the pinned build rows.
+//! scheduling. The hash-join build side is materialized into a shared
+//! immutable [`JoinTable`] of **radix partitions**: the high 32 bits of
+//! each key's 64-bit hash select a partition-local bucket map, the full
+//! hash selects the bucket. Only key *hashes* and row ids are stored
+//! (no key values are copied); candidates are re-checked for exact key
+//! equality against the pinned build rows. The build itself is
+//! morsel-parallel: workers scatter `(hash, row id)` pairs into
+//! per-morsel buffers, the buffers are replayed in morsel-index order
+//! (morsels are contiguous ascending row ranges, so replay order is
+//! ascending row order), and each partition's bucket map is then built
+//! independently — bucket chains, and with them output rows, order,
+//! and every counter, are bit-identical to a sequential single-table
+//! build at any partition count, thread count, and morsel size.
+//! Probes compute each key hash once and reuse it for both partition
+//! selection and bucket lookup.
+//!
+//! Residual predicates are bound through the storage interner when
+//! possible ([`fro_algebra::ops::BoundPred::bind_interned`]): attribute
+//! resolution is then a dense `AttrId`-indexed array read instead of a
+//! name lookup, with the name-based path kept as the fallback for
+//! derived attributes.
 //!
 //! Counter semantics (Example 1's accounting):
 //! * `Scan` retrieves every tuple of its table;
@@ -26,8 +43,8 @@ use crate::config::ExecConfig;
 use crate::plan::{JoinKind, PhysPlan};
 use crate::stats::ExecStats;
 use crate::storage::Storage;
-use fro_algebra::ops::BoundPred;
-use fro_algebra::{AlgebraError, Attr, Pred, Relation, Schema, Tuple, Value};
+use fro_algebra::ops::{AttrCols, BoundPred, IPred};
+use fro_algebra::{AlgebraError, Attr, Interner, Pred, Relation, Schema, Tuple, Value};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::{HashMap, HashSet};
 use std::fmt;
@@ -35,6 +52,7 @@ use std::hash::{Hash, Hasher};
 use std::ops::Range;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Execution failures.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -85,6 +103,29 @@ impl From<AlgebraError> for ExecError {
     fn from(e: AlgebraError) -> Self {
         ExecError::Algebra(e)
     }
+}
+
+/// Bind a predicate for evaluation against `schema`, preferring the
+/// interned path: when every attribute of `pred` is known to the
+/// storage interner, binding is `AttrId`-indexed array reads (the
+/// precomputed resolutions carried by [`IPred`]); otherwise — derived
+/// attributes, or no interner in scope — fall back to name-based
+/// [`BoundPred::bind`], which also owns the diagnosable error. Both
+/// paths bind to identical column offsets.
+fn bind_pred(
+    pred: &Pred,
+    schema: &Schema,
+    interner: Option<&Interner>,
+) -> Result<BoundPred, ExecError> {
+    if let Some(it) = interner {
+        if let Some(ip) = IPred::from_pred(pred, it) {
+            let cols = AttrCols::for_schema(schema, it);
+            if let Some(bound) = BoundPred::bind_interned(&ip, &cols) {
+                return Ok(bound);
+            }
+        }
+    }
+    BoundPred::bind(pred, schema).map_err(ExecError::from)
 }
 
 fn resolve_cols(schema: &Schema, attrs: &[Attr]) -> Result<Vec<usize>, ExecError> {
@@ -167,50 +208,201 @@ fn keys_eq(a: &Tuple, a_cols: &[usize], b: &Tuple, b_cols: &[usize]) -> bool {
         .all(|(&ac, &bc)| a.get(ac) == b.get(bc))
 }
 
+/// Which of `p` radix partitions a key hash lands in: the **high** 32
+/// bits pick the partition, leaving the low bits (which `HashMap`
+/// consumes first) for bucket selection inside the partition. The
+/// partition is a pure function of the hash, so a partitioned table
+/// holds exactly the buckets of a single global table, just spread
+/// over `p` maps — which is what makes every partition count produce
+/// identical join results.
+#[inline]
+fn partition_of(h: u64, p: usize) -> usize {
+    if p <= 1 {
+        0
+    } else {
+        #[allow(clippy::cast_possible_truncation)]
+        let hi = (h >> 32) as usize;
+        hi % p
+    }
+}
+
+/// One build row scattered during the parallel build: its key hash and
+/// row id, in row order within the morsel.
+type ScatterEntry = (u64, u32);
+
+/// A build worker's take-home: per-morsel scatter buffers tagged with
+/// their morsel index, plus its private counter accumulator.
+type BuildWorkerOutput = (Vec<(usize, Vec<ScatterEntry>)>, ExecStats);
+
 /// The shared, immutable build side of a hash join: the pinned build
-/// rows plus a map from key *hash* to the row ids in that bucket.
-/// Build keys are borrowed from the pinned rows — nothing is cloned —
-/// and every bucket candidate is re-checked for exact key equality
-/// against the probe row, so a 64-bit hash collision can never yield a
-/// wrong match (or a wrong `comparisons` count: the counter ticks only
-/// on exact-key candidates, exactly as the value-keyed table did).
+/// rows plus, per radix partition, a map from key *hash* to the row
+/// ids in that bucket. Build keys are borrowed from the pinned rows —
+/// nothing is cloned — and every bucket candidate is re-checked for
+/// exact key equality against the probe row, so a 64-bit hash
+/// collision can never yield a wrong match (or a wrong `comparisons`
+/// count: the counter ticks only on exact-key candidates, exactly as
+/// the value-keyed table did). With one partition this is the original
+/// global table, bit for bit.
 struct JoinTable<'a> {
     rows: &'a [Tuple],
     key_cols: &'a [usize],
-    buckets: HashMap<u64, Vec<u32>>,
+    parts: Vec<HashMap<u64, Vec<u32>>>,
 }
 
 impl<'a> JoinTable<'a> {
-    fn build(rows: &'a [Tuple], key_cols: &'a [usize], stats: &mut ExecStats) -> JoinTable<'a> {
+    /// Build the partitioned table. Determinism: morsels are contiguous
+    /// ascending row ranges, scatter buffers are replayed in
+    /// morsel-index order, and rows scatter in row order within each
+    /// morsel — so every bucket's row-id chain is ascending, exactly
+    /// the chain a sequential pass over `rows` builds, no matter how
+    /// many workers ran or how the scheduler interleaved them.
+    fn build(
+        rows: &'a [Tuple],
+        key_cols: &'a [usize],
+        p: usize,
+        cfg: &ExecConfig,
+        stats: &mut ExecStats,
+    ) -> JoinTable<'a> {
         assert!(
             u32::try_from(rows.len()).is_ok(),
             "build side exceeds u32 row ids"
         );
-        let mut buckets: HashMap<u64, Vec<u32>> = HashMap::new();
-        for (rid, row) in rows.iter().enumerate() {
-            if let Some(h) = hash_key(row, key_cols) {
-                #[allow(clippy::cast_possible_truncation)]
-                buckets.entry(h).or_default().push(rid as u32);
+        stats.partition.note_partitions(p);
+        let morsel = cfg.morsel_rows.max(1);
+        let n_morsels = rows.len().div_ceil(morsel);
+        let threads = cfg.effective_threads().min(n_morsels.max(1));
+        if threads <= 1 {
+            // Sequential fast path: scatter straight into the bucket
+            // maps — no worker spawn, no scatter buffers.
+            let mut parts: Vec<HashMap<u64, Vec<u32>>> = vec![HashMap::new(); p];
+            for (rid, row) in rows.iter().enumerate() {
+                if let Some(h) = hash_key(row, key_cols) {
+                    let pt = partition_of(h, p);
+                    stats.partition.add_build(pt);
+                    #[allow(clippy::cast_possible_truncation)]
+                    parts[pt].entry(h).or_default().push(rid as u32);
+                }
+                // Null-keyed rows still count: Example 1 charges the
+                // build for every row it reads.
+                stats.hash_build_rows += 1;
             }
-            // Null-keyed rows still count: Example 1 charges the build
-            // for every row it reads.
-            stats.hash_build_rows += 1;
+            return JoinTable {
+                rows,
+                key_cols,
+                parts,
+            };
         }
+
+        // Phase 1 — parallel scatter: workers claim morsels and emit
+        // (hash, row id) pairs in row order, tagged by morsel index.
+        let next = AtomicUsize::new(0);
+        let results: Vec<BuildWorkerOutput> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut produced: Vec<(usize, Vec<ScatterEntry>)> = Vec::new();
+                        let mut local = ExecStats::new();
+                        loop {
+                            let m = next.fetch_add(1, Ordering::Relaxed);
+                            if m >= n_morsels {
+                                break;
+                            }
+                            let lo = m * morsel;
+                            let hi = (lo + morsel).min(rows.len());
+                            let mut buf: Vec<ScatterEntry> = Vec::with_capacity(hi - lo);
+                            for (rid, row) in rows[lo..hi].iter().enumerate() {
+                                if let Some(h) = hash_key(row, key_cols) {
+                                    local.partition.add_build(partition_of(h, p));
+                                    #[allow(clippy::cast_possible_truncation)]
+                                    buf.push((h, (lo + rid) as u32));
+                                }
+                                local.hash_build_rows += 1;
+                            }
+                            produced.push((m, buf));
+                        }
+                        (produced, local)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("build worker panicked"))
+                .collect()
+        });
+        let mut scatters: Vec<(usize, Vec<ScatterEntry>)> = Vec::with_capacity(n_morsels);
+        for (produced, local) in results {
+            stats.merge(&local);
+            scatters.extend(produced);
+        }
+        scatters.sort_unstable_by_key(|&(m, _)| m);
+
+        // Phase 2 — per-partition merge: partitions are disjoint, so
+        // workers build whole bucket maps independently, each replaying
+        // the scatter buffers in the same morsel order.
+        let build_part = |pt: usize| -> HashMap<u64, Vec<u32>> {
+            let mut buckets: HashMap<u64, Vec<u32>> = HashMap::new();
+            for (_, buf) in &scatters {
+                for &(h, rid) in buf {
+                    if partition_of(h, p) == pt {
+                        buckets.entry(h).or_default().push(rid);
+                    }
+                }
+            }
+            buckets
+        };
+        let merge_threads = threads.min(p);
+        let parts: Vec<HashMap<u64, Vec<u32>>> = if merge_threads <= 1 {
+            (0..p).map(build_part).collect()
+        } else {
+            let next_part = AtomicUsize::new(0);
+            let mut built: Vec<(usize, HashMap<u64, Vec<u32>>)> = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..merge_threads)
+                    .map(|_| {
+                        scope.spawn(|| {
+                            let mut mine = Vec::new();
+                            loop {
+                                let pt = next_part.fetch_add(1, Ordering::Relaxed);
+                                if pt >= p {
+                                    break;
+                                }
+                                mine.push((pt, build_part(pt)));
+                            }
+                            mine
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("merge worker panicked"))
+                    .collect()
+            });
+            built.sort_unstable_by_key(|&(pt, _)| pt);
+            built.into_iter().map(|(_, buckets)| buckets).collect()
+        };
         JoinTable {
             rows,
             key_cols,
-            buckets,
+            parts,
         }
     }
 
-    /// Exact-key candidates for `probe_row`, in build-row order.
-    fn candidates<'t>(
+    /// The partition a probe-key hash selects.
+    #[inline]
+    fn partition_index(&self, h: u64) -> usize {
+        partition_of(h, self.parts.len())
+    }
+
+    /// Exact-key candidates for `probe_row` given its precomputed key
+    /// hash (`None` when any key value was null), in build-row order.
+    /// The hash is computed once per probe row and reused for both
+    /// partition selection and bucket lookup.
+    fn candidates_hashed<'t>(
         &'t self,
+        h: Option<u64>,
         probe_row: &'t Tuple,
         probe_cols: &'t [usize],
     ) -> impl Iterator<Item = (usize, &'t Tuple)> + 't {
-        hash_key(probe_row, probe_cols)
-            .and_then(|h| self.buckets.get(&h))
+        h.and_then(|h| self.parts[self.partition_index(h)].get(&h))
             .map_or(&[][..], Vec::as_slice)
             .iter()
             .map(|&rid| (rid as usize, &self.rows[rid as usize]))
@@ -292,12 +484,11 @@ fn probe_in_morsels<F>(
     let morsel = cfg.morsel_rows.max(1);
     let n_morsels = n_rows.div_ceil(morsel);
     let threads = cfg.effective_threads().min(n_morsels.max(1));
-    if threads <= 1 {
-        // Sequential fast path: one pass over the whole range, writing
-        // straight into the caller's buffer.
-        let mut local = ExecStats::new();
-        work(0..n_rows, out, &mut local);
-        stats.merge(&local);
+    if threads <= 1 || n_morsels <= 1 {
+        // Degenerate path (one worker or one morsel): a single pass on
+        // the calling thread, writing straight into the caller's buffer
+        // and counters — no spawn, no scratch allocation at all.
+        work(0..n_rows, out, stats);
         return;
     }
     let next = AtomicUsize::new(0);
@@ -384,7 +575,7 @@ fn run(
         }
         PhysPlan::Filter { input, pred } => {
             let rel = run(input, storage, stats, cfg)?;
-            let bound = BoundPred::bind(pred, rel.schema()).map_err(ExecError::from)?;
+            let bound = bind_pred(pred, rel.schema(), Some(storage.interner()))?;
             let rows: Vec<Tuple> = rel
                 .iter()
                 .filter(|t| {
@@ -413,7 +604,15 @@ fn run(
             let probe_rel = run(probe, storage, stats, cfg)?;
             let build_rel = run(build, storage, stats, cfg)?;
             hash_join(
-                *kind, &probe_rel, &build_rel, probe_keys, build_keys, residual, stats, cfg,
+                *kind,
+                &probe_rel,
+                &build_rel,
+                probe_keys,
+                build_keys,
+                residual,
+                Some(storage.interner()),
+                stats,
+                cfg,
             )?
         }
         PhysPlan::IndexJoin {
@@ -429,7 +628,16 @@ fn run(
             }
             let outer_rel = run(outer, storage, stats, cfg)?;
             index_join(
-                *kind, &outer_rel, inner, outer_keys, inner_keys, residual, storage, stats, cfg,
+                *kind,
+                &outer_rel,
+                inner,
+                outer_keys,
+                inner_keys,
+                residual,
+                Some(storage.interner()),
+                storage,
+                stats,
+                cfg,
             )?
         }
         PhysPlan::MergeJoin {
@@ -445,7 +653,16 @@ fn run(
             }
             let l = run(left, storage, stats, cfg)?;
             let r = run(right, storage, stats, cfg)?;
-            merge_join(*kind, &l, &r, left_keys, right_keys, residual, stats)?
+            merge_join(
+                *kind,
+                &l,
+                &r,
+                left_keys,
+                right_keys,
+                residual,
+                Some(storage.interner()),
+                stats,
+            )?
         }
         PhysPlan::NlJoin {
             kind,
@@ -455,7 +672,7 @@ fn run(
         } => {
             let l = run(left, storage, stats, cfg)?;
             let r = run(right, storage, stats, cfg)?;
-            nl_join(*kind, &l, &r, pred, stats, cfg)?
+            nl_join(*kind, &l, &r, pred, Some(storage.interner()), stats, cfg)?
         }
         PhysPlan::GroupCount {
             input,
@@ -490,9 +707,53 @@ fn hash_join(
     probe_keys: &[Attr],
     build_keys: &[Attr],
     residual: &Pred,
+    it: Option<&Interner>,
     stats: &mut ExecStats,
     cfg: &ExecConfig,
 ) -> Result<Relation, ExecError> {
+    hash_join_phased(
+        kind, probe, build, probe_keys, build_keys, residual, it, stats, cfg,
+    )
+    .map(|(rel, _, _)| rel)
+}
+
+/// [`hash_join`] exposed for the engine bench with per-phase wall-clock:
+/// returns the join result plus `(build_secs, probe_secs)`. The timings
+/// are measurement side-channels only — they never enter [`ExecStats`],
+/// so counter equality across configurations is unaffected.
+///
+/// # Errors
+/// Same failure modes as [`execute`]: unresolved key attributes or an
+/// unconcatenable pair of schemas.
+#[doc(hidden)]
+#[allow(clippy::too_many_arguments)]
+pub fn hash_join_timed(
+    kind: JoinKind,
+    probe: &Relation,
+    build: &Relation,
+    probe_keys: &[Attr],
+    build_keys: &[Attr],
+    residual: &Pred,
+    stats: &mut ExecStats,
+    cfg: &ExecConfig,
+) -> Result<(Relation, f64, f64), ExecError> {
+    hash_join_phased(
+        kind, probe, build, probe_keys, build_keys, residual, None, stats, cfg,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn hash_join_phased(
+    kind: JoinKind,
+    probe: &Relation,
+    build: &Relation,
+    probe_keys: &[Attr],
+    build_keys: &[Attr],
+    residual: &Pred,
+    it: Option<&Interner>,
+    stats: &mut ExecStats,
+    cfg: &ExecConfig,
+) -> Result<(Relation, f64, f64), ExecError> {
     let probe_cols = resolve_cols(probe.schema(), probe_keys)?;
     let build_cols = resolve_cols(build.schema(), build_keys)?;
 
@@ -508,11 +769,15 @@ fn hash_join(
     } else {
         probe.schema().clone()
     };
-    let residual_bound = BoundPred::bind(residual, &concat_schema).map_err(ExecError::from)?;
+    let residual_bound = bind_pred(residual, &concat_schema, it)?;
 
-    // Build once, sequentially, into a shared immutable table; workers
-    // only ever read it.
-    let table = JoinTable::build(build.rows(), &build_cols, stats);
+    // Build once into a shared immutable partitioned table; probe
+    // workers only ever read it. The partition count resolves against
+    // the actual build cardinality when the config says "auto".
+    let p = cfg.effective_partitions(build.len());
+    let build_start = Instant::now();
+    let table = JoinTable::build(build.rows(), &build_cols, p, cfg, stats);
+    let build_secs = build_start.elapsed().as_secs_f64();
     let kernel = JoinKernel {
         kind,
         residual: &residual_bound,
@@ -524,12 +789,19 @@ fn hash_join(
     let build_matched: Option<Vec<AtomicBool>> = (kind == JoinKind::FullOuter)
         .then(|| (0..build.len()).map(|_| AtomicBool::new(false)).collect());
 
+    let probe_start = Instant::now();
     let mut rows = Vec::new();
     probe_in_morsels(probe.len(), cfg, stats, &mut rows, |range, buf, local| {
         for prow in &probe.rows()[range] {
+            // One hash per probe row, reused for partition selection
+            // and bucket lookup.
+            let h = hash_key(prow, &probe_cols);
+            if let Some(h) = h {
+                local.partition.add_probe(table.partition_index(h));
+            }
             kernel.probe_row(
                 prow,
-                table.candidates(prow, &probe_cols),
+                table.candidates_hashed(h, prow, &probe_cols),
                 buf,
                 local,
                 |rid| {
@@ -550,7 +822,12 @@ fn hash_join(
         }
         dedup_rows(&mut rows);
     }
-    Ok(Relation::from_distinct_rows(out_schema, rows))
+    let probe_secs = probe_start.elapsed().as_secs_f64();
+    Ok((
+        Relation::from_distinct_rows(out_schema, rows),
+        build_secs,
+        probe_secs,
+    ))
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -561,6 +838,7 @@ fn index_join(
     outer_keys: &[Attr],
     inner_keys: &[Attr],
     residual: &Pred,
+    it: Option<&Interner>,
     storage: &Storage,
     stats: &mut ExecStats,
     cfg: &ExecConfig,
@@ -603,7 +881,7 @@ fn index_join(
     } else {
         outer.schema().clone()
     };
-    let residual_bound = BoundPred::bind(residual, &concat_schema).map_err(ExecError::from)?;
+    let residual_bound = bind_pred(residual, &concat_schema, it)?;
 
     let kernel = JoinKernel {
         kind,
@@ -639,6 +917,7 @@ fn index_join(
 /// columns, then merge equal-key groups. Rows with a null key never
 /// match (SQL equality) and are emitted padded/kept for the outer/anti
 /// flavors.
+#[allow(clippy::too_many_arguments)]
 fn merge_join(
     kind: JoinKind,
     left: &Relation,
@@ -646,6 +925,7 @@ fn merge_join(
     left_keys: &[Attr],
     right_keys: &[Attr],
     residual: &Pred,
+    it: Option<&Interner>,
     stats: &mut ExecStats,
 ) -> Result<Relation, ExecError> {
     let lcols = resolve_cols(left.schema(), left_keys)?;
@@ -660,7 +940,7 @@ fn merge_join(
     } else {
         left.schema().clone()
     };
-    let bound = BoundPred::bind(residual, &concat_schema).map_err(ExecError::from)?;
+    let bound = bind_pred(residual, &concat_schema, it)?;
 
     // Sorted index runs over non-null-keyed rows; null-keyed rows go
     // straight to the unmatched sets.
@@ -770,6 +1050,7 @@ fn nl_join(
     left: &Relation,
     right: &Relation,
     pred: &Pred,
+    it: Option<&Interner>,
     stats: &mut ExecStats,
     cfg: &ExecConfig,
 ) -> Result<Relation, ExecError> {
@@ -783,7 +1064,7 @@ fn nl_join(
     } else {
         left.schema().clone()
     };
-    let bound = BoundPred::bind(pred, &concat_schema).map_err(ExecError::from)?;
+    let bound = bind_pred(pred, &concat_schema, it)?;
     let kernel = JoinKernel {
         kind,
         residual: &bound,
@@ -849,6 +1130,18 @@ pub fn explain_analyze_with(
         out.push_str(&format!("  (rows={rows})\n"));
     }
     out.push_str(&format!("totals: {stats}\n"));
+    if stats.partition.used() > 0 {
+        // Per-partition build/probe breakdown of every hash join in the
+        // plan. Thread-count and morsel-size invariant (counters merge
+        // deterministically); it *does* change shape with the partition
+        // count, which is exactly what it is for.
+        out.push_str(&format!(
+            "partitions: P={} build={:?} probe={:?}\n",
+            stats.partition.used(),
+            stats.partition.build_rows(),
+            stats.partition.probe_rows()
+        ));
+    }
     Ok((rel, out))
 }
 
@@ -873,7 +1166,7 @@ fn annotate(
         }
         PhysPlan::Filter { input, pred } => {
             let child = annotate(input, storage, stats, depth + 1, lines, cfg)?;
-            let bound = BoundPred::bind(pred, child.schema()).map_err(ExecError::from)?;
+            let bound = bind_pred(pred, child.schema(), Some(storage.interner()))?;
             let rows: Vec<Tuple> = child
                 .iter()
                 .filter(|t| {
@@ -909,7 +1202,17 @@ fn annotate(
             let b = annotate(build, storage, stats, depth + 1, lines, cfg)?;
             (
                 format!("HashJoin({kind})"),
-                hash_join(*kind, &p, &b, probe_keys, build_keys, residual, stats, cfg)?,
+                hash_join(
+                    *kind,
+                    &p,
+                    &b,
+                    probe_keys,
+                    build_keys,
+                    residual,
+                    Some(storage.interner()),
+                    stats,
+                    cfg,
+                )?,
             )
         }
         PhysPlan::IndexJoin {
@@ -927,7 +1230,16 @@ fn annotate(
             (
                 format!("IndexJoin({kind}) {inner}"),
                 index_join(
-                    *kind, &o, inner, outer_keys, inner_keys, residual, storage, stats, cfg,
+                    *kind,
+                    &o,
+                    inner,
+                    outer_keys,
+                    inner_keys,
+                    residual,
+                    Some(storage.interner()),
+                    storage,
+                    stats,
+                    cfg,
                 )?,
             )
         }
@@ -946,7 +1258,16 @@ fn annotate(
             let r = annotate(right, storage, stats, depth + 1, lines, cfg)?;
             (
                 format!("MergeJoin({kind})"),
-                merge_join(*kind, &l, &r, left_keys, right_keys, residual, stats)?,
+                merge_join(
+                    *kind,
+                    &l,
+                    &r,
+                    left_keys,
+                    right_keys,
+                    residual,
+                    Some(storage.interner()),
+                    stats,
+                )?,
             )
         }
         PhysPlan::NlJoin {
@@ -959,7 +1280,7 @@ fn annotate(
             let r = annotate(right, storage, stats, depth + 1, lines, cfg)?;
             (
                 format!("NlJoin({kind})"),
-                nl_join(*kind, &l, &r, pred, stats, cfg)?,
+                nl_join(*kind, &l, &r, pred, Some(storage.interner()), stats, cfg)?,
             )
         }
         PhysPlan::GroupCount {
@@ -1616,6 +1937,57 @@ mod tests {
     }
 
     #[test]
+    fn partitioned_hash_join_is_bit_identical_to_sequential() {
+        let s = skewed_storage();
+        for kind in ALL_KINDS {
+            let plan = PhysPlan::HashJoin {
+                kind,
+                probe: Box::new(PhysPlan::scan("P")),
+                build: Box::new(PhysPlan::scan("B")),
+                probe_keys: vec![Attr::parse("P.k")],
+                build_keys: vec![Attr::parse("B.k")],
+                residual: Pred::cmp_attr("P.id", fro_algebra::CmpOp::Lt, "B.id"),
+            };
+            let mut seq_stats = ExecStats::new();
+            let seq = execute(&plan, &s, &mut seq_stats).unwrap();
+            for partitions in [1, 2, 8, 64] {
+                // morsel=7 splits the 30-row build into 5 morsels, so
+                // threads≥2 exercises the two-phase parallel build.
+                for (threads, morsel) in [(1, 7), (2, 7), (8, 1), (3, 100_000)] {
+                    let cfg = ExecConfig::with_threads(threads)
+                        .morsel_rows(morsel)
+                        .partitions(partitions);
+                    let mut st = ExecStats::new();
+                    let par = execute_with(&plan, &s, &mut st, &cfg).unwrap();
+                    assert_eq!(
+                        par.rows(),
+                        seq.rows(),
+                        "{kind} P={partitions} threads={threads} morsel={morsel}"
+                    );
+                    assert_eq!(
+                        st, seq_stats,
+                        "{kind} P={partitions} threads={threads} morsel={morsel}"
+                    );
+                    assert_eq!(st.partition.used(), partitions, "{kind} P={partitions}");
+                    // 25 of 30 build rows carry a non-null key; the
+                    // breakdown redistributes them but never loses one.
+                    assert_eq!(
+                        st.partition.build_rows().iter().sum::<u64>(),
+                        25,
+                        "{kind} P={partitions}"
+                    );
+                    // 90 of 100 probe rows carry a non-null key.
+                    assert_eq!(
+                        st.partition.probe_rows().iter().sum::<u64>(),
+                        90,
+                        "{kind} P={partitions}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
     fn parallel_nl_join_is_bit_identical_to_sequential() {
         let s = skewed_storage();
         for kind in ALL_KINDS {
@@ -1752,5 +2124,25 @@ mod tests {
         let (par_rel, par_report) = explain_analyze_with(&plan, &s, &cfg).unwrap();
         assert_eq!(seq_rel.rows(), par_rel.rows());
         assert_eq!(seq_report, par_report);
+    }
+
+    #[test]
+    fn explain_analyze_reports_partition_breakdown() {
+        let s = skewed_storage();
+        let plan = PhysPlan::HashJoin {
+            kind: JoinKind::Inner,
+            probe: Box::new(PhysPlan::scan("P")),
+            build: Box::new(PhysPlan::scan("B")),
+            probe_keys: vec![Attr::parse("P.k")],
+            build_keys: vec![Attr::parse("B.k")],
+            residual: Pred::always(),
+        };
+        let cfg = ExecConfig::new().partitions(8);
+        let (_, report) = explain_analyze_with(&plan, &s, &cfg).unwrap();
+        assert!(report.contains("partitions: P=8 build=["), "{report}");
+        // The breakdown line is thread-count invariant at a fixed P.
+        let par_cfg = ExecConfig::with_threads(8).morsel_rows(16).partitions(8);
+        let (_, par_report) = explain_analyze_with(&plan, &s, &par_cfg).unwrap();
+        assert_eq!(report, par_report);
     }
 }

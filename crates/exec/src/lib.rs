@@ -52,8 +52,8 @@ pub mod plan;
 pub mod stats;
 pub mod storage;
 
-pub use config::ExecConfig;
+pub use config::{suggest_partitions, ExecConfig, MAX_PARTITIONS};
 pub use engine::{execute, execute_with, explain_analyze, explain_analyze_with, ExecError};
 pub use plan::{JoinKind, PhysPlan};
-pub use stats::ExecStats;
-pub use storage::{Storage, Table};
+pub use stats::{ExecStats, PartitionStats};
+pub use storage::{Storage, Table, SHARD_SIZE};

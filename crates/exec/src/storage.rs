@@ -1,5 +1,14 @@
 //! In-memory storage: tables plus their hash indexes, resolved through
-//! a dense `RelId → Table` vector.
+//! dense `RelId`-indexed **shards**.
+//!
+//! Tables live in fixed-size shards of [`SHARD_SIZE`] consecutive
+//! [`RelId`]s: shard `i` holds ids `[i·SHARD_SIZE, (i+1)·SHARD_SIZE)`.
+//! An id lookup is still two bounds-checked array reads (shard, slot) —
+//! no hashing, no string compare — while [`Storage::shards`] exposes
+//! the id-range decomposition so bulk passes (statistics refresh,
+//! catalog scans, parallel loaders) can claim disjoint contiguous id
+//! ranges without coordinating. Growing a new shard never moves
+//! existing tables, unlike a reallocating flat vector.
 //!
 //! Names are interned exactly once, at [`Storage::insert`]; every later
 //! lookup is an array index. Names legitimately enter at registration
@@ -82,12 +91,23 @@ impl Table {
     }
 }
 
-/// A set of tables, stored densely by [`RelId`] with an interner
-/// owning the name mapping.
+/// Id-range width of one storage shard: [`SHARD_SIZE`] consecutive
+/// [`RelId`]s per shard, split off the id by shift/mask.
+const SHARD_BITS: u32 = 4;
+/// Tables per shard (`1 << SHARD_BITS`).
+pub const SHARD_SIZE: usize = 1 << SHARD_BITS;
+const SHARD_MASK: usize = SHARD_SIZE - 1;
+
+/// A set of tables, stored densely by [`RelId`] across fixed-size
+/// shards, with an interner owning the name mapping.
 #[derive(Debug, Clone, Default)]
 pub struct Storage {
     interner: Interner,
-    tables: Vec<Table>,
+    /// `shards[s][i]` is the table with `RelId` `s * SHARD_SIZE + i`.
+    /// All shards but the last are exactly `SHARD_SIZE` long.
+    shards: Vec<Vec<Table>>,
+    /// Total registered tables (dense: ids `0..n_tables` are all live).
+    n_tables: usize,
     epoch: u64,
 }
 
@@ -120,19 +140,25 @@ impl Storage {
     }
 
     /// Register a table: interns the name (once) and places the table
-    /// in the dense slot its [`RelId`] names. Re-inserting a name
-    /// replaces the table under the same id.
+    /// in the dense slot its [`RelId`] names — growing a fresh shard
+    /// when the last one is full. Re-inserting a name replaces the
+    /// table under the same id. Existing tables never move.
     pub fn insert(&mut self, name: impl Into<String>, rel: Relation) -> &mut Table {
         let name = name.into();
         let id = self.interner.register_relation(&name, rel.schema());
+        let i = id.index();
         let table = Table::new(rel);
-        if id.index() == self.tables.len() {
-            self.tables.push(table);
+        if i == self.n_tables {
+            if i >> SHARD_BITS == self.shards.len() {
+                self.shards.push(Vec::with_capacity(SHARD_SIZE));
+            }
+            self.shards[i >> SHARD_BITS].push(table);
+            self.n_tables += 1;
         } else {
-            self.tables[id.index()] = table;
+            self.shards[i >> SHARD_BITS][i & SHARD_MASK] = table;
         }
         self.epoch += 1;
-        &mut self.tables[id.index()]
+        &mut self.shards[i >> SHARD_BITS][i & SHARD_MASK]
     }
 
     /// The data epoch: incremented by every table insert or index
@@ -155,11 +181,32 @@ impl Storage {
         self.interner.rel_id(name)
     }
 
-    /// Look up a table by dense id — the hot path: one bounds-checked
-    /// array read, no hashing, no string compare.
+    /// Look up a table by dense id — the hot path: two bounds-checked
+    /// array reads (shard, slot), no hashing, no string compare.
     #[must_use]
     pub fn get_by_id(&self, id: RelId) -> Option<&Table> {
-        self.tables.get(id.index())
+        let i = id.index();
+        self.shards
+            .get(i >> SHARD_BITS)
+            .and_then(|s| s.get(i & SHARD_MASK))
+    }
+
+    /// Number of registered tables (dense ids `0..n_tables()`).
+    #[must_use]
+    pub fn n_tables(&self) -> usize {
+        self.n_tables
+    }
+
+    /// The id-range shards: `(first_id, tables)` pairs where `tables[i]`
+    /// has id `first_id + i`. Shards partition `0..n_tables()` into
+    /// contiguous runs of at most [`SHARD_SIZE`] ids, so bulk passes
+    /// can fan out one worker per shard and cover every table exactly
+    /// once with no coordination beyond the shard index.
+    pub fn shards(&self) -> impl Iterator<Item = (RelId, &[Table])> {
+        self.shards
+            .iter()
+            .enumerate()
+            .map(|(s, tables)| (RelId::from_index(s << SHARD_BITS), tables.as_slice()))
     }
 
     /// Name-keyed table read, always available inside the crate (the
@@ -206,8 +253,10 @@ impl Storage {
     #[doc(hidden)]
     #[must_use]
     pub fn get_mut(&mut self, name: &str) -> Option<&mut Table> {
-        let id = self.interner.rel_id(name)?;
-        self.tables.get_mut(id.index())
+        let i = self.interner.rel_id(name)?.index();
+        self.shards
+            .get_mut(i >> SHARD_BITS)
+            .and_then(|s| s.get_mut(i & SHARD_MASK))
     }
 
     /// Create an index on `rel_name(attrs…)`; `false` if missing.
@@ -215,7 +264,12 @@ impl Storage {
         let Some(id) = self.interner.rel_id(rel_name) else {
             return false;
         };
-        let Some(t) = self.tables.get_mut(id.index()) else {
+        let i = id.index();
+        let Some(t) = self
+            .shards
+            .get_mut(i >> SHARD_BITS)
+            .and_then(|s| s.get_mut(i & SHARD_MASK))
+        else {
             return false;
         };
         let built = t.create_index(attrs);
@@ -228,10 +282,12 @@ impl Storage {
     /// Iterate `(name, table)` pairs in name order (deterministic
     /// regardless of insertion order).
     pub fn iter(&self) -> impl Iterator<Item = (&str, &Table)> {
-        let mut ids: Vec<RelId> = (0..self.tables.len()).map(RelId::from_index).collect();
+        let mut ids: Vec<RelId> = (0..self.n_tables).map(RelId::from_index).collect();
         ids.sort_by_key(|&id| self.interner.rel_name(id));
-        ids.into_iter()
-            .map(|id| (self.interner.rel_name(id), &self.tables[id.index()]))
+        ids.into_iter().map(|id| {
+            let t = self.get_by_id(id).expect("dense id within n_tables");
+            (self.interner.rel_name(id), t)
+        })
     }
 }
 
@@ -268,6 +324,56 @@ mod tests {
     fn table_empty_check() {
         let t = Table::new(Relation::from_ints("R", &["a"], &[]));
         assert!(t.is_empty());
+    }
+
+    #[test]
+    fn sharding_keeps_ids_dense_across_many_tables() {
+        let mut s = Storage::new();
+        let n = SHARD_SIZE * 3 + 5; // several full shards plus a partial
+        for i in 0..n {
+            s.insert(
+                format!("T{i:03}"),
+                Relation::from_ints(&format!("T{i:03}"), &["a"], &[&[i as i64]]),
+            );
+        }
+        assert_eq!(s.n_tables(), n);
+        assert_eq!(s.shards().count(), 4);
+        // Every id resolves, and shards partition the id space in order.
+        let mut seen = 0usize;
+        for (first, tables) in s.shards() {
+            assert_eq!(first.index(), seen);
+            assert!(tables.len() <= SHARD_SIZE);
+            for (off, t) in tables.iter().enumerate() {
+                let id = RelId::from_index(first.index() + off);
+                let via_id = s.get_by_id(id).unwrap();
+                assert_eq!(via_id.len(), t.len());
+            }
+            seen += tables.len();
+        }
+        assert_eq!(seen, n);
+        // Name-ordered iteration still covers everything exactly once.
+        assert_eq!(s.iter().count(), n);
+        // Replacement stays in place: same id, new contents, no growth.
+        s.insert(
+            "T001",
+            Relation::from_ints("T001", &["a"], &[&[7], &[8], &[9]]),
+        );
+        assert_eq!(s.n_tables(), n);
+        assert_eq!(s.get("T001").unwrap().len(), 3);
+    }
+
+    #[test]
+    fn indexes_work_on_tables_beyond_first_shard() {
+        let mut s = Storage::new();
+        for i in 0..(SHARD_SIZE + 2) {
+            s.insert(
+                format!("T{i:03}"),
+                Relation::from_ints(&format!("T{i:03}"), &["k"], &[&[1], &[2]]),
+            );
+        }
+        let late = format!("T{:03}", SHARD_SIZE + 1);
+        assert!(s.create_index(&late, &[Attr::parse(&format!("{late}.k"))]));
+        assert!(s.get(&late).unwrap().index_on(&[0]).is_some());
     }
 
     #[test]

@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Print metric deltas between the two most recent archived bench
+# snapshots (benches/history/<sha>-{engine,optimizer}.json, written by
+# ci.sh after each bench run).
+#
+# Pure shell + awk — no JSON tooling required: the snapshots are flat
+# enough that `"key": number` scans cover every top-level scalar
+# metric. Keys that repeat (the per-cell `results` rows) are skipped;
+# the summary scalars (row counts, speedups, totals) are what trend.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+diff_kind() {
+  kind="$1"
+  files=$(ls -t benches/history/*-"$kind".json 2>/dev/null | head -2 || true)
+  cur=$(printf '%s\n' "$files" | sed -n 1p)
+  prev=$(printf '%s\n' "$files" | sed -n 2p)
+  if [ -z "${prev:-}" ]; then
+    echo "bench_diff: fewer than two $kind snapshots, nothing to compare"
+    return 0
+  fi
+  echo "== $kind: $(basename "$prev") -> $(basename "$cur") =="
+  awk -v prev="$prev" -v cur="$cur" '
+    function scan(file, is_prev,   line, key, val) {
+      while ((getline line < file) > 0) {
+        if (match(line, /"[A-Za-z0-9_]+": *-?[0-9][0-9.]*/)) {
+          split(substr(line, RSTART, RLENGTH), kv, /": */)
+          key = substr(kv[1], 2)
+          val = kv[2] + 0
+          if (is_prev) {
+            if (!(key in pcount)) order[++n] = key
+            pcount[key]++; pval[key] = val
+          } else {
+            ccount[key]++; cval[key] = val
+          }
+        }
+      }
+      close(file)
+    }
+    BEGIN {
+      scan(prev, 1); scan(cur, 0)
+      for (i = 1; i <= n; i++) {
+        key = order[i]
+        if (pcount[key] > 1 || ccount[key] > 1) continue # per-row field
+        if (!(key in cval)) continue
+        d = cval[key] - pval[key]
+        pct = (pval[key] != 0) ? 100 * d / pval[key] : 0
+        printf "  %-24s %14g -> %14g  (%+.1f%%)\n", key, pval[key], cval[key], pct
+      }
+    }'
+}
+
+diff_kind engine
+diff_kind optimizer

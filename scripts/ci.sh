@@ -34,4 +34,14 @@ cargo run -q --release -p fro-bench --bin optimize
 echo "== plan-cache bench -> BENCH_plancache.json =="
 cargo run -q --release -p fro-bench --bin plancache
 
+echo "== archive bench snapshots under benches/history/ =="
+sha="$(git rev-parse --short HEAD 2>/dev/null || echo workdir)"
+mkdir -p benches/history
+cp BENCH_engine.json "benches/history/${sha}-engine.json"
+cp BENCH_optimizer.json "benches/history/${sha}-optimizer.json"
+echo "archived benches/history/${sha}-{engine,optimizer}.json"
+
+echo "== bench deltas vs previous snapshot =="
+scripts/bench_diff.sh || true
+
 echo "ci.sh: all checks passed"

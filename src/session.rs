@@ -185,6 +185,7 @@ impl Session {
             reordered,
             pairs_examined,
             cache,
+            suggested_partitions,
         } = optimized;
         let plan = t.restrictions.iter().fold(plan, |p, r| PhysPlan::Filter {
             input: Box::new(p),
@@ -203,6 +204,7 @@ impl Session {
                 reordered,
                 pairs_examined,
                 cache,
+                suggested_partitions,
             },
         })
     }
@@ -279,11 +281,20 @@ impl Prepared<'_> {
     /// [`FroError::Exec`] on engine failures.
     pub fn run_with_stats(&self) -> Result<(Relation, ExecStats), FroError> {
         let mut stats = ExecStats::new();
+        // When the session config leaves partitioning on "auto", bind
+        // the optimizer's catalog-statistics hint now; the engine's
+        // per-join build-cardinality fallback only kicks in for configs
+        // that bypass the session. Either choice yields bit-identical
+        // results — partitioning only moves work, never output.
+        let mut cfg = self.session.exec_config;
+        if cfg.partitions == 0 {
+            cfg.partitions = self.optimized.suggested_partitions;
+        }
         let out = execute_with(
             &self.optimized.plan,
             &self.session.storage,
             &mut stats,
-            &self.session.exec_config,
+            &cfg,
         )?;
         Ok((out, stats))
     }
