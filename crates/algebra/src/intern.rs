@@ -367,6 +367,15 @@ impl Interner {
         self.rel_names.iter().map(|n| n.as_ref())
     }
 
+    /// The name of an interned relation, or `None` for an id this
+    /// interner never produced — the non-panicking twin of
+    /// [`Interner::rel_name`], for resolving ids read from untrusted
+    /// input such as a wire-decoded plan.
+    #[must_use]
+    pub fn try_rel_name(&self, id: RelId) -> Option<&str> {
+        self.rel_names.get(id.index()).map(|n| n.as_ref())
+    }
+
     /// Look up an attribute id.
     #[must_use]
     pub fn attr_id(&self, attr: &Attr) -> Option<AttrId> {
@@ -380,6 +389,15 @@ impl Interner {
     #[must_use]
     pub fn attr(&self, id: AttrId) -> &Attr {
         &self.attrs[id.index()].attr
+    }
+
+    /// The qualified attribute an id names, or `None` for an id this
+    /// interner never produced — the non-panicking twin of
+    /// [`Interner::attr`], for resolving ids read from untrusted input
+    /// such as a wire-decoded plan.
+    #[must_use]
+    pub fn try_attr(&self, id: AttrId) -> Option<&Attr> {
+        self.attrs.get(id.index()).map(|e| &e.attr)
     }
 
     /// The owning relation of an attribute (precomputed).

@@ -30,7 +30,7 @@ pub use lower::lower;
 #[doc(hidden)]
 pub use lower::{lower_by_name, split_equi_by_name};
 pub use plancache::{
-    graph_signature, CacheCtx, CacheStats, CachedEntry, GraphSignature, PlanCache,
+    graph_signature, CacheCtx, CacheLoad, CacheStats, CachedEntry, GraphSignature, PlanCache,
 };
 pub use stats::{Catalog, TableInfo};
 

@@ -24,11 +24,16 @@
 
 use super::dp::Entry;
 use crate::reorder::Policy;
-use fro_algebra::{RelId, RelSet, SigHash, StableHasher};
+use fro_algebra::{Interner, RelId, RelSet, SigHash, StableHasher};
 use fro_exec::PhysPlan;
 use fro_graph::{EdgeKind, QueryGraph};
+use fro_wire::{
+    decode_snapshot, encode_snapshot, peek_snapshot_header, SnapshotEntry, SnapshotHeader,
+    WireError,
+};
 use std::collections::HashMap;
 use std::fmt;
+use std::path::Path;
 use std::sync::{Arc, Mutex};
 
 /// A stable structural hash of a query graph: interned relation names
@@ -42,6 +47,13 @@ impl GraphSignature {
     #[must_use]
     pub fn as_u64(self) -> u64 {
         self.0
+    }
+
+    /// Rebuild a signature from its raw digest — for loading persisted
+    /// cache snapshots, where the digest is the stored key.
+    #[must_use]
+    pub fn from_u64(raw: u64) -> GraphSignature {
+        GraphSignature(raw)
     }
 }
 
@@ -368,6 +380,142 @@ impl PlanCache {
     pub fn set_capacity(&self, capacity: usize) {
         self.lock().capacity = capacity.max(1);
     }
+
+    /// Persist every current-epoch entry to `path` as a `FROW`
+    /// snapshot. Stale entries (older epochs) are skipped — the file
+    /// only ever contains plans costed against the statistics the
+    /// header's `epoch`/`fingerprint` describe. Entries whose plans
+    /// reference names the interner no longer resolves are skipped
+    /// rather than failing the whole save. Returns the number of
+    /// entries written.
+    ///
+    /// # Errors
+    /// [`WireError::Io`] on filesystem failure; encoding itself cannot
+    /// fail for entries the skip-filter admits.
+    pub fn save(
+        &self,
+        path: impl AsRef<Path>,
+        it: &Interner,
+        epoch: u64,
+        fingerprint: u64,
+    ) -> Result<usize, WireError> {
+        let header = SnapshotHeader { epoch, fingerprint };
+        let entries: Vec<SnapshotEntry> = {
+            let guard = self.lock();
+            guard
+                .map
+                .iter()
+                .filter(|(_, slot)| slot.entry.epoch == epoch)
+                .map(|(key, slot)| {
+                    let e = &slot.entry;
+                    SnapshotEntry {
+                        sig: key.sig.as_u64(),
+                        set_bits: key.set,
+                        policy_tag: key.policy.wire_tag(),
+                        cost: e.cost,
+                        rows: e.rows,
+                        base: e.base,
+                        plan: e.plan.clone(),
+                    }
+                })
+                // Per-entry dry run against the same validation the
+                // final encode applies, so one unserializable entry is
+                // dropped instead of failing the whole save.
+                .filter(|e| encode_snapshot(header, std::slice::from_ref(e), it).is_ok())
+                .collect()
+        };
+        let bytes = encode_snapshot(header, &entries, it)?;
+        std::fs::write(path.as_ref(), bytes).map_err(|e| WireError::Io(e.to_string()))?;
+        Ok(entries.len())
+    }
+
+    /// Load a snapshot saved by [`PlanCache::save`], revalidating it
+    /// against the *current* catalog generation before trusting a
+    /// single entry:
+    ///
+    /// 1. wrong `fingerprint` (different tables/stats, so different
+    ///    name⇄id mapping) → [`CacheLoad::Foreign`], nothing decoded;
+    /// 2. right fingerprint, wrong `epoch` → [`CacheLoad::StaleEpoch`],
+    ///    nothing loaded (entries would be lazily evicted anyway);
+    /// 3. both match → entries decode, validate structurally, and are
+    ///    inserted at the current epoch.
+    ///
+    /// A mismatched snapshot is **not** an error — the cache simply
+    /// stays cold, which is always correct.
+    ///
+    /// # Errors
+    /// [`WireError::Io`] when the file cannot be read, or any decode
+    /// variant when a fingerprint-matching snapshot is corrupt.
+    pub fn load(
+        &self,
+        path: impl AsRef<Path>,
+        it: &Interner,
+        epoch: u64,
+        fingerprint: u64,
+    ) -> Result<CacheLoad, WireError> {
+        let bytes = std::fs::read(path.as_ref()).map_err(|e| WireError::Io(e.to_string()))?;
+        let header = peek_snapshot_header(&bytes)?;
+        if header.fingerprint != fingerprint {
+            return Ok(CacheLoad::Foreign);
+        }
+        if header.epoch != epoch {
+            return Ok(CacheLoad::StaleEpoch);
+        }
+        let (_, entries) = decode_snapshot(&bytes, it)?;
+        let mut guard = self.lock();
+        let inner = &mut *guard;
+        let mut loaded = 0usize;
+        for e in entries {
+            if inner.map.len() >= inner.capacity {
+                break;
+            }
+            let Some(policy) = Policy::from_wire_tag(e.policy_tag) else {
+                // decode_snapshot already range-checked the tag; a tag
+                // the wire layer admits but this build's Policy does
+                // not is future-proofing, not an expected path.
+                continue;
+            };
+            let key = CacheKey {
+                sig: GraphSignature::from_u64(e.sig),
+                set: e.set_bits,
+                policy,
+            };
+            inner.tick += 1;
+            let tick = inner.tick;
+            inner.map.insert(
+                key,
+                Slot {
+                    entry: Arc::new(CachedEntry {
+                        plan: e.plan,
+                        cost: e.cost,
+                        rows: e.rows,
+                        base: e.base,
+                        epoch,
+                    }),
+                    last_used: tick,
+                },
+            );
+            loaded += 1;
+        }
+        Ok(CacheLoad::Loaded(loaded))
+    }
+}
+
+/// Outcome of [`PlanCache::load`]: how the snapshot related to the
+/// loading catalog's generation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheLoad {
+    /// Header matched; this many entries were installed at the current
+    /// epoch.
+    Loaded(usize),
+    /// Fingerprint matched but the epoch moved since the save — the
+    /// statistics changed, so the plans' costs are no longer trusted
+    /// and the cache stays cold.
+    StaleEpoch,
+    /// The snapshot was written over a different catalog (different
+    /// fingerprint); its ids would resolve to the wrong names, so it
+    /// was rejected before decoding any entry and the cache stays cold.
+    Foreign,
 }
 
 impl Default for PlanCache {

@@ -38,6 +38,32 @@ pub enum Policy {
     MinimalChain,
 }
 
+impl Policy {
+    /// The stable single-byte tag this policy carries in the plan-cache
+    /// wire format ([`fro_wire`]'s snapshot entries). Tags are append-
+    /// only: existing values never change meaning.
+    #[must_use]
+    pub fn wire_tag(self) -> u8 {
+        match self {
+            Policy::Paper => 0,
+            Policy::Strict => 1,
+            Policy::MinimalChain => 2,
+        }
+    }
+
+    /// Inverse of [`Policy::wire_tag`]; `None` for a tag this build
+    /// does not know.
+    #[must_use]
+    pub fn from_wire_tag(tag: u8) -> Option<Policy> {
+        match tag {
+            0 => Some(Policy::Paper),
+            1 => Some(Policy::Strict),
+            2 => Some(Policy::MinimalChain),
+            _ => None,
+        }
+    }
+}
+
 /// A reason a query is not (known to be) freely reorderable.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Violation {

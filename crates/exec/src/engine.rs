@@ -680,8 +680,7 @@ fn run(
             counted,
         } => {
             let rel = run(input, storage, stats, cfg)?;
-            fro_algebra::ops::group_count(&rel, group_attrs, counted.as_ref())
-                .map_err(ExecError::from)?
+            group_count_partitioned(&rel, group_attrs, counted.as_ref(), cfg)?
         }
         PhysPlan::Goj {
             left,
@@ -697,6 +696,176 @@ fn run(
     };
     stats.rows_materialized += out.len() as u64;
     Ok(out)
+}
+
+/// Deterministic partitioned parallel group-by-count, reusing the
+/// hash-join split: the radix partition of a group key is a pure
+/// function of its hash ([`partition_of`]), so per-partition count
+/// maps hold exactly the groups of one global map, just spread over
+/// `p` maps.
+///
+/// Output is **bit-identical** to [`fro_algebra::ops::group_count`]
+/// at every thread/partition/morsel setting. The sequential operator
+/// emits groups in first-seen input order; here each partition records
+/// the global row index at which it first saw a group, and the final
+/// merge sorts all groups by that index — which *is* first-seen input
+/// order, because a group's key hash (hence partition) never changes,
+/// so the partition that owns a group saw every one of its rows.
+///
+/// Like the sequential operator, this ticks no [`ExecStats`] counters;
+/// [`run`] adds `rows_materialized` for the output afterwards.
+fn group_count_partitioned(
+    input: &Relation,
+    group_attrs: &[Attr],
+    counted: Option<&Attr>,
+    cfg: &ExecConfig,
+) -> Result<Relation, ExecError> {
+    let rows = input.rows();
+    let morsel = cfg.morsel_rows.max(1);
+    let n_morsels = rows.len().div_ceil(morsel);
+    let threads = cfg.effective_threads().min(n_morsels.max(1));
+    if threads <= 1 || n_morsels <= 1 {
+        // Degenerate parallelism: the sequential operator *is* the
+        // specification — run it directly.
+        return fro_algebra::ops::group_count(input, group_attrs, counted).map_err(ExecError::from);
+    }
+
+    // Resolve columns exactly as the sequential operator does, so the
+    // error surface is identical.
+    let mut group_cols = Vec::with_capacity(group_attrs.len());
+    for a in group_attrs {
+        group_cols.push(
+            input
+                .schema()
+                .index_of(a)
+                .ok_or_else(|| AlgebraError::BadProjection(a.to_string()))
+                .map_err(ExecError::from)?,
+        );
+    }
+    let counted_col = match counted {
+        None => None,
+        Some(a) => Some(
+            input
+                .schema()
+                .index_of(a)
+                .ok_or_else(|| AlgebraError::BadProjection(a.to_string()))
+                .map_err(ExecError::from)?,
+        ),
+    };
+    let mut attrs = group_attrs.to_vec();
+    attrs.push(Attr::new("agg", "count"));
+    let schema = Arc::new(Schema::new(attrs).map_err(ExecError::from)?);
+
+    let p = cfg.effective_partitions(rows.len());
+
+    // Phase 1 — parallel scatter: workers claim morsels and emit each
+    // row's group-key hash. Group keys may legitimately contain nulls
+    // (unlike join keys), so the hash covers the projected values
+    // as-is.
+    let group_hash = |row: &Tuple| -> u64 {
+        let mut h = DefaultHasher::new();
+        for &c in &group_cols {
+            row.get(c).hash(&mut h);
+        }
+        h.finish()
+    };
+    let next = AtomicUsize::new(0);
+    let results: Vec<(usize, Vec<u64>)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut produced: Vec<(usize, Vec<u64>)> = Vec::new();
+                    loop {
+                        let m = next.fetch_add(1, Ordering::Relaxed);
+                        if m >= n_morsels {
+                            break;
+                        }
+                        let lo = m * morsel;
+                        let hi = (lo + morsel).min(rows.len());
+                        produced.push((m, rows[lo..hi].iter().map(group_hash).collect()));
+                    }
+                    produced
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("group scatter worker panicked"))
+            .collect()
+    });
+    let mut scatters: Vec<(usize, Vec<u64>)> = results;
+    scatters.sort_unstable_by_key(|&(m, _)| m);
+
+    // Phase 2 — per-partition counting: partitions are disjoint, so
+    // workers fold whole partitions independently. Each group records
+    // the global index of its first row.
+    type Part = Vec<(usize, Tuple, i64)>; // (first_rid, key, count)
+    let count_part = |pt: usize| -> Part {
+        let mut counts: HashMap<Tuple, (usize, i64)> = HashMap::new();
+        for (m, hashes) in &scatters {
+            let lo = m * morsel;
+            for (i, &h) in hashes.iter().enumerate() {
+                if partition_of(h, p) != pt {
+                    continue;
+                }
+                let rid = lo + i;
+                let row = &rows[rid];
+                let contributes = match counted_col {
+                    None => true,
+                    Some(c) => !row.get(c).is_null(),
+                };
+                match counts.entry(row.project(&group_cols)) {
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        e.insert((rid, i64::from(contributes)));
+                    }
+                    std::collections::hash_map::Entry::Occupied(mut e) => {
+                        e.get_mut().1 += i64::from(contributes);
+                    }
+                }
+            }
+        }
+        counts
+            .into_iter()
+            .map(|(key, (first, n))| (first, key, n))
+            .collect()
+    };
+    let count_threads = threads.min(p);
+    let mut groups: Vec<(usize, Tuple, i64)> = if count_threads <= 1 {
+        (0..p).flat_map(count_part).collect()
+    } else {
+        let next_part = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..count_threads)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut mine: Part = Vec::new();
+                        loop {
+                            let pt = next_part.fetch_add(1, Ordering::Relaxed);
+                            if pt >= p {
+                                break;
+                            }
+                            mine.extend(count_part(pt));
+                        }
+                        mine
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("group count worker panicked"))
+                .collect()
+        })
+    };
+
+    // Merge: first-occurrence global row indices are unique, and
+    // sorting by them reproduces the sequential first-seen emission
+    // order exactly.
+    groups.sort_unstable_by_key(|&(first, _, _)| first);
+    let out_rows = groups
+        .into_iter()
+        .map(|(_, key, n)| key.concat(&Tuple::new(vec![Value::Int(n)])))
+        .collect();
+    Ok(Relation::from_distinct_rows(schema, out_rows))
 }
 
 #[allow(clippy::too_many_arguments)]

@@ -148,6 +148,45 @@ impl PhysPlan {
         PhysPlan::Scan { rel: rel.into() }
     }
 
+    /// Visit every base-relation reference in the tree in plan order:
+    /// each `Scan` leaf and each `IndexJoin` inner table. The count of
+    /// visits is exactly the number of relation slots the plan
+    /// occupies, so a cached plan for a `k`-relation subset makes
+    /// exactly `k` calls — the invariant the wire-format snapshot
+    /// validator checks.
+    pub fn for_each_base_rel<'a>(&'a self, f: &mut impl FnMut(&'a str)) {
+        match self {
+            PhysPlan::Scan { rel } => f(rel),
+            PhysPlan::Filter { input, .. } | PhysPlan::Project { input, .. } => {
+                input.for_each_base_rel(f);
+            }
+            PhysPlan::HashJoin { probe, build, .. } => {
+                probe.for_each_base_rel(f);
+                build.for_each_base_rel(f);
+            }
+            PhysPlan::IndexJoin { outer, inner, .. } => {
+                outer.for_each_base_rel(f);
+                f(inner);
+            }
+            PhysPlan::MergeJoin { left, right, .. }
+            | PhysPlan::NlJoin { left, right, .. }
+            | PhysPlan::Goj { left, right, .. } => {
+                left.for_each_base_rel(f);
+                right.for_each_base_rel(f);
+            }
+            PhysPlan::GroupCount { input, .. } => input.for_each_base_rel(f),
+        }
+    }
+
+    /// Number of base-relation references in the tree (see
+    /// [`PhysPlan::for_each_base_rel`]).
+    #[must_use]
+    pub fn base_rel_refs(&self) -> usize {
+        let mut n = 0;
+        self.for_each_base_rel(&mut |_| n += 1);
+        n
+    }
+
     /// Multi-line indented EXPLAIN-style rendering.
     #[must_use]
     pub fn explain(&self) -> String {

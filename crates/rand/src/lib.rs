@@ -95,8 +95,14 @@ macro_rules! impl_sample_range_uint {
             fn sample_from(self, rng: &mut StdRng) -> $t {
                 let (lo, hi) = self.into_inner();
                 assert!(lo <= hi, "cannot sample empty range");
-                if lo == 0 && hi == <$t>::MAX {
-                    return rng.next_u64() as $t;
+                if hi == <$t>::MAX {
+                    if lo == 0 {
+                        return rng.next_u64() as $t;
+                    }
+                    // `hi + 1` would overflow; sample the shifted
+                    // range `0..=hi-lo` (which cannot be full-width,
+                    // since lo > 0) and translate back.
+                    return lo + (0..=hi - lo).sample_from(rng);
                 }
                 (lo..hi + 1).sample_from(rng)
             }

@@ -27,3 +27,4 @@ pub use dbgen::{random_database, DbSpec};
 pub use equiv::{all_set_eq, assert_set_eq};
 pub use graphgen::{db_for_graph, random_connected_graph, random_nice_graph, GraphSpec};
 pub use treegen::random_implementing_tree;
+pub use workloads::{corpus_suite, CorpusCase};

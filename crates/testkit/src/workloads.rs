@@ -243,6 +243,66 @@ pub fn synthetic_entity_world(
     db
 }
 
+/// One named, fully deterministic optimizer workload: storage with
+/// exact statistics plus a query — the unit of the EXPLAIN regression
+/// corpus (`corpus/plans/`).
+#[derive(Debug, Clone)]
+pub struct CorpusCase {
+    /// Stable case name (used as the corpus file stem).
+    pub name: &'static str,
+    /// Indexed storage the catalog's statistics describe.
+    pub storage: Storage,
+    /// Exact statistics.
+    pub catalog: Catalog,
+    /// The query to optimize.
+    pub query: Query,
+}
+
+/// Every deterministic workload this crate defines, under fixed seeds
+/// and sizes — the corpus the EXPLAIN regression gate locks down. Names
+/// are stable; add new cases rather than renaming old ones, so corpus
+/// diffs always mean plan changes.
+#[must_use]
+pub fn corpus_suite() -> Vec<CorpusCase> {
+    let mut cases = Vec::new();
+    let ex = example1(64);
+    cases.push(CorpusCase {
+        name: "example1_bad",
+        storage: ex.storage.clone(),
+        catalog: ex.catalog.clone(),
+        query: ex.bad_query,
+    });
+    cases.push(CorpusCase {
+        name: "example1_good",
+        storage: ex.storage,
+        catalog: ex.catalog,
+        query: ex.good_query,
+    });
+    let w = crossover(24, 32, 0.5, 7);
+    cases.push(CorpusCase {
+        name: "crossover_join_first",
+        storage: w.storage.clone(),
+        catalog: w.catalog.clone(),
+        query: w.join_first,
+    });
+    cases.push(CorpusCase {
+        name: "crossover_oj_first",
+        storage: w.storage,
+        catalog: w.catalog,
+        query: w.oj_first,
+    });
+    for (name, k, base, seed) in [("chain3", 3usize, 8usize, 11u64), ("chain5", 5, 4, 13)] {
+        let (storage, catalog, query) = chain(k, base, seed);
+        cases.push(CorpusCase {
+            name,
+            storage,
+            catalog,
+            query,
+        });
+    }
+    cases
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

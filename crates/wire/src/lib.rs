@@ -1,0 +1,99 @@
+//! # fro-wire — the id-only binary wire format for physical plans
+//!
+//! Theorem 1 makes the query graph an unambiguous query
+//! representation, and the plan cache already keys on its stable
+//! signature. This crate gives the cached artifacts themselves a
+//! stable byte form: a **versioned, length-prefixed, varint-based**
+//! binary encoding for [`PhysPlan`] trees and for whole plan-cache
+//! snapshots (signature, canonical relation set, policy, and
+//! cost/cardinality annotations per entry).
+//!
+//! ## Ids only, no names
+//!
+//! A plan on the wire refers to relations and attributes exclusively
+//! by their dense interned ids ([`fro_algebra::RelId`] /
+//! [`fro_algebra::AttrId`]); the [`Interner`] is the codec's symbol
+//! table at both ends. Encoding a plan whose attributes the interner
+//! has never seen fails with a typed error (such plans exist — derived
+//! attributes like `agg.count` — and are simply not serializable), and
+//! decoding against a *different* interner either fails or produces a
+//! plan over that interner's names, never a misattributed mix: the
+//! snapshot layer above additionally carries a catalog fingerprint so
+//! a foreign mapping is rejected before any entry is decoded.
+//!
+//! ## Strict decoding
+//!
+//! The decoder is total over hostile bytes: every read is
+//! bounds-checked, varints must be minimal, tags must be known,
+//! recursion depth is capped, join key lists must agree in (nonzero)
+//! arity, and a snapshot entry's relation set must match the plan's
+//! base-relation references. Every failure is a typed [`WireError`] —
+//! decoding never panics and never fabricates a structurally invalid
+//! [`PhysPlan`].
+//!
+//! ## Format grammar (version 1)
+//!
+//! ```text
+//! varint   := LEB128 unsigned 64-bit, minimal encoding, ≤ 10 bytes
+//! zigzag   := varint of (n << 1) ^ (n >> 63)
+//! f64      := 8 bytes, IEEE-754 bit pattern, little-endian
+//! bytes    := varint(len) len×u8
+//! str      := bytes, valid UTF-8
+//! relid    := varint < n_rels        attrid := varint < n_attrs
+//! value    := 0 | 1 zigzag | 2 str | 3 (0|1)
+//! truth    := 0 | 1 | 2                      (False, Unknown, True)
+//! cmpop    := 0..5                           (Eq Ne Lt Le Gt Ge)
+//! scalar   := 0 attrid | 1 value
+//! pred     := 0 cmpop scalar scalar | 1 scalar | 2 pred pred
+//!           | 3 pred pred | 4 pred | 5 truth
+//! kind     := 0..4                  (Inner LeftOuter FullOuter Semi Anti)
+//! attrs    := varint(n) n×attrid
+//! plan     := 0 relid                              Scan
+//!           | 1 plan pred                          Filter
+//!           | 2 plan attrs                         Project
+//!           | 3 kind plan plan attrs attrs pred    HashJoin
+//!           | 4 kind plan relid attrs attrs pred   IndexJoin
+//!           | 5 kind plan plan attrs attrs pred    MergeJoin
+//!           | 6 kind plan plan pred                NlJoin
+//!           | 7 plan attrs (0 | 1 attrid)          GroupCount
+//!           | 8 plan plan pred attrs               Goj
+//! blob     := u8(version = 1) plan                 (fully consumed)
+//! entry    := varint(sig) varint(set) u8(policy ≤ 2)
+//!             f64(cost) f64(rows) (0 | 1 relid) bytes(blob)
+//! snapshot := "FROW" u8(version = 1) varint(epoch)
+//!             varint(fingerprint) varint(count) count×entry
+//! ```
+//!
+//! Tag values deliberately mirror the [`fro_algebra::SigHash`]
+//! discriminants, so the wire format and the signature hash describe
+//! predicates with the same vocabulary.
+//!
+//! ## Versioning and compatibility
+//!
+//! The version byte (per plan blob, and per snapshot) is bumped on any
+//! change to the grammar above. There is no in-place migration: a
+//! decoder reads exactly its own version and returns
+//! [`WireError::UnsupportedVersion`] otherwise — callers degrade to
+//! re-planning (a cold cache), which is always correct. Unknown tags
+//! within a supported version are rejected, never skipped.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod error;
+pub mod plan;
+pub mod snapshot;
+
+pub use codec::{Reader, Writer};
+pub use error::WireError;
+pub use plan::{decode_plan, encode_plan, PLAN_FORMAT_VERSION};
+pub use snapshot::{
+    decode_snapshot, encode_snapshot, peek_snapshot_header, SnapshotEntry, SnapshotHeader,
+    POLICY_TAGS, SNAPSHOT_FORMAT_VERSION, SNAPSHOT_MAGIC,
+};
+
+// Re-exported so downstream callers name the plan type the codec
+// serializes without an extra explicit dependency edge.
+pub use fro_algebra::Interner;
+pub use fro_exec::PhysPlan;

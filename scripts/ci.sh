@@ -19,6 +19,20 @@ cargo test -q
 echo "== tests (testing-oracles: name-keyed oracle equivalence) =="
 cargo test -q --features testing-oracles
 
+echo "== wire decoder fuzz + roundtrip properties =="
+cargo test -q -p fro-wire
+cargo test -q --test wire_property
+
+echo "== EXPLAIN corpus gate =="
+scripts/explain_corpus.sh --check
+# Inverted self-test: a perturbed cost model MUST trip the gate. If
+# this passes, the gate is blind and the corpus is not protecting us.
+if scripts/explain_corpus.sh --check --perturb >/dev/null 2>&1; then
+  echo "ERROR: corpus gate failed to detect a perturbed cost model" >&2
+  exit 1
+fi
+echo "corpus gate correctly rejects a perturbed cost model"
+
 echo "== clippy (deny warnings) =="
 cargo clippy --all-targets -- -D warnings
 
@@ -39,7 +53,8 @@ sha="$(git rev-parse --short HEAD 2>/dev/null || echo workdir)"
 mkdir -p benches/history
 cp BENCH_engine.json "benches/history/${sha}-engine.json"
 cp BENCH_optimizer.json "benches/history/${sha}-optimizer.json"
-echo "archived benches/history/${sha}-{engine,optimizer}.json"
+cp BENCH_plancache.json "benches/history/${sha}-plancache.json"
+echo "archived benches/history/${sha}-{engine,optimizer,plancache}.json"
 
 echo "== bench deltas vs previous snapshot =="
 scripts/bench_diff.sh || true

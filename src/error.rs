@@ -10,6 +10,7 @@
 use fro_core::optimizer::OptError;
 use fro_exec::ExecError;
 use fro_lang::LangError;
+use fro_wire::WireError;
 use std::fmt;
 
 /// Any failure between source text (or an algebra [`Query`]) and an
@@ -31,6 +32,11 @@ pub enum FroError {
     /// [`Session::query`]: crate::Session::query
     /// [`Session::from_entity_db`]: crate::Session::from_entity_db
     NoEntityModel,
+    /// Saving or loading a persistent plan-cache snapshot failed
+    /// (filesystem trouble, or a corrupt snapshot whose header matched
+    /// this catalog). A *mismatched* snapshot is not an error — loading
+    /// one simply leaves the cache cold.
+    Wire(WireError),
 }
 
 impl FroError {
@@ -64,6 +70,10 @@ impl FroError {
                 ExecError::Algebra(_) => "EXEC_ALGEBRA",
             },
             FroError::NoEntityModel => "SESSION_NO_ENTITY_MODEL",
+            FroError::Wire(e) => match e {
+                WireError::Io(_) => "WIRE_IO",
+                _ => "WIRE_FORMAT",
+            },
         }
     }
 }
@@ -82,6 +92,7 @@ impl fmt::Display for FroError {
                      (or with_entity_db) before calling query()"
                 )
             }
+            FroError::Wire(e) => e.fmt(f),
         }
     }
 }
@@ -93,7 +104,14 @@ impl std::error::Error for FroError {
             FroError::Opt(e) => Some(e),
             FroError::Exec(e) => Some(e),
             FroError::NoEntityModel => None,
+            FroError::Wire(e) => Some(e),
         }
+    }
+}
+
+impl From<WireError> for FroError {
+    fn from(e: WireError) -> FroError {
+        FroError::Wire(e)
     }
 }
 
@@ -135,6 +153,8 @@ mod tests {
                 "EXEC_UNKNOWN_TABLE",
             ),
             (FroError::NoEntityModel, "SESSION_NO_ENTITY_MODEL"),
+            (WireError::Io("nope".into()).into(), "WIRE_IO"),
+            (WireError::BadMagic.into(), "WIRE_FORMAT"),
         ];
         for (e, code) in cases {
             assert_eq!(e.code(), code);

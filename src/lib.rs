@@ -61,6 +61,7 @@ pub use fro_exec as exec;
 pub use fro_graph as graph;
 pub use fro_lang as lang;
 pub use fro_trees as trees;
+pub use fro_wire as wire;
 
 mod error;
 mod session;
@@ -72,7 +73,7 @@ pub use session::{Prepared, Session};
 pub mod prelude {
     pub use crate::{FroError, Prepared, Session};
     pub use fro_algebra::prelude::*;
-    pub use fro_core::optimizer::CacheStats;
+    pub use fro_core::optimizer::{CacheLoad, CacheStats};
     pub use fro_core::{analyze, is_freely_reorderable, optimize, Catalog, Policy};
     pub use fro_exec::{execute, execute_with, ExecConfig, ExecStats, PhysPlan, Storage};
     pub use fro_graph::{graph_of, QueryGraph};

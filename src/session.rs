@@ -19,7 +19,7 @@
 
 use crate::error::FroError;
 use fro_algebra::{Attr, Query, Relation};
-use fro_core::optimizer::{optimize, CacheStats, Optimized};
+use fro_core::optimizer::{optimize, CacheLoad, CacheStats, Optimized};
 use fro_core::{Catalog, Policy};
 use fro_exec::{execute_with, ExecConfig, ExecStats, PhysPlan, Storage};
 use fro_lang::{parse, translate, EntityDb, LangError};
@@ -114,6 +114,34 @@ impl Session {
     #[must_use]
     pub fn cache_stats(&self) -> CacheStats {
         self.catalog.cache_stats()
+    }
+
+    /// Persist the plan cache to `path` so a future process over the
+    /// same data can start warm ([`Session::load_plan_cache`]).
+    /// Returns the number of entries written.
+    ///
+    /// # Errors
+    /// [`FroError::Wire`] on filesystem failure.
+    pub fn save_plan_cache(&self, path: impl AsRef<std::path::Path>) -> Result<usize, FroError> {
+        Ok(self.catalog.save_cache(path)?)
+    }
+
+    /// Load a plan-cache snapshot written by
+    /// [`Session::save_plan_cache`]. The snapshot is revalidated
+    /// against the current catalog: if the tables/statistics changed
+    /// since the save (different fingerprint or epoch), nothing is
+    /// loaded and the cache stays cold — a mismatched snapshot can
+    /// never surface a wrong or stale plan. Returns how the snapshot
+    /// related to this catalog ([`CacheLoad`]).
+    ///
+    /// # Errors
+    /// [`FroError::Wire`] when the file cannot be read or a
+    /// matching snapshot is corrupt.
+    pub fn load_plan_cache(
+        &self,
+        path: impl AsRef<std::path::Path>,
+    ) -> Result<CacheLoad, FroError> {
+        Ok(self.catalog.load_cache(path)?)
     }
 
     /// Load (or replace) a table: stores the relation and registers

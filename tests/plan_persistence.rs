@@ -1,0 +1,181 @@
+//! Persistent plan cache, end to end: a snapshot saved from one
+//! `Session` and loaded into a fresh process-equivalent `Session`
+//! serves cache hits whose executed results are bit-identical to cold
+//! planning — and a mismatched snapshot (stale epoch, foreign catalog,
+//! corrupted bytes) can degrade the cache to cold but can never
+//! surface a wrong plan.
+
+use fro::prelude::*;
+use fro_algebra::Attr;
+use fro_testkit::corpus_suite;
+use std::path::PathBuf;
+
+/// A unique scratch path per test; the OS temp dir survives read-only
+/// source checkouts.
+fn scratch(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("fro_snapshot_{}_{name}.bin", std::process::id()))
+}
+
+/// Saved-then-loaded caches serve full-set hits with bit-identical
+/// executed results, for every corpus workload.
+#[test]
+fn loaded_snapshot_serves_bit_identical_hits() {
+    // corpus_suite() is deterministic: calling it twice yields two
+    // independent but identical storages — our two "processes".
+    for (cold_case, warm_case) in corpus_suite().into_iter().zip(corpus_suite()) {
+        let path = scratch(cold_case.name);
+
+        let cold_session = Session::from_storage(cold_case.storage);
+        let cold = cold_session.prepare(&cold_case.query).expect("optimizes");
+        let cold_out = cold.run().expect("executes");
+        let saved = cold_session.save_plan_cache(&path).expect("saves");
+        assert!(saved >= 1, "{}: nothing saved", cold_case.name);
+
+        let warm_session = Session::from_storage(warm_case.storage);
+        let loaded = warm_session.load_plan_cache(&path).expect("loads");
+        assert!(
+            matches!(loaded, CacheLoad::Loaded(n) if n == saved),
+            "{}: expected Loaded({saved}), got {loaded:?}",
+            cold_case.name
+        );
+
+        let warm = warm_session.prepare(&warm_case.query).expect("optimizes");
+        assert_eq!(
+            warm.optimized().pairs_examined,
+            0,
+            "{}: loaded cache must serve the full-set plan without enumeration",
+            cold_case.name
+        );
+        assert_eq!(
+            warm.plan().explain(),
+            cold.plan().explain(),
+            "{}: loaded plan differs from the saved one",
+            cold_case.name
+        );
+        let warm_out = warm.run().expect("executes");
+        assert_eq!(warm_out, cold_out, "{}: results differ", cold_case.name);
+
+        let _ = std::fs::remove_file(&path);
+    }
+}
+
+/// A statistics change after the save bumps the catalog epoch, so the
+/// snapshot loads as `StaleEpoch`: cold cache, correct plan, no stale
+/// cost estimates served.
+#[test]
+fn stale_epoch_snapshot_degrades_to_cold() {
+    let suite = corpus_suite();
+    let case = suite
+        .into_iter()
+        .find(|c| c.name == "example1_good")
+        .unwrap();
+    let path = scratch("stale");
+
+    let session = Session::from_storage(case.storage);
+    let cold = session.prepare(&case.query).expect("optimizes");
+    let want = cold.run().expect("executes");
+    session.save_plan_cache(&path).expect("saves");
+
+    let mut later = {
+        let again = corpus_suite()
+            .into_iter()
+            .find(|c| c.name == "example1_good")
+            .unwrap();
+        Session::from_storage(again.storage)
+    };
+    later.catalog_mut().set_distinct(&Attr::parse("R1.k1"), 7);
+    let loaded = later.load_plan_cache(&path).expect("load is not an error");
+    assert!(
+        matches!(loaded, CacheLoad::StaleEpoch),
+        "expected StaleEpoch, got {loaded:?}"
+    );
+
+    // Cold cache: the prepare enumerates, and still answers correctly.
+    let replanned = later.prepare(&case.query).expect("optimizes");
+    assert!(
+        replanned.optimized().pairs_examined > 0,
+        "cache must be cold"
+    );
+    assert!(replanned.run().expect("executes").set_eq(&want));
+
+    let _ = std::fs::remove_file(&path);
+}
+
+/// A snapshot saved under a different catalog (different relations)
+/// loads as `Foreign` without consulting a single entry: interned ids
+/// from another catalog must never be resolved against this one.
+#[test]
+fn foreign_snapshot_is_rejected_whole() {
+    let suite = corpus_suite();
+    let chain = suite.iter().find(|c| c.name == "chain3").unwrap();
+    let path = scratch("foreign");
+
+    let donor = Session::from_storage(chain.storage.clone());
+    donor.prepare(&chain.query).expect("optimizes");
+    donor.save_plan_cache(&path).expect("saves");
+
+    let other = corpus_suite()
+        .into_iter()
+        .find(|c| c.name == "example1_good")
+        .unwrap();
+    let recipient = Session::from_storage(other.storage);
+    let loaded = recipient
+        .load_plan_cache(&path)
+        .expect("load is not an error");
+    assert!(
+        matches!(loaded, CacheLoad::Foreign),
+        "expected Foreign, got {loaded:?}"
+    );
+    let cold = recipient.prepare(&other.query).expect("optimizes");
+    assert!(cold.optimized().pairs_examined > 0, "cache must stay cold");
+
+    let _ = std::fs::remove_file(&path);
+}
+
+/// Corruption of a *matching* snapshot is a hard error (truncation,
+/// bad magic) — never a partial load.
+#[test]
+fn corrupted_snapshot_is_an_error() {
+    let suite = corpus_suite();
+    let case = suite
+        .into_iter()
+        .find(|c| c.name == "example1_good")
+        .unwrap();
+    let path = scratch("corrupt");
+
+    let session = Session::from_storage(case.storage);
+    session.prepare(&case.query).expect("optimizes");
+    session.save_plan_cache(&path).expect("saves");
+
+    let fresh = || {
+        let c = corpus_suite()
+            .into_iter()
+            .find(|c| c.name == "example1_good")
+            .unwrap();
+        Session::from_storage(c.storage)
+    };
+
+    // Truncated mid-entry: typed wire error.
+    let bytes = std::fs::read(&path).expect("snapshot exists");
+    std::fs::write(&path, &bytes[..bytes.len() - 1]).unwrap();
+    assert!(
+        fresh().load_plan_cache(&path).is_err(),
+        "truncation must error"
+    );
+
+    // Wrong magic: rejected before anything is parsed.
+    let mut mangled = bytes.clone();
+    mangled[0] ^= 0xff;
+    std::fs::write(&path, &mangled).unwrap();
+    assert!(
+        fresh().load_plan_cache(&path).is_err(),
+        "bad magic must error"
+    );
+
+    // Missing file: surfaced as an I/O error, not a silent cold cache.
+    let _ = std::fs::remove_file(&path);
+    assert!(
+        fresh().load_plan_cache(&path).is_err(),
+        "missing file must error"
+    );
+}
