@@ -90,6 +90,22 @@ impl BoundScalar {
             BoundScalar::Lit(v) => v,
         }
     }
+
+    fn eval_parts<'a>(&'a self, parts: &[&'a Tuple]) -> &'a Value {
+        match self {
+            BoundScalar::Col(i) => {
+                let mut i = *i;
+                for p in parts {
+                    if i < p.arity() {
+                        return p.get(i);
+                    }
+                    i -= p.arity();
+                }
+                panic!("bound column offset past the end of the fragment chain")
+            }
+            BoundScalar::Lit(v) => v,
+        }
+    }
 }
 
 /// A predicate whose attribute references have been resolved through
@@ -310,6 +326,29 @@ impl BoundPred {
             BoundPred::And(a, b) => a.eval_split(left, right).and(b.eval_split(left, right)),
             BoundPred::Or(a, b) => a.eval_split(left, right).or(b.eval_split(left, right)),
             BoundPred::Not(p) => p.eval_split(left, right).not(),
+            BoundPred::Const(c) => *c,
+        }
+    }
+
+    /// Evaluate on the virtual concatenation of an arbitrary fragment
+    /// chain: column `i` reads from the first fragment whose arity it
+    /// falls inside, after subtracting the arities of the fragments
+    /// before it. Generalizes [`BoundPred::eval_split`] from two
+    /// fragments to `n`; the pipelined executor keeps each probe row as
+    /// a stack of borrowed fragments (source row, then one matched
+    /// build row or pad per join) and evaluates residuals without ever
+    /// allocating the concatenated tuple.
+    #[must_use]
+    pub fn eval_parts(&self, parts: &[&Tuple]) -> Truth {
+        match self {
+            BoundPred::Cmp(op, l, r) => match l.eval_parts(parts).cmp3(r.eval_parts(parts)) {
+                None => Truth::Unknown,
+                Some(ord) => Truth::from_bool(op.test(ord)),
+            },
+            BoundPred::IsNull(s) => Truth::from_bool(s.eval_parts(parts).is_null()),
+            BoundPred::And(a, b) => a.eval_parts(parts).and(b.eval_parts(parts)),
+            BoundPred::Or(a, b) => a.eval_parts(parts).or(b.eval_parts(parts)),
+            BoundPred::Not(p) => p.eval_parts(parts).not(),
             BoundPred::Const(c) => *c,
         }
     }
@@ -781,7 +820,28 @@ mod tests {
             for lt in &l {
                 for rt in &r {
                     assert_eq!(bound.eval_split(lt, rt), bound.eval(&lt.concat(rt)), "{p}");
+                    assert_eq!(
+                        bound.eval_parts(&[lt, rt]),
+                        bound.eval(&lt.concat(rt)),
+                        "{p}"
+                    );
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn eval_parts_agrees_with_eval_on_any_fragmentation() {
+        let l = r1();
+        let r = r2();
+        let wide = Arc::new(l.schema().concat(r.schema()).unwrap());
+        let p = p12().and(Pred::cmp_lit("R1.a", CmpOp::Ge, 1));
+        let bound = BoundPred::bind(&p, &wide).unwrap();
+        for lt in &l {
+            for rt in &r {
+                let cat = lt.concat(rt);
+                // Whole row as one fragment must agree with eval.
+                assert_eq!(bound.eval_parts(&[&cat]), bound.eval(&cat));
             }
         }
     }

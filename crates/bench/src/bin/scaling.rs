@@ -1,5 +1,6 @@
 //! Thread- and partition-scaling benchmark for the radix-partitioned
-//! morsel-driven hash-join executor.
+//! morsel-driven hash-join executor, plus the pipelined-vs-materializing
+//! engine comparison on a deep left-outerjoin chain.
 //!
 //! Builds a ≥100k-row probe-side hash join and sweeps worker threads
 //! (1/2/4/8) × radix partitions (1/4/16/64), writing
@@ -11,10 +12,18 @@
 //! container the wall-clock curve is flat by construction, and the
 //! field lets a reader tell that apart from an engine that fails to
 //! scale.
+//!
+//! The deep-chain section joins eight 100k-row relations
+//! `C0 ⟕ C1 ⟕ … ⟕ C7` at one thread — per ROADMAP the honest setting
+//! on a 1-CPU container — through both executors. The materializing
+//! engine pays one widening intermediate per join edge; the pipelined
+//! engine fuses the whole chain (all build sides are base tables) into
+//! a single pass with `rows_materialized = 0`, which is asserted, as
+//! is bit-identical output and work counters between the modes.
 
 use fro_algebra::{Attr, Pred, Relation, Tuple, Value};
 use fro_exec::engine::hash_join_timed;
-use fro_exec::{ExecConfig, ExecStats, JoinKind};
+use fro_exec::{execute_with, ExecConfig, ExecStats, JoinKind, PhysPlan, Storage};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::fmt::Write as _;
@@ -26,6 +35,94 @@ const KEY_DOMAIN: i64 = 50_000;
 const REPS: usize = 3;
 const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
 const PARTITION_COUNTS: [usize; 4] = [1, 4, 16, 64];
+
+const CHAIN_RELS: usize = 8;
+const CHAIN_ROWS: usize = 20_000;
+const CHAIN_PAYLOAD_COLS: usize = 15;
+
+/// Deep left-outerjoin chain: eight relations of `CHAIN_ROWS` rows,
+/// each with *distinct* keys drawn from a domain 1.5× the row count —
+/// so every link matches at most once (no fanout; the output stays at
+/// `CHAIN_ROWS` rows while the tuples widen), and roughly a third of
+/// each probe side null-pads. Tuples carry `CHAIN_PAYLOAD_COLS`
+/// payload columns beside the key: the probe work is identical in both
+/// modes (the tables are small enough to stay cache-resident), so the
+/// wall-clock difference isolates what the issue targets — the
+/// widening intermediate the materializing engine allocates per join
+/// edge and the pipelined engine never does.
+fn chain_storage(seed: u64) -> Storage {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let domain: Vec<i64> = (0..(CHAIN_ROWS as i64) * 3 / 2).collect();
+    let mut schema: Vec<String> = vec!["k".into()];
+    schema.extend((0..CHAIN_PAYLOAD_COLS).map(|c| format!("v{c}")));
+    let schema_refs: Vec<&str> = schema.iter().map(String::as_str).collect();
+    let mut storage = Storage::new();
+    for i in 0..CHAIN_RELS {
+        let name = format!("C{i}");
+        let mut keys = domain.clone();
+        // Fisher–Yates (the vendored rand has no `seq` module).
+        for j in (1..keys.len()).rev() {
+            keys.swap(j, rng.gen_range(0..=j));
+        }
+        let data: Vec<Vec<Value>> = keys[..CHAIN_ROWS]
+            .iter()
+            .map(|&k| {
+                let mut row = Vec::with_capacity(1 + CHAIN_PAYLOAD_COLS);
+                row.push(Value::Int(k));
+                row.extend((0..CHAIN_PAYLOAD_COLS).map(|_| Value::Int(rng.gen_range(0..1000))));
+                row
+            })
+            .collect();
+        storage.insert(&name, Relation::from_values(&name, &schema_refs, data));
+    }
+    storage
+}
+
+/// Left-deep hash-join plan over the chain with a narrow root
+/// projection: the probe spine descends through every join to
+/// `Scan C0`, every build side is a bare scan, and the projection
+/// fuses as the pipeline sink — the shape the pipeline compiler fuses
+/// completely. The materializing engine allocates the full widening
+/// intermediate at every join edge before projecting it away; the
+/// pipelined engine never allocates a wide tuple at all.
+fn chain_plan() -> PhysPlan {
+    let mut plan = PhysPlan::scan("C0");
+    for i in 1..CHAIN_RELS {
+        plan = PhysPlan::HashJoin {
+            kind: JoinKind::LeftOuter,
+            probe: Box::new(plan),
+            build: Box::new(PhysPlan::scan(format!("C{i}"))),
+            probe_keys: vec![Attr::new(format!("C{}", i - 1), "k")],
+            build_keys: vec![Attr::new(format!("C{i}"), "k")],
+            residual: Pred::always(),
+        };
+    }
+    PhysPlan::Project {
+        input: Box::new(plan),
+        attrs: vec![
+            Attr::new("C0", "k"),
+            Attr::new("C3", "v0"),
+            Attr::new(format!("C{}", CHAIN_RELS - 1), "v0"),
+        ],
+    }
+}
+
+/// Best-of-`REPS` wall-clock for the chain plan under `cfg`, plus the
+/// rows and stats of one run for the cross-mode identity checks.
+fn run_chain(storage: &Storage, plan: &PhysPlan, cfg: &ExecConfig) -> (Relation, ExecStats, f64) {
+    let mut st = ExecStats::new();
+    let out = execute_with(plan, storage, &mut st, cfg).expect("chain runs");
+    let mut best = f64::INFINITY;
+    for _ in 0..REPS {
+        let mut scratch = ExecStats::new();
+        let t = Instant::now();
+        let rel = execute_with(plan, storage, &mut scratch, cfg).expect("chain runs");
+        let secs = t.elapsed().as_secs_f64();
+        std::hint::black_box(rel.len());
+        best = best.min(secs);
+    }
+    (out, st, best)
+}
 
 fn table(name: &str, rows: usize, seed: u64) -> Relation {
     let mut rng = StdRng::seed_from_u64(seed);
@@ -128,6 +225,49 @@ fn main() {
         }
     }
 
+    // --- Deep left-outerjoin chain: pipelined vs materializing at one
+    // thread. Output rows, order, and work counters must be
+    // bit-identical; only the wall clock and the bookkeeping split
+    // (`rows_materialized` vs `rows_pipelined`) may differ.
+    let chain_store = chain_storage(97);
+    let plan = chain_plan();
+    let (mat_rows, mat_stats, mat_secs) =
+        run_chain(&chain_store, &plan, &ExecConfig::new().materializing());
+    let (pipe_rows, pipe_stats, pipe_secs) =
+        run_chain(&chain_store, &plan, &ExecConfig::new().pipelined());
+    assert_eq!(
+        mat_rows.rows(),
+        pipe_rows.rows(),
+        "pipelined chain output diverged from materializing"
+    );
+    for (name, a, b) in [
+        (
+            "tuples_retrieved",
+            mat_stats.tuples_retrieved,
+            pipe_stats.tuples_retrieved,
+        ),
+        ("comparisons", mat_stats.comparisons, pipe_stats.comparisons),
+        (
+            "hash_build_rows",
+            mat_stats.hash_build_rows,
+            pipe_stats.hash_build_rows,
+        ),
+        ("rows_output", mat_stats.rows_output, pipe_stats.rows_output),
+    ] {
+        assert_eq!(a, b, "work counter {name} diverged between modes");
+    }
+    assert_eq!(
+        pipe_stats.rows_materialized, 0,
+        "fully-fused chain must materialize nothing"
+    );
+    let chain_speedup = mat_secs / pipe_secs;
+    println!(
+        "chain ({CHAIN_RELS} rels x {CHAIN_ROWS} rows, threads=1): \
+         materializing={mat_secs:.4}s pipelined={pipe_secs:.4}s speedup={chain_speedup:.2}x \
+         (materialized {} rows vs {} across {} pipelines)",
+        mat_stats.rows_materialized, pipe_stats.rows_materialized, pipe_stats.pipelines
+    );
+
     let output_rows = baseline_rows.map_or(0, |r| r.len());
     let rps_at = |t: usize, p: usize| {
         cells
@@ -173,9 +313,31 @@ fn main() {
     let _ = writeln!(json, "  \"speedup_4_threads\": {:.3},", rps_at(4, 1) / base);
     let _ = writeln!(
         json,
-        "  \"speedup_16_partitions\": {:.3}",
+        "  \"speedup_16_partitions\": {:.3},",
         rps_at(1, 16) / base
     );
+    let _ = writeln!(json, "  \"chain_rels\": {CHAIN_RELS},");
+    let _ = writeln!(json, "  \"chain_rows_per_rel\": {CHAIN_ROWS},");
+    let _ = writeln!(json, "  \"chain_output_rows\": {},", pipe_rows.len());
+    let _ = writeln!(json, "  \"chain_materializing_secs\": {mat_secs:.6},");
+    let _ = writeln!(json, "  \"chain_pipelined_secs\": {pipe_secs:.6},");
+    let _ = writeln!(json, "  \"chain_speedup_pipelined\": {chain_speedup:.3},");
+    let _ = writeln!(
+        json,
+        "  \"chain_rows_materialized_materializing\": {},",
+        mat_stats.rows_materialized
+    );
+    let _ = writeln!(
+        json,
+        "  \"chain_rows_materialized_pipelined\": {},",
+        pipe_stats.rows_materialized
+    );
+    let _ = writeln!(
+        json,
+        "  \"chain_rows_pipelined\": {},",
+        pipe_stats.rows_pipelined
+    );
+    let _ = writeln!(json, "  \"chain_pipelines\": {}", pipe_stats.pipelines);
     json.push_str("}\n");
 
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");

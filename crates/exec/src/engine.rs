@@ -112,7 +112,7 @@ impl From<AlgebraError> for ExecError {
 /// attributes, or no interner in scope — fall back to name-based
 /// [`BoundPred::bind`], which also owns the diagnosable error. Both
 /// paths bind to identical column offsets.
-fn bind_pred(
+pub(crate) fn bind_pred(
     pred: &Pred,
     schema: &Schema,
     interner: Option<&Interner>,
@@ -128,7 +128,7 @@ fn bind_pred(
     BoundPred::bind(pred, schema).map_err(ExecError::from)
 }
 
-fn resolve_cols(schema: &Schema, attrs: &[Attr]) -> Result<Vec<usize>, ExecError> {
+pub(crate) fn resolve_cols(schema: &Schema, attrs: &[Attr]) -> Result<Vec<usize>, ExecError> {
     attrs
         .iter()
         .map(|a| {
@@ -145,7 +145,7 @@ fn resolve_cols(schema: &Schema, attrs: &[Attr]) -> Result<Vec<usize>, ExecError
 /// An all-null unmatched row on each side of a full outerjoin pads to
 /// the identical all-null wide row; dedup before materializing. Keeps
 /// the first occurrence; dedups by reference (no tuple is cloned).
-fn dedup_rows(rows: &mut Vec<Tuple>) {
+pub(crate) fn dedup_rows(rows: &mut Vec<Tuple>) {
     let mut keep = Vec::with_capacity(rows.len());
     {
         let mut seen: HashSet<&Tuple> = HashSet::with_capacity(rows.len());
@@ -243,7 +243,7 @@ type BuildWorkerOutput = (Vec<(usize, Vec<ScatterEntry>)>, ExecStats);
 /// count: the counter ticks only on exact-key candidates, exactly as
 /// the value-keyed table did). With one partition this is the original
 /// global table, bit for bit.
-struct JoinTable<'a> {
+pub(crate) struct JoinTable<'a> {
     rows: &'a [Tuple],
     key_cols: &'a [usize],
     parts: Vec<HashMap<u64, Vec<u32>>>,
@@ -256,7 +256,7 @@ impl<'a> JoinTable<'a> {
     /// morsel — so every bucket's row-id chain is ascending, exactly
     /// the chain a sequential pass over `rows` builds, no matter how
     /// many workers ran or how the scheduler interleaved them.
-    fn build(
+    pub(crate) fn build(
         rows: &'a [Tuple],
         key_cols: &'a [usize],
         p: usize,
@@ -388,8 +388,26 @@ impl<'a> JoinTable<'a> {
 
     /// The partition a probe-key hash selects.
     #[inline]
-    fn partition_index(&self, h: u64) -> usize {
+    pub(crate) fn partition_index(&self, h: u64) -> usize {
         partition_of(h, self.parts.len())
+    }
+
+    /// The bucket of build-row ids a probe-key hash selects (empty when
+    /// the key was null or nothing hashed there). Candidates still need
+    /// the exact-key recheck — the pipelined prober does its own,
+    /// fragment-mapped equivalent of [`keys_eq`].
+    #[inline]
+    pub(crate) fn bucket(&self, h: Option<u64>) -> &[u32] {
+        h.and_then(|h| self.parts[self.partition_index(h)].get(&h))
+            .map_or(&[][..], Vec::as_slice)
+    }
+
+    /// The pinned build row behind a bucket id, at the *build-side*
+    /// lifetime — a pipelined fragment stack can hold it beyond the
+    /// borrow of the table itself.
+    #[inline]
+    pub(crate) fn row(&self, rid: u32) -> &'a Tuple {
+        &self.rows[rid as usize]
     }
 
     /// Exact-key candidates for `probe_row` given its precomputed key
@@ -543,10 +561,12 @@ pub fn execute(
     execute_with(plan, storage, stats, &ExecConfig::default())
 }
 
-/// [`execute`] with explicit [`ExecConfig`] — thread count and morsel
-/// size for the parallel join probes. `ExecConfig::default()` (one
-/// thread) makes this identical to [`execute`]; any thread count
-/// produces bit-identical results, only faster.
+/// [`execute`] with explicit [`ExecConfig`] — executor mode, thread
+/// count, and morsel size. `cfg.mode` selects the engine: the default
+/// [`crate::ExecMode::Pipelined`] fuses scan→filter→probe→project
+/// spines into push-based pipelines; [`crate::ExecMode::Materializing`]
+/// runs the classic operator-at-a-time path. Both produce bit-identical
+/// rows, order, and work counters at any thread count.
 ///
 /// # Errors
 /// Same failure modes as [`execute`].
@@ -556,7 +576,10 @@ pub fn execute_with(
     stats: &mut ExecStats,
     cfg: &ExecConfig,
 ) -> Result<Relation, ExecError> {
-    let out = run(plan, storage, stats, cfg)?;
+    let out = match cfg.mode {
+        crate::ExecMode::Pipelined => crate::pipeline::run_pipelined(plan, storage, stats, cfg)?,
+        crate::ExecMode::Materializing => run(plan, storage, stats, cfg)?,
+    };
     stats.rows_output = out.len() as u64;
     Ok(out)
 }
@@ -714,7 +737,7 @@ fn run(
 ///
 /// Like the sequential operator, this ticks no [`ExecStats`] counters;
 /// [`run`] adds `rows_materialized` for the output afterwards.
-fn group_count_partitioned(
+pub(crate) fn group_count_partitioned(
     input: &Relation,
     group_attrs: &[Attr],
     counted: Option<&Attr>,
@@ -869,7 +892,7 @@ fn group_count_partitioned(
 }
 
 #[allow(clippy::too_many_arguments)]
-fn hash_join(
+pub(crate) fn hash_join(
     kind: JoinKind,
     probe: &Relation,
     build: &Relation,
@@ -1087,7 +1110,7 @@ fn index_join(
 /// match (SQL equality) and are emitted padded/kept for the outer/anti
 /// flavors.
 #[allow(clippy::too_many_arguments)]
-fn merge_join(
+pub(crate) fn merge_join(
     kind: JoinKind,
     left: &Relation,
     right: &Relation,
@@ -1214,7 +1237,7 @@ fn merge_join(
     Ok(Relation::from_distinct_rows(out_schema, rows))
 }
 
-fn nl_join(
+pub(crate) fn nl_join(
     kind: JoinKind,
     left: &Relation,
     right: &Relation,
@@ -1279,7 +1302,9 @@ pub fn explain_analyze(
 
 /// [`explain_analyze`] with explicit [`ExecConfig`]. The report —
 /// per-operator row counts and counter totals — is identical at any
-/// thread count.
+/// thread count. Under the (default) pipelined mode the report gains a
+/// trailing pipeline breakdown: which operators fused into each
+/// pipeline and where breakers cut the plan.
 ///
 /// # Errors
 /// Same failure modes as [`execute`].
@@ -1288,22 +1313,31 @@ pub fn explain_analyze_with(
     storage: &Storage,
     cfg: &ExecConfig,
 ) -> Result<(Relation, String), ExecError> {
+    if cfg.mode == crate::ExecMode::Pipelined {
+        return crate::pipeline::explain_pipelined(plan, storage, cfg);
+    }
     let mut stats = ExecStats::new();
     let mut lines: Vec<(usize, String, u64)> = Vec::new();
     let rel = annotate(plan, storage, &mut stats, 0, &mut lines, cfg)?;
     stats.rows_output = rel.len() as u64;
+    Ok((rel, render_report(&lines, &stats)))
+}
+
+/// Render the `EXPLAIN ANALYZE` body shared by both executors: the
+/// indented per-operator row counts, the counter totals, and (when any
+/// hash join ran) the per-partition build/probe breakdown. The
+/// breakdown is thread-count and morsel-size invariant (counters merge
+/// deterministically); it *does* change shape with the partition count,
+/// which is exactly what it is for.
+pub(crate) fn render_report(lines: &[(usize, String, u64)], stats: &ExecStats) -> String {
     let mut out = String::new();
-    for (depth, label, rows) in &lines {
+    for (depth, label, rows) in lines {
         out.push_str(&"  ".repeat(*depth));
         out.push_str(label);
         out.push_str(&format!("  (rows={rows})\n"));
     }
     out.push_str(&format!("totals: {stats}\n"));
     if stats.partition.used() > 0 {
-        // Per-partition build/probe breakdown of every hash join in the
-        // plan. Thread-count and morsel-size invariant (counters merge
-        // deterministically); it *does* change shape with the partition
-        // count, which is exactly what it is for.
         out.push_str(&format!(
             "partitions: P={} build={:?} probe={:?}\n",
             stats.partition.used(),
@@ -1311,7 +1345,7 @@ pub fn explain_analyze_with(
             stats.partition.probe_rows()
         ));
     }
-    Ok((rel, out))
+    out
 }
 
 fn annotate(

@@ -13,9 +13,16 @@
 //! * [`ExecStats`]: *tuples retrieved* accounting (the metric Example 1
 //!   counts: `2·10⁷ + 1` versus `3`), plus probe/comparison/output
 //!   counters,
-//! * [`execute`]: a materializing executor whose results are checked
-//!   against the reference evaluator of `fro-algebra` on every random
-//!   query in the test-suite.
+//! * [`execute`]: the executor front door. By default plans run on the
+//!   push-based **pipelined** engine ([`ExecMode::Pipelined`]):
+//!   scan→filter→probe→project spines fuse into a single closure-chain
+//!   pass over morsels with no intermediate row vector between fused
+//!   operators, and only pipeline breakers (non-scan build sides,
+//!   `GroupCount`, merge sorts, full outerjoins) materialize. The
+//!   classic operator-at-a-time engine remains available via
+//!   [`ExecMode::Materializing`]; both produce bit-identical results
+//!   and are checked against the reference evaluator of `fro-algebra`
+//!   on every random query in the test-suite.
 
 //! ## Example
 //!
@@ -48,11 +55,12 @@
 pub mod config;
 pub mod engine;
 pub mod index;
+mod pipeline;
 pub mod plan;
 pub mod stats;
 pub mod storage;
 
-pub use config::{suggest_partitions, ExecConfig, MAX_PARTITIONS};
+pub use config::{suggest_partitions, ExecConfig, ExecMode, MAX_PARTITIONS};
 pub use engine::{execute, execute_with, explain_analyze, explain_analyze_with, ExecError};
 pub use plan::{JoinKind, PhysPlan};
 pub use stats::{ExecStats, PartitionStats};

@@ -110,8 +110,23 @@ pub struct ExecStats {
     pub hash_build_rows: u64,
     /// Rows produced by the root operator.
     pub rows_output: u64,
-    /// Rows produced by all operators (intermediate result volume).
+    /// Rows written into materialized buffers. Under
+    /// [`crate::ExecMode::Materializing`] every operator's output
+    /// counts (total intermediate result volume); under
+    /// [`crate::ExecMode::Pipelined`] only pipeline-breaker results
+    /// count — hash-join build sides that are not bare scans,
+    /// `GroupCount` inputs, merge-join / full-outerjoin / `Goj`
+    /// operands — so a fully-fused pipeline reports **0**.
     pub rows_materialized: u64,
+    /// Rows that flowed through fused pipeline stages without an
+    /// intermediate buffer (source rows pushed plus every fused
+    /// operator's emissions). Always 0 under
+    /// [`crate::ExecMode::Materializing`].
+    pub rows_pipelined: u64,
+    /// Pipelines driven (one per fused scan→…→sink chain, including
+    /// single-operator pipelines). Always 0 under
+    /// [`crate::ExecMode::Materializing`].
+    pub pipelines: u64,
     /// Per-partition hash-join breakdown (diagnostic; see
     /// [`PartitionStats`] — excluded from equality).
     pub partition: PartitionStats,
@@ -132,6 +147,8 @@ impl PartialEq for ExecStats {
             && self.hash_build_rows == other.hash_build_rows
             && self.rows_output == other.rows_output
             && self.rows_materialized == other.rows_materialized
+            && self.rows_pipelined == other.rows_pipelined
+            && self.pipelines == other.pipelines
     }
 }
 
@@ -156,15 +173,19 @@ impl ExecStats {
         self.hash_build_rows += other.hash_build_rows;
         self.rows_output += other.rows_output;
         self.rows_materialized += other.rows_materialized;
+        self.rows_pipelined += other.rows_pipelined;
+        self.pipelines += other.pipelines;
         self.partition.merge(&other.partition);
     }
 
     /// A scalar "work" summary used by benches: retrieved tuples plus
-    /// materialized rows plus comparisons (all unit-weighted; the shape
-    /// of comparisons is what matters, not an absolute cost model).
+    /// intermediate row volume (materialized **and** pipelined — the
+    /// two split one volume depending on [`crate::ExecMode`]) plus
+    /// comparisons (all unit-weighted; the shape of comparisons is what
+    /// matters, not an absolute cost model).
     #[must_use]
     pub fn work(&self) -> u64 {
-        self.tuples_retrieved + self.rows_materialized + self.comparisons
+        self.tuples_retrieved + self.rows_materialized + self.rows_pipelined + self.comparisons
     }
 }
 
@@ -172,12 +193,14 @@ impl fmt::Display for ExecStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "retrieved={} probes={} comparisons={} built={} materialized={} output={}",
+            "retrieved={} probes={} comparisons={} built={} materialized={} pipelined={} pipelines={} output={}",
             self.tuples_retrieved,
             self.index_probes,
             self.comparisons,
             self.hash_build_rows,
             self.rows_materialized,
+            self.rows_pipelined,
+            self.pipelines,
             self.rows_output
         )
     }
@@ -225,6 +248,8 @@ mod tests {
             hash_build_rows: 40,
             rows_output: 50,
             rows_materialized: 60,
+            rows_pipelined: 70,
+            pipelines: 80,
             ..ExecStats::default()
         };
         a.merge(&b);
@@ -234,6 +259,8 @@ mod tests {
         assert_eq!(a.hash_build_rows, 44);
         assert_eq!(a.rows_output, 55);
         assert_eq!(a.rows_materialized, 66);
+        assert_eq!(a.rows_pipelined, 70);
+        assert_eq!(a.pipelines, 80);
     }
 
     #[test]
@@ -274,6 +301,8 @@ mod tests {
             "comparisons",
             "built",
             "materialized",
+            "pipelined",
+            "pipelines",
             "output",
         ] {
             assert!(s.contains(key), "missing {key} in {s}");

@@ -144,6 +144,43 @@ pub fn chain(k: usize, base_rows: usize, seed: u64) -> (Storage, Catalog, Query)
     (storage, catalog, q)
 }
 
+/// A deep left-outerjoin chain `L0 ⟕ L1 ⟕ … ⟕ L{k-1}`, each link on
+/// `L{i-1}.k = L{i}.k` with keys drawn from a domain 1.5× the row
+/// count, so roughly a third of every probe side falls out unmatched
+/// and gets null-padded. Eight-plus relations make this the worst case
+/// for operator-at-a-time execution — one widening intermediate per
+/// join edge — and the best case for the pipelined executor, which
+/// fuses the whole chain into a single pass (all build sides are base
+/// tables). Keys are indexed on every relation.
+#[must_use]
+pub fn left_chain(k: usize, rows_per_rel: usize, seed: u64) -> (Storage, Catalog, Query) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut storage = Storage::new();
+    let domain = ((rows_per_rel as i64) * 3 / 2).max(1);
+    for i in 0..k {
+        let name = format!("L{i}");
+        let data: Vec<Vec<Value>> = (0..rows_per_rel)
+            .map(|_| {
+                vec![
+                    Value::Int(rng.gen_range(0..domain)),
+                    Value::Int(rng.gen_range(0..1000)),
+                ]
+            })
+            .collect();
+        storage.insert(&name, Relation::from_values(&name, &["k", "v"], data));
+        storage.create_index(&name, &[Attr::new(&name, "k")]);
+    }
+    let catalog = Catalog::from_storage(&storage);
+    let mut q = Query::rel("L0");
+    for i in 1..k {
+        q = q.outerjoin(
+            Query::rel(format!("L{i}")),
+            Pred::eq_attr(&format!("L{}.k", i - 1), &format!("L{i}.k")),
+        );
+    }
+    (storage, catalog, q)
+}
+
 /// A synthetic §5 entity world at scale: `n_depts` departments, each
 /// with `emps_per_dept` employees, each employee with 0–3 children
 /// (some none, exercising the UnNest padding), managers and audits
@@ -300,6 +337,13 @@ pub fn corpus_suite() -> Vec<CorpusCase> {
             query,
         });
     }
+    let (storage, catalog, query) = left_chain(8, 6, 17);
+    cases.push(CorpusCase {
+        name: "left_chain8",
+        storage,
+        catalog,
+        query,
+    });
     cases
 }
 
@@ -352,6 +396,17 @@ mod tests {
         assert!(!out.is_empty());
         let out = fro_lang::run("Select All From DEPARTMENT-->Manager-->Audit", &world).unwrap();
         assert_eq!(out.len(), 6); // every department preserved
+    }
+
+    #[test]
+    fn left_chain_workload_matches_reference() {
+        let (storage, catalog, q) = left_chain(8, 5, 19);
+        assert_eq!(q.rels().len(), 8);
+        let out = optimize(&q, &catalog, Policy::Paper).unwrap();
+        let mut st = ExecStats::new();
+        let got = execute(&out.plan, &storage, &mut st).unwrap();
+        let expect = q.eval(&storage.to_database()).unwrap();
+        assert!(got.set_eq(&expect));
     }
 
     #[test]

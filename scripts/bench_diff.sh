@@ -9,7 +9,11 @@
 # the summary scalars (row counts, speedups, totals) are what trend.
 # Metrics (and whole bench kinds) present only in the current snapshot
 # are reported as `new` rather than silently skipped, so a freshly
-# added bench shows up in the first diff after it lands.
+# added bench shows up in the first diff after it lands. That covers
+# the engine bench's pipelined-execution metrics (`chain_*` deep
+# left-join-chain timings, `chain_speedup_pipelined`, and the
+# `rows_materialized`/`rows_pipelined` bookkeeping) the same as any
+# other top-level scalar.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 

@@ -23,6 +23,12 @@ echo "== wire decoder fuzz + roundtrip properties =="
 cargo test -q -p fro-wire
 cargo test -q --test wire_property
 
+echo "== pipelined executor cross-mode properties =="
+# Pipelined vs materializing: bit-identical rows and work counters on
+# every join kind, thread count, and morsel size (also covered by the
+# plain `cargo test` above; run standalone so a failure names itself).
+cargo test -q --test pipelined_property
+
 echo "== EXPLAIN corpus gate =="
 scripts/explain_corpus.sh --check
 # Inverted self-test: a perturbed cost model MUST trip the gate. If
