@@ -1,0 +1,1283 @@
+//! Columnar mirrors of relations with vectorized predicate and key
+//! kernels.
+//!
+//! A [`ColumnSet`] decomposes a row-major [`Relation`] into one typed
+//! vector per attribute — `i64`s, dict-encoded strings (`u32` codes
+//! into a per-table [`Dictionary`]), bools, or a generic `Value`
+//! fallback for heterogeneous columns — each with a validity [`Bitmap`]
+//! for nulls, a null count, an exact distinct count, and per-zone
+//! min/max metadata ([`ZONE_ROWS`] rows per zone).
+//!
+//! On top of the layout sit two kernels the execution engines call:
+//!
+//! * [`ColumnSet::eval_pred`] evaluates a [`BoundPred`] over the whole
+//!   column set as tight per-column loops, producing a [`SelMask`] —
+//!   a pair of bitmaps carrying the rows where the predicate is
+//!   definitely `True` and definitely `False` (rows in neither are
+//!   `Unknown`). The result is bit-for-bit the same selection as
+//!   calling [`BoundPred::eval`] on every row. Zones whose min/max
+//!   metadata already decides a comparison are skipped without
+//!   touching the data.
+//! * [`ColumnSet::hash_key_at`] hashes a key-column combination for
+//!   one row exactly as the row-major engine hashes assembled tuple
+//!   keys (same `DefaultHasher` byte stream), without materializing a
+//!   row — string keys hash their dictionary entry, so no `String` is
+//!   cloned or assembled on the build path.
+//!
+//! The layout is a *mirror*: the row-major `Relation` remains the
+//! source of truth for output assembly (engines still emit `Tuple`s),
+//! which keeps results, order, and work counters bit-identical to the
+//! row-at-a-time paths while the scan/filter/build inner loops run
+//! over flat vectors.
+
+use crate::ops::{BoundPred, BoundScalar};
+use crate::predicate::CmpOp;
+use crate::relation::Relation;
+use crate::truth::Truth;
+use crate::value::Value;
+use std::cmp::Ordering;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{HashMap, HashSet};
+use std::hash::{Hash, Hasher};
+
+/// Rows per metadata zone: each column keeps min/max and a null count
+/// for every [`ZONE_ROWS`]-row chunk, the granularity at which the
+/// predicate kernel can skip data entirely.
+pub const ZONE_ROWS: usize = 1024;
+
+/// A fixed-length bit vector over `u64` words. Bits past `len` in the
+/// last word are kept zero by every operation, so popcounts never see
+/// ghost bits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bitmap {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl Bitmap {
+    /// An all-zeros bitmap of `len` bits.
+    #[must_use]
+    pub fn zeros(len: usize) -> Bitmap {
+        Bitmap {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// An all-ones bitmap of `len` bits (tail bits zero).
+    #[must_use]
+    pub fn ones(len: usize) -> Bitmap {
+        let mut b = Bitmap {
+            words: vec![!0u64; len.div_ceil(64)],
+            len,
+        };
+        b.mask_tail();
+        b
+    }
+
+    fn mask_tail(&mut self) {
+        let tail = self.len % 64;
+        if tail != 0 {
+            if let Some(w) = self.words.last_mut() {
+                *w &= (1u64 << tail) - 1;
+            }
+        }
+    }
+
+    /// Number of bits.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the bitmap has zero bits.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Set bit `i`.
+    pub fn set(&mut self, i: usize) {
+        debug_assert!(i < self.len);
+        self.words[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// Read bit `i`.
+    #[must_use]
+    pub fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        self.words[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    /// Population count over the whole bitmap.
+    #[must_use]
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Population count over bit range `lo..hi`.
+    #[must_use]
+    pub fn count_ones_range(&self, lo: usize, hi: usize) -> usize {
+        debug_assert!(lo <= hi && hi <= self.len);
+        if lo >= hi {
+            return 0;
+        }
+        let (wl, wh) = (lo / 64, (hi - 1) / 64);
+        let mut n = 0usize;
+        for w in wl..=wh {
+            n += (self.words[w] & Bitmap::range_mask(w, lo, hi)).count_ones() as usize;
+        }
+        n
+    }
+
+    /// The mask selecting the bits of word `w` that fall in `lo..hi`.
+    fn range_mask(w: usize, lo: usize, hi: usize) -> u64 {
+        let mut mask = !0u64;
+        if w == lo / 64 {
+            mask &= !0u64 << (lo % 64);
+        }
+        if w == (hi - 1) / 64 {
+            let top = hi - w * 64;
+            if top < 64 {
+                mask &= (1u64 << top) - 1;
+            }
+        }
+        mask
+    }
+
+    /// Call `f(i)` for every set bit `i` in `lo..hi`, in ascending
+    /// order.
+    pub fn for_each_one_in(&self, lo: usize, hi: usize, mut f: impl FnMut(usize)) {
+        debug_assert!(lo <= hi && hi <= self.len);
+        if lo >= hi {
+            return;
+        }
+        let (wl, wh) = (lo / 64, (hi - 1) / 64);
+        for w in wl..=wh {
+            let mut bits = self.words[w] & Bitmap::range_mask(w, lo, hi);
+            while bits != 0 {
+                let b = bits.trailing_zeros() as usize;
+                f(w * 64 + b);
+                bits &= bits - 1;
+            }
+        }
+    }
+
+    /// `self &= other` (equal lengths).
+    pub fn and_assign(&mut self, other: &Bitmap) {
+        debug_assert_eq!(self.len, other.len);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+    }
+
+    /// `self |= other` (equal lengths).
+    pub fn or_assign(&mut self, other: &Bitmap) {
+        debug_assert_eq!(self.len, other.len);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// Flip every bit in place (tail bits stay zero).
+    pub fn negate(&mut self) {
+        for w in &mut self.words {
+            *w = !*w;
+        }
+        self.mask_tail();
+    }
+
+    /// The bitwise complement.
+    #[must_use]
+    pub fn negated(&self) -> Bitmap {
+        let mut out = self.clone();
+        out.negate();
+        out
+    }
+
+    /// `self[lo..hi] |= src[lo..hi]` — used to bulk-copy validity bits
+    /// into a selection for metadata-decided zones.
+    pub fn union_range(&mut self, src: &Bitmap, lo: usize, hi: usize) {
+        debug_assert!(lo <= hi && hi <= self.len && self.len == src.len);
+        if lo >= hi {
+            return;
+        }
+        let (wl, wh) = (lo / 64, (hi - 1) / 64);
+        for w in wl..=wh {
+            self.words[w] |= src.words[w] & Bitmap::range_mask(w, lo, hi);
+        }
+    }
+
+    /// `self[lo..hi] |= (a & b)[lo..hi]` — the two-sided validity copy
+    /// for metadata-decided column-vs-column zones.
+    pub fn union_range_and(&mut self, a: &Bitmap, b: &Bitmap, lo: usize, hi: usize) {
+        debug_assert!(lo <= hi && hi <= self.len && self.len == a.len && self.len == b.len);
+        if lo >= hi {
+            return;
+        }
+        let (wl, wh) = (lo / 64, (hi - 1) / 64);
+        for w in wl..=wh {
+            self.words[w] |= a.words[w] & b.words[w] & Bitmap::range_mask(w, lo, hi);
+        }
+    }
+}
+
+/// Per-zone column metadata: min/max over the zone's non-null values
+/// (total [`Value`] order) plus the zone's null count. `min_max` is
+/// `None` when the zone holds only nulls.
+#[derive(Debug, Clone)]
+pub struct Zone {
+    min_max: Option<(Value, Value)>,
+    nulls: usize,
+}
+
+impl Zone {
+    /// Min and max over the zone's non-null values, if any.
+    #[must_use]
+    pub fn min_max(&self) -> Option<(&Value, &Value)> {
+        self.min_max.as_ref().map(|(a, b)| (a, b))
+    }
+
+    /// Nulls in this zone.
+    #[must_use]
+    pub fn nulls(&self) -> usize {
+        self.nulls
+    }
+}
+
+/// The per-table string dictionary: distinct strings in
+/// first-appearance order, so a string column stores `u32` codes.
+/// Equality on codes is equality on strings; order comparisons go
+/// through the sealed rank permutation (`rank[code]` = position of the
+/// code's string in sorted order), so `rank` comparisons agree with
+/// `String` order.
+#[derive(Debug, Clone, Default)]
+pub struct Dictionary {
+    values: Vec<Value>,
+    codes: HashMap<String, u32>,
+    rank: Vec<u32>,
+}
+
+impl Dictionary {
+    fn intern(&mut self, s: &str) -> u32 {
+        if let Some(&c) = self.codes.get(s) {
+            return c;
+        }
+        let c = u32::try_from(self.values.len()).expect("dictionary codes fit in u32");
+        self.codes.insert(s.to_owned(), c);
+        self.values.push(Value::Str(s.to_owned()));
+        c
+    }
+
+    /// Freeze the dictionary: compute the rank permutation used for
+    /// order comparisons on codes.
+    fn seal(&mut self) {
+        let mut order: Vec<u32> = (0..self.values.len() as u32).collect();
+        order.sort_by(|&a, &b| self.values[a as usize].cmp(&self.values[b as usize]));
+        self.rank = vec![0; order.len()];
+        for (pos, &code) in order.iter().enumerate() {
+            self.rank[code as usize] = u32::try_from(pos).expect("rank fits in u32");
+        }
+    }
+
+    /// Number of distinct strings.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the dictionary holds no strings.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The interned [`Value::Str`] for `code`.
+    #[must_use]
+    pub fn value(&self, code: u32) -> &Value {
+        &self.values[code as usize]
+    }
+
+    /// The code of `s`, if interned.
+    #[must_use]
+    pub fn code_of(&self, s: &str) -> Option<u32> {
+        self.codes.get(s).copied()
+    }
+
+    /// The sort rank of `code` among all interned strings.
+    #[must_use]
+    pub fn rank(&self, code: u32) -> u32 {
+        self.rank[code as usize]
+    }
+}
+
+/// The typed payload vector of one column. Invalid (null) slots hold
+/// arbitrary placeholders and are never interpreted — the validity
+/// bitmap guards every read.
+#[derive(Debug, Clone)]
+enum ColData {
+    /// All non-null values are `Value::Int`.
+    Int(Vec<i64>),
+    /// All non-null values are `Value::Bool`.
+    Bool(Vec<bool>),
+    /// All non-null values are `Value::Str`, stored as dictionary codes.
+    Str(Vec<u32>),
+    /// Heterogeneous column: values stored directly (`Value::Null` at
+    /// null slots).
+    Mixed(Vec<Value>),
+}
+
+/// One attribute of a [`ColumnSet`]: the typed vector plus validity,
+/// null count, exact distinct count, and zone metadata.
+#[derive(Debug, Clone)]
+pub struct Column {
+    data: ColData,
+    validity: Bitmap,
+    null_count: usize,
+    distinct: u64,
+    zones: Vec<Zone>,
+}
+
+impl Column {
+    /// Nulls in this column.
+    #[must_use]
+    pub fn null_count(&self) -> usize {
+        self.null_count
+    }
+
+    /// Exact distinct count, counting null (when present) as one value
+    /// — the convention the optimizer catalog uses.
+    #[must_use]
+    pub fn distinct(&self) -> u64 {
+        self.distinct
+    }
+
+    /// The zone metadata ([`ZONE_ROWS`] rows per zone).
+    #[must_use]
+    pub fn zones(&self) -> &[Zone] {
+        &self.zones
+    }
+
+    /// Column-wide min/max over non-null values (folds the zones).
+    #[must_use]
+    pub fn min_max(&self) -> Option<(&Value, &Value)> {
+        let mut acc: Option<(&Value, &Value)> = None;
+        for z in &self.zones {
+            if let Some((lo, hi)) = z.min_max() {
+                acc = Some(match acc {
+                    None => (lo, hi),
+                    Some((alo, ahi)) => (alo.min(lo), ahi.max(hi)),
+                });
+            }
+        }
+        acc
+    }
+
+    /// Whether `row` holds a non-null value.
+    #[must_use]
+    pub fn is_valid(&self, row: usize) -> bool {
+        self.validity.get(row)
+    }
+
+    /// The validity bitmap (bit set = non-null).
+    #[must_use]
+    pub fn validity(&self) -> &Bitmap {
+        &self.validity
+    }
+}
+
+/// A vectorized three-valued selection: bit `i` of `trues` is set
+/// where the predicate is definitely `True` on row `i`, bit `i` of
+/// `falses` where it is definitely `False`; rows in neither bitmap
+/// evaluated to `Unknown`. The two bitmaps are disjoint.
+#[derive(Debug, Clone)]
+pub struct SelMask {
+    t: Bitmap,
+    f: Bitmap,
+}
+
+impl SelMask {
+    fn constant(truth: Truth, len: usize) -> SelMask {
+        match truth {
+            Truth::True => SelMask {
+                t: Bitmap::ones(len),
+                f: Bitmap::zeros(len),
+            },
+            Truth::False => SelMask {
+                t: Bitmap::zeros(len),
+                f: Bitmap::ones(len),
+            },
+            Truth::Unknown => SelMask {
+                t: Bitmap::zeros(len),
+                f: Bitmap::zeros(len),
+            },
+        }
+    }
+
+    /// Rows where the predicate is definitely `True` — the filter
+    /// selection under SQL `WHERE` semantics.
+    #[must_use]
+    pub fn trues(&self) -> &Bitmap {
+        &self.t
+    }
+
+    /// Rows where the predicate is definitely `False`.
+    #[must_use]
+    pub fn falses(&self) -> &Bitmap {
+        &self.f
+    }
+
+    /// Number of selected (`True`) rows.
+    #[must_use]
+    pub fn true_count(&self) -> usize {
+        self.t.count_ones()
+    }
+
+    /// Consume the mask, keeping only the definitely-`True` bitmap —
+    /// what a `WHERE` filter drives its output from.
+    #[must_use]
+    pub fn into_trues(self) -> Bitmap {
+        self.t
+    }
+}
+
+/// The per-row view of a typed non-null cell, ordered exactly like the
+/// non-null [`Value`] variants (`Int < Str < Bool`, payload order
+/// within a variant).
+enum TypedRef<'a> {
+    Int(i64),
+    Str(&'a Value),
+    Bool(bool),
+}
+
+impl TypedRef<'_> {
+    fn tag(&self) -> u8 {
+        match self {
+            TypedRef::Int(_) => 0,
+            TypedRef::Str(_) => 1,
+            TypedRef::Bool(_) => 2,
+        }
+    }
+
+    fn cmp_ref(&self, other: &TypedRef<'_>) -> Ordering {
+        match (self, other) {
+            (TypedRef::Int(a), TypedRef::Int(b)) => a.cmp(b),
+            (TypedRef::Str(a), TypedRef::Str(b)) => a.cmp(b),
+            (TypedRef::Bool(a), TypedRef::Bool(b)) => a.cmp(b),
+            _ => self.tag().cmp(&other.tag()),
+        }
+    }
+}
+
+/// The columnar mirror of one relation: a typed [`Column`] per
+/// attribute plus the shared per-table string [`Dictionary`].
+#[derive(Debug, Clone)]
+pub struct ColumnSet {
+    rows: usize,
+    dict: Dictionary,
+    cols: Vec<Column>,
+}
+
+impl ColumnSet {
+    /// Decompose `rel` into typed columns. Each column picks the
+    /// narrowest layout its non-null values admit (`Int`/`Bool`/dict
+    /// `Str`, falling back to direct `Value` storage for heterogeneous
+    /// columns); all string columns share one per-table dictionary.
+    #[must_use]
+    pub fn build(rel: &Relation) -> ColumnSet {
+        let n = rel.len();
+        let width = rel.schema().len();
+        let mut dict = Dictionary::default();
+        let mut cols = Vec::with_capacity(width);
+        for c in 0..width {
+            cols.push(ColumnSet::build_column(rel, c, &mut dict));
+        }
+        dict.seal();
+        ColumnSet {
+            rows: n,
+            dict,
+            cols,
+        }
+    }
+
+    fn build_column(rel: &Relation, c: usize, dict: &mut Dictionary) -> Column {
+        #[derive(Clone, Copy, PartialEq)]
+        enum Kind {
+            Unknown,
+            Int,
+            Str,
+            Bool,
+            Mixed,
+        }
+        let n = rel.len();
+        let mut kind = Kind::Unknown;
+        for t in rel.rows() {
+            let vk = match t.get(c) {
+                Value::Null => continue,
+                Value::Int(_) => Kind::Int,
+                Value::Str(_) => Kind::Str,
+                Value::Bool(_) => Kind::Bool,
+            };
+            if kind == Kind::Unknown {
+                kind = vk;
+            } else if kind != vk {
+                kind = Kind::Mixed;
+                break;
+            }
+        }
+
+        let mut validity = Bitmap::zeros(n);
+        let mut null_count = 0usize;
+        let data = match kind {
+            Kind::Unknown | Kind::Int => {
+                let mut xs = vec![0i64; n];
+                for (i, t) in rel.rows().iter().enumerate() {
+                    match t.get(c) {
+                        Value::Int(v) => {
+                            xs[i] = *v;
+                            validity.set(i);
+                        }
+                        _ => null_count += 1,
+                    }
+                }
+                ColData::Int(xs)
+            }
+            Kind::Bool => {
+                let mut xs = vec![false; n];
+                for (i, t) in rel.rows().iter().enumerate() {
+                    match t.get(c) {
+                        Value::Bool(v) => {
+                            xs[i] = *v;
+                            validity.set(i);
+                        }
+                        _ => null_count += 1,
+                    }
+                }
+                ColData::Bool(xs)
+            }
+            Kind::Str => {
+                let mut xs = vec![0u32; n];
+                for (i, t) in rel.rows().iter().enumerate() {
+                    match t.get(c) {
+                        Value::Str(s) => {
+                            xs[i] = dict.intern(s);
+                            validity.set(i);
+                        }
+                        _ => null_count += 1,
+                    }
+                }
+                ColData::Str(xs)
+            }
+            Kind::Mixed => {
+                let mut xs = Vec::with_capacity(n);
+                for (i, t) in rel.rows().iter().enumerate() {
+                    let v = t.get(c);
+                    if v.is_null() {
+                        null_count += 1;
+                    } else {
+                        validity.set(i);
+                    }
+                    xs.push(v.clone());
+                }
+                ColData::Mixed(xs)
+            }
+        };
+
+        // Zone metadata pass: min/max over non-null values plus a null
+        // count per ZONE_ROWS chunk.
+        let mut zones = Vec::with_capacity(n.div_ceil(ZONE_ROWS));
+        let mut lo = 0usize;
+        while lo < n {
+            let hi = (lo + ZONE_ROWS).min(n);
+            let mut min_max: Option<(Value, Value)> = None;
+            let mut nulls = 0usize;
+            for t in &rel.rows()[lo..hi] {
+                let v = t.get(c);
+                if v.is_null() {
+                    nulls += 1;
+                    continue;
+                }
+                min_max = Some(match min_max {
+                    None => (v.clone(), v.clone()),
+                    Some((zmin, zmax)) => {
+                        let zmin = if *v < zmin { v.clone() } else { zmin };
+                        let zmax = if *v > zmax { v.clone() } else { zmax };
+                        (zmin, zmax)
+                    }
+                });
+            }
+            zones.push(Zone { min_max, nulls });
+            lo = hi;
+        }
+
+        // Exact distinct count with the catalog's convention: null, if
+        // present, counts as one value.
+        let distinct = rel
+            .rows()
+            .iter()
+            .map(|t| t.get(c))
+            .collect::<HashSet<_>>()
+            .len() as u64;
+
+        Column {
+            data,
+            validity,
+            null_count,
+            distinct,
+            zones,
+        }
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// The column at offset `c`.
+    #[must_use]
+    pub fn column(&self, c: usize) -> &Column {
+        &self.cols[c]
+    }
+
+    /// The shared per-table string dictionary.
+    #[must_use]
+    pub fn dict(&self) -> &Dictionary {
+        &self.dict
+    }
+
+    /// The cell at `(row, col)`, reassembled as an owned [`Value`]
+    /// (oracle/testing convenience — engines read columns directly).
+    #[must_use]
+    pub fn value_at(&self, row: usize, col: usize) -> Value {
+        let c = &self.cols[col];
+        if !c.validity.get(row) {
+            return Value::Null;
+        }
+        match &c.data {
+            ColData::Int(xs) => Value::Int(xs[row]),
+            ColData::Bool(xs) => Value::Bool(xs[row]),
+            ColData::Str(xs) => self.dict.value(xs[row]).clone(),
+            ColData::Mixed(xs) => xs[row].clone(),
+        }
+    }
+
+    fn typed_at<'a>(&'a self, col: &'a Column, row: usize) -> Option<TypedRef<'a>> {
+        if !col.validity.get(row) {
+            return None;
+        }
+        Some(match &col.data {
+            ColData::Int(xs) => TypedRef::Int(xs[row]),
+            ColData::Bool(xs) => TypedRef::Bool(xs[row]),
+            ColData::Str(xs) => TypedRef::Str(self.dict.value(xs[row])),
+            ColData::Mixed(xs) => match &xs[row] {
+                Value::Int(v) => TypedRef::Int(*v),
+                Value::Bool(v) => TypedRef::Bool(*v),
+                s @ Value::Str(_) => TypedRef::Str(s),
+                Value::Null => unreachable!("validity bit set on a null slot"),
+            },
+        })
+    }
+
+    /// Vectorized [`BoundPred`] evaluation (`pred` bound against this
+    /// relation's own scheme): produces the same per-row [`Truth`] as
+    /// [`BoundPred::eval`] on every row, as a [`SelMask`]. Comparison
+    /// leaves consult zone min/max metadata first; zones the metadata
+    /// already proves can contain no `True` row are resolved without
+    /// touching the data, and each such zone bumps `skipped`.
+    #[must_use]
+    pub fn eval_pred(&self, pred: &BoundPred, skipped: &mut u64) -> SelMask {
+        let n = self.rows;
+        match pred {
+            BoundPred::Const(truth) => SelMask::constant(*truth, n),
+            BoundPred::IsNull(s) => match s {
+                BoundScalar::Lit(v) => SelMask::constant(Truth::from_bool(v.is_null()), n),
+                BoundScalar::Col(i) => {
+                    let validity = &self.cols[*i].validity;
+                    SelMask {
+                        t: validity.negated(),
+                        f: validity.clone(),
+                    }
+                }
+            },
+            BoundPred::Not(p) => {
+                let m = self.eval_pred(p, skipped);
+                SelMask { t: m.f, f: m.t }
+            }
+            BoundPred::And(a, b) => {
+                let mut ma = self.eval_pred(a, skipped);
+                let mb = self.eval_pred(b, skipped);
+                ma.t.and_assign(&mb.t);
+                ma.f.or_assign(&mb.f);
+                ma
+            }
+            BoundPred::Or(a, b) => {
+                let mut ma = self.eval_pred(a, skipped);
+                let mb = self.eval_pred(b, skipped);
+                ma.t.or_assign(&mb.t);
+                ma.f.and_assign(&mb.f);
+                ma
+            }
+            BoundPred::Cmp(op, l, r) => match (l, r) {
+                (BoundScalar::Lit(a), BoundScalar::Lit(b)) => {
+                    let truth = match a.cmp3(b) {
+                        None => Truth::Unknown,
+                        Some(ord) => Truth::from_bool(op.test(ord)),
+                    };
+                    SelMask::constant(truth, n)
+                }
+                (BoundScalar::Col(i), BoundScalar::Lit(v)) => self.cmp_col_lit(*op, *i, v, skipped),
+                (BoundScalar::Lit(v), BoundScalar::Col(i)) => {
+                    self.cmp_col_lit(op.flipped(), *i, v, skipped)
+                }
+                (BoundScalar::Col(i), BoundScalar::Col(j)) => {
+                    self.cmp_col_col(*op, *i, *j, skipped)
+                }
+            },
+        }
+    }
+
+    /// Over the orderings attainable in `[ord_lo, ord_hi]`
+    /// (`Less < Equal < Greater`): does `op` hold for any / for all?
+    fn interval_test(op: CmpOp, ord_lo: Ordering, ord_hi: Ordering) -> (bool, bool) {
+        let mut any = false;
+        let mut all = true;
+        for ord in [Ordering::Less, Ordering::Equal, Ordering::Greater] {
+            if ord >= ord_lo && ord <= ord_hi {
+                if op.test(ord) {
+                    any = true;
+                } else {
+                    all = false;
+                }
+            }
+        }
+        (any, all)
+    }
+
+    fn cmp_col_lit(&self, op: CmpOp, ci: usize, lit: &Value, skipped: &mut u64) -> SelMask {
+        let n = self.rows;
+        let col = &self.cols[ci];
+        let mut t = Bitmap::zeros(n);
+        let mut f = Bitmap::zeros(n);
+        if lit.is_null() {
+            // Every comparison is Unknown; no zone needs its data.
+            *skipped += col.zones.len() as u64;
+            return SelMask { t, f };
+        }
+        // Per-code truth table for dict-encoded string columns, built
+        // lazily on the first zone that actually needs the data.
+        let mut code_table: Option<Vec<bool>> = None;
+        for (zi, zone) in col.zones.iter().enumerate() {
+            let lo = zi * ZONE_ROWS;
+            let hi = (lo + ZONE_ROWS).min(n);
+            let Some((zmin, zmax)) = zone.min_max() else {
+                *skipped += 1; // all-null zone: all Unknown
+                continue;
+            };
+            let (any, all) = ColumnSet::interval_test(op, zmin.cmp(lit), zmax.cmp(lit));
+            if !any {
+                // No row in the zone can satisfy op: every non-null row
+                // is definitely False, without reading the data.
+                f.union_range(&col.validity, lo, hi);
+                *skipped += 1;
+            } else if all {
+                // Every non-null row satisfies op — still metadata-only.
+                t.union_range(&col.validity, lo, hi);
+            } else {
+                self.cmp_lit_zone(op, col, lit, lo, hi, &mut t, &mut f, &mut code_table);
+            }
+        }
+        SelMask { t, f }
+    }
+
+    /// The ambiguous-zone tight loop of [`ColumnSet::cmp_col_lit`]. An
+    /// ambiguous zone implies the literal's type tag lies within the
+    /// zone's min/max type range, so a typed column sees a like-typed
+    /// literal here; the `else` arms are unreachable but kept total.
+    #[allow(clippy::too_many_arguments)]
+    fn cmp_lit_zone(
+        &self,
+        op: CmpOp,
+        col: &Column,
+        lit: &Value,
+        lo: usize,
+        hi: usize,
+        t: &mut Bitmap,
+        f: &mut Bitmap,
+        code_table: &mut Option<Vec<bool>>,
+    ) {
+        match (&col.data, lit) {
+            (ColData::Int(xs), Value::Int(lv)) => {
+                for (i, x) in xs.iter().enumerate().take(hi).skip(lo) {
+                    if col.validity.get(i) {
+                        if op.test(x.cmp(lv)) {
+                            t.set(i);
+                        } else {
+                            f.set(i);
+                        }
+                    }
+                }
+            }
+            (ColData::Bool(xs), Value::Bool(lv)) => {
+                for (i, x) in xs.iter().enumerate().take(hi).skip(lo) {
+                    if col.validity.get(i) {
+                        if op.test(x.cmp(lv)) {
+                            t.set(i);
+                        } else {
+                            f.set(i);
+                        }
+                    }
+                }
+            }
+            (ColData::Str(xs), Value::Str(_)) => {
+                let table = code_table.get_or_insert_with(|| {
+                    self.dict
+                        .values
+                        .iter()
+                        .map(|v| op.test(v.cmp(lit)))
+                        .collect()
+                });
+                for (i, code) in xs.iter().enumerate().take(hi).skip(lo) {
+                    if col.validity.get(i) {
+                        if table[*code as usize] {
+                            t.set(i);
+                        } else {
+                            f.set(i);
+                        }
+                    }
+                }
+            }
+            (ColData::Mixed(xs), _) => {
+                for (i, x) in xs.iter().enumerate().take(hi).skip(lo) {
+                    if let Some(ord) = x.cmp3(lit) {
+                        if op.test(ord) {
+                            t.set(i);
+                        } else {
+                            f.set(i);
+                        }
+                    }
+                }
+            }
+            // Cross-type fallback: the comparison reduces to the type
+            // tags, the same for every non-null row.
+            _ => {
+                let sample = match &col.data {
+                    ColData::Int(_) => Value::Int(0),
+                    ColData::Bool(_) => Value::Bool(false),
+                    ColData::Str(_) => Value::Str(String::new()),
+                    ColData::Mixed(_) => unreachable!("handled above"),
+                };
+                if op.test(sample.cmp(lit)) {
+                    t.union_range(&col.validity, lo, hi);
+                } else {
+                    f.union_range(&col.validity, lo, hi);
+                }
+            }
+        }
+    }
+
+    fn cmp_col_col(&self, op: CmpOp, ci: usize, cj: usize, skipped: &mut u64) -> SelMask {
+        let n = self.rows;
+        let a = &self.cols[ci];
+        let b = &self.cols[cj];
+        let mut t = Bitmap::zeros(n);
+        let mut f = Bitmap::zeros(n);
+        let n_zones = a.zones.len();
+        for zi in 0..n_zones {
+            let lo = zi * ZONE_ROWS;
+            let hi = (lo + ZONE_ROWS).min(n);
+            let (Some((amin, amax)), Some((bmin, bmax))) =
+                (a.zones[zi].min_max(), b.zones[zi].min_max())
+            else {
+                *skipped += 1; // one side all-null: all Unknown
+                continue;
+            };
+            // a.cmp(b) over the zone lies within [amin.cmp(bmax),
+            // amax.cmp(bmin)] — a conservative ordering interval.
+            let (any, all) = ColumnSet::interval_test(op, amin.cmp(bmax), amax.cmp(bmin));
+            if !any {
+                f.union_range_and(&a.validity, &b.validity, lo, hi);
+                *skipped += 1;
+            } else if all {
+                t.union_range_and(&a.validity, &b.validity, lo, hi);
+            } else {
+                self.cmp_col_zone(op, a, b, lo, hi, &mut t, &mut f);
+            }
+        }
+        SelMask { t, f }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn cmp_col_zone(
+        &self,
+        op: CmpOp,
+        a: &Column,
+        b: &Column,
+        lo: usize,
+        hi: usize,
+        t: &mut Bitmap,
+        f: &mut Bitmap,
+    ) {
+        match (&a.data, &b.data) {
+            (ColData::Int(xs), ColData::Int(ys)) => {
+                for i in lo..hi {
+                    if a.validity.get(i) && b.validity.get(i) {
+                        if op.test(xs[i].cmp(&ys[i])) {
+                            t.set(i);
+                        } else {
+                            f.set(i);
+                        }
+                    }
+                }
+            }
+            (ColData::Bool(xs), ColData::Bool(ys)) => {
+                for i in lo..hi {
+                    if a.validity.get(i) && b.validity.get(i) {
+                        if op.test(xs[i].cmp(&ys[i])) {
+                            t.set(i);
+                        } else {
+                            f.set(i);
+                        }
+                    }
+                }
+            }
+            (ColData::Str(xs), ColData::Str(ys)) => {
+                // Shared dictionary: rank order is string order.
+                for i in lo..hi {
+                    if a.validity.get(i) && b.validity.get(i) {
+                        let ord = self.dict.rank(xs[i]).cmp(&self.dict.rank(ys[i]));
+                        if op.test(ord) {
+                            t.set(i);
+                        } else {
+                            f.set(i);
+                        }
+                    }
+                }
+            }
+            _ => {
+                for i in lo..hi {
+                    if let (Some(va), Some(vb)) = (self.typed_at(a, i), self.typed_at(b, i)) {
+                        if op.test(va.cmp_ref(&vb)) {
+                            t.set(i);
+                        } else {
+                            f.set(i);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Hash the key columns of one row exactly as the row-major engine
+    /// hashes an assembled tuple key: each key [`Value`] fed in column
+    /// order into one `DefaultHasher`. Returns `None` when any key
+    /// value is null (null keys never match). String keys hash their
+    /// interned dictionary entry — no row assembly, no `String` clone.
+    #[must_use]
+    pub fn hash_key_at(&self, key_cols: &[usize], row: usize) -> Option<u64> {
+        let mut h = DefaultHasher::new();
+        for &c in key_cols {
+            let col = &self.cols[c];
+            if !col.validity.get(row) {
+                return None;
+            }
+            match &col.data {
+                ColData::Int(xs) => Value::Int(xs[row]).hash(&mut h),
+                ColData::Bool(xs) => Value::Bool(xs[row]).hash(&mut h),
+                ColData::Str(xs) => self.dict.value(xs[row]).hash(&mut h),
+                ColData::Mixed(xs) => xs[row].hash(&mut h),
+            }
+        }
+        Some(h.finish())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple::Tuple;
+
+    /// Deterministic xorshift generator (no external deps, no clock).
+    struct Rng(u64);
+    impl Rng {
+        fn next_u64(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            self.0 = x;
+            x
+        }
+        fn below(&mut self, n: u64) -> u64 {
+            self.next_u64() % n
+        }
+    }
+
+    fn mixed_relation(rows: usize, seed: u64) -> Relation {
+        let mut rng = Rng(seed | 1);
+        let mut data = Vec::with_capacity(rows);
+        for _ in 0..rows {
+            let int_v = match rng.below(10) {
+                0 => Value::Null,
+                d => Value::Int(rng.below(40) as i64 - 20 + i64::from(d == 1)),
+            };
+            let str_v = match rng.below(8) {
+                0 => Value::Null,
+                _ => Value::str(format!("s{}", rng.below(6))),
+            };
+            let bool_v = match rng.below(6) {
+                0 => Value::Null,
+                _ => Value::Bool(rng.below(2) == 1),
+            };
+            let any_v = match rng.below(4) {
+                0 => Value::Null,
+                1 => Value::Int(rng.below(5) as i64),
+                2 => Value::str(format!("m{}", rng.below(3))),
+                _ => Value::Bool(rng.below(2) == 0),
+            };
+            data.push(vec![int_v, str_v, bool_v, any_v]);
+        }
+        Relation::from_values("R", &["a", "b", "c", "d"], data)
+    }
+
+    fn pred_suite() -> Vec<BoundPred> {
+        use BoundPred as P;
+        use BoundScalar as S;
+        let lit = |v: Value| S::Lit(v);
+        vec![
+            P::Cmp(CmpOp::Ge, S::Col(0), lit(Value::Int(0))),
+            P::Cmp(CmpOp::Eq, S::Col(0), lit(Value::Int(3))),
+            P::Cmp(CmpOp::Lt, lit(Value::Int(-5)), S::Col(0)),
+            P::Cmp(CmpOp::Eq, S::Col(1), lit(Value::str("s2"))),
+            P::Cmp(CmpOp::Gt, S::Col(1), lit(Value::str("s3"))),
+            P::Cmp(CmpOp::Eq, S::Col(1), lit(Value::str("absent"))),
+            P::Cmp(CmpOp::Eq, S::Col(2), lit(Value::Bool(true))),
+            P::Cmp(CmpOp::Ne, S::Col(3), lit(Value::Int(2))),
+            P::Cmp(CmpOp::Le, S::Col(3), lit(Value::str("m1"))),
+            P::Cmp(CmpOp::Eq, S::Col(0), lit(Value::Null)),
+            P::Cmp(CmpOp::Gt, S::Col(0), lit(Value::str("zz"))),
+            P::Cmp(CmpOp::Lt, S::Col(1), lit(Value::Bool(false))),
+            P::Cmp(CmpOp::Eq, S::Col(0), S::Col(3)),
+            P::Cmp(CmpOp::Le, S::Col(0), S::Col(0)),
+            P::Cmp(CmpOp::Gt, S::Col(1), S::Col(3)),
+            P::IsNull(S::Col(0)),
+            P::IsNull(S::Lit(Value::Null)),
+            P::Const(Truth::Unknown),
+            P::Not(Box::new(P::Cmp(CmpOp::Ge, S::Col(0), lit(Value::Int(0))))),
+            P::And(
+                Box::new(P::Cmp(CmpOp::Ge, S::Col(0), lit(Value::Int(-10)))),
+                Box::new(P::Cmp(CmpOp::Eq, S::Col(2), lit(Value::Bool(false)))),
+            ),
+            P::Or(
+                Box::new(P::IsNull(S::Col(1))),
+                Box::new(P::Cmp(CmpOp::Lt, S::Col(0), S::Col(3))),
+            ),
+            P::Not(Box::new(P::Or(
+                Box::new(P::Cmp(CmpOp::Eq, S::Col(1), lit(Value::str("s0")))),
+                Box::new(P::IsNull(S::Col(3))),
+            ))),
+        ]
+    }
+
+    fn assert_mask_matches(rel: &Relation, cs: &ColumnSet, p: &BoundPred) {
+        let mut skipped = 0u64;
+        let m = cs.eval_pred(p, &mut skipped);
+        for (i, t) in rel.rows().iter().enumerate() {
+            let truth = p.eval(t);
+            assert_eq!(m.trues().get(i), truth == Truth::True, "{p:?} row {i}");
+            assert_eq!(m.falses().get(i), truth == Truth::False, "{p:?} row {i}");
+        }
+    }
+
+    #[test]
+    fn bitmap_basics() {
+        let mut b = Bitmap::zeros(130);
+        b.set(0);
+        b.set(64);
+        b.set(129);
+        assert!(b.get(0) && b.get(64) && b.get(129) && !b.get(1));
+        assert_eq!(b.count_ones(), 3);
+        assert_eq!(b.count_ones_range(0, 65), 2);
+        assert_eq!(b.count_ones_range(1, 64), 0);
+        assert_eq!(b.count_ones_range(64, 130), 2);
+        let mut seen = Vec::new();
+        b.for_each_one_in(1, 130, |i| seen.push(i));
+        assert_eq!(seen, vec![64, 129]);
+        let inv = b.negated();
+        assert_eq!(inv.count_ones(), 130 - 3);
+        assert_eq!(Bitmap::ones(130).count_ones(), 130);
+        let mut dst = Bitmap::zeros(130);
+        dst.union_range(&b, 0, 65);
+        assert_eq!(dst.count_ones(), 2);
+        let mut both = Bitmap::zeros(130);
+        both.union_range_and(&b, &Bitmap::ones(130), 60, 130);
+        assert_eq!(both.count_ones(), 2);
+    }
+
+    #[test]
+    fn typed_columns_and_metadata() {
+        let rel = Relation::from_values(
+            "R",
+            &["i", "s", "n"],
+            vec![
+                vec![Value::Int(5), Value::str("b"), Value::Null],
+                vec![Value::Int(-2), Value::Null, Value::Null],
+                vec![Value::Int(5), Value::str("a"), Value::Null],
+            ],
+        );
+        let cs = ColumnSet::build(&rel);
+        assert_eq!(cs.rows(), 3);
+        assert_eq!(cs.width(), 3);
+        let i = cs.column(0);
+        assert_eq!(i.null_count(), 0);
+        assert_eq!(i.distinct(), 2);
+        assert_eq!(
+            i.min_max(),
+            Some((&Value::Int(-2), &Value::Int(5))),
+            "column min/max folds zones"
+        );
+        let s = cs.column(1);
+        assert_eq!(s.null_count(), 1);
+        assert_eq!(s.distinct(), 3, "null counts as one distinct value");
+        let n = cs.column(2);
+        assert_eq!(n.null_count(), 3);
+        assert_eq!(n.distinct(), 1);
+        assert_eq!(n.min_max(), None);
+        // Cells reassemble exactly.
+        for (r, t) in rel.rows().iter().enumerate() {
+            for c in 0..3 {
+                assert_eq!(&cs.value_at(r, c), t.get(c));
+            }
+        }
+        // Dictionary: shared codes, rank order = string order.
+        let d = cs.dict();
+        assert_eq!(d.len(), 2);
+        let (cb, ca) = (d.code_of("b").unwrap(), d.code_of("a").unwrap());
+        assert!(d.rank(ca) < d.rank(cb));
+        assert_eq!(d.code_of("zzz"), None);
+        assert_eq!(d.value(ca), &Value::str("a"));
+    }
+
+    #[test]
+    fn eval_matches_row_oracle_on_random_data() {
+        for seed in [3, 99, 4096] {
+            let rel = mixed_relation(700, seed);
+            let cs = ColumnSet::build(&rel);
+            for p in &pred_suite() {
+                assert_mask_matches(&rel, &cs, p);
+            }
+        }
+    }
+
+    #[test]
+    fn eval_matches_row_oracle_across_many_zones() {
+        // > 2 zones, sorted keys: exercises both metadata-decided and
+        // ambiguous zones.
+        let rows: Vec<Vec<Value>> = (0..3000)
+            .map(|i| {
+                vec![
+                    Value::Int(i),
+                    if i % 97 == 0 {
+                        Value::Null
+                    } else {
+                        Value::Int(i % 7)
+                    },
+                ]
+            })
+            .collect();
+        let rel = Relation::from_values("R", &["k", "m"], rows);
+        let cs = ColumnSet::build(&rel);
+        let preds = [
+            BoundPred::Cmp(
+                CmpOp::Lt,
+                BoundScalar::Col(0),
+                BoundScalar::Lit(Value::Int(1500)),
+            ),
+            BoundPred::Cmp(
+                CmpOp::Eq,
+                BoundScalar::Col(0),
+                BoundScalar::Lit(Value::Int(2048)),
+            ),
+            BoundPred::Cmp(CmpOp::Ge, BoundScalar::Col(0), BoundScalar::Col(1)),
+            BoundPred::Not(Box::new(BoundPred::Cmp(
+                CmpOp::Gt,
+                BoundScalar::Col(0),
+                BoundScalar::Lit(Value::Int(2999)),
+            ))),
+        ];
+        for p in &preds {
+            assert_mask_matches(&rel, &cs, p);
+        }
+        // Sorted keys: an out-of-range equality resolves every zone
+        // from metadata alone.
+        let mut skipped = 0u64;
+        let never = BoundPred::Cmp(
+            CmpOp::Eq,
+            BoundScalar::Col(0),
+            BoundScalar::Lit(Value::Int(1 << 40)),
+        );
+        let m = cs.eval_pred(&never, &mut skipped);
+        assert_eq!(m.true_count(), 0);
+        assert_eq!(skipped, cs.column(0).zones().len() as u64);
+        // A selective range predicate skips the zones outside it.
+        skipped = 0;
+        let range = BoundPred::Cmp(
+            CmpOp::Lt,
+            BoundScalar::Col(0),
+            BoundScalar::Lit(Value::Int(100)),
+        );
+        let m = cs.eval_pred(&range, &mut skipped);
+        assert_eq!(m.true_count(), 100);
+        assert!(skipped >= 1, "upper zones prune via min/max");
+    }
+
+    #[test]
+    fn eval_on_empty_and_all_null_relations() {
+        let empty = Relation::from_values("R", &["a"], vec![]);
+        let cs = ColumnSet::build(&empty);
+        let p = BoundPred::Cmp(
+            CmpOp::Eq,
+            BoundScalar::Col(0),
+            BoundScalar::Lit(Value::Int(1)),
+        );
+        let mut sk = 0;
+        assert_eq!(cs.eval_pred(&p, &mut sk).true_count(), 0);
+
+        let nulls = Relation::from_values("R", &["a"], vec![vec![Value::Null], vec![Value::Null]]);
+        let cs = ColumnSet::build(&nulls);
+        assert_mask_matches(&nulls, &cs, &p);
+        assert_mask_matches(&nulls, &cs, &BoundPred::IsNull(BoundScalar::Col(0)));
+    }
+
+    #[test]
+    fn hash_matches_row_major_tuple_hash() {
+        let rel = mixed_relation(300, 7);
+        let cs = ColumnSet::build(&rel);
+        let hash_row = |t: &Tuple, cols: &[usize]| -> Option<u64> {
+            let mut h = DefaultHasher::new();
+            for &c in cols {
+                let v = t.get(c);
+                if v.is_null() {
+                    return None;
+                }
+                v.hash(&mut h);
+            }
+            Some(h.finish())
+        };
+        for cols in [vec![0], vec![1], vec![3], vec![0, 1], vec![2, 3, 0]] {
+            for (i, t) in rel.rows().iter().enumerate() {
+                assert_eq!(
+                    cs.hash_key_at(&cols, i),
+                    hash_row(t, &cols),
+                    "key {cols:?} row {i}"
+                );
+            }
+        }
+    }
+}

@@ -44,6 +44,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod column;
 pub mod database;
 pub mod error;
 pub mod expr;
@@ -59,6 +60,7 @@ pub mod truth;
 pub mod tuple;
 pub mod value;
 
+pub use column::{Bitmap, ColumnSet, Dictionary, SelMask, ZONE_ROWS};
 pub use database::Database;
 pub use error::AlgebraError;
 pub use expr::Query;

@@ -113,10 +113,12 @@ impl Catalog {
             let schema = rel.schema().clone();
             let id = cat.register(name, schema.clone(), rel.len() as u64);
             let info = &mut cat.tables[id.index()];
+            // Distinct counts come off the columnar mirror's per-column
+            // metadata — computed once at table load, no row scan here.
+            // Same convention as the old per-column set scan: null
+            // counts as one distinct value.
             for c in 0..schema.len() {
-                let set: std::collections::HashSet<_> =
-                    rel.rows().iter().map(|t| t.get(c)).collect();
-                info.distinct[c] = Some(set.len() as u64);
+                info.distinct[c] = Some(table.columns().column(c).distinct());
             }
             for ix in table.indexes() {
                 let cols: Vec<u32> = ix

@@ -77,6 +77,13 @@ pub struct ExecConfig {
     /// Which executor runs the plan ([`ExecMode::Pipelined`] by
     /// default).
     pub mode: ExecMode,
+    /// Whether the engines may use the columnar mirrors of base tables
+    /// (vectorized predicate scans, zone skipping, column-direct hash
+    /// builds). `true` by default; `false` forces the row-at-a-time
+    /// paths. Results, order, and work counters are bit-identical
+    /// either way — only the bookkeeping `morsels_skipped` diagnostic
+    /// and wall-clock change.
+    pub columnar: bool,
 }
 
 impl ExecConfig {
@@ -128,6 +135,14 @@ impl ExecConfig {
         self
     }
 
+    /// Enable or disable the columnar kernels (`true` is the default;
+    /// `false` runs the row-at-a-time reference paths).
+    #[must_use]
+    pub fn columnar(mut self, on: bool) -> ExecConfig {
+        self.columnar = on;
+        self
+    }
+
     /// Resolve `threads = 0` against the machine; always at least one.
     #[must_use]
     pub fn effective_threads(&self) -> usize {
@@ -159,6 +174,7 @@ impl Default for ExecConfig {
             morsel_rows: ExecConfig::DEFAULT_MORSEL_ROWS,
             partitions: 1,
             mode: ExecMode::Pipelined,
+            columnar: true,
         }
     }
 }
@@ -176,6 +192,13 @@ mod tests {
         assert_eq!(cfg.partitions, 1);
         assert_eq!(cfg.effective_partitions(1_000_000_000), 1);
         assert_eq!(cfg.mode, ExecMode::Pipelined);
+        assert!(cfg.columnar);
+    }
+
+    #[test]
+    fn columnar_builder_flips_the_kernels() {
+        assert!(!ExecConfig::new().columnar(false).columnar);
+        assert!(ExecConfig::new().columnar(false).columnar(true).columnar);
     }
 
     #[test]

@@ -44,7 +44,7 @@ use crate::plan::{JoinKind, PhysPlan};
 use crate::stats::ExecStats;
 use crate::storage::Storage;
 use fro_algebra::ops::{AttrCols, BoundPred, IPred};
-use fro_algebra::{AlgebraError, Attr, Interner, Pred, Relation, Schema, Tuple, Value};
+use fro_algebra::{AlgebraError, Attr, ColumnSet, Interner, Pred, Relation, Schema, Tuple, Value};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::{HashMap, HashSet};
 use std::fmt;
@@ -256,17 +256,31 @@ impl<'a> JoinTable<'a> {
     /// morsel — so every bucket's row-id chain is ascending, exactly
     /// the chain a sequential pass over `rows` builds, no matter how
     /// many workers ran or how the scheduler interleaved them.
+    ///
+    /// When the build side is a base table, `cols` carries its columnar
+    /// mirror and key hashes are computed straight off the typed column
+    /// vectors ([`ColumnSet::hash_key_at`]) — no wide-row indirection,
+    /// dictionary codes resolved once per string key. The hashes are
+    /// value-identical to [`hash_key`] over the rows, so buckets,
+    /// partitions, and every counter are unchanged.
     pub(crate) fn build(
         rows: &'a [Tuple],
         key_cols: &'a [usize],
         p: usize,
         cfg: &ExecConfig,
         stats: &mut ExecStats,
+        cols: Option<&ColumnSet>,
     ) -> JoinTable<'a> {
         assert!(
             u32::try_from(rows.len()).is_ok(),
             "build side exceeds u32 row ids"
         );
+        let hash_at = |rid: usize, row: &Tuple| -> Option<u64> {
+            match cols {
+                Some(cs) => cs.hash_key_at(key_cols, rid),
+                None => hash_key(row, key_cols),
+            }
+        };
         stats.partition.note_partitions(p);
         let morsel = cfg.morsel_rows.max(1);
         let n_morsels = rows.len().div_ceil(morsel);
@@ -276,7 +290,7 @@ impl<'a> JoinTable<'a> {
             // maps — no worker spawn, no scatter buffers.
             let mut parts: Vec<HashMap<u64, Vec<u32>>> = vec![HashMap::new(); p];
             for (rid, row) in rows.iter().enumerate() {
-                if let Some(h) = hash_key(row, key_cols) {
+                if let Some(h) = hash_at(rid, row) {
                     let pt = partition_of(h, p);
                     stats.partition.add_build(pt);
                     #[allow(clippy::cast_possible_truncation)]
@@ -311,7 +325,7 @@ impl<'a> JoinTable<'a> {
                             let hi = (lo + morsel).min(rows.len());
                             let mut buf: Vec<ScatterEntry> = Vec::with_capacity(hi - lo);
                             for (rid, row) in rows[lo..hi].iter().enumerate() {
-                                if let Some(h) = hash_key(row, key_cols) {
+                                if let Some(h) = hash_at(lo + rid, row) {
                                     local.partition.add_build(partition_of(h, p));
                                     #[allow(clippy::cast_possible_truncation)]
                                     buf.push((h, (lo + rid) as u32));
@@ -584,6 +598,54 @@ pub fn execute_with(
     Ok(out)
 }
 
+/// A join operand in the materializing engine: either a base table
+/// borrowed straight out of storage (columnar mirror included) or an
+/// owned intermediate from a recursive [`run`].
+enum Operand<'a> {
+    Table(&'a crate::storage::Table),
+    Owned(Relation),
+}
+
+impl Operand<'_> {
+    fn rel(&self) -> &Relation {
+        match self {
+            Operand::Table(t) => t.relation(),
+            Operand::Owned(r) => r,
+        }
+    }
+
+    fn columns(&self) -> Option<&ColumnSet> {
+        match self {
+            Operand::Table(t) => Some(t.columns()),
+            Operand::Owned(_) => None,
+        }
+    }
+}
+
+/// Evaluate a join operand, borrowing base tables instead of cloning
+/// them when the columnar kernels are on. The borrow replicates the
+/// counters the recursive scan would have ticked (`tuples_retrieved`
+/// plus the operator epilogue's `rows_materialized`), so totals are
+/// identical to the plain recursion — it only skips the defensive
+/// clone of the stored relation and keeps the columnar mirror in
+/// reach for the hash build.
+fn run_operand<'a>(
+    plan: &PhysPlan,
+    storage: &'a Storage,
+    stats: &mut ExecStats,
+    cfg: &ExecConfig,
+) -> Result<Operand<'a>, ExecError> {
+    if cfg.columnar {
+        if let PhysPlan::Scan { rel } = plan {
+            let t = storage.lookup_named(rel)?;
+            stats.tuples_retrieved += t.len() as u64;
+            stats.rows_materialized += t.len() as u64;
+            return Ok(Operand::Table(t));
+        }
+    }
+    run(plan, storage, stats, cfg).map(Operand::Owned)
+}
+
 fn run(
     plan: &PhysPlan,
     storage: &Storage,
@@ -595,6 +657,31 @@ fn run(
             let t = storage.lookup_named(rel)?;
             stats.tuples_retrieved += t.len() as u64;
             t.relation().clone()
+        }
+        PhysPlan::Filter { input, pred }
+            if cfg.columnar && matches!(input.as_ref(), PhysPlan::Scan { .. }) =>
+        {
+            // Vectorized scan-filter: evaluate the predicate over the
+            // table's columnar mirror as one selection bitmap (zone
+            // metadata skipping whole morsels where it can), then clone
+            // only the selected rows. Counters replicate the recursive
+            // path exactly: the child scan's `tuples_retrieved` and
+            // `rows_materialized`, then one comparison per input row.
+            let PhysPlan::Scan { rel } = input.as_ref() else {
+                unreachable!("guard matched a scan input")
+            };
+            let t = storage.lookup_named(rel)?;
+            stats.tuples_retrieved += t.len() as u64;
+            stats.rows_materialized += t.len() as u64;
+            let r = t.relation();
+            let bound = bind_pred(pred, r.schema(), Some(storage.interner()))?;
+            stats.comparisons += t.len() as u64;
+            let mut skipped = 0u64;
+            let mask = t.columns().eval_pred(&bound, &mut skipped).into_trues();
+            stats.morsels_skipped += skipped;
+            let mut rows = Vec::with_capacity(mask.count_ones());
+            mask.for_each_one_in(0, t.len(), |i| rows.push(r.rows()[i].clone()));
+            Relation::from_distinct_rows(r.schema().clone(), rows)
         }
         PhysPlan::Filter { input, pred } => {
             let rel = run(input, storage, stats, cfg)?;
@@ -625,17 +712,18 @@ fn run(
                 return Err(ExecError::KeyArityMismatch);
             }
             let probe_rel = run(probe, storage, stats, cfg)?;
-            let build_rel = run(build, storage, stats, cfg)?;
+            let build_op = run_operand(build, storage, stats, cfg)?;
             hash_join(
                 *kind,
                 &probe_rel,
-                &build_rel,
+                build_op.rel(),
                 probe_keys,
                 build_keys,
                 residual,
                 Some(storage.interner()),
                 stats,
                 cfg,
+                build_op.columns(),
             )?
         }
         PhysPlan::IndexJoin {
@@ -902,9 +990,19 @@ pub(crate) fn hash_join(
     it: Option<&Interner>,
     stats: &mut ExecStats,
     cfg: &ExecConfig,
+    build_colset: Option<&ColumnSet>,
 ) -> Result<Relation, ExecError> {
     hash_join_phased(
-        kind, probe, build, probe_keys, build_keys, residual, it, stats, cfg,
+        kind,
+        probe,
+        build,
+        probe_keys,
+        build_keys,
+        residual,
+        it,
+        stats,
+        cfg,
+        build_colset,
     )
     .map(|(rel, _, _)| rel)
 }
@@ -930,7 +1028,7 @@ pub fn hash_join_timed(
     cfg: &ExecConfig,
 ) -> Result<(Relation, f64, f64), ExecError> {
     hash_join_phased(
-        kind, probe, build, probe_keys, build_keys, residual, None, stats, cfg,
+        kind, probe, build, probe_keys, build_keys, residual, None, stats, cfg, None,
     )
 }
 
@@ -945,6 +1043,7 @@ fn hash_join_phased(
     it: Option<&Interner>,
     stats: &mut ExecStats,
     cfg: &ExecConfig,
+    build_colset: Option<&ColumnSet>,
 ) -> Result<(Relation, f64, f64), ExecError> {
     let probe_cols = resolve_cols(probe.schema(), probe_keys)?;
     let build_cols = resolve_cols(build.schema(), build_keys)?;
@@ -968,7 +1067,7 @@ fn hash_join_phased(
     // the actual build cardinality when the config says "auto".
     let p = cfg.effective_partitions(build.len());
     let build_start = Instant::now();
-    let table = JoinTable::build(build.rows(), &build_cols, p, cfg, stats);
+    let table = JoinTable::build(build.rows(), &build_cols, p, cfg, stats, build_colset);
     let build_secs = build_start.elapsed().as_secs_f64();
     let kernel = JoinKernel {
         kind,
@@ -1415,6 +1514,7 @@ fn annotate(
                     Some(storage.interner()),
                     stats,
                     cfg,
+                    None,
                 )?,
             )
         }

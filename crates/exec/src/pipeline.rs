@@ -42,7 +42,7 @@ use crate::plan::{JoinKind, PhysPlan};
 use crate::stats::ExecStats;
 use crate::storage::Storage;
 use fro_algebra::ops::BoundPred;
-use fro_algebra::{AlgebraError, Attr, Relation, Schema, Tuple, Value};
+use fro_algebra::{AlgebraError, Attr, Bitmap, ColumnSet, Relation, Schema, Tuple, Value};
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
 use std::ops::Range;
@@ -255,6 +255,7 @@ fn exec_breaker(
                 Some(cx.storage.interner()),
                 rs.stats,
                 cx.cfg,
+                None,
             )?
         }
         PhysPlan::NlJoin {
@@ -521,6 +522,10 @@ fn exec_stream(
     let mut arena: Vec<Relation> = Vec::new();
     let mut desc = String::from("pipeline: ");
 
+    // Columnar mirror of the pipeline source (base-table scans only):
+    // lets the drive below evaluate leading filters as vectorized
+    // kernels instead of per-row predicate calls.
+    let mut src_cols: Option<&ColumnSet> = None;
     let (src, src_schema): (RowsSrc<'_>, Arc<Schema>) = match src_plan {
         PhysPlan::Scan { rel } => {
             let t = cx.storage.lookup_named(rel)?;
@@ -528,6 +533,7 @@ fn exec_stream(
             rs.stats.rows_pipelined += t.len() as u64;
             rs.slots[src_slot] += t.len() as u64;
             desc.push_str(&format!("Scan {rel}"));
+            src_cols = Some(t.columns());
             (
                 RowsSrc::Storage(t.relation().rows()),
                 t.relation().schema().clone(),
@@ -548,8 +554,11 @@ fn exec_stream(
     let mut specs: Vec<StageSpec<'_>> = Vec::new();
     // Non-spine operand rows (hash build sides, NL right sides) in
     // stage order; arena-backed entries are resolved after the arena
-    // freezes.
+    // freezes. `side_cols` carries the columnar mirror of each side
+    // that is a base-table scan (hash builds hash those columns
+    // directly).
     let mut sides: Vec<RowsSrc<'_>> = Vec::new();
+    let mut side_cols: Vec<Option<&ColumnSet>> = Vec::new();
     // Partition count + side index per hash stage, for the table
     // builds below.
     let mut hash_builds: Vec<(usize, usize)> = Vec::new(); // (side_idx, partitions)
@@ -576,7 +585,7 @@ fn exec_stream(
                 // before key-resolution errors, as in the materializing
                 // engine's child-then-join order.
                 let build_slot = stage_slot + 1 + n_nodes(probe);
-                let (build_len, build_schema, side) = match build.as_ref() {
+                let (build_len, build_schema, side, bcols) = match build.as_ref() {
                     PhysPlan::Scan { rel } => {
                         let t = cx.storage.lookup_named(rel)?;
                         rs.stats.tuples_retrieved += t.len() as u64;
@@ -587,6 +596,7 @@ fn exec_stream(
                             t.len(),
                             t.relation().schema().clone(),
                             RowsSrc::Storage(t.relation().rows()),
+                            Some(t.columns()),
                         )
                     }
                     other => {
@@ -595,7 +605,7 @@ fn exec_stream(
                         let schema = rel.schema().clone();
                         let len = rel.len();
                         arena.push(rel);
-                        (len, schema, RowsSrc::Arena(arena.len() - 1))
+                        (len, schema, RowsSrc::Arena(arena.len() - 1), None)
                     }
                 };
                 let probe_cols = resolve_cols(&cur_schema, probe_keys)?;
@@ -605,6 +615,7 @@ fn exec_stream(
                 let key_map = probe_cols.iter().map(|&c| map_col(&widths, c)).collect();
                 let p = cx.cfg.effective_partitions(build_len);
                 sides.push(side);
+                side_cols.push(bcols);
                 hash_builds.push((sides.len() - 1, p));
                 specs.push(StageSpec::HashProbe {
                     kind: *kind,
@@ -701,6 +712,7 @@ fn exec_stream(
                 let concat = Arc::new(cur_schema.concat(&right_schema)?);
                 let bound = bind_pred(pred, &concat, Some(cx.storage.interner()))?;
                 sides.push(side);
+                side_cols.push(None);
                 specs.push(StageSpec::NlProbe {
                     kind: *kind,
                     side_idx: sides.len() - 1,
@@ -795,6 +807,11 @@ fn exec_stream(
                 p,
                 cx.cfg,
                 rs.stats,
+                if cx.cfg.columnar {
+                    side_cols[side_idx]
+                } else {
+                    None
+                },
             ));
         }
     }
@@ -803,7 +820,42 @@ fn exec_stream(
         RowsSrc::Arena(i) => arena[*i].rows(),
     };
 
-    // --- Drive: push every source row through the fused stage chain.
+    // --- Columnar filter hoist: when the source is a base-table scan,
+    // the leading run of Filter stages is evaluated as vectorized
+    // kernels over the table's columns (they are bound against the
+    // scan schema — no join fragment exists yet), producing one
+    // selection bitmap the drive consumes. Every counter is derived
+    // from bitmap popcounts exactly as the per-row path ticks it: a
+    // filter is "evaluated" once per row that survived the filters
+    // below it, and passes exactly the rows where its mask is
+    // definitely true — so counters, rows, and order are bit-identical.
+    let mut hoisted = 0usize;
+    let mut sel: Option<Bitmap> = None;
+    if cx.cfg.columnar {
+        if let Some(cols) = src_cols {
+            let mut skipped = 0u64;
+            for spec in &specs {
+                let StageSpec::Filter { pred, slot } = spec else {
+                    break;
+                };
+                let reaching = sel.as_ref().map_or(src_rows.len(), Bitmap::count_ones);
+                let mut mask = cols.eval_pred(pred, &mut skipped).into_trues();
+                if let Some(prev) = &sel {
+                    mask.and_assign(prev);
+                }
+                let passing = mask.count_ones();
+                rs.stats.comparisons += reaching as u64;
+                rs.stats.rows_pipelined += passing as u64;
+                rs.slots[*slot] += passing as u64;
+                sel = Some(mask);
+                hoisted += 1;
+            }
+            rs.stats.morsels_skipped += skipped;
+        }
+    }
+
+    // --- Drive: push every (selected) source row through the fused
+    // stage chain, entering above any hoisted filters.
     let mut out_rows: Vec<Tuple> = Vec::new();
     let n_slots = rs.slots.len();
     let depth = widths.len() + 1;
@@ -817,21 +869,41 @@ fn exec_stream(
         |range, buf, st, sl| {
             let mut parts: Vec<&Tuple> = Vec::with_capacity(depth);
             let mut scratch: Vec<Vec<Value>> = vec![Vec::new(); specs.len()];
-            for row in &src_rows[range] {
-                parts.clear();
-                parts.push(row);
-                push_row(
-                    &specs,
-                    &side_rows,
-                    &tables,
-                    &tail,
-                    0,
-                    &mut parts,
-                    &mut scratch,
-                    buf,
-                    st,
-                    sl,
-                );
+            match &sel {
+                Some(mask) => mask.for_each_one_in(range.start, range.end, |i| {
+                    parts.clear();
+                    parts.push(&src_rows[i]);
+                    push_row(
+                        &specs,
+                        &side_rows,
+                        &tables,
+                        &tail,
+                        hoisted,
+                        &mut parts,
+                        &mut scratch,
+                        buf,
+                        st,
+                        sl,
+                    );
+                }),
+                None => {
+                    for row in &src_rows[range] {
+                        parts.clear();
+                        parts.push(row);
+                        push_row(
+                            &specs,
+                            &side_rows,
+                            &tables,
+                            &tail,
+                            0,
+                            &mut parts,
+                            &mut scratch,
+                            buf,
+                            st,
+                            sl,
+                        );
+                    }
+                }
             }
         },
     );

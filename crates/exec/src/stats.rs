@@ -127,18 +127,29 @@ pub struct ExecStats {
     /// single-operator pipelines). Always 0 under
     /// [`crate::ExecMode::Materializing`].
     pub pipelines: u64,
+    /// Metadata zones ([`fro_algebra::ZONE_ROWS`]-row morsels of a
+    /// base column) that a vectorized comparison resolved from zone
+    /// min/max / null-count metadata as containing no qualifying row,
+    /// without touching the column data. Diagnostic, like the
+    /// partition breakdown: how much skipping happened depends on the
+    /// columnar flag and data layout, so it is excluded from equality
+    /// — the logical work counters above stay bit-identical whether
+    /// or not zones were skipped.
+    pub morsels_skipped: u64,
     /// Per-partition hash-join breakdown (diagnostic; see
     /// [`PartitionStats`] — excluded from equality).
     pub partition: PartitionStats,
 }
 
-/// Equality compares the **scalar counters only**. The per-partition
-/// breakdown is a function of the configured partition count, while the
-/// scalar counters are guaranteed bit-identical across every partition
-/// count, thread count, and morsel size — tests assert `stats == stats`
-/// across configurations, and the breakdown must not break that
-/// contract. The partition totals are separately asserted to sum into
-/// the scalar counters by the partition-invariance suite.
+/// Equality compares the **logical scalar counters only**. The
+/// per-partition breakdown is a function of the configured partition
+/// count, and `morsels_skipped` is a function of the columnar flag and
+/// physical layout, while the logical counters are guaranteed
+/// bit-identical across every partition count, thread count, morsel
+/// size, and columnar setting — tests assert `stats == stats` across
+/// configurations, and the diagnostics must not break that contract.
+/// The partition totals are separately asserted to sum into the scalar
+/// counters by the partition-invariance suite.
 impl PartialEq for ExecStats {
     fn eq(&self, other: &Self) -> bool {
         self.tuples_retrieved == other.tuples_retrieved
@@ -175,6 +186,7 @@ impl ExecStats {
         self.rows_materialized += other.rows_materialized;
         self.rows_pipelined += other.rows_pipelined;
         self.pipelines += other.pipelines;
+        self.morsels_skipped += other.morsels_skipped;
         self.partition.merge(&other.partition);
     }
 
@@ -193,7 +205,7 @@ impl fmt::Display for ExecStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "retrieved={} probes={} comparisons={} built={} materialized={} pipelined={} pipelines={} output={}",
+            "retrieved={} probes={} comparisons={} built={} materialized={} pipelined={} pipelines={} skipped={} output={}",
             self.tuples_retrieved,
             self.index_probes,
             self.comparisons,
@@ -201,6 +213,7 @@ impl fmt::Display for ExecStats {
             self.rows_materialized,
             self.rows_pipelined,
             self.pipelines,
+            self.morsels_skipped,
             self.rows_output
         )
     }
@@ -288,8 +301,23 @@ mod tests {
         b.partition.note_partitions(8);
         b.partition.add_build(7);
         assert_eq!(a, b, "breakdown is diagnostic, not part of equality");
+        b.morsels_skipped = 3;
+        assert_eq!(a, b, "zone skipping is diagnostic, not part of equality");
         b.hash_build_rows = 1;
         assert_ne!(a, b, "scalar counters still compared");
+    }
+
+    #[test]
+    fn merge_sums_skipped_zones() {
+        let mut a = ExecStats {
+            morsels_skipped: 2,
+            ..ExecStats::default()
+        };
+        a.merge(&ExecStats {
+            morsels_skipped: 5,
+            ..ExecStats::default()
+        });
+        assert_eq!(a.morsels_skipped, 7);
     }
 
     #[test]
@@ -303,6 +331,7 @@ mod tests {
             "materialized",
             "pipelined",
             "pipelines",
+            "skipped",
             "output",
         ] {
             assert!(s.contains(key), "missing {key} in {s}");

@@ -23,21 +23,32 @@
 
 use crate::engine::ExecError;
 use crate::index::HashIndex;
-use fro_algebra::{Attr, Database, Interner, RelId, Relation};
+use fro_algebra::{Attr, ColumnSet, Database, Interner, RelId, Relation};
 
-/// A stored base table: the relation plus any indexes built on it.
+/// A stored base table: the relation, its columnar mirror, and any
+/// indexes built on it.
+///
+/// The [`ColumnSet`] is built once at registration and kept alongside
+/// the row-major relation (a hybrid layout): engines read the typed
+/// column vectors for predicate scans, hash builds, and statistics,
+/// while output assembly still clones `Tuple`s from the row store —
+/// which is what keeps columnar execution bit-identical to the
+/// row-major paths.
 #[derive(Debug, Clone)]
 pub struct Table {
     rel: Relation,
+    columns: ColumnSet,
     indexes: Vec<HashIndex>,
 }
 
 impl Table {
-    /// Wrap a relation with no indexes.
+    /// Wrap a relation with no indexes, building its columnar mirror.
     #[must_use]
     pub fn new(rel: Relation) -> Table {
+        let columns = ColumnSet::build(&rel);
         Table {
             rel,
+            columns,
             indexes: Vec::new(),
         }
     }
@@ -46,6 +57,14 @@ impl Table {
     #[must_use]
     pub fn relation(&self) -> &Relation {
         &self.rel
+    }
+
+    /// The columnar mirror: typed per-attribute vectors with validity
+    /// bitmaps, zone min/max metadata, and the per-table string
+    /// dictionary.
+    #[must_use]
+    pub fn columns(&self) -> &ColumnSet {
+        &self.columns
     }
 
     /// Build (or rebuild) an index on the given attributes.

@@ -234,6 +234,7 @@ macro_rules! proptest {
                         $crate::Strategy::sample(&($strat), &mut _proptest_rng);)*
                     // One closure per case so `prop_assume!` can early-
                     // return without aborting the whole property.
+                    #[allow(clippy::redundant_closure_call)]
                     (|| $body)();
                 }
             }

@@ -808,7 +808,7 @@ mod tests {
         // of aborting some caller.
         let it = test_interner();
         let mut bomb = vec![PLAN_FORMAT_VERSION];
-        bomb.extend(std::iter::repeat(1u8).take(4096));
+        bomb.extend(std::iter::repeat_n(1u8, 4096));
         let out = std::thread::Builder::new()
             .stack_size(512 * 1024)
             .spawn(move || decode_plan(&bomb, &it))
@@ -851,7 +851,7 @@ mod tests {
         // A nesting bomb: Filter tags all the way down trips the depth
         // cap, not the stack.
         let mut bomb = vec![PLAN_FORMAT_VERSION];
-        bomb.extend(std::iter::repeat(1u8).take(4096));
+        bomb.extend(std::iter::repeat_n(1u8, 4096));
         assert!(matches!(
             decode_plan(&bomb, &it),
             Err(WireError::TooDeep { .. })

@@ -307,7 +307,7 @@ mod tests {
             plan: PhysPlan::scan("R"),
         };
         assert!(matches!(
-            encode_snapshot(header, &[bad.clone()], &it),
+            encode_snapshot(header, std::slice::from_ref(&bad), &it),
             Err(WireError::RelSetMismatch { .. })
         ));
         // Policy tag out of range.

@@ -13,7 +13,10 @@
 # the engine bench's pipelined-execution metrics (`chain_*` deep
 # left-join-chain timings, `chain_speedup_pipelined`, and the
 # `rows_materialized`/`rows_pipelined` bookkeeping) the same as any
-# other top-level scalar.
+# other top-level scalar — and likewise the columnar-kernel metrics
+# (`filter_rows_per_sec*`, `build_rows_per_sec*`, the `*_speedup`
+# ratios, and `zones_skipped`) emitted by the vectorized section of
+# the engine bench.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 

@@ -29,6 +29,12 @@ echo "== pipelined executor cross-mode properties =="
 # plain `cargo test` above; run standalone so a failure names itself).
 cargo test -q --test pipelined_property
 
+echo "== columnar cross-layout properties =="
+# Columnar vs row-major: bit-identical rows and work counters on every
+# join kind, executor mode, thread count, and morsel size (also covered
+# by the plain `cargo test` above; standalone so a failure names itself).
+cargo test -q --test columnar_property
+
 echo "== EXPLAIN corpus gate =="
 scripts/explain_corpus.sh --check
 # Inverted self-test: a perturbed cost model MUST trip the gate. If
@@ -40,7 +46,7 @@ fi
 echo "corpus gate correctly rejects a perturbed cost model"
 
 echo "== clippy (deny warnings) =="
-cargo clippy --all-targets -- -D warnings
+cargo clippy --workspace --all-targets -- -D warnings
 
 echo "== docs (deny warnings) =="
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q
