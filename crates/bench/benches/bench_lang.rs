@@ -1,15 +1,23 @@
 //! E9 timing: the §5 language pipeline — lex/parse, translate (+
 //! reorderability check), and end-to-end evaluation.
 //!
-//! Deliberately times the deprecated reference `run` path: it is the
-//! oracle the engine is checked against, and its throughput bounds the
-//! property-test suite.
-#![allow(deprecated)]
+//! Deliberately times the reference evaluation path (parse →
+//! translate → plan → eval): it is the oracle the engine is checked
+//! against, and its throughput bounds the property-test suite.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use fro_lang::model::paper_world;
-use fro_lang::{parse, run, translate};
+use fro_lang::model::{paper_world, EntityDb};
+use fro_lang::{parse, plan_query, translate};
 use std::hint::black_box;
+
+/// The reference end-to-end pipeline previously offered by the removed
+/// `fro_lang::run` wrapper.
+fn run(src: &str, world: &EntityDb) -> Result<fro_algebra::Relation, fro_lang::LangError> {
+    let t = translate(&parse(src)?, world)?;
+    plan_query(&t)?
+        .eval(&t.database)
+        .map_err(|e| fro_lang::LangError::Eval(e.to_string()))
+}
 
 const PROSECUTOR: &str = "Select All From EMPLOYEE*ChildName, DEPARTMENT-->Manager-->Audit \
      Where EMPLOYEE.D# = DEPARTMENT.D# and DEPARTMENT.Location = 'Zurich' \

@@ -34,7 +34,8 @@ use fro_wire::{
 use std::collections::HashMap;
 use std::fmt;
 use std::path::Path;
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 /// A stable structural hash of a query graph: interned relation names
 /// in canonical order, edge kinds, outerjoin directions, and predicate
@@ -225,30 +226,58 @@ struct CacheKey {
     policy: Policy,
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 struct Slot {
     entry: Arc<CachedEntry>,
-    last_used: u64,
+    /// Global recency tick at last touch. Atomic so the hit path can
+    /// refresh it under a shard *read* lock.
+    last_used: AtomicU64,
 }
 
-#[derive(Debug, Clone)]
-struct Inner {
+impl Clone for Slot {
+    fn clone(&self) -> Slot {
+        Slot {
+            entry: Arc::clone(&self.entry),
+            last_used: AtomicU64::new(self.last_used.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Default)]
+struct Shard {
     map: HashMap<CacheKey, Slot>,
-    tick: u64,
-    capacity: usize,
-    stats: CacheStats,
 }
 
 /// Default capacity: plenty for thousands of distinct subplans while
 /// bounding a long-lived session's footprint.
 pub const DEFAULT_PLAN_CACHE_CAPACITY: usize = 4096;
 
+/// Most shards a cache will spread across.
+const MAX_SHARDS: usize = 16;
+
+/// Don't bother sharding below this many entries per shard — a tiny
+/// cache behaves exactly like the old single-lock one (which the
+/// eviction tests rely on).
+const MIN_ENTRIES_PER_SHARD: usize = 64;
+
 /// The bounded, epoch-aware subplan cache. Interior-mutable so the
-/// optimizer can consult it through the `&Catalog` it already holds;
-/// a `Mutex` (never held across user code) keeps it `Sync`.
+/// optimizer can consult it through the `&Catalog` it already holds —
+/// and shared-state so *concurrent* sessions can, too: the key space
+/// is split across `RwLock`-per-shard maps (shard count fixed at
+/// construction, scaled to capacity), the recency tick and the
+/// cumulative counters are atomics, and a warm hit touches nothing but
+/// one shard's read lock. Write locks are taken only for inserts and
+/// stale-entry removal, and never held across user code.
 #[derive(Debug)]
 pub struct PlanCache {
-    inner: Mutex<Inner>,
+    shards: Box<[RwLock<Shard>]>,
+    /// Per-shard entry bound (total capacity ÷ shard count).
+    shard_capacity: AtomicUsize,
+    tick: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    stale: AtomicU64,
 }
 
 impl PlanCache {
@@ -258,26 +287,61 @@ impl PlanCache {
         PlanCache::with_capacity(DEFAULT_PLAN_CACHE_CAPACITY)
     }
 
-    /// An empty cache holding at most `capacity` entries.
+    /// An empty cache holding at most `capacity` entries, spread over
+    /// `min(16, capacity/64)` (next power of two, at least 1) shards.
     #[must_use]
     pub fn with_capacity(capacity: usize) -> PlanCache {
+        let capacity = capacity.max(1);
+        let n_shards = (capacity / MIN_ENTRIES_PER_SHARD)
+            .next_power_of_two()
+            .clamp(1, MAX_SHARDS);
+        let shards: Vec<RwLock<Shard>> = (0..n_shards).map(|_| RwLock::default()).collect();
         PlanCache {
-            inner: Mutex::new(Inner {
-                map: HashMap::new(),
-                tick: 0,
-                capacity: capacity.max(1),
-                stats: CacheStats::default(),
-            }),
+            shards: shards.into_boxed_slice(),
+            shard_capacity: AtomicUsize::new(capacity.div_ceil(n_shards).max(1)),
+            tick: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            stale: AtomicU64::new(0),
         }
     }
 
-    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
-        self.inner.lock().expect("plan cache lock never poisoned")
+    fn shard_of(&self, key: &CacheKey) -> usize {
+        // sig is already a 64-bit hash; fold in the set and policy so
+        // one graph's subplans spread across shards.
+        let mix = key
+            .sig
+            .as_u64()
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .rotate_left(17)
+            ^ key.set
+            ^ u64::from(key.policy.wire_tag());
+        // Shard count is a power of two.
+        (mix as usize) & (self.shards.len() - 1)
+    }
+
+    fn read_shard(&self, i: usize) -> RwLockReadGuard<'_, Shard> {
+        self.shards[i]
+            .read()
+            .expect("plan cache lock never poisoned")
+    }
+
+    fn write_shard(&self, i: usize) -> RwLockWriteGuard<'_, Shard> {
+        self.shards[i]
+            .write()
+            .expect("plan cache lock never poisoned")
+    }
+
+    fn next_tick(&self) -> u64 {
+        self.tick.fetch_add(1, Ordering::Relaxed) + 1
     }
 
     /// Look up the subplan for `set` under `ctx`, against the current
     /// catalog `epoch`. A stale entry (older epoch) is removed and
     /// reported as a miss; `local` receives the per-call accounting.
+    /// Hits and clean misses resolve under the shard's read lock; only
+    /// a stale entry escalates to the write lock for removal.
     pub(crate) fn lookup(
         &self,
         ctx: &CacheCtx,
@@ -286,37 +350,55 @@ impl PlanCache {
         local: &mut CacheStats,
     ) -> Option<Arc<CachedEntry>> {
         let key = ctx.key(set);
-        let mut guard = self.lock();
-        let inner = &mut *guard;
-        inner.tick += 1;
-        let tick = inner.tick;
-        match inner.map.get_mut(&key) {
+        let tick = self.next_tick();
+        let shard = self.shard_of(&key);
+        {
+            let guard = self.read_shard(shard);
+            match guard.map.get(&key) {
+                Some(slot) if slot.entry.epoch == epoch => {
+                    slot.last_used.store(tick, Ordering::Relaxed);
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    local.hits += 1;
+                    return Some(Arc::clone(&slot.entry));
+                }
+                None => {
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    local.misses += 1;
+                    return None;
+                }
+                Some(_) => {} // stale: escalate to the write lock
+            }
+        }
+        let mut guard = self.write_shard(shard);
+        // Re-check: the entry may have been refreshed or removed
+        // between dropping the read lock and acquiring the write lock.
+        match guard.map.get(&key) {
             Some(slot) if slot.entry.epoch == epoch => {
-                slot.last_used = tick;
-                inner.stats.hits += 1;
+                slot.last_used.store(tick, Ordering::Relaxed);
+                self.hits.fetch_add(1, Ordering::Relaxed);
                 local.hits += 1;
                 Some(Arc::clone(&slot.entry))
             }
             Some(_) => {
-                inner.map.remove(&key);
-                inner.stats.stale += 1;
-                inner.stats.misses += 1;
+                guard.map.remove(&key);
+                self.stale.fetch_add(1, Ordering::Relaxed);
+                self.misses.fetch_add(1, Ordering::Relaxed);
                 local.stale += 1;
                 local.misses += 1;
                 None
             }
             None => {
-                inner.stats.misses += 1;
+                self.misses.fetch_add(1, Ordering::Relaxed);
                 local.misses += 1;
                 None
             }
         }
     }
 
-    /// Insert (or refresh) the winner for `set`. At capacity, the
-    /// least-recently-used quarter is evicted in one batch — LRU-ish:
-    /// strict recency order inside the batch, amortized O(1) per
-    /// insert.
+    /// Insert (or refresh) the winner for `set`. At its shard's
+    /// capacity, the least-recently-used quarter of that shard is
+    /// evicted in one batch — LRU-ish: strict recency order inside the
+    /// batch, amortized O(1) per insert.
     pub(crate) fn insert(
         &self,
         ctx: &CacheCtx,
@@ -325,26 +407,28 @@ impl PlanCache {
         local: &mut CacheStats,
     ) {
         let key = ctx.key(set);
-        let mut guard = self.lock();
-        let inner = &mut *guard;
-        inner.tick += 1;
-        let tick = inner.tick;
-        if inner.map.len() >= inner.capacity && !inner.map.contains_key(&key) {
-            let mut ages: Vec<(u64, CacheKey)> =
-                inner.map.iter().map(|(k, s)| (s.last_used, *k)).collect();
+        let tick = self.next_tick();
+        let capacity = self.shard_capacity.load(Ordering::Relaxed);
+        let mut guard = self.write_shard(self.shard_of(&key));
+        if guard.map.len() >= capacity && !guard.map.contains_key(&key) {
+            let mut ages: Vec<(u64, CacheKey)> = guard
+                .map
+                .iter()
+                .map(|(k, s)| (s.last_used.load(Ordering::Relaxed), *k))
+                .collect();
             ages.sort_unstable_by_key(|&(t, _)| t);
-            let drop_n = (inner.capacity / 4).max(1);
+            let drop_n = (capacity / 4).max(1);
             for (_, k) in ages.into_iter().take(drop_n) {
-                inner.map.remove(&k);
-                inner.stats.evictions += 1;
+                guard.map.remove(&k);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
                 local.evictions += 1;
             }
         }
-        inner.map.insert(
+        guard.map.insert(
             key,
             Slot {
                 entry,
-                last_used: tick,
+                last_used: AtomicU64::new(tick),
             },
         );
     }
@@ -352,13 +436,20 @@ impl PlanCache {
     /// Cumulative statistics since construction (or the last clear).
     #[must_use]
     pub fn stats(&self) -> CacheStats {
-        self.lock().stats
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            stale: self.stale.load(Ordering::Relaxed),
+        }
     }
 
     /// Number of live entries.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.lock().map.len()
+        (0..self.shards.len())
+            .map(|i| self.read_shard(i).map.len())
+            .sum()
     }
 
     /// Whether the cache holds no entries.
@@ -369,16 +460,23 @@ impl PlanCache {
 
     /// Drop every entry and reset the statistics.
     pub fn clear(&self) {
-        let mut inner = self.lock();
-        inner.map.clear();
-        inner.stats = CacheStats::default();
-        inner.tick = 0;
+        for i in 0..self.shards.len() {
+            self.write_shard(i).map.clear();
+        }
+        self.tick.store(0, Ordering::Relaxed);
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+        self.evictions.store(0, Ordering::Relaxed);
+        self.stale.store(0, Ordering::Relaxed);
     }
 
-    /// Change the capacity bound (evicting nothing until the next
-    /// insert presses against it).
+    /// Change the capacity bound (evicting nothing until an insert
+    /// presses against a shard's share of it). The shard count is
+    /// fixed at construction; the new capacity redistributes evenly
+    /// across the existing shards.
     pub fn set_capacity(&self, capacity: usize) {
-        self.lock().capacity = capacity.max(1);
+        let per_shard = capacity.max(1).div_ceil(self.shards.len()).max(1);
+        self.shard_capacity.store(per_shard, Ordering::Relaxed);
     }
 
     /// Persist every current-epoch entry to `path` as a `FROW`
@@ -387,7 +485,8 @@ impl PlanCache {
     /// header's `epoch`/`fingerprint` describe. Entries whose plans
     /// reference names the interner no longer resolves are skipped
     /// rather than failing the whole save. Returns the number of
-    /// entries written.
+    /// entries written. Each entry carries its recency rank so a later
+    /// [`PlanCache::load`] restores the LRU order, not just the set.
     ///
     /// # Errors
     /// [`WireError::Io`] on filesystem failure; encoding itself cannot
@@ -400,30 +499,46 @@ impl PlanCache {
         fingerprint: u64,
     ) -> Result<usize, WireError> {
         let header = SnapshotHeader { epoch, fingerprint };
-        let entries: Vec<SnapshotEntry> = {
-            let guard = self.lock();
-            guard
-                .map
-                .iter()
-                .filter(|(_, slot)| slot.entry.epoch == epoch)
-                .map(|(key, slot)| {
-                    let e = &slot.entry;
-                    SnapshotEntry {
-                        sig: key.sig.as_u64(),
-                        set_bits: key.set,
-                        policy_tag: key.policy.wire_tag(),
-                        cost: e.cost,
-                        rows: e.rows,
-                        base: e.base,
-                        plan: e.plan.clone(),
-                    }
-                })
-                // Per-entry dry run against the same validation the
-                // final encode applies, so one unserializable entry is
-                // dropped instead of failing the whole save.
-                .filter(|e| encode_snapshot(header, std::slice::from_ref(e), it).is_ok())
-                .collect()
-        };
+        let mut aged: Vec<(u64, SnapshotEntry)> = Vec::new();
+        for i in 0..self.shards.len() {
+            let guard = self.read_shard(i);
+            aged.extend(
+                guard
+                    .map
+                    .iter()
+                    .filter(|(_, slot)| slot.entry.epoch == epoch)
+                    .map(|(key, slot)| {
+                        let e = &slot.entry;
+                        (
+                            slot.last_used.load(Ordering::Relaxed),
+                            SnapshotEntry {
+                                sig: key.sig.as_u64(),
+                                set_bits: key.set,
+                                policy_tag: key.policy.wire_tag(),
+                                cost: e.cost,
+                                rows: e.rows,
+                                base: e.base,
+                                recency: 0, // ranked below, once sorted
+                                plan: e.plan.clone(),
+                            },
+                        )
+                    })
+                    // Per-entry dry run against the same validation the
+                    // final encode applies, so one unserializable entry
+                    // is dropped instead of failing the whole save.
+                    .filter(|(_, e)| encode_snapshot(header, std::slice::from_ref(e), it).is_ok()),
+            );
+        }
+        // Oldest first, so rank 0 = least recently used.
+        aged.sort_unstable_by_key(|&(t, _)| t);
+        let entries: Vec<SnapshotEntry> = aged
+            .into_iter()
+            .enumerate()
+            .map(|(rank, (_, mut e))| {
+                e.recency = rank as u64;
+                e
+            })
+            .collect();
         let bytes = encode_snapshot(header, &entries, it)?;
         std::fs::write(path.as_ref(), bytes).map_err(|e| WireError::Io(e.to_string()))?;
         Ok(entries.len())
@@ -461,14 +576,14 @@ impl PlanCache {
         if header.epoch != epoch {
             return Ok(CacheLoad::StaleEpoch);
         }
-        let (_, entries) = decode_snapshot(&bytes, it)?;
-        let mut guard = self.lock();
-        let inner = &mut *guard;
+        let (_, mut entries) = decode_snapshot(&bytes, it)?;
+        // Install in ascending recency order so the ticks assigned here
+        // reproduce the saved LRU order: the least recently used entry
+        // gets the oldest tick and is first in line for eviction again.
+        entries.sort_by_key(|e| e.recency);
+        let capacity = self.shard_capacity.load(Ordering::Relaxed);
         let mut loaded = 0usize;
         for e in entries {
-            if inner.map.len() >= inner.capacity {
-                break;
-            }
             let Some(policy) = Policy::from_wire_tag(e.policy_tag) else {
                 // decode_snapshot already range-checked the tag; a tag
                 // the wire layer admits but this build's Policy does
@@ -480,9 +595,12 @@ impl PlanCache {
                 set: e.set_bits,
                 policy,
             };
-            inner.tick += 1;
-            let tick = inner.tick;
-            inner.map.insert(
+            let tick = self.next_tick();
+            let mut guard = self.write_shard(self.shard_of(&key));
+            if guard.map.len() >= capacity {
+                continue; // this shard is full; others may still accept
+            }
+            guard.map.insert(
                 key,
                 Slot {
                     entry: Arc::new(CachedEntry {
@@ -492,7 +610,7 @@ impl PlanCache {
                         base: e.base,
                         epoch,
                     }),
-                    last_used: tick,
+                    last_used: AtomicU64::new(tick),
                 },
             );
             loaded += 1;
@@ -526,8 +644,18 @@ impl Default for PlanCache {
 
 impl Clone for PlanCache {
     fn clone(&self) -> PlanCache {
+        let stats = self.stats();
+        let shards: Vec<RwLock<Shard>> = (0..self.shards.len())
+            .map(|i| RwLock::new(self.read_shard(i).clone()))
+            .collect();
         PlanCache {
-            inner: Mutex::new(self.lock().clone()),
+            shards: shards.into_boxed_slice(),
+            shard_capacity: AtomicUsize::new(self.shard_capacity.load(Ordering::Relaxed)),
+            tick: AtomicU64::new(self.tick.load(Ordering::Relaxed)),
+            hits: AtomicU64::new(stats.hits),
+            misses: AtomicU64::new(stats.misses),
+            evictions: AtomicU64::new(stats.evictions),
+            stale: AtomicU64::new(stats.stale),
         }
     }
 }

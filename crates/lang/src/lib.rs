@@ -21,8 +21,9 @@
 //!
 //! Pipeline: [`parse()`], then [`translate()`] (ground relations + query
 //! graph + restrictions, with the Theorem 1 analysis attached), then
-//! [`run()`] — pick any implementing tree, they are all equivalent, and
-//! evaluate — or hand the graph to `fro-core`'s optimizer.
+//! [`run::plan_query()`] — pick any implementing tree, they are all
+//! equivalent, and evaluate — or hand the graph to `fro-core`'s
+//! optimizer (the `fro::Session` front door does the latter).
 
 //! ## Example
 //!
@@ -57,6 +58,5 @@ pub use ast::{FromItem, PathOp, QueryBlock, Rhs, WhereCond};
 pub use error::LangError;
 pub use model::{EntityDb, EntityType, FieldType, FieldValue};
 pub use parser::parse;
-#[allow(deprecated)] // re-export keeps the old entry points reachable
-pub use run::{run, run_parsed};
+pub use run::plan_query;
 pub use translate::{translate, TranslatedBlock};

@@ -8,15 +8,20 @@
 //! assert the results coincide (Theorem 1, end to end).
 
 use crate::error::LangError;
-use crate::model::EntityDb;
-use crate::parser::parse;
-use crate::translate::{translate, TranslatedBlock};
-use crate::QueryBlock;
-use fro_algebra::{Pred, Query, Relation};
+use crate::translate::TranslatedBlock;
+use fro_algebra::{Pred, Query};
 use fro_trees::some_implementing_tree;
 
 /// Build the evaluable query (an arbitrary implementing tree plus the
 /// block's restrictions) for a translated block.
+///
+/// This is the reference-evaluation building block: compose it with
+/// [`parse`](crate::parse) + [`translate`](crate::translate) and
+/// [`Query::eval`] for an oracle, or hand the result to the optimizer.
+/// The old one-call `run`/`run_parsed` wrappers were removed — the
+/// `fro::Session` front door (`Session::from_entity_db(..).query(..)`)
+/// is the supported end-to-end path: it optimizes, caches and
+/// executes instead of reference-evaluating.
 ///
 /// # Errors
 /// [`LangError::Disconnected`] if the graph admits no tree (prevented
@@ -28,42 +33,23 @@ pub fn plan_query(t: &TranslatedBlock) -> Result<Query, LangError> {
         .fold(tree, |q, r: &Pred| q.restrict(r.clone())))
 }
 
-/// Translate and evaluate a parsed block.
-///
-/// # Errors
-/// Any [`LangError`] from translation or evaluation.
-#[deprecated(
-    since = "0.1.0",
-    note = "use the `fro::Session` front door (`Session::from_entity_db(..).query(..)`), \
-            which optimizes, caches and executes instead of reference-evaluating"
-)]
-pub fn run_parsed(block: &QueryBlock, edb: &EntityDb) -> Result<Relation, LangError> {
-    let t = translate(block, edb)?;
-    let q = plan_query(&t)?;
-    q.eval(&t.database)
-        .map_err(|e| LangError::Eval(e.to_string()))
-}
-
-/// Parse, translate and evaluate source text.
-///
-/// # Errors
-/// Any [`LangError`].
-#[deprecated(
-    since = "0.1.0",
-    note = "use the `fro::Session` front door (`Session::from_entity_db(..).query(..)`), \
-            which optimizes, caches and executes instead of reference-evaluating"
-)]
-pub fn run(src: &str, edb: &EntityDb) -> Result<Relation, LangError> {
-    #[allow(deprecated)]
-    run_parsed(&parse(src)?, edb)
-}
-
 #[cfg(test)]
-#[allow(deprecated)] // the tests exercise the deprecated reference path
 mod tests {
     use super::*;
     use crate::model::paper_world;
-    use fro_algebra::{Attr, Value};
+    use crate::parser::parse;
+    use crate::translate::translate;
+    use fro_algebra::{Attr, Relation, Value};
+
+    /// Reference evaluation: parse → translate → plan → eval, the same
+    /// composition applications previously got from the removed
+    /// `run()` wrapper.
+    fn run(src: &str, edb: &crate::model::EntityDb) -> Result<Relation, LangError> {
+        let t = translate(&parse(src)?, edb)?;
+        let q = plan_query(&t)?;
+        q.eval(&t.database)
+            .map_err(|e| LangError::Eval(e.to_string()))
+    }
 
     #[test]
     fn queretaro_query_preserves_childless_employees() {

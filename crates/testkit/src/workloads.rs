@@ -383,18 +383,23 @@ mod tests {
         assert!(a.set_eq(&b));
     }
 
+    /// Reference evaluation of a §5 block: parse → translate → plan →
+    /// eval.
+    fn reference_run(src: &str, world: &fro_lang::EntityDb) -> fro_algebra::Relation {
+        let t = fro_lang::translate(&fro_lang::parse(src).unwrap(), world).unwrap();
+        fro_lang::plan_query(&t).unwrap().eval(&t.database).unwrap()
+    }
+
     #[test]
-    #[allow(deprecated)] // the deprecated reference path is the oracle here
     fn synthetic_world_runs_paper_queries() {
         let world = synthetic_entity_world(6, 4, 3);
-        let out = fro_lang::run(
+        let out = reference_run(
             "Select All From EMPLOYEE*ChildName, DEPARTMENT \
              Where EMPLOYEE.D# = DEPARTMENT.D# and DEPARTMENT.Location = 'Queretaro'",
             &world,
-        )
-        .unwrap();
+        );
         assert!(!out.is_empty());
-        let out = fro_lang::run("Select All From DEPARTMENT-->Manager-->Audit", &world).unwrap();
+        let out = reference_run("Select All From DEPARTMENT-->Manager-->Audit", &world);
         assert_eq!(out.len(), 6); // every department preserved
     }
 

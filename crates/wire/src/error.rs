@@ -46,15 +46,21 @@ pub enum WireError {
         /// Byte offset of the tag.
         at: usize,
     },
-    /// The artifact's format version is not the one this decoder
-    /// speaks. Callers degrade to re-encoding from source (for plans:
-    /// re-planning) — there is no cross-version migration.
+    /// The artifact's format version is outside the contiguous range
+    /// this decoder speaks (`min_supported..=supported`). Each build
+    /// writes only `supported` but additionally reads the previous
+    /// version(s), so rolling upgrades do not cold-start every cache;
+    /// anything older (or newer) degrades to re-encoding from source
+    /// (for plans: re-planning).
     UnsupportedVersion {
         /// Which artifact carried the version byte.
         what: &'static str,
         /// The version found in the input.
         found: u8,
-        /// The single version this build supports.
+        /// The oldest version this build still reads.
+        min_supported: u8,
+        /// The newest version this build reads (and the one it
+        /// writes).
         supported: u8,
     },
     /// A snapshot did not start with the `FROW` magic.
@@ -127,10 +133,12 @@ impl fmt::Display for WireError {
             WireError::UnsupportedVersion {
                 what,
                 found,
+                min_supported,
                 supported,
             } => write!(
                 f,
-                "unsupported {what} format version {found} (this build reads {supported})"
+                "unsupported {what} format version {found} \
+                 (this build reads {min_supported}..={supported})"
             ),
             WireError::BadMagic => write!(f, "missing FROW snapshot magic"),
             WireError::BadRelId { id, n_rels } => {

@@ -59,8 +59,9 @@
 //!           | 8 plan plan pred attrs               Goj
 //! blob     := u8(version = 1) plan                 (fully consumed)
 //! entry    := varint(sig) varint(set) u8(policy ≤ 2)
-//!             f64(cost) f64(rows) (0 | 1 relid) bytes(blob)
-//! snapshot := "FROW" u8(version = 1) varint(epoch)
+//!             f64(cost) f64(rows) (0 | 1 relid)
+//!             [v≥2: varint(recency)] bytes(blob)
+//! snapshot := "FROW" u8(version ∈ 1..=2) varint(epoch)
 //!             varint(fingerprint) varint(count) count×entry
 //! ```
 //!
@@ -68,12 +69,25 @@
 //! discriminants, so the wire format and the signature hash describe
 //! predicates with the same vocabulary.
 //!
+//! ## The query/result protocol
+//!
+//! The [`proto`] module layers a client/server conversation on the
+//! same codec: length-prefixed frames carrying a versioned
+//! [`Request`](proto::Request) (§5 source text, an encoded plan blob,
+//! or a ping) and a stream of [`Response`](proto::Response) frames
+//! (result scheme, row batches, final work counters — or a typed
+//! error). See its module docs for the grammar.
+//!
 //! ## Versioning and compatibility
 //!
-//! The version byte (per plan blob, and per snapshot) is bumped on any
-//! change to the grammar above. There is no in-place migration: a
-//! decoder reads exactly its own version and returns
-//! [`WireError::UnsupportedVersion`] otherwise — callers degrade to
+//! The version byte (per plan blob, per snapshot, and per protocol
+//! message) is bumped on any change to the grammar above. Each build
+//! writes the newest version and reads a contiguous range ending at
+//! it — currently plans read `1..=1`, snapshots `1..=2` (version 2
+//! added the per-entry recency rank; version-1 images decode with
+//! recency assigned in file order) — so a rolling upgrade keeps the
+//! previous release's artifacts warm. Anything outside the range
+//! returns [`WireError::UnsupportedVersion`] and callers degrade to
 //! re-planning (a cold cache), which is always correct. Unknown tags
 //! within a supported version are rejected, never skipped.
 
@@ -83,14 +97,20 @@
 pub mod codec;
 pub mod error;
 pub mod plan;
+pub mod proto;
 pub mod snapshot;
 
 pub use codec::{Reader, Writer};
 pub use error::WireError;
-pub use plan::{decode_plan, encode_plan, PLAN_FORMAT_VERSION};
+pub use plan::{decode_plan, encode_plan, PLAN_FORMAT_VERSION, PLAN_MIN_SUPPORTED_VERSION};
+pub use proto::{
+    decode_request, decode_response, encode_request, encode_response, read_frame, write_frame,
+    Request, Response, MAX_FRAME_BYTES, PROTO_VERSION, ROWS_PER_BATCH,
+};
 pub use snapshot::{
-    decode_snapshot, encode_snapshot, peek_snapshot_header, SnapshotEntry, SnapshotHeader,
-    POLICY_TAGS, SNAPSHOT_FORMAT_VERSION, SNAPSHOT_MAGIC,
+    decode_snapshot, encode_snapshot, encode_snapshot_with_version, peek_snapshot_header,
+    SnapshotEntry, SnapshotHeader, POLICY_TAGS, SNAPSHOT_FORMAT_VERSION, SNAPSHOT_MAGIC,
+    SNAPSHOT_MIN_SUPPORTED_VERSION,
 };
 
 // Re-exported so downstream callers name the plan type the codec

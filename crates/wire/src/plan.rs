@@ -6,8 +6,15 @@ use crate::error::WireError;
 use fro_algebra::{Attr, CmpOp, Interner, Pred, Scalar, Truth, Value};
 use fro_exec::{JoinKind, PhysPlan};
 
-/// The plan-blob format version this build reads and writes.
+/// The plan-blob format version this build writes (and the newest it
+/// reads).
 pub const PLAN_FORMAT_VERSION: u8 = 1;
+
+/// The oldest plan-blob version this build still decodes. Kept one
+/// behind [`PLAN_FORMAT_VERSION`] once the format moves, so rolling
+/// upgrades can read plans written by the previous release instead of
+/// re-planning everything; today the format has a single version.
+pub const PLAN_MIN_SUPPORTED_VERSION: u8 = 1;
 
 /// Encode a plan as a self-contained versioned blob. Relations and
 /// attributes are written as their dense interned ids — no names reach
@@ -38,10 +45,11 @@ pub fn encode_plan(plan: &PhysPlan, it: &Interner) -> Result<Vec<u8>, WireError>
 pub fn decode_plan(bytes: &[u8], it: &Interner) -> Result<PhysPlan, WireError> {
     let mut r = Reader::new(bytes);
     let version = r.take_u8()?;
-    if version != PLAN_FORMAT_VERSION {
+    if !(PLAN_MIN_SUPPORTED_VERSION..=PLAN_FORMAT_VERSION).contains(&version) {
         return Err(WireError::UnsupportedVersion {
             what: "plan",
             found: version,
+            min_supported: PLAN_MIN_SUPPORTED_VERSION,
             supported: PLAN_FORMAT_VERSION,
         });
     }
@@ -76,7 +84,7 @@ fn enc_attrs(w: &mut Writer, attrs: &[Attr], it: &Interner) -> Result<(), WireEr
     Ok(())
 }
 
-fn enc_value(w: &mut Writer, v: &Value) {
+pub(crate) fn enc_value(w: &mut Writer, v: &Value) {
     match v {
         Value::Null => w.put_u8(0),
         Value::Int(i) => {
@@ -339,7 +347,7 @@ fn dec_attrs(r: &mut Reader<'_>, it: &Interner) -> Result<Vec<Attr>, WireError> 
     Ok(attrs)
 }
 
-fn dec_value(r: &mut Reader<'_>) -> Result<Value, WireError> {
+pub(crate) fn dec_value(r: &mut Reader<'_>) -> Result<Value, WireError> {
     let at = r.pos();
     let tag = r.take_u8()?;
     match tag {

@@ -54,7 +54,7 @@ fn main() {
     // 5. The Session front door: one object owns the catalog (with its
     //    plan cache), the storage, the policy and the exec config.
     // ------------------------------------------------------------------
-    let mut session = Session::new();
+    let session = Session::new();
     for (name, rel) in db.iter() {
         session.insert_table(name, rel.clone());
     }
@@ -88,9 +88,7 @@ fn main() {
     drop(warm);
 
     // A statistics change bumps the epoch and invalidates stale plans.
-    session
-        .catalog_mut()
-        .set_distinct(&fro::algebra::Attr::parse("R2.k2"), 1_000_000);
+    session.set_distinct(&fro::algebra::Attr::parse("R2.k2"), 1_000_000);
     let replanned = session.prepare(&q).expect("optimizes");
     assert!(replanned.optimized().pairs_examined > 0);
     println!(

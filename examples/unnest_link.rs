@@ -9,7 +9,7 @@ use fro::Session;
 use fro_lang::{model::paper_world, parse, translate};
 
 fn main() {
-    let mut session = Session::from_entity_db(paper_world());
+    let session = Session::from_entity_db(paper_world());
 
     // ----------------------------------------------------------------
     // Query 1 (§5.1): every employee of a Queretaro department, one

@@ -35,6 +35,14 @@ echo "== columnar cross-layout properties =="
 # by the plain `cargo test` above; standalone so a failure names itself).
 cargo test -q --test columnar_property
 
+echo "== shared-session concurrency properties =="
+# T threads of interleaved queries + mutations over one SharedDb:
+# results bit-identical to single-threaded replay, atomic multi-table
+# flips never observed torn, epoch bumps invalidate across threads,
+# per-handle cache counters sum to the shared totals (also covered by
+# the plain `cargo test` above; standalone so a failure names itself).
+cargo test -q --test shared_session_property
+
 echo "== EXPLAIN corpus gate =="
 scripts/explain_corpus.sh --check
 # Inverted self-test: a perturbed cost model MUST trip the gate. If
@@ -60,13 +68,20 @@ cargo run -q --release -p fro-bench --bin optimize
 echo "== plan-cache bench -> BENCH_plancache.json =="
 cargo run -q --release -p fro-bench --bin plancache
 
+echo "== server smoke test (loopback round trip) =="
+cargo run -q --release -p fro-bench --bin serve -- --smoke
+
+echo "== server concurrency bench -> BENCH_server.json =="
+cargo run -q --release -p fro-bench --bin server_bench
+
 echo "== archive bench snapshots under benches/history/ =="
 sha="$(git rev-parse --short HEAD 2>/dev/null || echo workdir)"
 mkdir -p benches/history
 cp BENCH_engine.json "benches/history/${sha}-engine.json"
 cp BENCH_optimizer.json "benches/history/${sha}-optimizer.json"
 cp BENCH_plancache.json "benches/history/${sha}-plancache.json"
-echo "archived benches/history/${sha}-{engine,optimizer,plancache}.json"
+cp BENCH_server.json "benches/history/${sha}-server.json"
+echo "archived benches/history/${sha}-{engine,optimizer,plancache,server}.json"
 
 echo "== bench deltas vs previous snapshot =="
 scripts/bench_diff.sh || true

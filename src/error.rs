@@ -37,6 +37,15 @@ pub enum FroError {
     /// this catalog). A *mismatched* snapshot is not an error — loading
     /// one simply leaves the cache cold.
     Wire(WireError),
+    /// A server reported a failure over the wire protocol. `code` is
+    /// the remote [`FroError::code`] string (so the original failure
+    /// shape survives the round trip), `message` its rendered text.
+    Remote {
+        /// The stable error code the server reported.
+        code: String,
+        /// The server's rendered error message.
+        message: String,
+    },
 }
 
 impl FroError {
@@ -74,6 +83,7 @@ impl FroError {
                 WireError::Io(_) => "WIRE_IO",
                 _ => "WIRE_FORMAT",
             },
+            FroError::Remote { .. } => "SERVER_REMOTE",
         }
     }
 }
@@ -93,6 +103,9 @@ impl fmt::Display for FroError {
                 )
             }
             FroError::Wire(e) => e.fmt(f),
+            FroError::Remote { code, message } => {
+                write!(f, "server reported {code}: {message}")
+            }
         }
     }
 }
@@ -105,6 +118,7 @@ impl std::error::Error for FroError {
             FroError::Exec(e) => Some(e),
             FroError::NoEntityModel => None,
             FroError::Wire(e) => Some(e),
+            FroError::Remote { .. } => None,
         }
     }
 }
@@ -155,6 +169,13 @@ mod tests {
             (FroError::NoEntityModel, "SESSION_NO_ENTITY_MODEL"),
             (WireError::Io("nope".into()).into(), "WIRE_IO"),
             (WireError::BadMagic.into(), "WIRE_FORMAT"),
+            (
+                FroError::Remote {
+                    code: "EXEC_UNKNOWN_TABLE".into(),
+                    message: "unknown table".into(),
+                },
+                "SERVER_REMOTE",
+            ),
         ];
         for (e, code) in cases {
             assert_eq!(e.code(), code);

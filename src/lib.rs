@@ -22,13 +22,15 @@
 //!
 //! ## Quickstart
 //!
-//! The [`Session`] front door owns the catalog (statistics + plan
-//! cache), the storage, the policy and the execution config:
+//! The [`Session`] front door is a cheap handle over a [`SharedDb`] —
+//! catalog (statistics + plan cache) and storage — carrying its own
+//! policy and execution config. Handles connected to one database
+//! share data and warm plans:
 //!
 //! ```
 //! use fro::prelude::*;
 //!
-//! let mut session = Session::new();
+//! let session = Session::new();
 //! session.insert_table("R1", Relation::from_ints("R1", &["k1"], &[&[0]]));
 //! session.insert_table("R2", Relation::from_ints("R2", &["k2"], &[&[0], &[1]]));
 //! session.insert_table("R3", Relation::from_ints("R3", &["k3"], &[&[1], &[9]]));
@@ -47,10 +49,15 @@
 //! assert_eq!(out.len(), 1);
 //!
 //! // Preparing the same (or an alpha-equivalent) query again is a
-//! // pure plan-cache hit: zero enumeration.
-//! let warm = session.prepare(&q).unwrap();
+//! // pure plan-cache hit: zero enumeration — from *any* session over
+//! // the same shared database.
+//! let other = Session::connect(session.shared());
+//! let warm = other.prepare(&q).unwrap();
 //! assert_eq!(warm.optimized().pairs_examined, 0);
 //! ```
+//!
+//! To serve the same database over TCP, see [`Server`] and [`Client`]
+//! (the `fro-wire` query/result protocol).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -64,14 +71,18 @@ pub use fro_trees as trees;
 pub use fro_wire as wire;
 
 mod error;
+mod server;
 mod session;
+mod shared;
 
 pub use error::FroError;
-pub use session::{Prepared, Session};
+pub use server::{Client, Server, ServerOptions};
+pub use session::{CatalogRef, Prepared, Session, StorageRef};
+pub use shared::{DbState, SharedDb};
 
 /// One-stop imports for applications.
 pub mod prelude {
-    pub use crate::{FroError, Prepared, Session};
+    pub use crate::{Client, FroError, Prepared, Server, ServerOptions, Session, SharedDb};
     pub use fro_algebra::prelude::*;
     pub use fro_core::optimizer::{CacheLoad, CacheStats};
     pub use fro_core::{analyze, is_freely_reorderable, optimize, Catalog, Policy};

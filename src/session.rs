@@ -1,7 +1,9 @@
-//! The unified front door: a [`Session`] owns the catalog (and with it
-//! the cross-query plan cache), the storage, the reordering policy and
-//! the execution configuration, so an application talks to one object
-//! instead of threading four through every call.
+//! The unified front door: a [`Session`] is a cheap per-connection
+//! handle over an [`Arc`]-shared [`SharedDb`] (catalog + storage +
+//! cross-query plan cache), carrying only the reordering policy, the
+//! execution configuration and its own cache counters. Handles clone
+//! freely, move across threads, and all observe the same data: one
+//! connection's warm plan is every connection's warm plan.
 //!
 //! Two entry points produce a [`Prepared`] statement:
 //!
@@ -10,34 +12,43 @@
 //! * [`Session::prepare`] — an algebra [`Query`] over tables loaded
 //!   with [`Session::insert_table`] / [`Session::from_storage`].
 //!
-//! Both run the cost-based optimizer, which consults the
-//! catalog-owned plan cache: repeating a query (or an
-//! alpha-equivalent one) skips enumeration entirely, and any
-//! statistics change bumps the catalog epoch so stale plans are never
-//! served. [`Prepared::explain`] surfaces the cache counters;
-//! [`Prepared::run`] executes against the session's storage.
+//! Both optimize against a consistent [`DbState`] snapshot: the
+//! cost-based optimizer consults the shared plan cache (repeating a
+//! query — or an alpha-equivalent one — skips enumeration entirely),
+//! and any statistics change bumps the catalog epoch so stale plans
+//! are never served. [`Prepared`] owns its snapshot, so it keeps
+//! running correctly even while other connections mutate the database.
+//! [`Prepared::explain`] surfaces the cache counters;
+//! [`Prepared::run`] executes against the snapshot's storage.
 
 use crate::error::FroError;
-use fro_algebra::{Attr, Query, Relation};
+use crate::shared::{register_stats, DbState, SharedDb};
+use fro_algebra::{Attr, Query, Relation, Tuple};
 use fro_core::optimizer::{optimize, CacheLoad, CacheStats, Optimized};
 use fro_core::{Catalog, Policy};
 use fro_exec::{execute_with, ExecConfig, ExecStats, PhysPlan, Storage};
 use fro_lang::{parse, translate, EntityDb, LangError};
 use fro_trees::some_implementing_tree;
+use std::cell::Cell;
+use std::sync::Arc;
 
-/// A query session: catalog + storage + policy + execution config,
-/// with the catalog-owned plan cache warm across queries.
+/// A query session: a per-connection handle over shared database
+/// state, plus this connection's policy, execution config and
+/// plan-cache counters.
 #[derive(Debug, Clone, Default)]
 pub struct Session {
-    catalog: Catalog,
-    storage: Storage,
+    db: Arc<SharedDb>,
     policy: Policy,
     exec_config: ExecConfig,
     edb: Option<EntityDb>,
+    local: Cell<CacheStats>,
 }
 
 impl Session {
-    /// An empty session (Paper policy, sequential execution).
+    /// A session over its own fresh database (Paper policy, sequential
+    /// execution). For multiple sessions over one database, build a
+    /// [`SharedDb`] and call [`SharedDb::session`] (or
+    /// [`Session::connect`]) per connection.
     #[must_use]
     pub fn new() -> Session {
         Session::default()
@@ -48,8 +59,7 @@ impl Session {
     #[must_use]
     pub fn from_storage(storage: Storage) -> Session {
         Session {
-            catalog: Catalog::from_storage(&storage),
-            storage,
+            db: SharedDb::from_storage(storage),
             ..Session::default()
         }
     }
@@ -59,6 +69,17 @@ impl Session {
     pub fn from_entity_db(edb: EntityDb) -> Session {
         Session {
             edb: Some(edb),
+            ..Session::default()
+        }
+    }
+
+    /// A new handle over an existing shared database. Handles are
+    /// cheap (an `Arc` clone plus plain-old-data config) and carry
+    /// their own policy/config/counters.
+    #[must_use]
+    pub fn connect(db: &Arc<SharedDb>) -> Session {
+        Session {
+            db: Arc::clone(db),
             ..Session::default()
         }
     }
@@ -77,6 +98,15 @@ impl Session {
         self
     }
 
+    /// Pin the partition count for parallel hash joins (builder
+    /// style); `0` restores the automatic choice. Shorthand for
+    /// adjusting the execution config's `partitions` knob.
+    #[must_use]
+    pub fn with_partitions(mut self, partitions: usize) -> Session {
+        self.exec_config = self.exec_config.partitions(partitions);
+        self
+    }
+
     /// Attach an entity model (builder style), enabling
     /// [`Session::query`].
     #[must_use]
@@ -85,23 +115,30 @@ impl Session {
         self
     }
 
-    /// The session catalog (statistics, epoch, plan cache).
+    /// The shared database behind this session — connect further
+    /// sessions with [`SharedDb::session`], or mutate it directly.
     #[must_use]
-    pub fn catalog(&self) -> &Catalog {
-        &self.catalog
+    pub fn shared(&self) -> &Arc<SharedDb> {
+        &self.db
     }
 
-    /// Mutable catalog access for what-if statistics experiments.
-    /// Every mutation bumps the catalog epoch, so cached plans costed
-    /// under the old statistics are invalidated automatically.
-    pub fn catalog_mut(&mut self) -> &mut Catalog {
-        &mut self.catalog
+    /// The current catalog generation (statistics, epoch, plan cache).
+    /// The returned guard dereferences to [`Catalog`] and pins a
+    /// consistent snapshot: concurrent mutations don't alter it.
+    #[must_use]
+    pub fn catalog(&self) -> CatalogRef {
+        CatalogRef {
+            state: self.db.snapshot(),
+        }
     }
 
-    /// The session storage.
+    /// The current storage generation. Same snapshot semantics as
+    /// [`Session::catalog`].
     #[must_use]
-    pub fn storage(&self) -> &Storage {
-        &self.storage
+    pub fn storage(&self) -> StorageRef {
+        StorageRef {
+            state: self.db.snapshot(),
+        }
     }
 
     /// The reordering policy in effect.
@@ -110,10 +147,32 @@ impl Session {
         self.policy
     }
 
-    /// Cumulative plan-cache counters for this session's catalog.
+    /// The execution configuration in effect.
+    #[must_use]
+    pub fn exec_config(&self) -> ExecConfig {
+        self.exec_config
+    }
+
+    /// Cumulative plan-cache counters of the shared cache (all
+    /// sessions). For this handle's share, see
+    /// [`Session::local_cache_stats`].
     #[must_use]
     pub fn cache_stats(&self) -> CacheStats {
-        self.catalog.cache_stats()
+        self.db.snapshot().catalog().cache_stats()
+    }
+
+    /// Plan-cache counters accumulated by this session handle alone.
+    /// Across concurrent sessions over one [`SharedDb`], the per-handle
+    /// counters sum to the shared cache's cumulative totals.
+    #[must_use]
+    pub fn local_cache_stats(&self) -> CacheStats {
+        self.local.get()
+    }
+
+    fn absorb(&self, stats: &CacheStats) {
+        let mut local = self.local.get();
+        local.merge(stats);
+        self.local.set(local);
     }
 
     /// Persist the plan cache to `path` so a future process over the
@@ -123,7 +182,7 @@ impl Session {
     /// # Errors
     /// [`FroError::Wire`] on filesystem failure.
     pub fn save_plan_cache(&self, path: impl AsRef<std::path::Path>) -> Result<usize, FroError> {
-        Ok(self.catalog.save_cache(path)?)
+        Ok(self.db.snapshot().catalog().save_cache(path)?)
     }
 
     /// Load a plan-cache snapshot written by
@@ -141,42 +200,56 @@ impl Session {
         &self,
         path: impl AsRef<std::path::Path>,
     ) -> Result<CacheLoad, FroError> {
-        Ok(self.catalog.load_cache(path)?)
+        Ok(self.db.snapshot().catalog().load_cache(path)?)
     }
 
     /// Load (or replace) a table: stores the relation and registers
     /// exact statistics — row count and per-column distinct counts —
-    /// in the catalog, bumping the epoch.
-    pub fn insert_table(&mut self, name: impl Into<String>, rel: Relation) {
-        let name = name.into();
-        self.register_stats(&name, &rel);
-        self.storage.insert(name, rel);
+    /// in the catalog, bumping the epoch. Visible to every session on
+    /// the shared database.
+    pub fn insert_table(&self, name: impl Into<String>, rel: Relation) {
+        self.db.insert_table(name, rel);
+    }
+
+    /// Append rows to an existing table (set semantics absorb
+    /// duplicates), refreshing its statistics. Returns `false` when
+    /// the table is unknown or a row doesn't fit the scheme.
+    pub fn append_rows(&self, name: &str, rows: Vec<Tuple>) -> bool {
+        self.db.append_rows(name, rows)
     }
 
     /// Build a hash index on `rel(attrs…)` in storage and declare it
     /// to the catalog. Returns `false` (doing nothing) when the table
     /// or an attribute is unknown.
-    pub fn create_index(&mut self, rel: &str, attrs: &[Attr]) -> bool {
-        let built = self.storage.create_index(rel, attrs);
-        if built {
-            self.catalog.add_index(rel, attrs);
-        }
-        built
+    pub fn create_index(&self, rel: &str, attrs: &[Attr]) -> bool {
+        self.db.create_index(rel, attrs)
     }
 
-    /// Optimize an algebra query against the session catalog.
+    /// Override a column's distinct count (what-if statistics
+    /// experiments). Bumps the catalog epoch, so cached plans costed
+    /// under the old statistics are invalidated automatically.
+    pub fn set_distinct(&self, attr: &Attr, distinct: u64) {
+        self.db.set_distinct(attr, distinct);
+    }
+
+    /// Optimize an algebra query against the current catalog
+    /// generation.
     ///
-    /// The optimizer consults the plan cache first: preparing the same
-    /// (or an alpha-equivalent) query again on an unchanged catalog
-    /// returns the cached plan with zero enumeration.
+    /// The optimizer consults the shared plan cache first: preparing
+    /// the same (or an alpha-equivalent) query again on an unchanged
+    /// catalog — from *any* session — returns the cached plan with
+    /// zero enumeration.
     ///
     /// # Errors
     /// [`FroError::Opt`] when the query is disconnected or uses an
     /// operator the engine cannot run.
-    pub fn prepare(&self, q: &Query) -> Result<Prepared<'_>, FroError> {
-        let optimized = optimize(q, &self.catalog, self.policy)?;
+    pub fn prepare(&self, q: &Query) -> Result<Prepared, FroError> {
+        let state = self.db.snapshot();
+        let optimized = optimize(q, state.catalog(), self.policy)?;
+        self.absorb(&optimized.cache);
         Ok(Prepared {
-            session: self,
+            state,
+            exec_config: self.exec_config,
             optimized,
         })
     }
@@ -184,24 +257,26 @@ impl Session {
     /// Parse, translate and optimize a §5 UnNest/Link query block.
     ///
     /// The block's ground relations (bases and derived) are synced
-    /// into the session storage; catalog statistics are refreshed only
-    /// when they actually changed, so repeating a query keeps the
-    /// epoch — and with it the plan cache — warm. Where-List
-    /// restrictions are applied as filters above the reordered join
-    /// tree, exactly where the reference evaluator puts them.
+    /// into the shared database only when their content actually
+    /// differs from what is stored, so repeating a query keeps the
+    /// epoch — and with it the plan cache — warm across every session.
+    /// Where-List restrictions are applied as filters above the
+    /// reordered join tree, exactly where the reference evaluator puts
+    /// them.
     ///
     /// # Errors
     /// [`FroError::NoEntityModel`] without an entity model;
     /// [`FroError::Lang`] for parse/translation failures;
     /// [`FroError::Opt`] from the optimizer.
-    pub fn query(&mut self, src: &str) -> Result<Prepared<'_>, FroError> {
+    pub fn query(&self, src: &str) -> Result<Prepared, FroError> {
         let edb = self.edb.as_ref().ok_or(FroError::NoEntityModel)?;
         let block = parse(src)?;
         let t = translate(&block, edb)?;
         let tree =
             some_implementing_tree(&t.graph).ok_or(FroError::Lang(LangError::Disconnected))?;
-        self.sync_tables(&t.database);
-        let optimized = optimize(&tree, &self.catalog, self.policy)?;
+        let state = self.sync_tables(&t.database);
+        let optimized = optimize(&tree, state.catalog(), self.policy)?;
+        self.absorb(&optimized.cache);
         // Fold the Where-List restrictions on top of the chosen plan —
         // the same placement as the reference evaluator's
         // `plan_query`, so results coincide tree by tree.
@@ -220,10 +295,11 @@ impl Session {
             pred: r.clone(),
         });
         for r in &t.restrictions {
-            est_rows *= self.catalog.selectivity(r);
+            est_rows *= state.catalog().selectivity(r);
         }
         Ok(Prepared {
-            session: self,
+            state,
+            exec_config: self.exec_config,
             optimized: Optimized {
                 plan,
                 est_cost,
@@ -237,44 +313,79 @@ impl Session {
         })
     }
 
-    /// Sync a translated block's relations into storage, refreshing
-    /// catalog statistics only when row count or scheme changed —
-    /// an unchanged catalog keeps its epoch, so the plan cache stays
-    /// warm across repeated queries.
-    fn sync_tables(&mut self, db: &fro_algebra::Database) {
-        for (name, rel) in db.iter() {
-            let stale = self
-                .catalog
-                .table(name)
-                .is_none_or(|info| info.rows != rel.len() as u64 || info.schema != *rel.schema());
-            if stale {
-                self.register_stats(name, rel);
+    /// Sync a translated block's relations into the shared database,
+    /// mutating only when some relation's stored content differs —
+    /// an untouched database keeps its epoch, so the plan cache stays
+    /// warm across repeated queries from any session. Returns the
+    /// generation to plan against.
+    fn sync_tables(&self, db: &fro_algebra::Database) -> Arc<DbState> {
+        let state = self.db.snapshot();
+        let synced = db.iter().all(|(name, rel)| {
+            state
+                .storage()
+                .rel_id(name)
+                .and_then(|id| state.storage().get_by_id(id))
+                .is_some_and(|table| table.relation() == rel)
+        });
+        if synced {
+            return state;
+        }
+        self.db.mutate(|catalog, storage| {
+            for (name, rel) in db.iter() {
+                let stored = storage
+                    .rel_id(name)
+                    .and_then(|id| storage.get_by_id(id))
+                    .is_some_and(|table| table.relation() == rel);
+                if !stored {
+                    register_stats(catalog, name, rel);
+                    storage.insert(name, rel.clone());
+                }
             }
-            self.storage.insert(name, rel.clone());
-        }
-    }
-
-    /// Register exact statistics for one relation: row count plus true
-    /// per-column distinct counts.
-    fn register_stats(&mut self, name: &str, rel: &Relation) {
-        self.catalog
-            .add_table(name, rel.schema().clone(), rel.len() as u64);
-        for (c, a) in rel.schema().attrs().iter().enumerate() {
-            let distinct: std::collections::HashSet<_> =
-                rel.rows().iter().map(|t| t.get(c)).collect();
-            self.catalog.set_distinct(a, distinct.len() as u64);
-        }
+        });
+        self.db.snapshot()
     }
 }
 
-/// An optimized statement bound to its session, ready to run.
+/// A pinned catalog generation, returned by [`Session::catalog`].
+/// Dereferences to [`Catalog`].
 #[derive(Debug)]
-pub struct Prepared<'s> {
-    session: &'s Session,
+pub struct CatalogRef {
+    state: Arc<DbState>,
+}
+
+impl std::ops::Deref for CatalogRef {
+    type Target = Catalog;
+    fn deref(&self) -> &Catalog {
+        self.state.catalog()
+    }
+}
+
+/// A pinned storage generation, returned by [`Session::storage`].
+/// Dereferences to [`Storage`].
+#[derive(Debug)]
+pub struct StorageRef {
+    state: Arc<DbState>,
+}
+
+impl std::ops::Deref for StorageRef {
+    type Target = Storage;
+    fn deref(&self) -> &Storage {
+        self.state.storage()
+    }
+}
+
+/// An optimized statement bound to the database generation it was
+/// planned against, ready to run. Owning its snapshot, it stays valid
+/// — and its results stay consistent with its plan — even while other
+/// sessions mutate the shared database.
+#[derive(Debug)]
+pub struct Prepared {
+    state: Arc<DbState>,
+    exec_config: ExecConfig,
     optimized: Optimized,
 }
 
-impl Prepared<'_> {
+impl Prepared {
     /// The optimizer's full outcome (plan, estimates, analysis,
     /// cache counters).
     #[must_use]
@@ -295,7 +406,7 @@ impl Prepared<'_> {
         self.optimized.explain()
     }
 
-    /// Execute against the session's storage.
+    /// Execute against the snapshot this statement was planned on.
     ///
     /// # Errors
     /// [`FroError::Exec`] on engine failures.
@@ -314,16 +425,11 @@ impl Prepared<'_> {
         // per-join build-cardinality fallback only kicks in for configs
         // that bypass the session. Either choice yields bit-identical
         // results — partitioning only moves work, never output.
-        let mut cfg = self.session.exec_config;
+        let mut cfg = self.exec_config;
         if cfg.partitions == 0 {
             cfg.partitions = self.optimized.suggested_partitions;
         }
-        let out = execute_with(
-            &self.optimized.plan,
-            &self.session.storage,
-            &mut stats,
-            &cfg,
-        )?;
+        let out = execute_with(&self.optimized.plan, self.state.storage(), &mut stats, &cfg)?;
         Ok((out, stats))
     }
 }
@@ -335,7 +441,7 @@ mod tests {
     use fro_lang::model::paper_world;
 
     fn algebra_session() -> Session {
-        let mut s = Session::new();
+        let s = Session::new();
         s.insert_table("R1", Relation::from_ints("R1", &["k1"], &[&[0]]));
         s.insert_table(
             "R2",
@@ -377,11 +483,10 @@ mod tests {
 
     #[test]
     fn stats_mutation_through_session_invalidates_plans() {
-        let mut s = algebra_session();
+        let s = algebra_session();
         let q = example1();
         let _ = s.prepare(&q).unwrap();
-        s.catalog_mut()
-            .set_distinct(&Attr::parse("R2.k2"), 1_000_000);
+        s.set_distinct(&Attr::parse("R2.k2"), 1_000_000);
         let replanned = s.prepare(&q).unwrap();
         assert!(
             replanned.optimized().pairs_examined > 0,
@@ -391,8 +496,46 @@ mod tests {
     }
 
     #[test]
+    fn connected_sessions_share_data_and_plans() {
+        let a = algebra_session();
+        let b = Session::connect(a.shared());
+        let q = example1();
+        let cold = a.prepare(&q).unwrap();
+        assert!(cold.optimized().pairs_examined > 0);
+        // The second session sees the first session's tables *and* its
+        // warm plan.
+        let warm = b.prepare(&q).unwrap();
+        assert_eq!(warm.optimized().pairs_examined, 0, "cross-session hit");
+        assert!(warm.optimized().cache.hits >= 1);
+        assert!(warm.run().unwrap().set_eq(&cold.run().unwrap()));
+        // Per-handle counters stay separate and sum into the shared
+        // cumulative stats.
+        assert_eq!(b.local_cache_stats().hits, warm.optimized().cache.hits);
+        let total = a.cache_stats();
+        let (la, lb) = (a.local_cache_stats(), b.local_cache_stats());
+        assert_eq!(total.hits, la.hits + lb.hits);
+        assert_eq!(total.misses, la.misses + lb.misses);
+    }
+
+    #[test]
+    fn prepared_statements_pin_their_generation() {
+        let s = algebra_session();
+        let q = example1();
+        let prepared = s.prepare(&q).unwrap();
+        let before = prepared.run().unwrap();
+        // Mutating the shared database after preparing doesn't disturb
+        // the pinned snapshot: the statement replays identically.
+        s.insert_table("R2", Relation::from_ints("R2", &["k2"], &[&[999]]));
+        assert_eq!(prepared.run().unwrap(), before);
+        // A fresh prepare sees the new generation (and re-plans, since
+        // the epoch moved).
+        let fresh = s.prepare(&q).unwrap();
+        assert!(!fresh.run().unwrap().set_eq(&before));
+    }
+
+    #[test]
     fn query_requires_an_entity_model() {
-        let mut s = Session::new();
+        let s = Session::new();
         let e = s.query("Select All From EMPLOYEE*ChildName").unwrap_err();
         assert_eq!(e.code(), "SESSION_NO_ENTITY_MODEL");
     }
@@ -401,23 +544,20 @@ mod tests {
     fn lang_query_matches_reference_and_warms() {
         let src = "Select All From EMPLOYEE*ChildName, DEPARTMENT \
                    Where EMPLOYEE.D# = DEPARTMENT.D# and DEPARTMENT.Location = 'Queretaro'";
-        #[allow(deprecated)]
-        let want = fro_lang::run(src, &paper_world()).unwrap();
-        let mut s = Session::from_entity_db(paper_world());
+        let s = Session::from_entity_db(paper_world());
         let out = s.query(src).unwrap().run().unwrap();
-        assert!(out.set_eq(&want));
         assert_eq!(out.len(), 3);
-        // Re-issuing the same block hits the cache: the tables resync
-        // without a statistics change, so the epoch (and cache) hold.
+        // Re-issuing the same block hits the cache: the tables are
+        // already in sync, so the epoch (and cache) hold.
         let again = s.query(src).unwrap();
         assert_eq!(again.optimized().pairs_examined, 0);
         assert!(again.optimized().cache.hits >= 1);
-        assert!(again.run().unwrap().set_eq(&want));
+        assert!(again.run().unwrap().set_eq(&out));
     }
 
     #[test]
     fn lang_query_surfaces_parse_errors_with_codes() {
-        let mut s = Session::from_entity_db(paper_world());
+        let s = Session::from_entity_db(paper_world());
         let e = s.query("From nothing").unwrap_err();
         assert_eq!(e.code(), "LANG_PARSE");
     }

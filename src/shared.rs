@@ -1,0 +1,230 @@
+//! Shared database state for concurrent sessions.
+//!
+//! A [`SharedDb`] owns the catalog (statistics, epoch, plan cache) and
+//! the storage behind one copy-on-write cell: readers grab an
+//! [`Arc`]-shared [`DbState`] snapshot and work against it lock-free,
+//! while writers clone-and-swap under a short write lock
+//! ([`SharedDb::mutate`]). An in-flight reader therefore never
+//! observes a torn catalog — it either sees the whole pre-mutation
+//! generation or the whole post-mutation one, and the catalog epoch
+//! inside each generation keeps the plan cache honest exactly as it
+//! does single-threaded: a statistics change bumps the epoch, so a
+//! plan costed under old statistics is never served against new ones.
+//!
+//! Cheap per-connection [`Session`] handles ([`SharedDb::session`])
+//! carry only policy + execution config and all share this state — and
+//! with it the cross-query plan cache, so one connection's warm plan
+//! is every connection's warm plan (Theorem 1 makes the signature a
+//! sound cross-session key; alpha-equivalent queries from different
+//! clients collapse onto one cache entry).
+//!
+//! [`Session`]: crate::Session
+
+use fro_algebra::{Attr, Relation, Tuple};
+use fro_core::Catalog;
+use fro_exec::Storage;
+use std::sync::{Arc, RwLock};
+
+/// One immutable generation of the database: catalog + storage,
+/// derived together so ids, statistics and stored rows always agree.
+#[derive(Debug, Clone, Default)]
+pub struct DbState {
+    catalog: Catalog,
+    storage: Storage,
+}
+
+impl DbState {
+    /// The catalog of this generation (statistics, epoch, plan cache).
+    #[must_use]
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The storage of this generation.
+    #[must_use]
+    pub fn storage(&self) -> &Storage {
+        &self.storage
+    }
+}
+
+/// The shared, concurrently-usable database: a copy-on-write
+/// [`DbState`] cell. See the module docs for the consistency story.
+#[derive(Debug, Default)]
+pub struct SharedDb {
+    state: RwLock<Arc<DbState>>,
+}
+
+impl SharedDb {
+    /// An empty shared database.
+    #[must_use]
+    pub fn new() -> Arc<SharedDb> {
+        Arc::new(SharedDb::default())
+    }
+
+    /// A shared database over existing storage; the catalog is derived
+    /// with exact statistics ([`Catalog::from_storage`]).
+    #[must_use]
+    pub fn from_storage(storage: Storage) -> Arc<SharedDb> {
+        Arc::new(SharedDb {
+            state: RwLock::new(Arc::new(DbState {
+                catalog: Catalog::from_storage(&storage),
+                storage,
+            })),
+        })
+    }
+
+    /// A consistent snapshot of the current generation. Cheap (one
+    /// `Arc` clone under a read lock) and stable: later mutations
+    /// produce new generations, they never alter this one.
+    #[must_use]
+    pub fn snapshot(&self) -> Arc<DbState> {
+        Arc::clone(&self.state.read().expect("shared db lock never poisoned"))
+    }
+
+    /// Run a mutation against catalog and storage atomically,
+    /// publishing the result as the next generation. Readers holding
+    /// earlier snapshots are unaffected; new snapshots see every
+    /// effect of `f` or none of it.
+    ///
+    /// The closure runs under the write lock — keep it short and never
+    /// call back into this [`SharedDb`] from inside it.
+    pub fn mutate<R>(&self, f: impl FnOnce(&mut Catalog, &mut Storage) -> R) -> R {
+        let mut guard = self.state.write().expect("shared db lock never poisoned");
+        // Clone-on-write: outstanding snapshot holders keep the old
+        // generation; we mutate a fresh copy (or in place when nobody
+        // else holds the Arc) and publish it on unlock.
+        let state = Arc::make_mut(&mut guard);
+        f(&mut state.catalog, &mut state.storage)
+    }
+
+    /// A new session handle over this shared state (Paper policy,
+    /// sequential execution — adjust with the [`Session`] builders).
+    ///
+    /// [`Session`]: crate::Session
+    #[must_use]
+    pub fn session(self: &Arc<Self>) -> crate::Session {
+        crate::Session::connect(self)
+    }
+
+    /// Load (or replace) a table: stores the relation and registers
+    /// exact statistics — row count and per-column distinct counts —
+    /// in the catalog, bumping the epoch.
+    pub fn insert_table(&self, name: impl Into<String>, rel: Relation) {
+        let name = name.into();
+        self.mutate(|catalog, storage| {
+            register_stats(catalog, &name, &rel);
+            storage.insert(name, rel);
+        });
+    }
+
+    /// Append rows to an existing table, republishing it with
+    /// refreshed statistics. Rows that duplicate existing ones are
+    /// absorbed by set semantics. Returns `false` (doing nothing) when
+    /// the table is unknown or a row doesn't fit the scheme.
+    pub fn append_rows(&self, name: &str, rows: Vec<Tuple>) -> bool {
+        self.mutate(|catalog, storage| {
+            let Some(table) = storage.rel_id(name).and_then(|id| storage.get_by_id(id)) else {
+                return false;
+            };
+            let old = table.relation();
+            let mut all = old.rows().to_vec();
+            all.extend(rows);
+            let Ok(rel) = Relation::new(old.schema().clone(), all) else {
+                return false;
+            };
+            register_stats(catalog, name, &rel);
+            storage.insert(name, rel);
+            true
+        })
+    }
+
+    /// Build a hash index on `rel(attrs…)` in storage and declare it
+    /// to the catalog. Returns `false` (doing nothing) when the table
+    /// or an attribute is unknown.
+    pub fn create_index(&self, rel: &str, attrs: &[Attr]) -> bool {
+        self.mutate(|catalog, storage| {
+            let built = storage.create_index(rel, attrs);
+            if built {
+                catalog.add_index(rel, attrs);
+            }
+            built
+        })
+    }
+
+    /// Override a column's distinct count (what-if statistics). Bumps
+    /// the catalog epoch, so cached plans costed under the old
+    /// statistics are invalidated automatically.
+    pub fn set_distinct(&self, attr: &Attr, distinct: u64) {
+        self.mutate(|catalog, _| catalog.set_distinct(attr, distinct));
+    }
+}
+
+/// Register exact statistics for one relation: row count plus true
+/// per-column distinct counts.
+pub(crate) fn register_stats(catalog: &mut Catalog, name: &str, rel: &Relation) {
+    catalog.add_table(name, rel.schema().clone(), rel.len() as u64);
+    for (c, a) in rel.schema().attrs().iter().enumerate() {
+        let distinct: std::collections::HashSet<_> = rel.rows().iter().map(|t| t.get(c)).collect();
+        catalog.set_distinct(a, distinct.len() as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fro_algebra::Value;
+
+    #[test]
+    fn snapshots_are_stable_across_mutations() {
+        let db = SharedDb::new();
+        db.insert_table("R", Relation::from_ints("R", &["a"], &[&[1], &[2]]));
+        let before = db.snapshot();
+        let epoch_before = before.catalog().epoch();
+        db.insert_table("S", Relation::from_ints("S", &["b"], &[&[7]]));
+        // The old snapshot still sees exactly one table at its epoch.
+        assert!(before.catalog().table("S").is_none());
+        assert_eq!(before.catalog().epoch(), epoch_before);
+        // A fresh snapshot sees the whole mutation.
+        let after = db.snapshot();
+        assert!(after.catalog().table("S").is_some());
+        assert!(after.catalog().epoch() > epoch_before);
+    }
+
+    #[test]
+    fn append_rows_refreshes_stats_and_dedups() {
+        let db = SharedDb::new();
+        db.insert_table("R", Relation::from_ints("R", &["a"], &[&[1], &[2]]));
+        assert!(db.append_rows(
+            "R",
+            vec![
+                Tuple::new(vec![Value::Int(2)]),
+                Tuple::new(vec![Value::Int(3)]),
+            ],
+        ));
+        let s = db.snapshot();
+        assert_eq!(s.catalog().table("R").unwrap().rows, 3);
+        let id = s.storage().rel_id("R").unwrap();
+        assert_eq!(s.storage().get_by_id(id).unwrap().relation().len(), 3);
+        assert!(!db.append_rows("missing", vec![]));
+    }
+
+    #[test]
+    fn mutations_are_atomic_to_new_snapshots() {
+        let db = SharedDb::new();
+        db.insert_table("A", Relation::from_ints("A", &["x"], &[&[1]]));
+        db.insert_table("B", Relation::from_ints("B", &["y"], &[&[1]]));
+        // Swap both tables' contents in one mutation; any snapshot
+        // sees either both old or both new, never a mix.
+        db.mutate(|catalog, storage| {
+            let a = Relation::from_ints("A", &["x"], &[&[2], &[3]]);
+            let b = Relation::from_ints("B", &["y"], &[&[2], &[3]]);
+            register_stats(catalog, "A", &a);
+            register_stats(catalog, "B", &b);
+            storage.insert("A", a);
+            storage.insert("B", b);
+        });
+        let s = db.snapshot();
+        assert_eq!(s.catalog().table("A").unwrap().rows, 2);
+        assert_eq!(s.catalog().table("B").unwrap().rows, 2);
+    }
+}

@@ -103,8 +103,9 @@ proptest! {
         }
     }
 
-    /// Running a block equals evaluating *any* implementing tree with
-    /// the restrictions applied — `run` never depends on tree choice.
+    /// Evaluating the planned block equals evaluating *any*
+    /// implementing tree with the restrictions applied — the reference
+    /// path never depends on tree choice.
     #[test]
     fn run_is_tree_choice_independent(
         dept_steps in proptest::collection::vec(0usize..3, 1..3),
@@ -114,8 +115,10 @@ proptest! {
         let world = synthetic_entity_world(3, 2, world_seed);
         let block = parse(&src).expect("parses");
         let Ok(t) = translate(&block, &world) else { return; };
-        #[allow(deprecated)] // the deprecated reference path is the oracle here
-        let via_run = fro_lang::run(&src, &world).expect("runs");
+        let via_run = fro_lang::plan_query(&t)
+            .expect("plans")
+            .eval(&t.database)
+            .expect("runs");
         let trees =
             fro_trees::enumerate_trees(&t.graph, fro_trees::EnumLimit::default()).unwrap();
         for tree in trees.iter().take(5) {

@@ -85,13 +85,13 @@ proptest! {
             return;
         };
         let want = tree.eval(&db).expect("reference evaluates");
-        let mut session = Session::from_storage(Storage::from_database(&db));
+        let session = Session::from_storage(Storage::from_database(&db));
 
         let _ = session.prepare(&tree).expect("optimizes");
         let epoch_before = session.catalog().epoch();
 
         // Any statistics mutation bumps the epoch …
-        session.catalog_mut().set_distinct(&Attr::parse("R0.k"), 1_000_000);
+        session.set_distinct(&Attr::parse("R0.k"), 1_000_000);
         prop_assert!(session.catalog().epoch() > epoch_before);
 
         // … so the next prepare must re-plan (stale entries evicted,

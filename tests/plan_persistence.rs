@@ -76,14 +76,14 @@ fn stale_epoch_snapshot_degrades_to_cold() {
     let want = cold.run().expect("executes");
     session.save_plan_cache(&path).expect("saves");
 
-    let mut later = {
+    let later = {
         let again = corpus_suite()
             .into_iter()
             .find(|c| c.name == "example1_good")
             .unwrap();
         Session::from_storage(again.storage)
     };
-    later.catalog_mut().set_distinct(&Attr::parse("R1.k1"), 7);
+    later.set_distinct(&Attr::parse("R1.k1"), 7);
     let loaded = later.load_plan_cache(&path).expect("load is not an error");
     assert!(
         matches!(loaded, CacheLoad::StaleEpoch),

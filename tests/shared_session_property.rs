@@ -1,0 +1,258 @@
+//! Concurrency invariants of the shared-catalog session architecture:
+//! T threads interleaving queries and mutations against one
+//! [`SharedDb`] must behave exactly like some single-threaded
+//! execution —
+//!
+//! * concurrent warm queries return results bit-identical to a
+//!   single-session run (and alpha-equivalent associations share the
+//!   cached plan across threads);
+//! * barriered mutate→query rounds reproduce a single-threaded replay
+//!   bit for bit;
+//! * an unsynchronized mutator flipping two joined tables *atomically*
+//!   can never produce a torn read: every concurrent result equals one
+//!   of the per-generation expected results, never a mix;
+//! * epoch bumps invalidate across threads — after a statistics
+//!   change, no thread's next prepare is served the stale plan;
+//! * per-session cache counters merge sanely: with a quiescent
+//!   catalog, the sum over handles equals the shared cumulative stats.
+
+use fro::prelude::*;
+use fro_algebra::{Pred, Query, Relation};
+use std::sync::{Arc, Barrier};
+use std::thread;
+
+const THREADS: usize = 8;
+
+/// Three joined tables; `variant` 0/1/2 picks an association of the
+/// same query graph, so all variants are alpha-equivalent (Theorem 1:
+/// one signature, one cache entry).
+fn chain_query(variant: usize) -> Query {
+    let p12 = Pred::eq_attr("R1.k1", "R2.k2");
+    let p23 = Pred::eq_attr("R2.k2", "R3.k3");
+    match variant % 3 {
+        0 => Query::rel("R1")
+            .join(Query::rel("R2"), p12)
+            .join(Query::rel("R3"), p23),
+        1 => Query::rel("R1").join(Query::rel("R2").join(Query::rel("R3"), p23), p12),
+        _ => Query::rel("R2")
+            .join(Query::rel("R1"), p12)
+            .join(Query::rel("R3"), p23),
+    }
+}
+
+fn chain_tables(db: &Arc<SharedDb>, scale: i64) {
+    let table = |name: &str, col: &str, lo: i64, hi: i64| {
+        let rows: Vec<Vec<i64>> = (lo..hi).map(|v| vec![v]).collect();
+        let refs: Vec<&[i64]> = rows.iter().map(Vec::as_slice).collect();
+        Relation::from_ints(name, &[col], &refs)
+    };
+    db.insert_table("R1", table("R1", "k1", 0, 4 + scale));
+    db.insert_table("R2", table("R2", "k2", 2, 8 + scale));
+    db.insert_table("R3", table("R3", "k3", 5, 11 + scale));
+}
+
+#[test]
+fn concurrent_warm_queries_are_bit_identical_to_single_session() {
+    let db = SharedDb::new();
+    chain_tables(&db, 0);
+
+    // Single-session expectations, one per association.
+    let reference = db.session();
+    let expected: Vec<Relation> = (0..3)
+        .map(|v| reference.prepare(&chain_query(v)).unwrap().run().unwrap())
+        .collect();
+
+    let barrier = Arc::new(Barrier::new(THREADS));
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let db = Arc::clone(&db);
+            let expected = expected.clone();
+            let barrier = Arc::clone(&barrier);
+            thread::spawn(move || {
+                let session = db.session();
+                barrier.wait();
+                for i in 0..24 {
+                    let v = (t + i) % 3;
+                    let out = session.prepare(&chain_query(v)).unwrap().run().unwrap();
+                    assert_eq!(out, expected[v], "thread {t} iteration {i}");
+                }
+                session.local_cache_stats()
+            })
+        })
+        .collect();
+    let locals: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+
+    // Every association shares ONE signature, so across 8×24 warm
+    // lookups virtually everything hits; only the races on the very
+    // first optimization of each subset can miss.
+    let hits: u64 = locals.iter().map(|l| l.hits).sum();
+    let misses: u64 = locals.iter().map(|l| l.misses).sum();
+    assert!(
+        hits as f64 / (hits + misses) as f64 > 0.9,
+        "warm hit rate too low: {hits} hits / {misses} misses"
+    );
+}
+
+#[test]
+fn counters_merge_sanely_across_handles() {
+    let db = SharedDb::new();
+    chain_tables(&db, 0);
+    let sessions: Vec<_> = (0..4).map(|_| db.session()).collect();
+    for (i, s) in sessions.iter().enumerate() {
+        for v in 0..3 {
+            let _ = s.prepare(&chain_query((v + i) % 3)).unwrap();
+        }
+    }
+    // With a quiescent catalog (no mutations since the handles
+    // connected), the shared cumulative counters are exactly the sum
+    // of the per-handle counters.
+    let total = sessions[0].cache_stats();
+    let sum = sessions.iter().fold(CacheStats::default(), |mut acc, s| {
+        acc.merge(&s.local_cache_stats());
+        acc
+    });
+    assert_eq!(total.hits, sum.hits);
+    assert_eq!(total.misses, sum.misses);
+    assert_eq!(total.stale, sum.stale);
+}
+
+#[test]
+fn barriered_mutation_rounds_match_single_threaded_replay() {
+    const ROUNDS: usize = 6;
+
+    // Replay the same script single-threaded to get the expectations.
+    let replay_db = SharedDb::new();
+    chain_tables(&replay_db, 0);
+    let replay = replay_db.session();
+    let expected: Vec<Relation> = (0..ROUNDS)
+        .map(|r| {
+            chain_tables(&replay_db, r as i64 + 1);
+            replay.prepare(&chain_query(0)).unwrap().run().unwrap()
+        })
+        .collect();
+
+    let db = SharedDb::new();
+    chain_tables(&db, 0);
+    // Two barrier points per round: after the mutation (thread 0) and
+    // after every thread's read, so round r reads see exactly the
+    // r-th mutation.
+    let barrier = Arc::new(Barrier::new(THREADS));
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let db = Arc::clone(&db);
+            let expected = expected.clone();
+            let barrier = Arc::clone(&barrier);
+            thread::spawn(move || {
+                let session = db.session();
+                for (r, want) in expected.iter().enumerate() {
+                    if t == 0 {
+                        chain_tables(&db, r as i64 + 1);
+                    }
+                    barrier.wait();
+                    let out = session.prepare(&chain_query(0)).unwrap().run().unwrap();
+                    assert_eq!(&out, want, "thread {t} round {r}");
+                    barrier.wait();
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+}
+
+#[test]
+fn atomic_two_table_flips_are_never_observed_torn() {
+    const GENERATIONS: i64 = 8;
+
+    // Expected result per generation, each computed on its own fresh
+    // database (same stats ⇒ same plan ⇒ bit-identical rows).
+    let expected: Vec<Relation> = (0..=GENERATIONS)
+        .map(|g| {
+            let db = SharedDb::new();
+            chain_tables(&db, g);
+            db.session()
+                .prepare(&chain_query(0))
+                .unwrap()
+                .run()
+                .unwrap()
+        })
+        .collect();
+
+    let db = SharedDb::new();
+    chain_tables(&db, 0);
+    let start = Arc::new(Barrier::new(THREADS + 1));
+    let readers: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let db = Arc::clone(&db);
+            let expected = expected.clone();
+            let start = Arc::clone(&start);
+            thread::spawn(move || {
+                let session = db.session();
+                start.wait();
+                for i in 0..40 {
+                    let out = session.prepare(&chain_query(0)).unwrap().run().unwrap();
+                    // No torn reads: the result is some generation's,
+                    // with all three tables from the SAME generation.
+                    assert!(
+                        expected.contains(&out),
+                        "thread {t} iteration {i}: result matches no generation \
+                         ({} rows)",
+                        out.len()
+                    );
+                }
+            })
+        })
+        .collect();
+    // The mutator replaces all three joined tables in ONE atomic
+    // generation bump, racing the readers without any barrier.
+    start.wait();
+    for g in 1..=GENERATIONS {
+        chain_tables(&db, g);
+        std::thread::yield_now();
+    }
+    for h in readers {
+        h.join().unwrap();
+    }
+}
+
+#[test]
+fn epoch_bumps_invalidate_across_threads() {
+    let db = SharedDb::new();
+    chain_tables(&db, 0);
+    let warmup = db.session();
+    let _ = warmup.prepare(&chain_query(0)).unwrap();
+    let warm = warmup.prepare(&chain_query(0)).unwrap();
+    assert_eq!(warm.optimized().pairs_examined, 0, "cache warm before");
+
+    // A statistics mutation from one handle…
+    db.set_distinct(&fro_algebra::Attr::parse("R2.k2"), 1_000_000);
+
+    // …must force EVERY thread's next prepare to re-plan: nobody is
+    // served the plan costed under the dead statistics.
+    let handles: Vec<_> = (0..THREADS)
+        .map(|_| {
+            let db = Arc::clone(&db);
+            thread::spawn(move || {
+                let session = db.session();
+                let p = session.prepare(&chain_query(0)).unwrap();
+                let local = session.local_cache_stats();
+                (p.optimized().cache.hits, local.stale + local.misses)
+            })
+        })
+        .collect();
+    let mut replans = 0;
+    for h in handles {
+        let (hits, missed) = h.join().unwrap();
+        // Either this thread re-planned itself (miss/stale) or it hit
+        // a plan some sibling already re-planned at the NEW epoch —
+        // both fine; a hit on the old epoch is impossible because the
+        // lookup is epoch-checked.
+        if missed > 0 {
+            replans += 1;
+        } else {
+            assert!(hits >= 1);
+        }
+    }
+    assert!(replans >= 1, "at least the first thread re-plans");
+}
