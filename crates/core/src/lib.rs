@@ -61,6 +61,9 @@ pub mod reorder;
 pub mod simplify;
 
 pub use fro_exec::ExecConfig;
-pub use optimizer::{optimize, Catalog, OptError, Optimized};
+pub use optimizer::{
+    optimize, optimize_with_reduce, reduce_plan, Catalog, OptError, Optimized, ReducePolicy,
+    ReductionReport,
+};
 pub use reorder::{analyze, is_freely_reorderable, Analysis, Policy, Violation};
 pub use simplify::{simplify, SimplificationEvent};

@@ -159,6 +159,34 @@ pub fn estimate_plan(plan: &PhysPlan, catalog: &Catalog) -> Estimate {
                 rows,
             }
         }
+        PhysPlan::SemiReduce {
+            input,
+            source,
+            input_keys,
+            source_keys,
+            ..
+        } => {
+            let ie = estimate_plan(input, catalog);
+            let se = estimate_plan(source, catalog);
+            // Containment assumption: the source's key values are a
+            // subset of the input's key domain, so an input row
+            // survives with probability d_source / d_input per key —
+            // not the uniform 1/max(d) of the join arms. This is what
+            // lets the reducer see skew: a dimension whose junk keys
+            // never appear in the source gets d_src ≪ d_in and a
+            // survivor fraction well below one, while uniformly-keyed
+            // inputs get ≈ 1 and the reduction correctly looks useless.
+            let mut frac = 1.0f64;
+            for (ik, sk) in input_keys.iter().zip(source_keys) {
+                let d_in = catalog.distinct_of(ik).max(1) as f64;
+                let d_src = catalog.distinct_of(sk).max(1) as f64;
+                frac *= (d_src / d_in).min(1.0);
+            }
+            Estimate {
+                cost: ie.cost + se.cost + se.rows + ie.rows,
+                rows: ie.rows * frac,
+            }
+        }
     }
 }
 

@@ -14,6 +14,7 @@ pub mod dp;
 pub mod greedy;
 pub mod lower;
 pub mod plancache;
+pub mod reduce;
 pub mod stats;
 
 use crate::reorder::{analyze, Analysis, Policy};
@@ -32,6 +33,7 @@ pub use lower::{lower_by_name, split_equi_by_name};
 pub use plancache::{
     graph_signature, CacheCtx, CacheLoad, CacheStats, CachedEntry, GraphSignature, PlanCache,
 };
+pub use reduce::{reduce_plan, ReducePolicy, ReductionReport, WrapDesc};
 pub use stats::{Catalog, TableInfo};
 
 /// Optimizer failures.
@@ -82,6 +84,12 @@ pub struct Optimized {
     /// [`ExecConfig`] says "auto" (`partitions = 0`), and results are
     /// identical at any partition count regardless.
     pub suggested_partitions: usize,
+    /// What the semijoin reducer did to the chosen plan: the applied
+    /// wrap schedule and its cost against the plain alternative, or
+    /// why reduction was declined. Reduction runs *after* the plan
+    /// cache, so cached entries stay plain and reusable under every
+    /// [`ReducePolicy`].
+    pub reduction: ReductionReport,
 }
 
 impl Optimized {
@@ -105,6 +113,7 @@ impl Optimized {
             self.reordered, self.pairs_examined, self.suggested_partitions
         );
         let _ = writeln!(out, "plan_cache: {}", self.cache);
+        let _ = writeln!(out, "{}", self.reduction);
         out
     }
     /// Run the chosen plan sequentially (one thread).
@@ -133,11 +142,49 @@ impl Optimized {
 }
 
 /// Optimize a query: reorder freely when Theorem 1 allows, otherwise
-/// keep the user's association.
+/// keep the user's association. Runs the semijoin reducer under
+/// [`ReducePolicy::Auto`]; use [`optimize_with_reduce`] to force it.
 ///
 /// # Errors
 /// [`OptError`] for unsupported operators or oversized DP inputs.
 pub fn optimize(q: &Query, catalog: &Catalog, policy: Policy) -> Result<Optimized, OptError> {
+    optimize_with_reduce(q, catalog, policy, ReducePolicy::Auto)
+}
+
+/// [`optimize`] with an explicit [`ReducePolicy`]. The reducer runs as
+/// a post-pass over the DP/greedy/fallback plan — after the plan cache
+/// (cached plans stay plain), never altering join order or shape, only
+/// wrapping operands in [`PhysPlan::SemiReduce`] where the wrap is
+/// sound and (under `Auto`) estimated to pay. When a wrap is applied,
+/// `est_cost`/`est_rows` reflect the reduced plan; the plain
+/// estimate is preserved in [`Optimized::reduction`].
+///
+/// # Errors
+/// Same failure modes as [`optimize`].
+pub fn optimize_with_reduce(
+    q: &Query,
+    catalog: &Catalog,
+    policy: Policy,
+    reduce_policy: ReducePolicy,
+) -> Result<Optimized, OptError> {
+    let mut opt = optimize_plain(q, catalog, policy)?;
+    let (plan, report) = reduce_plan(
+        &opt.plan,
+        catalog,
+        reduce_policy,
+        opt.analysis.graph.as_ref(),
+    );
+    if !report.applied.is_empty() {
+        let est = estimate_plan(&plan, catalog);
+        opt.plan = plan;
+        opt.est_cost = est.cost;
+        opt.est_rows = est.rows;
+    }
+    opt.reduction = report;
+    Ok(opt)
+}
+
+fn optimize_plain(q: &Query, catalog: &Catalog, policy: Policy) -> Result<Optimized, OptError> {
     let analysis = analyze(q, policy);
     // Partition hint from catalog statistics: the build side of any
     // join in any ordering is bounded by the largest base relation, so
@@ -166,6 +213,7 @@ pub fn optimize(q: &Query, catalog: &Catalog, policy: Policy) -> Result<Optimize
                         pairs_examined: r.pairs_examined,
                         cache: r.cache,
                         suggested_partitions,
+                        reduction: ReductionReport::default(),
                     })
                 }
                 // Too large for exhaustive DP: reorder greedily.
@@ -180,6 +228,7 @@ pub fn optimize(q: &Query, catalog: &Catalog, policy: Policy) -> Result<Optimize
                             pairs_examined: r.merges_examined,
                             cache: r.cache,
                             suggested_partitions,
+                            reduction: ReductionReport::default(),
                         });
                     }
                 }
@@ -198,6 +247,7 @@ pub fn optimize(q: &Query, catalog: &Catalog, policy: Policy) -> Result<Optimize
         pairs_examined: 0,
         cache: CacheStats::default(),
         suggested_partitions,
+        reduction: ReductionReport::default(),
     })
 }
 

@@ -726,6 +726,35 @@ fn run(
                 build_op.columns(),
             )?
         }
+        PhysPlan::SemiReduce {
+            input,
+            source,
+            input_keys,
+            source_keys,
+            pass: _,
+        } => {
+            if input_keys.len() != source_keys.len() || input_keys.is_empty() {
+                return Err(ExecError::KeyArityMismatch);
+            }
+            let input_rel = run(input, storage, stats, cfg)?;
+            let source_op = run_operand(source, storage, stats, cfg)?;
+            let n_in = input_rel.len() as u64;
+            let out = hash_join(
+                JoinKind::Semi,
+                &input_rel,
+                source_op.rel(),
+                input_keys,
+                source_keys,
+                &Pred::always(),
+                Some(storage.interner()),
+                stats,
+                cfg,
+                source_op.columns(),
+            )?;
+            stats.rows_reduced += n_in - out.len() as u64;
+            stats.reducer_passes += 1;
+            out
+        }
         PhysPlan::IndexJoin {
             kind,
             outer,
@@ -1517,6 +1546,35 @@ fn annotate(
                     None,
                 )?,
             )
+        }
+        PhysPlan::SemiReduce {
+            input,
+            source,
+            input_keys,
+            source_keys,
+            pass,
+        } => {
+            if input_keys.len() != source_keys.len() || input_keys.is_empty() {
+                return Err(ExecError::KeyArityMismatch);
+            }
+            let i = annotate(input, storage, stats, depth + 1, lines, cfg)?;
+            let s = annotate(source, storage, stats, depth + 1, lines, cfg)?;
+            let n_in = i.len() as u64;
+            let out = hash_join(
+                JoinKind::Semi,
+                &i,
+                &s,
+                input_keys,
+                source_keys,
+                &Pred::always(),
+                Some(storage.interner()),
+                stats,
+                cfg,
+                None,
+            )?;
+            stats.rows_reduced += n_in - out.len() as u64;
+            stats.reducer_passes += 1;
+            (format!("SemiReduce({pass})"), out)
         }
         PhysPlan::IndexJoin {
             kind,

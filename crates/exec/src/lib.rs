@@ -62,6 +62,6 @@ pub mod storage;
 
 pub use config::{suggest_partitions, ExecConfig, ExecMode, MAX_PARTITIONS};
 pub use engine::{execute, execute_with, explain_analyze, explain_analyze_with, ExecError};
-pub use plan::{JoinKind, PhysPlan};
+pub use plan::{JoinKind, PhysPlan, ReducePass};
 pub use stats::{ExecStats, PartitionStats};
 pub use storage::{Storage, Table, SHARD_SIZE};

@@ -73,6 +73,7 @@ fn n_nodes(plan: &PhysPlan) -> usize {
         | PhysPlan::GroupCount { input, .. } => n_nodes(input),
         PhysPlan::IndexJoin { outer, .. } => n_nodes(outer),
         PhysPlan::HashJoin { probe, build, .. } => n_nodes(probe) + n_nodes(build),
+        PhysPlan::SemiReduce { input, source, .. } => n_nodes(input) + n_nodes(source),
         PhysPlan::MergeJoin { left, right, .. }
         | PhysPlan::NlJoin { left, right, .. }
         | PhysPlan::Goj { left, right, .. } => n_nodes(left) + n_nodes(right),
@@ -91,6 +92,7 @@ fn label_of(plan: &PhysPlan) -> String {
         PhysPlan::MergeJoin { kind, .. } => format!("MergeJoin({kind})"),
         PhysPlan::NlJoin { kind, .. } => format!("NlJoin({kind})"),
         PhysPlan::GroupCount { .. } => "GroupCount".to_owned(),
+        PhysPlan::SemiReduce { pass, .. } => format!("SemiReduce({pass})"),
         PhysPlan::Goj { .. } => "Goj".to_owned(),
     }
 }
@@ -109,6 +111,10 @@ fn collect_lines(plan: &PhysPlan, depth: usize, lines: &mut Vec<(usize, String)>
         PhysPlan::HashJoin { probe, build, .. } => {
             collect_lines(probe, depth + 1, lines);
             collect_lines(build, depth + 1, lines);
+        }
+        PhysPlan::SemiReduce { input, source, .. } => {
+            collect_lines(input, depth + 1, lines);
+            collect_lines(source, depth + 1, lines);
         }
         PhysPlan::MergeJoin { left, right, .. }
         | PhysPlan::NlJoin { left, right, .. }
@@ -375,6 +381,15 @@ enum StageSpec<'s> {
         pad: Tuple,
         slot: usize,
     },
+    /// Semijoin-reduction membership probe: pass the fragment chain
+    /// through unchanged iff its key has a partner in the source's
+    /// hash table. No residual, no pad, no schema growth.
+    Reduce {
+        table_idx: usize,
+        key_map: Vec<(u32, u32)>,
+        source_cols: Vec<usize>,
+        slot: usize,
+    },
 }
 
 /// The sink at the top of a spine.
@@ -483,6 +498,19 @@ fn exec_stream(
                 }
                 chain.push((node, slot));
                 node = probe;
+                slot += 1;
+            }
+            PhysPlan::SemiReduce {
+                input,
+                input_keys,
+                source_keys,
+                ..
+            } => {
+                if input_keys.len() != source_keys.len() || input_keys.is_empty() {
+                    return Err(ExecError::KeyArityMismatch);
+                }
+                chain.push((node, slot));
+                node = input;
                 slot += 1;
             }
             PhysPlan::IndexJoin {
@@ -630,6 +658,58 @@ fn exec_stream(
                     widths.push(build_schema.len());
                     cur_schema = concat;
                 }
+            }
+            PhysPlan::SemiReduce {
+                input,
+                source,
+                input_keys,
+                source_keys,
+                pass,
+            } => {
+                // Resolve the source operand exactly like a hash-join
+                // build side: zero-copy out of storage when it is a
+                // bare scan, else a materialized arena entry.
+                let source_slot = stage_slot + 1 + n_nodes(input);
+                let (source_len, source_schema, side, scols) = match source.as_ref() {
+                    PhysPlan::Scan { rel } => {
+                        let t = cx.storage.lookup_named(rel)?;
+                        rs.stats.tuples_retrieved += t.len() as u64;
+                        rs.stats.rows_pipelined += t.len() as u64;
+                        rs.slots[source_slot] += t.len() as u64;
+                        desc.push_str(&format!(" -> SemiReduce({pass}, src=Scan {rel})"));
+                        (
+                            t.len(),
+                            t.relation().schema().clone(),
+                            RowsSrc::Storage(t.relation().rows()),
+                            Some(t.columns()),
+                        )
+                    }
+                    other => {
+                        let rel = exec_inter(other, source_slot, cx, rs)?;
+                        desc.push_str(&format!(" -> SemiReduce({pass}, src=materialized)"));
+                        let schema = rel.schema().clone();
+                        let len = rel.len();
+                        arena.push(rel);
+                        (len, schema, RowsSrc::Arena(arena.len() - 1), None)
+                    }
+                };
+                let input_cols = resolve_cols(&cur_schema, input_keys)?;
+                let source_cols = resolve_cols(&source_schema, source_keys)?;
+                let key_map = input_cols.iter().map(|&c| map_col(&widths, c)).collect();
+                let p = cx.cfg.effective_partitions(source_len);
+                sides.push(side);
+                side_cols.push(scols);
+                hash_builds.push((sides.len() - 1, p));
+                // One reduction pass per compiled stage — ticked here,
+                // on the main thread, so the count is deterministic at
+                // every thread count (workers merge fresh stats).
+                rs.stats.reducer_passes += 1;
+                specs.push(StageSpec::Reduce {
+                    table_idx: hash_builds.len() - 1,
+                    key_map,
+                    source_cols,
+                    slot: stage_slot,
+                });
             }
             PhysPlan::IndexJoin {
                 kind,
@@ -797,6 +877,11 @@ fn exec_stream(
         if let StageSpec::HashProbe {
             table_idx,
             build_cols,
+            ..
+        }
+        | StageSpec::Reduce {
+            table_idx,
+            source_cols: build_cols,
             ..
         } = spec
         {
@@ -1191,6 +1276,46 @@ fn push_row<'a>(
                 }
             }
             scratch[idx] = key;
+        }
+        StageSpec::Reduce {
+            table_idx,
+            key_map,
+            source_cols,
+            slot,
+        } => {
+            let table = &tables[*table_idx];
+            let h = hash_parts(parts, key_map);
+            if let Some(h) = h {
+                st.partition.add_probe(table.partition_index(h));
+            }
+            let mut matched = false;
+            for &rid in table.bucket(h) {
+                let brow = table.row(rid);
+                if !keys_eq_parts(parts, key_map, brow, source_cols) {
+                    continue;
+                }
+                st.comparisons += 1;
+                matched = true;
+                break;
+            }
+            if matched {
+                slots[*slot] += 1;
+                st.rows_pipelined += 1;
+                push_row(
+                    specs,
+                    side_rows,
+                    tables,
+                    tail,
+                    idx + 1,
+                    parts,
+                    scratch,
+                    buf,
+                    st,
+                    slots,
+                );
+            } else {
+                st.rows_reduced += 1;
+            }
         }
         StageSpec::NlProbe {
             kind,

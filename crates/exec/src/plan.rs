@@ -35,6 +35,29 @@ impl fmt::Display for JoinKind {
     }
 }
 
+/// Which Yannakakis pass a [`PhysPlan::SemiReduce`] node belongs to:
+/// the leaves→root sweep that shrinks the probe spine before joins
+/// expand it, or the root→leaves sweep that shrinks build sides.
+/// Execution is identical either way — the pass is schedule metadata
+/// surfaced by EXPLAIN.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReducePass {
+    /// Leaves→root: reduce a probe-side input by a build-side source.
+    Up,
+    /// Root→leaves: reduce a build-side input by a probe-side source.
+    Down,
+}
+
+impl fmt::Display for ReducePass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ReducePass::Up => "up",
+            ReducePass::Down => "down",
+        };
+        write!(f, "{s}")
+    }
+}
+
 /// A physical operator tree.
 ///
 /// Join output schemas are `probe ++ build` (hash), `outer ++ inner`
@@ -128,6 +151,26 @@ pub enum PhysPlan {
         /// Attribute whose non-null occurrences are counted.
         counted: Option<Attr>,
     },
+    /// Semijoin reduction: keep the `input` rows that have at least
+    /// one join partner in `source` on the equi-keys — a
+    /// Yannakakis-style reducer pass chosen by the optimizer. Output
+    /// schema and row order are the `input`'s; a null key never
+    /// matches (3VL, like every equi-join in the engine). `source` is
+    /// always a shallow base-relation plan (a scan, possibly
+    /// filtered), so reducing never re-executes a join subtree.
+    SemiReduce {
+        /// The input being reduced (its schema is the output schema).
+        input: Box<PhysPlan>,
+        /// The reducing side: rows are kept iff a partner exists here.
+        source: Box<PhysPlan>,
+        /// Equi-key attributes on the input side.
+        input_keys: Vec<Attr>,
+        /// Equi-key attributes on the source side (same arity).
+        source_keys: Vec<Attr>,
+        /// Which reduction sweep this node implements (EXPLAIN
+        /// metadata; execution is pass-independent).
+        pass: ReducePass,
+    },
     /// Generalized outerjoin `left GOJ[subset] right` (§6.2).
     Goj {
         /// Left input (`R1`).
@@ -175,6 +218,10 @@ impl PhysPlan {
                 right.for_each_base_rel(f);
             }
             PhysPlan::GroupCount { input, .. } => input.for_each_base_rel(f),
+            PhysPlan::SemiReduce { input, source, .. } => {
+                input.for_each_base_rel(f);
+                source.for_each_base_rel(f);
+            }
         }
     }
 
@@ -278,6 +325,23 @@ impl PhysPlan {
                 out.push_str(&format!("{pad}GroupCount [{}]\n", names.join(", ")));
                 input.explain_into(out, depth + 1);
             }
+            PhysPlan::SemiReduce {
+                input,
+                source,
+                input_keys,
+                source_keys,
+                pass,
+            } => {
+                let ik: Vec<String> = input_keys.iter().map(ToString::to_string).collect();
+                let sk: Vec<String> = source_keys.iter().map(ToString::to_string).collect();
+                out.push_str(&format!(
+                    "{pad}SemiReduce({pass}) [{} = {}]\n",
+                    ik.join(","),
+                    sk.join(",")
+                ));
+                input.explain_into(out, depth + 1);
+                source.explain_into(out, depth + 1);
+            }
             PhysPlan::Goj {
                 left,
                 right,
@@ -328,5 +392,22 @@ mod tests {
     fn join_kind_display() {
         assert_eq!(JoinKind::Anti.to_string(), "anti");
         assert_eq!(JoinKind::Inner.to_string(), "inner");
+    }
+
+    #[test]
+    fn semireduce_explains_and_counts_base_rels() {
+        let plan = PhysPlan::SemiReduce {
+            input: Box::new(PhysPlan::scan("F")),
+            source: Box::new(PhysPlan::scan("D1")),
+            input_keys: vec![Attr::parse("F.d1")],
+            source_keys: vec![Attr::parse("D1.k")],
+            pass: ReducePass::Up,
+        };
+        let text = plan.explain();
+        assert!(text.contains("SemiReduce(up) [F.d1 = D1.k]"));
+        assert!(text.contains("\n  Scan F"));
+        assert!(text.contains("\n  Scan D1"));
+        assert_eq!(plan.base_rel_refs(), 2);
+        assert_eq!(ReducePass::Down.to_string(), "down");
     }
 }

@@ -127,6 +127,14 @@ pub struct ExecStats {
     /// single-operator pipelines). Always 0 under
     /// [`crate::ExecMode::Materializing`].
     pub pipelines: u64,
+    /// Rows dropped by [`crate::PhysPlan::SemiReduce`] nodes: input
+    /// rows with no join partner in the reducer source. Deterministic
+    /// (input cardinality minus survivors), so it is part of the
+    /// logical equality contract like the other scalar counters.
+    pub rows_reduced: u64,
+    /// `SemiReduce` reducer stages executed (one per plan node per
+    /// execution, in either engine mode).
+    pub reducer_passes: u64,
     /// Metadata zones ([`fro_algebra::ZONE_ROWS`]-row morsels of a
     /// base column) that a vectorized comparison resolved from zone
     /// min/max / null-count metadata as containing no qualifying row,
@@ -160,6 +168,8 @@ impl PartialEq for ExecStats {
             && self.rows_materialized == other.rows_materialized
             && self.rows_pipelined == other.rows_pipelined
             && self.pipelines == other.pipelines
+            && self.rows_reduced == other.rows_reduced
+            && self.reducer_passes == other.reducer_passes
     }
 }
 
@@ -186,6 +196,8 @@ impl ExecStats {
         self.rows_materialized += other.rows_materialized;
         self.rows_pipelined += other.rows_pipelined;
         self.pipelines += other.pipelines;
+        self.rows_reduced += other.rows_reduced;
+        self.reducer_passes += other.reducer_passes;
         self.morsels_skipped += other.morsels_skipped;
         self.partition.merge(&other.partition);
     }
@@ -205,7 +217,7 @@ impl fmt::Display for ExecStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "retrieved={} probes={} comparisons={} built={} materialized={} pipelined={} pipelines={} skipped={} output={}",
+            "retrieved={} probes={} comparisons={} built={} materialized={} pipelined={} pipelines={} reduced={} reducer_passes={} skipped={} output={}",
             self.tuples_retrieved,
             self.index_probes,
             self.comparisons,
@@ -213,6 +225,8 @@ impl fmt::Display for ExecStats {
             self.rows_materialized,
             self.rows_pipelined,
             self.pipelines,
+            self.rows_reduced,
+            self.reducer_passes,
             self.morsels_skipped,
             self.rows_output
         )
@@ -277,6 +291,24 @@ mod tests {
     }
 
     #[test]
+    fn reducer_counters_merge_and_compare() {
+        let mut a = ExecStats {
+            rows_reduced: 3,
+            reducer_passes: 1,
+            ..ExecStats::default()
+        };
+        a.merge(&ExecStats {
+            rows_reduced: 4,
+            reducer_passes: 2,
+            ..ExecStats::default()
+        });
+        assert_eq!(a.rows_reduced, 7);
+        assert_eq!(a.reducer_passes, 3);
+        let b = ExecStats::new();
+        assert_ne!(a, b, "reducer counters are logical, not diagnostic");
+    }
+
+    #[test]
     fn partition_breakdown_merges_elementwise() {
         let mut a = PartitionStats::new();
         a.note_partitions(2);
@@ -331,6 +363,8 @@ mod tests {
             "materialized",
             "pipelined",
             "pipelines",
+            "reduced",
+            "reducer_passes",
             "skipped",
             "output",
         ] {

@@ -181,6 +181,146 @@ pub fn left_chain(k: usize, rows_per_rel: usize, seed: u64) -> (Storage, Catalog
     (storage, catalog, q)
 }
 
+/// Parameters for the star/snowflake reducer workloads ([`star`]).
+///
+/// The generated fact table `F` carries `good_rows` rows whose
+/// dimension keys all fall in the shared match domain `0..match_keys`,
+/// plus one *junk block* per dimension: `junk_rows` rows whose key for
+/// that dimension is a duplicated **hot** key (matching `hot_dup`
+/// dimension rows) while every other dimension column holds a globally
+/// unique cold value matching nothing. A plain join plan multiplies
+/// each junk row through its one matching dimension before the next
+/// join kills it — `junk_rows × hot_dup` doomed intermediates per
+/// dimension — while a semijoin-reduced plan deletes the junk from `F`
+/// before any join runs. Setting `junk_rows = 0` yields the uniform
+/// control where reduction cannot pay.
+#[derive(Debug, Clone, Copy)]
+pub struct StarParams {
+    /// Number of dimension tables `D1..Dk`.
+    pub dims: usize,
+    /// Size `u` of the shared match domain `0..u`.
+    pub match_keys: usize,
+    /// Fact rows whose every dimension key is in the match domain.
+    pub good_rows: usize,
+    /// Hot keys per dimension (duplicated `hot_dup` times each).
+    pub hot_keys: usize,
+    /// Copies of each hot key in its dimension.
+    pub hot_dup: usize,
+    /// Junk fact rows per dimension (each hits one hot key).
+    pub junk_rows: usize,
+    /// Extra never-matched keys on the last dimension — makes a
+    /// down-pass (dimension-side) reduction worthwhile too.
+    pub wide_keys: usize,
+    /// Chain an outrigger `Oi` off every dimension (`Di.o = Oi.k`),
+    /// turning the star into a snowflake. Every dimension row's `o`
+    /// lands in the outrigger's domain, so the `Di ⋈ Oi` arm filters
+    /// nothing — junk fact rows survive their own dimension's whole
+    /// arm and die only at the *other* dimensions, which is exactly
+    /// the blowup a fact-side semijoin reduction deletes up front.
+    pub snowflake: bool,
+}
+
+fn hot_base(dim: usize) -> i64 {
+    10_000 + dim as i64 * 100_000
+}
+
+/// Build a star (or snowflake) workload from [`StarParams`]: fact `F`
+/// with columns `d1..dk, v`, dimensions `Di(k, o)` with indexed keys,
+/// and — when `snowflake` — outriggers `Oi(k, x)`. Fully deterministic
+/// (no randomness), so the EXPLAIN corpus can lock the plans down.
+#[must_use]
+pub fn star(p: &StarParams) -> (Storage, Catalog, Query) {
+    assert!(
+        p.junk_rows == 0 || (p.hot_keys > 0 && p.hot_dup > 0),
+        "junk rows need a hot block to land on"
+    );
+    let u = p.match_keys as i64;
+    let k = p.dims;
+    let mut storage = Storage::new();
+
+    let mut cold = 1_000_000i64;
+    let mut fact: Vec<Vec<Value>> = Vec::new();
+    for r in 0..p.good_rows {
+        let mut row: Vec<Value> = (0..k).map(|i| Value::Int(((r + i) as i64) % u)).collect();
+        row.push(Value::Int(r as i64));
+        fact.push(row);
+    }
+    for i in 0..k {
+        for t in 0..p.junk_rows {
+            let mut row: Vec<Value> = Vec::with_capacity(k + 1);
+            for j in 0..k {
+                if i == j {
+                    row.push(Value::Int(hot_base(i) + (t % p.hot_keys) as i64));
+                } else {
+                    cold += 1;
+                    row.push(Value::Int(cold));
+                }
+            }
+            row.push(Value::Int(-1));
+            fact.push(row);
+        }
+    }
+    let fact_cols: Vec<String> = (1..=k)
+        .map(|i| format!("d{i}"))
+        .chain(["v".to_owned()])
+        .collect();
+    let fact_cols: Vec<&str> = fact_cols.iter().map(String::as_str).collect();
+    storage.insert("F", Relation::from_values("F", &fact_cols, fact));
+
+    for i in 0..k {
+        let name = format!("D{}", i + 1);
+        let mut rows: Vec<Vec<Value>> = Vec::new();
+        for key in 0..u {
+            rows.push(vec![Value::Int(key), Value::Int(key % u.max(1))]);
+        }
+        let mut stray = 0i64;
+        for t in 0..p.hot_keys {
+            for _ in 0..p.hot_dup {
+                stray += 1;
+                rows.push(vec![
+                    Value::Int(hot_base(i) + t as i64),
+                    Value::Int(stray % u.max(1)),
+                ]);
+            }
+        }
+        if i + 1 == k {
+            for t in 0..p.wide_keys {
+                stray += 1;
+                rows.push(vec![
+                    Value::Int(50_000_000 + t as i64),
+                    Value::Int(stray % u.max(1)),
+                ]);
+            }
+        }
+        storage.insert(&name, Relation::from_values(&name, &["k", "o"], rows));
+        storage.create_index(&name, &[Attr::new(&name, "k")]);
+        if p.snowflake {
+            let oname = format!("O{}", i + 1);
+            let orows: Vec<Vec<Value>> = (0..u)
+                .map(|key| vec![Value::Int(key), Value::Int(key * 7)])
+                .collect();
+            storage.insert(&oname, Relation::from_values(&oname, &["k", "x"], orows));
+            storage.create_index(&oname, &[Attr::new(&oname, "k")]);
+        }
+    }
+    let catalog = Catalog::from_storage(&storage);
+
+    let mut q = Query::rel("F");
+    for i in 1..=k {
+        q = q.join(
+            Query::rel(format!("D{i}")),
+            Pred::eq_attr(&format!("F.d{i}"), &format!("D{i}.k")),
+        );
+        if p.snowflake {
+            q = q.join(
+                Query::rel(format!("O{i}")),
+                Pred::eq_attr(&format!("D{i}.o"), &format!("O{i}.k")),
+            );
+        }
+    }
+    (storage, catalog, q)
+}
+
 /// A synthetic §5 entity world at scale: `n_depts` departments, each
 /// with `emps_per_dept` employees, each employee with 0–3 children
 /// (some none, exercising the UnNest padding), managers and audits
@@ -344,7 +484,86 @@ pub fn corpus_suite() -> Vec<CorpusCase> {
         catalog,
         query,
     });
+    for (name, params) in [
+        ("star5", star5_uniform()),
+        ("star5_skew", star5_skew()),
+        ("snowflake7", snowflake7_uniform()),
+        ("snowflake7_skew", snowflake7_skew()),
+    ] {
+        let (storage, catalog, query) = star(&params);
+        cases.push(CorpusCase {
+            name,
+            storage,
+            catalog,
+            query,
+        });
+    }
     cases
+}
+
+/// Corpus-sized uniform star: `F` plus four dimensions, every key in
+/// the shared match domain — the control where reduction cannot pay.
+#[must_use]
+pub fn star5_uniform() -> StarParams {
+    StarParams {
+        dims: 4,
+        match_keys: 16,
+        good_rows: 48,
+        hot_keys: 0,
+        hot_dup: 0,
+        junk_rows: 0,
+        wide_keys: 0,
+        snowflake: false,
+    }
+}
+
+/// Corpus-sized selectivity-skewed star: per-dimension junk blocks
+/// landing on duplicated hot keys, so plain plans multiply doomed rows
+/// and the reducer's containment fractions fall well below one.
+#[must_use]
+pub fn star5_skew() -> StarParams {
+    StarParams {
+        dims: 4,
+        match_keys: 16,
+        good_rows: 48,
+        hot_keys: 8,
+        hot_dup: 8,
+        junk_rows: 64,
+        wide_keys: 48,
+        snowflake: false,
+    }
+}
+
+/// Corpus-sized uniform snowflake: three dimensions, each with an
+/// outrigger, all keys matched.
+#[must_use]
+pub fn snowflake7_uniform() -> StarParams {
+    StarParams {
+        dims: 3,
+        match_keys: 12,
+        good_rows: 36,
+        hot_keys: 0,
+        hot_dup: 0,
+        junk_rows: 0,
+        wide_keys: 0,
+        snowflake: true,
+    }
+}
+
+/// Corpus-sized skewed snowflake: hot dimension rows additionally die
+/// at their outrigger, giving the reducer wrap sites at two depths.
+#[must_use]
+pub fn snowflake7_skew() -> StarParams {
+    StarParams {
+        dims: 3,
+        match_keys: 12,
+        good_rows: 36,
+        hot_keys: 6,
+        hot_dup: 8,
+        junk_rows: 48,
+        wide_keys: 32,
+        snowflake: true,
+    }
 }
 
 #[cfg(test)]
@@ -412,6 +631,44 @@ mod tests {
         let got = execute(&out.plan, &storage, &mut st).unwrap();
         let expect = q.eval(&storage.to_database()).unwrap();
         assert!(got.set_eq(&expect));
+    }
+
+    #[test]
+    fn star_workloads_match_reference_and_skew_drives_reduction() {
+        use fro_core::{optimize_with_reduce, ReducePolicy};
+        for params in [
+            star5_uniform(),
+            star5_skew(),
+            snowflake7_uniform(),
+            snowflake7_skew(),
+        ] {
+            let (storage, catalog, q) = star(&params);
+            let out =
+                optimize_with_reduce(&q, &catalog, Policy::Paper, ReducePolicy::Auto).unwrap();
+            if params.junk_rows == 0 {
+                assert!(
+                    out.reduction.applied.is_empty(),
+                    "uniform keys must decline: {}",
+                    out.reduction
+                );
+            } else {
+                assert!(
+                    !out.reduction.applied.is_empty(),
+                    "skewed keys must reduce: {}",
+                    out.reduction
+                );
+            }
+            let mut st = ExecStats::new();
+            let got = execute(&out.plan, &storage, &mut st).unwrap();
+            let expect = q.eval(&storage.to_database()).unwrap();
+            assert!(got.set_eq(&expect), "reduced plan changed the result");
+            if params.junk_rows > 0 {
+                assert!(
+                    st.rows_reduced > 0,
+                    "reduction executed but removed nothing"
+                );
+            }
+        }
     }
 
     #[test]

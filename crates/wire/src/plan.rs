@@ -4,7 +4,7 @@
 use crate::codec::{Reader, Writer};
 use crate::error::WireError;
 use fro_algebra::{Attr, CmpOp, Interner, Pred, Scalar, Truth, Value};
-use fro_exec::{JoinKind, PhysPlan};
+use fro_exec::{JoinKind, PhysPlan, ReducePass};
 
 /// The plan-blob format version this build writes (and the newest it
 /// reads).
@@ -309,6 +309,24 @@ fn enc_plan(w: &mut Writer, plan: &PhysPlan, it: &Interner) -> Result<(), WireEr
             enc_pred(w, pred, it)?;
             enc_attrs(w, subset, it)
         }
+        PhysPlan::SemiReduce {
+            input,
+            source,
+            input_keys,
+            source_keys,
+            pass,
+        } => {
+            check_keys("SemiReduce", input_keys, source_keys)?;
+            w.put_u8(9);
+            w.put_u8(match pass {
+                ReducePass::Up => 0,
+                ReducePass::Down => 1,
+            });
+            enc_plan(w, input, it)?;
+            enc_plan(w, source, it)?;
+            enc_attrs(w, input_keys, it)?;
+            enc_attrs(w, source_keys, it)
+        }
     }
 }
 
@@ -578,6 +596,33 @@ fn dec_group_count(r: &mut Reader<'_>, it: &Interner) -> Result<PhysPlan, WireEr
     })
 }
 
+fn dec_semi_reduce(r: &mut Reader<'_>, it: &Interner) -> Result<PhysPlan, WireError> {
+    let at = r.pos();
+    let pass = match r.take_u8()? {
+        0 => ReducePass::Up,
+        1 => ReducePass::Down,
+        t => {
+            return Err(WireError::UnknownTag {
+                what: "reduce pass",
+                tag: u64::from(t),
+                at,
+            })
+        }
+    };
+    let input = Box::new(dec_plan(r, it)?);
+    let source = Box::new(dec_plan(r, it)?);
+    let input_keys = dec_attrs(r, it)?;
+    let source_keys = dec_attrs(r, it)?;
+    check_keys("SemiReduce", &input_keys, &source_keys)?;
+    Ok(PhysPlan::SemiReduce {
+        input,
+        source,
+        input_keys,
+        source_keys,
+        pass,
+    })
+}
+
 fn dec_goj(r: &mut Reader<'_>, it: &Interner) -> Result<PhysPlan, WireError> {
     Ok(PhysPlan::Goj {
         left: Box::new(dec_plan(r, it)?),
@@ -600,6 +645,7 @@ pub(crate) fn dec_plan(r: &mut Reader<'_>, it: &Interner) -> Result<PhysPlan, Wi
         6 => dec_nl_join(r, it),
         7 => dec_group_count(r, it),
         8 => dec_goj(r, it),
+        9 => dec_semi_reduce(r, it),
         t => Err(WireError::UnknownTag {
             what: "plan",
             tag: u64::from(t),
@@ -726,6 +772,18 @@ mod tests {
             },
             &it,
         );
+        for pass in [ReducePass::Up, ReducePass::Down] {
+            roundtrip(
+                &PhysPlan::SemiReduce {
+                    input: Box::new(PhysPlan::scan("R")),
+                    source: Box::new(PhysPlan::scan("S")),
+                    input_keys: vec![Attr::parse("R.k")],
+                    source_keys: vec![Attr::parse("S.k")],
+                    pass,
+                },
+                &it,
+            );
+        }
     }
 
     #[test]
@@ -806,6 +864,17 @@ mod tests {
             encode_plan(&full_ix, &it),
             Err(WireError::InvalidNode { .. })
         ));
+        let bad_reduce = PhysPlan::SemiReduce {
+            input: Box::new(PhysPlan::scan("R")),
+            source: Box::new(PhysPlan::scan("S")),
+            input_keys: vec![],
+            source_keys: vec![],
+            pass: ReducePass::Up,
+        };
+        assert!(matches!(
+            encode_plan(&bad_reduce, &it),
+            Err(WireError::InvalidNode { .. })
+        ));
     }
 
     #[test]
@@ -855,6 +924,23 @@ mod tests {
         assert!(matches!(
             decode_plan(&bytes, &it),
             Err(WireError::TrailingBytes { remaining: 1 })
+        ));
+        // SemiReduce with a pass byte past the enum.
+        assert!(matches!(
+            decode_plan(&[PLAN_FORMAT_VERSION, 9, 2], &it),
+            Err(WireError::UnknownTag {
+                what: "reduce pass",
+                ..
+            })
+        ));
+        // SemiReduce whose decoded key lists are empty: both length
+        // prefixes say zero, so the structural check must fire.
+        assert!(matches!(
+            decode_plan(&[PLAN_FORMAT_VERSION, 9, 0, 0, 0, 0, 1, 0, 0], &it),
+            Err(WireError::InvalidNode {
+                node: "SemiReduce",
+                ..
+            })
         ));
         // A nesting bomb: Filter tags all the way down trips the depth
         // cap, not the stack.

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Print metric deltas between the two most recent archived bench
-# snapshots (benches/history/<sha>-{engine,optimizer,plancache,server}.json,
+# snapshots
+# (benches/history/<sha>-{engine,optimizer,plancache,server,reducer}.json,
 # written by ci.sh after each bench run).
 #
 # Pure shell + awk — no JSON tooling required: the snapshots are flat
@@ -91,3 +92,4 @@ diff_kind engine
 diff_kind optimizer
 diff_kind plancache
 diff_kind server
+diff_kind reducer

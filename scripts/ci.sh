@@ -35,6 +35,14 @@ echo "== columnar cross-layout properties =="
 # by the plain `cargo test` above; standalone so a failure names itself).
 cargo test -q --test columnar_property
 
+echo "== semijoin-reduction properties =="
+# Reduced vs plain plans: bit-identical rows, order, and schema on
+# every join kind, both engines, thread counts 1/2/8, columnar on/off;
+# the soundness matrix (left-outer probe never up-reduced, full outer
+# untouched) pinned by deterministic cases (also covered by the plain
+# `cargo test` above; standalone so a failure names itself).
+cargo test -q --test semireduce_property
+
 echo "== shared-session concurrency properties =="
 # T threads of interleaved queries + mutations over one SharedDb:
 # results bit-identical to single-threaded replay, atomic multi-table
@@ -68,6 +76,12 @@ cargo run -q --release -p fro-bench --bin optimize
 echo "== plan-cache bench -> BENCH_plancache.json =="
 cargo run -q --release -p fro-bench --bin plancache
 
+echo "== semijoin reducer bench -> BENCH_reducer.json =="
+# Asserts bit-identical plain-vs-reduced output, a >=10x
+# intermediate-row cut, and a >=2x wall-clock win on the skewed star
+# and snowflake workloads, and that the uniform control declines.
+cargo run -q --release -p fro-bench --bin reducer
+
 echo "== server smoke test (loopback round trip) =="
 cargo run -q --release -p fro-bench --bin serve -- --smoke
 
@@ -81,7 +95,8 @@ cp BENCH_engine.json "benches/history/${sha}-engine.json"
 cp BENCH_optimizer.json "benches/history/${sha}-optimizer.json"
 cp BENCH_plancache.json "benches/history/${sha}-plancache.json"
 cp BENCH_server.json "benches/history/${sha}-server.json"
-echo "archived benches/history/${sha}-{engine,optimizer,plancache,server}.json"
+cp BENCH_reducer.json "benches/history/${sha}-reducer.json"
+echo "archived benches/history/${sha}-{engine,optimizer,plancache,server,reducer}.json"
 
 echo "== bench deltas vs previous snapshot =="
 scripts/bench_diff.sh || true

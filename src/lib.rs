@@ -85,7 +85,10 @@ pub mod prelude {
     pub use crate::{Client, FroError, Prepared, Server, ServerOptions, Session, SharedDb};
     pub use fro_algebra::prelude::*;
     pub use fro_core::optimizer::{CacheLoad, CacheStats};
-    pub use fro_core::{analyze, is_freely_reorderable, optimize, Catalog, Policy};
+    pub use fro_core::{
+        analyze, is_freely_reorderable, optimize, optimize_with_reduce, Catalog, Policy,
+        ReducePolicy, ReductionReport,
+    };
     pub use fro_exec::{execute, execute_with, ExecConfig, ExecStats, PhysPlan, Storage};
     pub use fro_graph::{graph_of, QueryGraph};
     pub use fro_trees::{enumerate_trees, EnumLimit};

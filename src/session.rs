@@ -24,8 +24,8 @@
 use crate::error::FroError;
 use crate::shared::{register_stats, DbState, SharedDb};
 use fro_algebra::{Attr, Query, Relation, Tuple};
-use fro_core::optimizer::{optimize, CacheLoad, CacheStats, Optimized};
-use fro_core::{Catalog, Policy};
+use fro_core::optimizer::{optimize_with_reduce, CacheLoad, CacheStats, Optimized};
+use fro_core::{Catalog, Policy, ReducePolicy};
 use fro_exec::{execute_with, ExecConfig, ExecStats, PhysPlan, Storage};
 use fro_lang::{parse, translate, EntityDb, LangError};
 use fro_trees::some_implementing_tree;
@@ -39,6 +39,7 @@ use std::sync::Arc;
 pub struct Session {
     db: Arc<SharedDb>,
     policy: Policy,
+    reduce_policy: ReducePolicy,
     exec_config: ExecConfig,
     edb: Option<EntityDb>,
     local: Cell<CacheStats>,
@@ -88,6 +89,17 @@ impl Session {
     #[must_use]
     pub fn with_policy(mut self, policy: Policy) -> Session {
         self.policy = policy;
+        self
+    }
+
+    /// Replace the semijoin-reduction policy (builder style). `Auto`
+    /// (the default) applies reduction only where the cost model says
+    /// it pays; `Always`/`Never` force it for testing and benchmarks.
+    /// Any policy yields bit-identical results — reduction only
+    /// removes rows that could never reach the output.
+    #[must_use]
+    pub fn with_reduce_policy(mut self, policy: ReducePolicy) -> Session {
+        self.reduce_policy = policy;
         self
     }
 
@@ -145,6 +157,12 @@ impl Session {
     #[must_use]
     pub fn policy(&self) -> Policy {
         self.policy
+    }
+
+    /// The semijoin-reduction policy in effect.
+    #[must_use]
+    pub fn reduce_policy(&self) -> ReducePolicy {
+        self.reduce_policy
     }
 
     /// The execution configuration in effect.
@@ -245,7 +263,7 @@ impl Session {
     /// operator the engine cannot run.
     pub fn prepare(&self, q: &Query) -> Result<Prepared, FroError> {
         let state = self.db.snapshot();
-        let optimized = optimize(q, state.catalog(), self.policy)?;
+        let optimized = optimize_with_reduce(q, state.catalog(), self.policy, self.reduce_policy)?;
         self.absorb(&optimized.cache);
         Ok(Prepared {
             state,
@@ -275,7 +293,8 @@ impl Session {
         let tree =
             some_implementing_tree(&t.graph).ok_or(FroError::Lang(LangError::Disconnected))?;
         let state = self.sync_tables(&t.database);
-        let optimized = optimize(&tree, state.catalog(), self.policy)?;
+        let optimized =
+            optimize_with_reduce(&tree, state.catalog(), self.policy, self.reduce_policy)?;
         self.absorb(&optimized.cache);
         // Fold the Where-List restrictions on top of the chosen plan —
         // the same placement as the reference evaluator's
@@ -289,6 +308,7 @@ impl Session {
             pairs_examined,
             cache,
             suggested_partitions,
+            reduction,
         } = optimized;
         let plan = t.restrictions.iter().fold(plan, |p, r| PhysPlan::Filter {
             input: Box::new(p),
@@ -309,6 +329,7 @@ impl Session {
                 pairs_examined,
                 cache,
                 suggested_partitions,
+                reduction,
             },
         })
     }

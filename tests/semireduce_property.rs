@@ -1,0 +1,312 @@
+//! Properties of semijoin reduction (`PhysPlan::SemiReduce`).
+//!
+//! A reduction wrap may only remove rows that could never contribute
+//! to its generating join's output, so a reduced plan must be
+//! **bit-identical** to the plain plan it was derived from: same rows,
+//! same row order, same schema, same `rows_output`. On top of that the
+//! reduced plan itself must satisfy the engine-parity contract — the
+//! materializing and pipelined engines agree on every work counter
+//! (including the new `rows_reduced` / `reducer_passes`), at every
+//! thread count, columnar on or off.
+//!
+//! Random inputs sweep empty relations, all-null key columns
+//! (`nulls = 100`), and single-hot-key domains (`domain = 1`); plans
+//! sweep all five join kinds. Deterministic tests pin the soundness
+//! matrix: a left-outerjoin's probe side is never up-reduced, a full
+//! outerjoin is never reduced at all, and subtrees beneath a full
+//! outerjoin still receive their local reductions.
+
+use fro_algebra::{Attr, Pred};
+use fro_core::{reduce_plan, Catalog, ReducePolicy};
+use fro_exec::{execute_with, ExecConfig, ExecStats, JoinKind, PhysPlan, ReducePass, Storage};
+use fro_testkit::dbgen::{random_database, DbSpec};
+use proptest::prelude::*;
+
+const ALL_KINDS: [JoinKind; 5] = [
+    JoinKind::Inner,
+    JoinKind::LeftOuter,
+    JoinKind::FullOuter,
+    JoinKind::Semi,
+    JoinKind::Anti,
+];
+
+const THREADS: [usize; 3] = [1, 2, 8];
+
+/// The counters the two engines must agree on exactly when running the
+/// *same* (reduced) plan. The flow-bookkeeping counters
+/// (`rows_materialized`, `rows_pipelined`, `pipelines`) are excluded by
+/// design; the reducer counters are not — both engines must report the
+/// same rows removed and the same number of reduction passes.
+fn work_counters(st: &ExecStats) -> [(&'static str, u64); 7] {
+    [
+        ("tuples_retrieved", st.tuples_retrieved),
+        ("index_probes", st.index_probes),
+        ("comparisons", st.comparisons),
+        ("hash_build_rows", st.hash_build_rows),
+        ("rows_output", st.rows_output),
+        ("rows_reduced", st.rows_reduced),
+        ("reducer_passes", st.reducer_passes),
+    ]
+}
+
+/// Force-reduce `plan`, then assert (1) the reduced plan's output is
+/// bit-identical to the plain plan's — rows, order, schema — and (2)
+/// the reduced plan satisfies engine parity across modes, thread
+/// counts, and columnar on/off.
+fn assert_reduction_sound(plan: &PhysPlan, storage: &Storage, catalog: &Catalog, label: &str) {
+    let (reduced, report) = reduce_plan(plan, catalog, ReducePolicy::Always, None);
+
+    let mut plain_st = ExecStats::new();
+    let plain = execute_with(
+        plan,
+        storage,
+        &mut plain_st,
+        &ExecConfig::new().materializing(),
+    )
+    .expect("plain run");
+    let mut red_st = ExecStats::new();
+    let red = execute_with(
+        &reduced,
+        storage,
+        &mut red_st,
+        &ExecConfig::new().materializing(),
+    )
+    .expect("reduced run");
+
+    assert_eq!(
+        red.rows(),
+        plain.rows(),
+        "{label}: reduction changed rows or order ({report})"
+    );
+    assert_eq!(
+        red.schema().to_string(),
+        plain.schema().to_string(),
+        "{label}: reduction changed the schema"
+    );
+    assert_eq!(
+        red_st.rows_output, plain_st.rows_output,
+        "{label}: rows_output differs after reduction"
+    );
+    assert_eq!(
+        red_st.reducer_passes,
+        report.applied.len() as u64,
+        "{label}: applied wraps and executed passes disagree"
+    );
+
+    // Engine parity for the reduced plan itself.
+    let mut pipe_st = ExecStats::new();
+    let pipe = execute_with(
+        &reduced,
+        storage,
+        &mut pipe_st,
+        &ExecConfig::new().pipelined(),
+    )
+    .expect("pipelined reduced run");
+    assert_eq!(pipe.rows(), red.rows(), "{label}: modes disagree on rows");
+    for ((name, m), (_, p)) in work_counters(&red_st)
+        .into_iter()
+        .zip(work_counters(&pipe_st))
+    {
+        assert_eq!(m, p, "{label}: work counter {name} differs between modes");
+    }
+    for threads in THREADS {
+        for columnar in [false, true] {
+            let cfg = ExecConfig::with_threads(threads)
+                .columnar(columnar)
+                .pipelined();
+            let mut st = ExecStats::new();
+            let par = execute_with(&reduced, storage, &mut st, &cfg).expect("parallel reduced run");
+            assert_eq!(
+                par.rows(),
+                pipe.rows(),
+                "{label}: rows differ at threads={threads} columnar={columnar}"
+            );
+            assert_eq!(
+                st, pipe_st,
+                "{label}: stats differ at threads={threads} columnar={columnar}"
+            );
+        }
+    }
+}
+
+fn join2(kind: JoinKind) -> PhysPlan {
+    PhysPlan::HashJoin {
+        kind,
+        probe: Box::new(PhysPlan::scan("L")),
+        build: Box::new(PhysPlan::scan("R")),
+        probe_keys: vec![Attr::parse("L.k")],
+        build_keys: vec![Attr::parse("R.k")],
+        residual: Pred::always(),
+    }
+}
+
+/// A two-dimension star on a single fact column: `(F ⋈ D1) kind D2`,
+/// both joins keyed on `F.k`, so up-wraps must descend through the
+/// inner join's probe side to land on `Scan F`.
+fn star2(kind: JoinKind) -> PhysPlan {
+    PhysPlan::HashJoin {
+        kind,
+        probe: Box::new(PhysPlan::HashJoin {
+            kind: JoinKind::Inner,
+            probe: Box::new(PhysPlan::scan("F")),
+            build: Box::new(PhysPlan::scan("D1")),
+            probe_keys: vec![Attr::parse("F.k")],
+            build_keys: vec![Attr::parse("D1.k")],
+            residual: Pred::always(),
+        }),
+        build: Box::new(PhysPlan::scan("D2")),
+        probe_keys: vec![Attr::parse("F.k")],
+        build_keys: vec![Attr::parse("D2.k")],
+        residual: Pred::always(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Single joins of every kind: forced reduction never changes the
+    /// result, from empty inputs through all-null keys to single-key
+    /// domains.
+    #[test]
+    fn reduction_is_identity_on_single_joins(
+        rows in 0usize..16,
+        domain in 1i64..6,
+        nulls in 0u32..=100,
+        seed in 0u64..10_000,
+    ) {
+        let spec = DbSpec::kv(&["L", "R"], rows, domain, f64::from(nulls) / 100.0);
+        let db = random_database(&spec, seed);
+        let storage = Storage::from_database(&db);
+        let catalog = Catalog::from_storage(&storage);
+        for kind in ALL_KINDS {
+            assert_reduction_sound(&join2(kind), &storage, &catalog, &format!("join {kind}"));
+        }
+    }
+
+    /// Two-join stars: wraps must descend through the inner join and
+    /// still preserve the output exactly, for every outer join kind.
+    #[test]
+    fn reduction_is_identity_on_stars(
+        rows in 0usize..12,
+        domain in 1i64..5,
+        nulls in 0u32..=100,
+        seed in 0u64..10_000,
+    ) {
+        let spec = DbSpec::kv(&["F", "D1", "D2"], rows, domain, f64::from(nulls) / 100.0);
+        let db = random_database(&spec, seed);
+        let storage = Storage::from_database(&db);
+        let catalog = Catalog::from_storage(&storage);
+        for kind in ALL_KINDS {
+            assert_reduction_sound(&star2(kind), &storage, &catalog, &format!("star {kind}"));
+        }
+    }
+
+    /// Index joins: the reducer synthesizes a scan of the inner
+    /// relation as the reduction source.
+    #[test]
+    fn reduction_is_identity_on_index_joins(
+        rows in 1usize..12,
+        domain in 1i64..5,
+        nulls in 0u32..60,
+        seed in 0u64..10_000,
+    ) {
+        let spec = DbSpec::kv(&["L", "R"], rows, domain, f64::from(nulls) / 100.0);
+        let db = random_database(&spec, seed);
+        let mut storage = Storage::from_database(&db);
+        storage.create_index("R", &[Attr::parse("R.k")]);
+        let catalog = Catalog::from_storage(&storage);
+        for kind in [JoinKind::Inner, JoinKind::LeftOuter, JoinKind::Semi, JoinKind::Anti] {
+            let plan = PhysPlan::IndexJoin {
+                kind,
+                outer: Box::new(PhysPlan::scan("L")),
+                inner: "R".into(),
+                outer_keys: vec![Attr::parse("L.k")],
+                inner_keys: vec![Attr::parse("R.k")],
+                residual: Pred::always(),
+            };
+            assert_reduction_sound(&plan, &storage, &catalog, &format!("index {kind}"));
+        }
+    }
+}
+
+fn tiny_world(rels: &[&str]) -> (Storage, Catalog) {
+    let spec = DbSpec::kv(rels, 8, 3, 0.2);
+    let db = random_database(&spec, 42);
+    let storage = Storage::from_database(&db);
+    let catalog = Catalog::from_storage(&storage);
+    (storage, catalog)
+}
+
+/// A left outerjoin preserves unmatched probe rows, so reducing its
+/// probe side by the build key would delete preserved rows — only
+/// down-pass (build-side) wraps are sound.
+#[test]
+fn left_outer_probe_side_is_never_up_reduced() {
+    let (storage, catalog) = tiny_world(&["L", "R"]);
+    let (_, report) = reduce_plan(
+        &join2(JoinKind::LeftOuter),
+        &catalog,
+        ReducePolicy::Always,
+        None,
+    );
+    assert!(!report.applied.is_empty(), "down-pass wrap expected");
+    for w in &report.applied {
+        assert!(
+            matches!(w.pass, ReducePass::Down),
+            "unsound up-pass wrap on a left outerjoin: {w}"
+        );
+    }
+    assert_reduction_sound(
+        &join2(JoinKind::LeftOuter),
+        &storage,
+        &catalog,
+        "left outer",
+    );
+}
+
+/// Full outerjoins preserve both sides — no wrap is sound, and the
+/// plan must come back untouched even under `Always`.
+#[test]
+fn full_outer_join_is_refused_entirely() {
+    let (_, catalog) = tiny_world(&["L", "R"]);
+    let plan = join2(JoinKind::FullOuter);
+    let (reduced, report) = reduce_plan(&plan, &catalog, ReducePolicy::Always, None);
+    assert!(report.applied.is_empty(), "{}", report);
+    assert_eq!(reduced, plan, "full outerjoin plan must be untouched");
+}
+
+/// A full outerjoin blocks wraps from crossing it, but joins *beneath*
+/// it still get their local reductions — a wrap preserves its
+/// generating join's output exactly, so the outerjoin above sees
+/// identical input.
+#[test]
+fn subtrees_below_full_outer_still_reduce_locally() {
+    let (storage, catalog) = tiny_world(&["F", "D1", "D2"]);
+    let plan = star2(JoinKind::FullOuter);
+    let (reduced, report) = reduce_plan(&plan, &catalog, ReducePolicy::Always, None);
+    assert!(
+        !report.applied.is_empty(),
+        "inner join below the full outerjoin should still reduce"
+    );
+    for w in &report.applied {
+        let shown = w.to_string();
+        assert!(
+            !shown.contains("D2"),
+            "wrap crossed the full outerjoin: {shown}"
+        );
+    }
+    assert_ne!(reduced, plan);
+    assert_reduction_sound(&plan, &storage, &catalog, "below full outer");
+}
+
+/// `Never` is the identity on every plan.
+#[test]
+fn never_policy_is_identity() {
+    let (_, catalog) = tiny_world(&["L", "R"]);
+    for kind in ALL_KINDS {
+        let plan = join2(kind);
+        let (reduced, report) = reduce_plan(&plan, &catalog, ReducePolicy::Never, None);
+        assert_eq!(reduced, plan);
+        assert!(report.applied.is_empty());
+    }
+}
