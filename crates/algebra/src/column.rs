@@ -96,6 +96,13 @@ impl Bitmap {
         self.len == 0
     }
 
+    /// Extend the bitmap with `add` zero bits (tail bits of the old
+    /// last word are already zero, so existing reads are unaffected).
+    pub fn grow(&mut self, add: usize) {
+        self.len += add;
+        self.words.resize(self.len.div_ceil(64), 0);
+    }
+
     /// Set bit `i`.
     pub fn set(&mut self, i: usize) {
         debug_assert!(i < self.len);
@@ -384,6 +391,57 @@ impl Column {
     pub fn validity(&self) -> &Bitmap {
         &self.validity
     }
+
+    /// Push the values of `rows` at column `c` onto this column's
+    /// vectors, starting at row id `old_rows`. Values were already
+    /// validated against the layout by [`ColumnSet::append_rows`]. The
+    /// trailing partial zone extends in place — min/max only widen
+    /// under appends — and fresh zones open at `ZONE_ROWS` boundaries.
+    fn append(
+        &mut self,
+        rows: &[crate::tuple::Tuple],
+        c: usize,
+        old_rows: usize,
+        dict: &Dictionary,
+    ) {
+        self.validity.grow(rows.len());
+        for (i, t) in rows.iter().enumerate() {
+            let slot = old_rows + i;
+            let v = t.get(c);
+            if v.is_null() {
+                self.null_count += 1;
+            } else {
+                self.validity.set(slot);
+            }
+            match &mut self.data {
+                ColData::Int(xs) => xs.push(if let Value::Int(x) = v { *x } else { 0 }),
+                ColData::Bool(xs) => xs.push(if let Value::Bool(b) = v { *b } else { false }),
+                ColData::Str(xs) => xs.push(match v {
+                    Value::Str(s) => dict.code_of(s).expect("validated against dictionary"),
+                    _ => 0,
+                }),
+                ColData::Mixed(xs) => xs.push(v.clone()),
+            }
+            if slot.is_multiple_of(ZONE_ROWS) {
+                self.zones.push(Zone {
+                    min_max: None,
+                    nulls: 0,
+                });
+            }
+            let z = self.zones.last_mut().expect("zone opened above");
+            if v.is_null() {
+                z.nulls += 1;
+            } else {
+                z.min_max = Some(match z.min_max.take() {
+                    None => (v.clone(), v.clone()),
+                    Some((lo, hi)) => (
+                        if *v < lo { v.clone() } else { lo },
+                        if *v > hi { v.clone() } else { hi },
+                    ),
+                });
+            }
+        }
+    }
 }
 
 /// A vectorized three-valued selection: bit `i` of `trues` is set
@@ -626,6 +684,46 @@ impl ColumnSet {
             distinct,
             zones,
         }
+    }
+
+    /// Append pre-deduplicated rows in place, extending every column's
+    /// typed vector, validity bitmap, null count, and zone metadata —
+    /// the O(|delta|) layout-maintenance path behind base-table
+    /// appends. `distinct` supplies each column's new exact distinct
+    /// count (the caller tracks the value sets; this structure only
+    /// stores the result, under the same null-counts-as-one convention
+    /// as [`ColumnSet::build`]).
+    ///
+    /// Returns `false` without modifying anything when some value
+    /// cannot join its column's existing layout — a new type in a
+    /// typed column, or a string absent from the sealed dictionary —
+    /// in which case the caller rebuilds with [`ColumnSet::build`].
+    pub fn append_rows(&mut self, rows: &[crate::tuple::Tuple], distinct: &[u64]) -> bool {
+        debug_assert_eq!(distinct.len(), self.cols.len());
+        // Validation pass first: nothing mutates unless every value of
+        // every row fits its column's layout.
+        for (c, col) in self.cols.iter().enumerate() {
+            for t in rows {
+                let fits = match (t.get(c), &col.data) {
+                    (Value::Null, _) => true,
+                    (Value::Int(_), ColData::Int(_)) => true,
+                    (Value::Bool(_), ColData::Bool(_)) => true,
+                    (Value::Str(s), ColData::Str(_)) => self.dict.code_of(s).is_some(),
+                    (_, ColData::Mixed(_)) => true,
+                    _ => false,
+                };
+                if !fits {
+                    return false;
+                }
+            }
+        }
+        let old_rows = self.rows;
+        for (c, col) in self.cols.iter_mut().enumerate() {
+            col.append(rows, c, old_rows, &self.dict);
+            col.distinct = distinct[c];
+        }
+        self.rows += rows.len();
+        true
     }
 
     /// Number of rows.
@@ -1093,6 +1191,71 @@ mod tests {
             assert_eq!(m.trues().get(i), truth == Truth::True, "{p:?} row {i}");
             assert_eq!(m.falses().get(i), truth == Truth::False, "{p:?} row {i}");
         }
+    }
+
+    #[test]
+    fn append_rows_matches_full_rebuild() {
+        let full = mixed_relation(2200, 99);
+        let split = full.len() * 2 / 3; // crosses ZONE_ROWS boundaries
+        let prefix =
+            Relation::from_distinct_rows(full.schema().clone(), full.rows()[..split].to_vec());
+        let mut cs = ColumnSet::build(&prefix);
+        let suffix: Vec<Tuple> = full.rows()[split..].to_vec();
+        let distinct: Vec<u64> = (0..full.schema().len())
+            .map(|c| {
+                full.rows()
+                    .iter()
+                    .map(|t| t.get(c))
+                    .collect::<HashSet<_>>()
+                    .len() as u64
+            })
+            .collect();
+        assert!(
+            cs.append_rows(&suffix, &distinct),
+            "suffix values all fit the prefix layout"
+        );
+        let rebuilt = ColumnSet::build(&full);
+        assert_eq!(cs.rows(), rebuilt.rows());
+        for c in 0..cs.width() {
+            let (a, b) = (cs.column(c), rebuilt.column(c));
+            assert_eq!(a.null_count(), b.null_count(), "col {c}");
+            assert_eq!(a.distinct(), b.distinct(), "col {c}");
+            assert_eq!(a.min_max(), b.min_max(), "col {c}");
+            assert_eq!(a.zones().len(), b.zones().len(), "col {c}");
+            for (z, (za, zb)) in a.zones().iter().zip(b.zones()).enumerate() {
+                assert_eq!(za.min_max(), zb.min_max(), "col {c} zone {z}");
+                assert_eq!(za.nulls(), zb.nulls(), "col {c} zone {z}");
+            }
+            for r in 0..cs.rows() {
+                assert_eq!(cs.value_at(r, c), rebuilt.value_at(r, c), "cell {r},{c}");
+            }
+        }
+        // The predicate kernel over the appended mirror matches the
+        // row-at-a-time oracle, zones included.
+        for p in pred_suite() {
+            assert_mask_matches(&full, &cs, &p);
+        }
+    }
+
+    #[test]
+    fn append_rows_refuses_layout_breaks_without_mutating() {
+        let rel = Relation::from_ints("R", &["k", "v"], &[&[1, 10], &[2, 20]]);
+        let mut cs = ColumnSet::build(&rel);
+        // A new type in a typed column is refused whole.
+        let bad = Tuple::new(vec![Value::Bool(true), Value::Int(1)]);
+        assert!(!cs.append_rows(&[bad], &[3, 3]));
+        assert_eq!(cs.rows(), 2);
+        assert_eq!(cs.column(0).distinct(), 2);
+        // A string the sealed dictionary has never seen is refused;
+        // nulls always fit.
+        let strs = Relation::from_values("S", &["s"], vec![vec![Value::str("a")]]);
+        let mut cs = ColumnSet::build(&strs);
+        assert!(!cs.append_rows(&[Tuple::new(vec![Value::str("b")])], &[2]));
+        assert_eq!(cs.rows(), 1);
+        assert!(cs.append_rows(&[Tuple::new(vec![Value::Null])], &[2]));
+        assert_eq!(cs.rows(), 2);
+        assert_eq!(cs.column(0).null_count(), 1);
+        assert_eq!(cs.value_at(1, 0), Value::Null);
     }
 
     #[test]

@@ -110,6 +110,26 @@ impl Relation {
         self.rows.iter()
     }
 
+    /// Append rows the caller guarantees are distinct from each other
+    /// and from every stored row — a pre-deduplicated base-table
+    /// delta. Skips duplicate detection entirely (O(|delta|));
+    /// distinctness and arity are checked in debug builds only, like
+    /// [`Relation::from_distinct_rows`].
+    pub fn extend_distinct(&mut self, rows: Vec<Tuple>) {
+        debug_assert!(
+            rows.iter().all(|t| t.arity() == self.schema.len()),
+            "extend_distinct rows must match schema arity"
+        );
+        debug_assert!(
+            {
+                let mut seen: std::collections::HashSet<&Tuple> = self.rows.iter().collect();
+                rows.iter().all(|t| seen.insert(t))
+            },
+            "extend_distinct rows must be distinct"
+        );
+        self.rows.extend(rows);
+    }
+
     /// Insert a tuple (set semantics: duplicates are dropped).
     ///
     /// # Errors
@@ -293,6 +313,18 @@ mod tests {
         let c = Relation::from_ints("R", &["a"], &[&[1], &[2]]);
         assert!(!a.set_eq(&b));
         assert!(!a.set_eq(&c));
+    }
+
+    #[test]
+    fn extend_distinct_appends_in_stored_order() {
+        let mut r = Relation::from_ints("R", &["a"], &[&[1], &[2]]);
+        r.extend_distinct(vec![
+            Tuple::new(vec![Value::Int(3)]),
+            Tuple::new(vec![Value::Int(4)]),
+        ]);
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.rows()[2], Tuple::new(vec![Value::Int(3)]));
+        assert_eq!(r.rows()[3], Tuple::new(vec![Value::Int(4)]));
     }
 
     #[test]

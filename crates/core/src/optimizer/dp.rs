@@ -92,7 +92,10 @@ pub fn dp_optimize_with(
         return Err(OptError::Disconnected);
     }
 
-    let epoch = catalog.epoch();
+    // Effective epoch: structural epoch + row-content versions of the
+    // relations this graph reads, so a row append elsewhere does not
+    // evict this graph's plans.
+    let epoch = catalog.epoch_for_graph(g);
     let pc = catalog.plan_cache();
     let mut cstats = CacheStats::default();
     // Full-set fast path: a repeated query costs one hash probe.

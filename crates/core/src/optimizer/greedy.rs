@@ -67,7 +67,10 @@ pub fn greedy_optimize_with(
     if !g.connected_in(RelSet::full(n)) {
         return Err(OptError::Disconnected);
     }
-    let epoch = catalog.epoch();
+    // Effective epoch: structural epoch + row-content versions of the
+    // relations this graph reads, so a row append elsewhere does not
+    // evict this graph's plans.
+    let epoch = catalog.epoch_for_graph(g);
     let pc = catalog.plan_cache();
     let mut cstats = CacheStats::default();
     if let Some(cctx) = cache {

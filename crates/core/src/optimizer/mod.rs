@@ -8,6 +8,7 @@
 //! syntactic association of the input tree ([`lower::lower`]), which
 //! is always correct.
 
+pub mod containment;
 pub mod cost;
 pub mod cuts;
 pub mod dp;
@@ -22,6 +23,7 @@ use fro_algebra::{Query, Relation};
 use fro_exec::{ExecConfig, ExecError, ExecStats, PhysPlan, Storage};
 use std::fmt;
 
+pub use containment::{graph_containment, GraphReuse};
 pub use cost::{estimate_plan, Estimate};
 pub use cuts::{split_equi, RelMap};
 pub use dp::{dp_optimize, dp_optimize_with, DpResult};

@@ -93,6 +93,12 @@ pub struct Catalog {
     interner: Interner,
     tables: Vec<TableInfo>,
     epoch: u64,
+    /// Per-relation row-content versions, dense by [`RelId`]. Row
+    /// appends/deletes bump only the touched relation's entry (see
+    /// [`Catalog::bump_row_epoch`]), so plans and standing views over
+    /// *other* relations stay valid — the catalog epoch is reserved
+    /// for structural/statistics changes of global scope.
+    row_epochs: Vec<u64>,
     plan_cache: PlanCache,
 }
 
@@ -145,11 +151,75 @@ impl Catalog {
         let info = TableInfo::new(schema, rows);
         if id.index() == self.tables.len() {
             self.tables.push(info);
+            self.row_epochs.push(0);
         } else {
             self.tables[id.index()] = info;
         }
         self.epoch += 1;
         id
+    }
+
+    /// Refresh one table's row count *quietly*: no epoch bump, no
+    /// schema/index change. Pair with [`Catalog::bump_row_epoch`] so
+    /// only plans reading this relation are invalidated. Returns
+    /// `false` when the table is unknown.
+    pub fn set_rows_quiet(&mut self, name: &str, rows: u64) -> bool {
+        match self.table_mut(name) {
+            Some(t) => {
+                t.rows = rows;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Refresh one column's distinct count *quietly* (no epoch bump;
+    /// see [`Catalog::set_rows_quiet`]). Ignored when the table or
+    /// attribute is unknown.
+    pub fn set_distinct_quiet(&mut self, attr: &Attr, distinct: u64) {
+        if let Some(t) = self.table_mut(attr.rel()) {
+            if let Some(c) = t.schema.index_of(attr) {
+                t.distinct[c] = Some(distinct);
+            }
+        }
+    }
+
+    /// Bump one relation's row-content version: its rows changed but
+    /// the catalog's structure did not. Plans are invalidated at
+    /// per-relation granularity through [`Catalog::epoch_for_rels`].
+    pub fn bump_row_epoch(&mut self, name: &str) {
+        if let Some(id) = self.interner.rel_id(name) {
+            if let Some(e) = self.row_epochs.get_mut(id.index()) {
+                *e += 1;
+            }
+        }
+    }
+
+    /// The row-content version of one relation (0 when unknown).
+    #[must_use]
+    pub fn row_epoch(&self, id: RelId) -> u64 {
+        self.row_epochs.get(id.index()).copied().unwrap_or(0)
+    }
+
+    /// The *effective* epoch for a plan reading exactly `rels`: the
+    /// catalog epoch plus the row-content versions of those relations.
+    /// Monotone per relation set, so a cached plan keyed under it is
+    /// invalidated by any structural change (epoch) or by a row change
+    /// to a relation it actually reads — and by nothing else.
+    #[must_use]
+    pub fn epoch_for_rels(&self, rels: impl IntoIterator<Item = RelId>) -> u64 {
+        let mut e = self.epoch;
+        for id in rels {
+            e += self.row_epoch(id);
+        }
+        e
+    }
+
+    /// [`Catalog::epoch_for_rels`] over the relations of a query graph
+    /// — the epoch the optimizer keys this graph's cached plans under.
+    #[must_use]
+    pub fn epoch_for_graph(&self, g: &fro_graph::QueryGraph) -> u64 {
+        self.epoch_for_rels((0..g.n_nodes()).filter_map(|i| self.rel_id(g.node_name(i))))
     }
 
     /// Set a distinct count (ignored when the table or attribute is
@@ -507,6 +577,32 @@ mod tests {
         cat.set_distinct(&Attr::parse("T.nope"), 1);
         cat.add_index("T", &[Attr::parse("T.nope")]);
         assert_eq!(cat.epoch(), e3);
+    }
+
+    #[test]
+    fn row_epochs_are_per_relation_and_quiet() {
+        let mut cat = Catalog::new();
+        cat.add_table("R", Arc::new(Schema::of_relation("R", &["k"])), 10);
+        cat.add_table("S", Arc::new(Schema::of_relation("S", &["k"])), 10);
+        let e = cat.epoch();
+        let r = cat.rel_id("R").unwrap();
+        let s = cat.rel_id("S").unwrap();
+        // Quiet stats refresh + row-epoch bump: catalog epoch untouched.
+        assert!(cat.set_rows_quiet("R", 12));
+        cat.set_distinct_quiet(&Attr::parse("R.k"), 12);
+        cat.bump_row_epoch("R");
+        assert_eq!(cat.epoch(), e, "row changes never bump the epoch");
+        assert_eq!(cat.rows_of("R"), 12);
+        assert_eq!(cat.row_epoch(r), 1);
+        assert_eq!(cat.row_epoch(s), 0);
+        // Effective epochs move only for sets containing R.
+        assert_eq!(cat.epoch_for_rels([s]), e);
+        assert_eq!(cat.epoch_for_rels([r]), e + 1);
+        assert_eq!(cat.epoch_for_rels([r, s]), e + 1);
+        // Unknown names are no-ops.
+        assert!(!cat.set_rows_quiet("missing", 1));
+        cat.bump_row_epoch("missing");
+        assert_eq!(cat.epoch(), e);
     }
 
     #[test]

@@ -21,19 +21,30 @@ impl HashIndex {
     /// Build an index over the given column positions of `rel`.
     #[must_use]
     pub fn build(rel: &Relation, key_cols: Vec<usize>) -> HashIndex {
-        let mut map: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
-        'rows: for (rid, row) in rel.rows().iter().enumerate() {
-            let mut key = Vec::with_capacity(key_cols.len());
-            for &c in &key_cols {
+        let mut idx = HashIndex {
+            key_cols,
+            map: HashMap::new(),
+        };
+        idx.insert_rows(rel, 0);
+        idx
+    }
+
+    /// Index the rows of `rel` from position `from` onward — the
+    /// O(|delta|) maintenance path behind base-table appends. Row ids
+    /// already indexed stay untouched, so `from` must be the length
+    /// the relation had when the index last saw it.
+    pub fn insert_rows(&mut self, rel: &Relation, from: usize) {
+        'rows: for (off, row) in rel.rows()[from..].iter().enumerate() {
+            let mut key = Vec::with_capacity(self.key_cols.len());
+            for &c in &self.key_cols {
                 let v = row.get(c);
                 if v.is_null() {
                     continue 'rows; // null keys never match equality
                 }
                 key.push(v.clone());
             }
-            map.entry(key).or_default().push(rid);
+            self.map.entry(key).or_default().push(from + off);
         }
-        HashIndex { key_cols, map }
     }
 
     /// The indexed column positions.

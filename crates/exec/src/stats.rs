@@ -135,6 +135,22 @@ pub struct ExecStats {
     /// `SemiReduce` reducer stages executed (one per plan node per
     /// execution, in either engine mode).
     pub reducer_passes: u64,
+    /// Delta rows entering maintenance operators of a standing view:
+    /// every signed row (insert or delete) an incremental delta pass
+    /// fed into a delta node. For a well-behaved maintenance pass this
+    /// is O(|delta|·depth), never O(|base|) — the whole point of
+    /// maintaining the view instead of re-executing it. Always 0 for
+    /// plain (non-standing) execution.
+    pub delta_rows_in: u64,
+    /// Net changes applied to standing-view results by maintenance
+    /// passes (rows inserted into plus rows retracted from maintained
+    /// result sets). Always 0 for plain execution.
+    pub delta_rows_out: u64,
+    /// Standing views refreshed by full re-execution instead of a
+    /// delta pass (initial materialization, or a structural change
+    /// that invalidated the maintained state). Always 0 for plain
+    /// execution.
+    pub views_refreshed: u64,
     /// Metadata zones ([`fro_algebra::ZONE_ROWS`]-row morsels of a
     /// base column) that a vectorized comparison resolved from zone
     /// min/max / null-count metadata as containing no qualifying row,
@@ -170,6 +186,9 @@ impl PartialEq for ExecStats {
             && self.pipelines == other.pipelines
             && self.rows_reduced == other.rows_reduced
             && self.reducer_passes == other.reducer_passes
+            && self.delta_rows_in == other.delta_rows_in
+            && self.delta_rows_out == other.delta_rows_out
+            && self.views_refreshed == other.views_refreshed
     }
 }
 
@@ -198,6 +217,9 @@ impl ExecStats {
         self.pipelines += other.pipelines;
         self.rows_reduced += other.rows_reduced;
         self.reducer_passes += other.reducer_passes;
+        self.delta_rows_in += other.delta_rows_in;
+        self.delta_rows_out += other.delta_rows_out;
+        self.views_refreshed += other.views_refreshed;
         self.morsels_skipped += other.morsels_skipped;
         self.partition.merge(&other.partition);
     }
@@ -217,7 +239,7 @@ impl fmt::Display for ExecStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "retrieved={} probes={} comparisons={} built={} materialized={} pipelined={} pipelines={} reduced={} reducer_passes={} skipped={} output={}",
+            "retrieved={} probes={} comparisons={} built={} materialized={} pipelined={} pipelines={} reduced={} reducer_passes={} delta_in={} delta_out={} views_refreshed={} skipped={} output={}",
             self.tuples_retrieved,
             self.index_probes,
             self.comparisons,
@@ -227,6 +249,9 @@ impl fmt::Display for ExecStats {
             self.pipelines,
             self.rows_reduced,
             self.reducer_passes,
+            self.delta_rows_in,
+            self.delta_rows_out,
+            self.views_refreshed,
             self.morsels_skipped,
             self.rows_output
         )
@@ -353,6 +378,30 @@ mod tests {
     }
 
     #[test]
+    fn maintenance_counters_merge_and_compare() {
+        let mut a = ExecStats {
+            delta_rows_in: 2,
+            delta_rows_out: 1,
+            views_refreshed: 1,
+            ..ExecStats::default()
+        };
+        a.merge(&ExecStats {
+            delta_rows_in: 5,
+            delta_rows_out: 3,
+            views_refreshed: 2,
+            ..ExecStats::default()
+        });
+        assert_eq!(a.delta_rows_in, 7);
+        assert_eq!(a.delta_rows_out, 4);
+        assert_eq!(a.views_refreshed, 3);
+        assert_ne!(
+            a,
+            ExecStats::new(),
+            "maintenance counters are logical, not diagnostic"
+        );
+    }
+
+    #[test]
     fn display_mentions_all_counters() {
         let s = ExecStats::new().to_string();
         for key in [
@@ -365,6 +414,9 @@ mod tests {
             "pipelines",
             "reduced",
             "reducer_passes",
+            "delta_in",
+            "delta_out",
+            "views_refreshed",
             "skipped",
             "output",
         ] {

@@ -85,7 +85,10 @@
 //! writes the newest version and reads a contiguous range ending at
 //! it — currently plans read `1..=1`, snapshots `1..=2` (version 2
 //! added the per-entry recency rank; version-1 images decode with
-//! recency assigned in file order) — so a rolling upgrade keeps the
+//! recency assigned in file order), and protocol messages `1..=2`
+//! (version 2 added the standing-query `Register`/`Poll` requests and
+//! `Registered`/`ViewRows` responses; version-1 payloads decode
+//! unchanged) — so a rolling upgrade keeps the
 //! previous release's artifacts warm. Anything outside the range
 //! returns [`WireError::UnsupportedVersion`] and callers degrade to
 //! re-planning (a cold cache), which is always correct. Unknown tags

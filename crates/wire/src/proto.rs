@@ -15,20 +15,25 @@
 //! [`write_frame`] / [`read_frame`] are the only I/O this module does;
 //! the payload codecs are pure functions over byte slices.
 //!
-//! ## Grammar (version 1)
+//! ## Grammar (version 2)
 //!
 //! ```text
-//! request  := u8(version = 1)
+//! request  := u8(version = 2)
 //!             ( 0 str                    Text   — §5 UnNest/Link source
 //!             | 1 bytes                  Plan   — an encoded plan blob
-//!             | 2 )                      Ping
-//! response := u8(version = 1)
+//!             | 2                        Ping
+//!             | 3 str                    Register — standing §5 source
+//!             | 4 varint )               Poll     — standing view id
+//! response := u8(version = 2)
 //!             ( 0 varint(ncols) ncols×(str str)          Schema
 //!             | 1 varint(ncols) varint(nrows)
 //!                 nrows×ncols×value                      Rows
 //!             | 2 varint(8) 8×varint                     Done
 //!             | 3 str str                                Error
-//!             | 4 )                                      Pong
+//!             | 4                                        Pong
+//!             | 5 varint (0|1)                           Registered
+//!             | 6 varint(ncols) varint(nrows)
+//!                 nrows×ncols×value )                    ViewRows
 //! ```
 //!
 //! A query's reply is a *stream* of frames: one `Schema`, zero or more
@@ -38,6 +43,16 @@
 //! schemes routinely contain derived attributes (unnested fields,
 //! `agg.count`) that exist in no shared interner, so results travel
 //! by name while plans travel by id.
+//!
+//! Version 2 adds the standing-query conversation: `Register` plans
+//! and materializes a §5 block as a maintained view and answers with
+//! one `Registered` frame (the view id and whether an existing
+//! alpha-equivalent view absorbed the registration); `Poll` streams
+//! the view's maintained rows as `Schema`, `ViewRows` batches (same
+//! layout as `Rows`, the distinct tag marking rows served from
+//! maintained state rather than a fresh execution), then `Done` with
+//! the counters of the maintenance work that poll performed — all zero
+//! on the steady-state fast path. Version-1 payloads still decode.
 //!
 //! The `Done` counters are, in order: `tuples_retrieved`,
 //! `index_probes`, `comparisons`, `hash_build_rows`, `rows_output`,
@@ -54,7 +69,7 @@ use fro_exec::ExecStats;
 use std::io::{self, Read, Write};
 
 /// The protocol version this build writes (and the newest it reads).
-pub const PROTO_VERSION: u8 = 1;
+pub const PROTO_VERSION: u8 = 2;
 
 /// The oldest protocol version this build still decodes.
 pub const PROTO_MIN_SUPPORTED_VERSION: u8 = 1;
@@ -86,6 +101,13 @@ pub enum Request {
     Plan(Vec<u8>),
     /// Liveness probe; the server answers [`Response::Pong`].
     Ping,
+    /// Register a §5 query block as a standing view; the server plans
+    /// it once (or joins an existing alpha-equivalent view) and
+    /// answers [`Response::Registered`].
+    Register(String),
+    /// Poll a standing view by id; the server streams `Schema`,
+    /// [`Response::ViewRows`] batches, then `Done`.
+    Poll(u64),
 }
 
 /// One server → client message.
@@ -113,6 +135,19 @@ pub enum Response {
     },
     /// Answer to [`Request::Ping`].
     Pong,
+    /// Answer to [`Request::Register`]: the standing view's id and
+    /// whether an existing alpha-equivalent view absorbed the
+    /// registration (`shared = true` ⇒ no new materialization ran).
+    Registered {
+        /// The view id to [`Request::Poll`].
+        id: u64,
+        /// `true` when an existing view answered the registration.
+        shared: bool,
+    },
+    /// One batch of a standing view's maintained rows (same layout as
+    /// [`Response::Rows`]; the distinct tag marks rows served from
+    /// maintained state rather than a fresh execution).
+    ViewRows(Vec<Vec<Value>>),
 }
 
 // ---------------------------------------------------------------- framing
@@ -186,6 +221,14 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             w.put_bytes(blob);
         }
         Request::Ping => w.put_u8(2),
+        Request::Register(src) => {
+            w.put_u8(3);
+            w.put_str(src);
+        }
+        Request::Poll(id) => {
+            w.put_u8(4);
+            w.put_u64(*id);
+        }
     }
     w.into_bytes()
 }
@@ -215,6 +258,8 @@ pub fn decode_request(bytes: &[u8]) -> Result<Request, WireError> {
         0 => Request::Text(r.take_str()?.to_owned()),
         1 => Request::Plan(r.take_bytes()?.to_vec()),
         2 => Request::Ping,
+        3 => Request::Register(r.take_str()?.to_owned()),
+        4 => Request::Poll(r.take_u64()?),
         t => {
             return Err(WireError::UnknownTag {
                 what: "request",
@@ -261,27 +306,8 @@ pub fn encode_response(resp: &Response) -> Result<Vec<u8>, WireError> {
             }
         }
         Response::Rows(rows) => {
-            let ncols = rows.first().map_or(0, Vec::len);
-            if rows.iter().any(|row| row.len() != ncols) {
-                return Err(WireError::InvalidNode {
-                    node: "Rows",
-                    reason: "ragged row arity in a batch",
-                });
-            }
-            if ncols as u64 > MAX_COLS {
-                return Err(WireError::InvalidNode {
-                    node: "Rows",
-                    reason: "column count exceeds the protocol cap",
-                });
-            }
             w.put_u8(1);
-            w.put_u64(ncols as u64);
-            w.put_u64(rows.len() as u64);
-            for row in rows {
-                for v in row {
-                    enc_value(&mut w, v);
-                }
-            }
+            enc_row_batch(&mut w, rows)?;
         }
         Response::Done(stats) => {
             w.put_u8(2);
@@ -296,8 +322,43 @@ pub fn encode_response(resp: &Response) -> Result<Vec<u8>, WireError> {
             w.put_str(message);
         }
         Response::Pong => w.put_u8(4),
+        Response::Registered { id, shared } => {
+            w.put_u8(5);
+            w.put_u64(*id);
+            w.put_u8(u8::from(*shared));
+        }
+        Response::ViewRows(rows) => {
+            w.put_u8(6);
+            enc_row_batch(&mut w, rows)?;
+        }
     }
     Ok(w.into_bytes())
+}
+
+/// The shared `varint(ncols) varint(nrows) nrows×ncols×value` body of
+/// `Rows` and `ViewRows`.
+fn enc_row_batch(w: &mut Writer, rows: &[Vec<Value>]) -> Result<(), WireError> {
+    let ncols = rows.first().map_or(0, Vec::len);
+    if rows.iter().any(|row| row.len() != ncols) {
+        return Err(WireError::InvalidNode {
+            node: "Rows",
+            reason: "ragged row arity in a batch",
+        });
+    }
+    if ncols as u64 > MAX_COLS {
+        return Err(WireError::InvalidNode {
+            node: "Rows",
+            reason: "column count exceeds the protocol cap",
+        });
+    }
+    w.put_u64(ncols as u64);
+    w.put_u64(rows.len() as u64);
+    for row in rows {
+        for v in row {
+            enc_value(w, v);
+        }
+    }
+    Ok(())
 }
 
 fn dec_schema(r: &mut Reader<'_>) -> Result<Response, WireError> {
@@ -318,7 +379,7 @@ fn dec_schema(r: &mut Reader<'_>) -> Result<Response, WireError> {
     Ok(Response::Schema(cols))
 }
 
-fn dec_rows(r: &mut Reader<'_>) -> Result<Response, WireError> {
+fn dec_row_batch(r: &mut Reader<'_>) -> Result<Vec<Vec<Value>>, WireError> {
     let at = r.pos();
     let ncols = r.take_u64()?;
     if ncols > MAX_COLS {
@@ -344,7 +405,7 @@ fn dec_rows(r: &mut Reader<'_>) -> Result<Response, WireError> {
         }
         rows.push(row);
     }
-    Ok(Response::Rows(rows))
+    Ok(rows)
 }
 
 fn dec_done(r: &mut Reader<'_>) -> Result<Response, WireError> {
@@ -381,13 +442,28 @@ pub fn decode_response(bytes: &[u8]) -> Result<Response, WireError> {
     let at = r.pos();
     let resp = match r.take_u8()? {
         0 => dec_schema(&mut r)?,
-        1 => dec_rows(&mut r)?,
+        1 => Response::Rows(dec_row_batch(&mut r)?),
         2 => dec_done(&mut r)?,
         3 => Response::Error {
             code: r.take_str()?.to_owned(),
             message: r.take_str()?.to_owned(),
         },
         4 => Response::Pong,
+        5 => {
+            let id = r.take_u64()?;
+            let shared = match r.take_u8()? {
+                0 => false,
+                1 => true,
+                _ => {
+                    return Err(WireError::InvalidNode {
+                        node: "Registered",
+                        reason: "shared flag must be 0 or 1",
+                    })
+                }
+            };
+            Response::Registered { id, shared }
+        }
+        6 => Response::ViewRows(dec_row_batch(&mut r)?),
         t => {
             return Err(WireError::UnknownTag {
                 what: "response",
@@ -421,6 +497,11 @@ mod tests {
         ));
         roundtrip_req(&Request::Plan(vec![1, 0, 0]));
         roundtrip_req(&Request::Ping);
+        roundtrip_req(&Request::Register(
+            "Select All From EMPLOYEE*ChildName".into(),
+        ));
+        roundtrip_req(&Request::Poll(0));
+        roundtrip_req(&Request::Poll(u64::MAX));
     }
 
     #[test]
@@ -445,6 +526,45 @@ mod tests {
             message: "expected Select".into(),
         });
         roundtrip_resp(&Response::Pong);
+        roundtrip_resp(&Response::Registered {
+            id: 7,
+            shared: true,
+        });
+        roundtrip_resp(&Response::Registered {
+            id: u64::MAX,
+            shared: false,
+        });
+        roundtrip_resp(&Response::ViewRows(vec![vec![Value::Int(3), Value::Null]]));
+        roundtrip_resp(&Response::ViewRows(vec![]));
+    }
+
+    #[test]
+    fn version_1_payloads_still_decode() {
+        // A v1 peer's bytes (version byte 1, v1 tags) stay readable.
+        let mut w = Writer::new();
+        w.put_u8(1);
+        w.put_u8(2); // Ping
+        assert_eq!(decode_request(&w.into_bytes()).unwrap(), Request::Ping);
+        let mut w = Writer::new();
+        w.put_u8(1);
+        w.put_u8(4); // Pong
+        assert_eq!(decode_response(&w.into_bytes()).unwrap(), Response::Pong);
+    }
+
+    #[test]
+    fn registered_shared_flag_is_strict() {
+        let mut w = Writer::new();
+        w.put_u8(PROTO_VERSION);
+        w.put_u8(5);
+        w.put_u64(1);
+        w.put_u8(2); // neither 0 nor 1
+        assert!(matches!(
+            decode_response(&w.into_bytes()),
+            Err(WireError::InvalidNode {
+                node: "Registered",
+                ..
+            })
+        ));
     }
 
     #[test]
@@ -544,6 +664,14 @@ mod tests {
             ]]))
             .unwrap(),
             encode_response(&Response::Done(Box::new(stats))).unwrap(),
+            encode_request(&Request::Register("Select All From R*F".into())),
+            encode_request(&Request::Poll(42)),
+            encode_response(&Response::Registered {
+                id: 9,
+                shared: true,
+            })
+            .unwrap(),
+            encode_response(&Response::ViewRows(vec![vec![Value::Int(1), Value::Null]])).unwrap(),
         ];
         for bytes in payloads {
             for i in 0..bytes.len() {

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Print metric deltas between the two most recent archived bench
 # snapshots
-# (benches/history/<sha>-{engine,optimizer,plancache,server,reducer}.json,
+# (benches/history/<sha>-{engine,optimizer,plancache,server,reducer,standing}.json,
 # written by ci.sh after each bench run).
 #
 # Pure shell + awk — no JSON tooling required: the snapshots are flat
@@ -93,3 +93,4 @@ diff_kind optimizer
 diff_kind plancache
 diff_kind server
 diff_kind reducer
+diff_kind standing

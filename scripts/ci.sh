@@ -51,6 +51,16 @@ echo "== shared-session concurrency properties =="
 # the plain `cargo test` above; standalone so a failure names itself).
 cargo test -q --test shared_session_property
 
+echo "== standing-query maintenance properties =="
+# Random append/delete interleavings against registered views on all
+# five join kinds, both executor modes, thread counts 1/2/8: the
+# maintained view stays bit-identical to cold re-execution, outerjoin
+# null rows retract exactly when the last match dies, alpha-equivalent
+# registrations share one view, and maintenance counters sum across
+# handles (also covered by the plain `cargo test` above; standalone so
+# a failure names itself).
+cargo test -q --test standing_property
+
 echo "== EXPLAIN corpus gate =="
 scripts/explain_corpus.sh --check
 # Inverted self-test: a perturbed cost model MUST trip the gate. If
@@ -82,6 +92,13 @@ echo "== semijoin reducer bench -> BENCH_reducer.json =="
 # and snowflake workloads, and that the uniform control declines.
 cargo run -q --release -p fro-bench --bin reducer
 
+echo "== standing-query maintenance bench -> BENCH_standing.json =="
+# Asserts the maintained view stays bit-identical to re-execution on
+# every append, that no append forces a full refresh, that delta rows
+# ingested stay O(appends) not O(base), and a >=10x end-to-end win
+# (append+delta+poll vs append+re-execute+canonicalize).
+cargo run -q --release -p fro-bench --bin standing
+
 echo "== server smoke test (loopback round trip) =="
 cargo run -q --release -p fro-bench --bin serve -- --smoke
 
@@ -96,7 +113,8 @@ cp BENCH_optimizer.json "benches/history/${sha}-optimizer.json"
 cp BENCH_plancache.json "benches/history/${sha}-plancache.json"
 cp BENCH_server.json "benches/history/${sha}-server.json"
 cp BENCH_reducer.json "benches/history/${sha}-reducer.json"
-echo "archived benches/history/${sha}-{engine,optimizer,plancache,server,reducer}.json"
+cp BENCH_standing.json "benches/history/${sha}-standing.json"
+echo "archived benches/history/${sha}-{engine,optimizer,plancache,server,reducer,standing}.json"
 
 echo "== bench deltas vs previous snapshot =="
 scripts/bench_diff.sh || true

@@ -37,6 +37,9 @@ pub enum FroError {
     /// this catalog). A *mismatched* snapshot is not an error — loading
     /// one simply leaves the cache cold.
     Wire(WireError),
+    /// A standing-query poll named an id no registration ever issued
+    /// (or one issued by a *different* shared database).
+    UnknownStanding(u64),
     /// A server reported a failure over the wire protocol. `code` is
     /// the remote [`FroError::code`] string (so the original failure
     /// shape survives the round trip), `message` its rendered text.
@@ -79,6 +82,7 @@ impl FroError {
                 ExecError::Algebra(_) => "EXEC_ALGEBRA",
             },
             FroError::NoEntityModel => "SESSION_NO_ENTITY_MODEL",
+            FroError::UnknownStanding(_) => "STANDING_UNKNOWN",
             FroError::Wire(e) => match e {
                 WireError::Io(_) => "WIRE_IO",
                 _ => "WIRE_FORMAT",
@@ -102,6 +106,13 @@ impl fmt::Display for FroError {
                      (or with_entity_db) before calling query()"
                 )
             }
+            FroError::UnknownStanding(id) => {
+                write!(
+                    f,
+                    "no standing query is registered under id {id}; \
+                     register one with Session::register_standing first"
+                )
+            }
             FroError::Wire(e) => e.fmt(f),
             FroError::Remote { code, message } => {
                 write!(f, "server reported {code}: {message}")
@@ -117,6 +128,7 @@ impl std::error::Error for FroError {
             FroError::Opt(e) => Some(e),
             FroError::Exec(e) => Some(e),
             FroError::NoEntityModel => None,
+            FroError::UnknownStanding(_) => None,
             FroError::Wire(e) => Some(e),
             FroError::Remote { .. } => None,
         }
@@ -167,6 +179,7 @@ mod tests {
                 "EXEC_UNKNOWN_TABLE",
             ),
             (FroError::NoEntityModel, "SESSION_NO_ENTITY_MODEL"),
+            (FroError::UnknownStanding(7), "STANDING_UNKNOWN"),
             (WireError::Io("nope".into()).into(), "WIRE_IO"),
             (WireError::BadMagic.into(), "WIRE_FORMAT"),
             (

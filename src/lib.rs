@@ -74,15 +74,20 @@ mod error;
 mod server;
 mod session;
 mod shared;
+mod standing;
 
 pub use error::FroError;
 pub use server::{Client, Server, ServerOptions};
 pub use session::{CatalogRef, Prepared, Session, StorageRef};
 pub use shared::{DbState, SharedDb};
+pub use standing::{Registered, StandingCounters, StandingId, StandingInfo};
 
 /// One-stop imports for applications.
 pub mod prelude {
-    pub use crate::{Client, FroError, Prepared, Server, ServerOptions, Session, SharedDb};
+    pub use crate::{
+        Client, FroError, Prepared, Registered, Server, ServerOptions, Session, SharedDb,
+        StandingCounters, StandingId, StandingInfo,
+    };
     pub use fro_algebra::prelude::*;
     pub use fro_core::optimizer::{CacheLoad, CacheStats};
     pub use fro_core::{

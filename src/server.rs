@@ -10,15 +10,22 @@
 //! The conversation is the `fro-wire` [`proto`](fro_wire::proto)
 //! grammar: length-prefixed frames, a versioned
 //! [`Request`](fro_wire::Request) (§5 source text, an encoded plan
-//! blob, or a ping), and a response stream of result scheme, row
-//! batches and final work counters — or one typed error frame carrying
-//! the stable [`FroError::code`] string. [`Client`] is the matching
-//! blocking connector that reassembles the stream into a
+//! blob, a standing-query registration or poll, or a ping), and a
+//! response stream of result scheme, row batches and final work
+//! counters — or one typed error frame carrying the stable
+//! [`FroError::code`] string. [`Client`] is the matching blocking
+//! connector that reassembles the stream into a
 //! [`Relation`] + [`ExecStats`].
+//!
+//! Standing queries registered over the wire live in the shared
+//! database, not the connection: two clients registering
+//! alpha-equivalent text receive the same [`StandingId`] and both
+//! observe the one incrementally-maintained view.
 
 use crate::error::FroError;
 use crate::session::Session;
 use crate::shared::SharedDb;
+use crate::standing::{Registered, StandingId};
 use fro_algebra::{Attr, Relation, Schema, Tuple};
 use fro_core::Policy;
 use fro_exec::{execute_with, ExecConfig, ExecStats, PhysPlan};
@@ -160,6 +167,20 @@ fn serve_connection(
                 Ok((rel, stats)) => stream_result(&mut writer, &rel, stats)?,
                 Err(e) => send_error(&mut writer, &e)?,
             },
+            Ok(Request::Register(src)) => match session.register_standing_src(&src) {
+                Ok(r) => send(
+                    &mut writer,
+                    &Response::Registered {
+                        id: r.id.as_u64(),
+                        shared: r.shared,
+                    },
+                )?,
+                Err(e) => send_error(&mut writer, &e)?,
+            },
+            Ok(Request::Poll(id)) => match session.poll_standing(StandingId::from_u64(id)) {
+                Ok((rel, stats)) => stream_view(&mut writer, &rel, stats)?,
+                Err(e) => send_error(&mut writer, &e)?,
+            },
             Err(e) => {
                 // An undecodable request means the framing is no
                 // longer trustworthy: report and hang up.
@@ -207,6 +228,25 @@ fn stream_result(
     rel: &Relation,
     stats: ExecStats,
 ) -> io::Result<()> {
+    stream_batches(writer, rel, stats, false)
+}
+
+/// Like [`stream_result`] but the batches are `ViewRows` frames, so the
+/// client can tell a standing-view snapshot from an ad-hoc result.
+fn stream_view(
+    writer: &mut BufWriter<TcpStream>,
+    rel: &Relation,
+    stats: ExecStats,
+) -> io::Result<()> {
+    stream_batches(writer, rel, stats, true)
+}
+
+fn stream_batches(
+    writer: &mut BufWriter<TcpStream>,
+    rel: &Relation,
+    stats: ExecStats,
+    as_view: bool,
+) -> io::Result<()> {
     let cols: Vec<(String, String)> = rel
         .schema()
         .attrs()
@@ -217,7 +257,12 @@ fn stream_result(
     for chunk in rel.rows().chunks(ROWS_PER_BATCH.max(1)) {
         let batch: Vec<Vec<fro_algebra::Value>> =
             chunk.iter().map(|t| t.values().to_vec()).collect();
-        send(writer, &Response::Rows(batch))?;
+        let resp = if as_view {
+            Response::ViewRows(batch)
+        } else {
+            Response::Rows(batch)
+        };
+        send(writer, &resp)?;
     }
     send(writer, &Response::Done(Box::new(stats)))
 }
@@ -290,6 +335,40 @@ impl Client {
         self.collect_result()
     }
 
+    /// Register a §5 text query as a standing query on the server's
+    /// shared database. The returned [`Registered`] carries the view id
+    /// (stable across clients: alpha-equivalent registrations from any
+    /// connection get the same id) and whether an existing view was
+    /// shared rather than built fresh.
+    ///
+    /// # Errors
+    /// [`FroError::Remote`] with the server's stable code when the
+    /// query fails remotely; [`FroError::Wire`] on transport trouble.
+    pub fn register(&mut self, src: &str) -> Result<Registered, FroError> {
+        self.request(&Request::Register(src.to_string()))?;
+        match self.receive()? {
+            Response::Registered { id, shared } => Ok(Registered {
+                id: StandingId::from_u64(id),
+                shared,
+            }),
+            Response::Error { code, message } => Err(FroError::Remote { code, message }),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Fetch the current contents of a standing view, refreshing it
+    /// first if base tables changed underneath. Rows arrive as
+    /// `ViewRows` batches in the view's canonical (sorted) order.
+    ///
+    /// # Errors
+    /// [`FroError::Remote`] as `STANDING_UNKNOWN` when the id was never
+    /// issued by this server's database; [`FroError::Wire`] on
+    /// transport trouble.
+    pub fn poll(&mut self, id: StandingId) -> Result<(Relation, ExecStats), FroError> {
+        self.request(&Request::Poll(id.as_u64()))?;
+        self.collect_result()
+    }
+
     fn request(&mut self, req: &Request) -> Result<(), FroError> {
         write_frame(&mut self.writer, &encode_request(req)).map_err(|e| io_err(&e))?;
         self.writer.flush().map_err(|e| io_err(&e))
@@ -302,8 +381,8 @@ impl Client {
         Ok(decode_response(&payload)?)
     }
 
-    /// Drain one result stream (`Schema`, `Rows`…, `Done`) into a
-    /// relation, surfacing a server `Error` frame as
+    /// Drain one result stream (`Schema`, `Rows`/`ViewRows`…, `Done`)
+    /// into a relation, surfacing a server `Error` frame as
     /// [`FroError::Remote`].
     fn collect_result(&mut self) -> Result<(Relation, ExecStats), FroError> {
         let cols = match self.receive()? {
@@ -316,7 +395,9 @@ impl Client {
         let mut rows: Vec<Tuple> = Vec::new();
         loop {
             match self.receive()? {
-                Response::Rows(batch) => rows.extend(batch.into_iter().map(Tuple::new)),
+                Response::Rows(batch) | Response::ViewRows(batch) => {
+                    rows.extend(batch.into_iter().map(Tuple::new));
+                }
                 Response::Done(stats) => {
                     let rel = Relation::new(Arc::new(schema), rows)
                         .map_err(|e| FroError::Exec(e.into()))?;
@@ -415,6 +496,44 @@ mod tests {
         let local = session.prepare(&q).unwrap().run().unwrap();
         assert_eq!(remote, local);
         drop(server);
+    }
+
+    #[test]
+    fn standing_registration_is_shared_across_clients() {
+        use std::collections::BTreeSet;
+
+        let (server, db) = served_world();
+        let mut a = Client::connect(server.addr()).unwrap();
+        let mut b = Client::connect(server.addr()).unwrap();
+        let first = a.register(SRC).unwrap();
+        assert!(!first.shared, "first registration built the view");
+        let second = b.register(SRC).unwrap();
+        assert!(second.shared, "alpha-equivalent registration shares it");
+        assert_eq!(first.id, second.id);
+
+        // Either client polls the one view; its canonical snapshot is
+        // the same row set a fresh local execution produces.
+        let (view, _) = b.poll(first.id).unwrap();
+        let local = db
+            .session()
+            .with_entity_db(paper_world())
+            .query(SRC)
+            .unwrap()
+            .run()
+            .unwrap();
+        let view_set: BTreeSet<_> = view.rows().iter().cloned().collect();
+        let local_set: BTreeSet<_> = local.rows().iter().cloned().collect();
+        assert_eq!(view_set, local_set);
+        assert_eq!(view.schema(), local.schema());
+
+        // Polling an id nobody issued answers with the stable code and
+        // leaves the connection usable.
+        let err = a.poll(crate::StandingId::from_u64(999)).unwrap_err();
+        match err {
+            FroError::Remote { ref code, .. } => assert_eq!(code, "STANDING_UNKNOWN"),
+            other => panic!("expected remote error, got {other:?}"),
+        }
+        a.ping().unwrap();
     }
 
     #[test]

@@ -23,6 +23,7 @@
 
 use crate::error::FroError;
 use crate::shared::{register_stats, DbState, SharedDb};
+use crate::standing::{Registered, StandingCounters, StandingId};
 use fro_algebra::{Attr, Query, Relation, Tuple};
 use fro_core::optimizer::{optimize_with_reduce, CacheLoad, CacheStats, Optimized};
 use fro_core::{Catalog, Policy, ReducePolicy};
@@ -43,6 +44,7 @@ pub struct Session {
     exec_config: ExecConfig,
     edb: Option<EntityDb>,
     local: Cell<CacheStats>,
+    local_maint: Cell<ExecStats>,
 }
 
 impl Session {
@@ -193,6 +195,12 @@ impl Session {
         self.local.set(local);
     }
 
+    fn absorb_maint(&self, stats: &ExecStats) {
+        let mut local = self.local_maint.get();
+        local.merge(stats);
+        self.local_maint.set(local);
+    }
+
     /// Persist the plan cache to `path` so a future process over the
     /// same data can start warm ([`Session::load_plan_cache`]).
     /// Returns the number of entries written.
@@ -232,8 +240,26 @@ impl Session {
     /// Append rows to an existing table (set semantics absorb
     /// duplicates), refreshing its statistics. Returns `false` when
     /// the table is unknown or a row doesn't fit the scheme.
+    ///
+    /// Appends bump only the relation's row epoch (not the catalog
+    /// epoch) and fold into every standing view on the relation
+    /// incrementally; the maintenance work is attributed to this
+    /// handle ([`Session::local_maintenance_stats`]).
     pub fn append_rows(&self, name: &str, rows: Vec<Tuple>) -> bool {
-        self.db.append_rows(name, rows)
+        let (ok, stats) = self.db.append_rows_traced(name, rows);
+        self.absorb_maint(&stats);
+        ok
+    }
+
+    /// Delete rows from an existing table (absent rows are ignored),
+    /// refreshing its statistics. Returns `false` when the table is
+    /// unknown. Standing views retract the rows incrementally — an
+    /// outerjoin view re-emits its null-padded row when a preserved
+    /// row's last match dies.
+    pub fn delete_rows(&self, name: &str, rows: &[Tuple]) -> bool {
+        let (ok, stats) = self.db.delete_rows_traced(name, rows);
+        self.absorb_maint(&stats);
+        ok
     }
 
     /// Build a hash index on `rel(attrs…)` in storage and declare it
@@ -287,6 +313,20 @@ impl Session {
     /// [`FroError::Lang`] for parse/translation failures;
     /// [`FroError::Opt`] from the optimizer.
     pub fn query(&self, src: &str) -> Result<Prepared, FroError> {
+        let (state, optimized) = self.optimize_src(src)?;
+        Ok(Prepared {
+            state,
+            exec_config: self.exec_config,
+            optimized,
+        })
+    }
+
+    /// Parse/translate/optimize a §5 block and fold its Where-List
+    /// restrictions on top of the chosen plan — the same placement as
+    /// the reference evaluator's `plan_query`, so results coincide
+    /// tree by tree. Shared by [`Session::query`] and
+    /// [`Session::register_standing_src`].
+    fn optimize_src(&self, src: &str) -> Result<(Arc<DbState>, Optimized), FroError> {
         let edb = self.edb.as_ref().ok_or(FroError::NoEntityModel)?;
         let block = parse(src)?;
         let t = translate(&block, edb)?;
@@ -296,9 +336,6 @@ impl Session {
         let optimized =
             optimize_with_reduce(&tree, state.catalog(), self.policy, self.reduce_policy)?;
         self.absorb(&optimized.cache);
-        // Fold the Where-List restrictions on top of the chosen plan —
-        // the same placement as the reference evaluator's
-        // `plan_query`, so results coincide tree by tree.
         let Optimized {
             plan,
             est_cost,
@@ -317,10 +354,9 @@ impl Session {
         for r in &t.restrictions {
             est_rows *= state.catalog().selectivity(r);
         }
-        Ok(Prepared {
+        Ok((
             state,
-            exec_config: self.exec_config,
-            optimized: Optimized {
+            Optimized {
                 plan,
                 est_cost,
                 est_rows,
@@ -331,7 +367,80 @@ impl Session {
                 suggested_partitions,
                 reduction,
             },
-        })
+        ))
+    }
+
+    /// Register an algebra query as a **standing view**: plan it once
+    /// (through the shared plan cache), materialize the result and the
+    /// per-join state deltas need, and keep it maintained under every
+    /// [`Session::append_rows`] / [`Session::delete_rows`] on its base
+    /// relations. Registering an alpha-equivalent query — from *any*
+    /// session over this database — returns the **same** view
+    /// ([`Registered::shared`]): one materialization, another
+    /// subscriber, exactly the sharing Theorem 1 licenses.
+    ///
+    /// # Errors
+    /// [`FroError::Opt`] when the optimizer rejects the query;
+    /// [`FroError::Exec`] when the initial materialization fails.
+    pub fn register_standing(&self, q: &Query) -> Result<Registered, FroError> {
+        let state = self.db.snapshot();
+        let optimized = optimize_with_reduce(q, state.catalog(), self.policy, self.reduce_policy)?;
+        self.absorb(&optimized.cache);
+        let (reg, stats) = self.db.register_standing_with(&optimized, self.policy)?;
+        self.absorb_maint(&stats);
+        Ok(reg)
+    }
+
+    /// Register a §5 UnNest/Link query block as a standing view (the
+    /// text-protocol twin of [`Session::register_standing`]; the
+    /// server's `Register` frame lands here).
+    ///
+    /// # Errors
+    /// [`FroError::NoEntityModel`] without an entity model;
+    /// [`FroError::Lang`] for parse/translation failures;
+    /// [`FroError::Opt`] / [`FroError::Exec`] from planning and
+    /// materialization.
+    pub fn register_standing_src(&self, src: &str) -> Result<Registered, FroError> {
+        let (_state, optimized) = self.optimize_src(src)?;
+        let (reg, stats) = self.db.register_standing_with(&optimized, self.policy)?;
+        self.absorb_maint(&stats);
+        Ok(reg)
+    }
+
+    /// Serve a standing view's current result in canonical row order,
+    /// with the work counters of *this* poll (all zero on the
+    /// steady-state fast path; a full refresh shows up as
+    /// `views_refreshed = 1` plus the re-execution's engine counters).
+    ///
+    /// # Errors
+    /// [`FroError::UnknownStanding`] for an id this database never
+    /// issued; [`FroError::Exec`] when a refresh fails.
+    pub fn poll_standing(&self, id: StandingId) -> Result<(Relation, ExecStats), FroError> {
+        let (rel, stats) = self.db.poll_standing(id)?;
+        self.absorb_maint(&stats);
+        Ok((rel, stats))
+    }
+
+    /// Cumulative standing-query registry counters (all sessions).
+    #[must_use]
+    pub fn standing_counters(&self) -> StandingCounters {
+        self.db.standing_counters()
+    }
+
+    /// Cumulative view-maintenance work across all sessions
+    /// ([`SharedDb::maintenance_stats`]).
+    #[must_use]
+    pub fn maintenance_stats(&self) -> ExecStats {
+        self.db.maintenance_stats()
+    }
+
+    /// View-maintenance work attributed to this handle alone
+    /// (registrations, polls and mutations it issued). Across
+    /// concurrent sessions over one [`SharedDb`] these sum to
+    /// [`Session::maintenance_stats`], like the plan-cache counters.
+    #[must_use]
+    pub fn local_maintenance_stats(&self) -> ExecStats {
+        self.local_maint.get()
     }
 
     /// Sync a translated block's relations into the shared database,

@@ -20,10 +20,11 @@
 //!
 //! [`Session`]: crate::Session
 
+use crate::standing::{self, Registry};
 use fro_algebra::{Attr, Relation, Tuple};
 use fro_core::Catalog;
-use fro_exec::Storage;
-use std::sync::{Arc, RwLock};
+use fro_exec::{ExecStats, RowDelta, Storage};
+use std::sync::{Arc, Mutex, MutexGuard, RwLock};
 
 /// One immutable generation of the database: catalog + storage,
 /// derived together so ids, statistics and stored rows always agree.
@@ -52,6 +53,12 @@ impl DbState {
 #[derive(Debug, Default)]
 pub struct SharedDb {
     state: RwLock<Arc<DbState>>,
+    /// Standing-query views and their maintenance machinery. Lock
+    /// order: `standing` strictly before `state` — mutation front
+    /// doors hold the registry lock around the whole
+    /// mutate-then-fan-out sequence so base deltas reach every view in
+    /// publication order.
+    standing: Mutex<Registry>,
 }
 
 impl SharedDb {
@@ -70,6 +77,7 @@ impl SharedDb {
                 catalog: Catalog::from_storage(&storage),
                 storage,
             })),
+            standing: Mutex::default(),
         })
     }
 
@@ -121,21 +129,95 @@ impl SharedDb {
     /// refreshed statistics. Rows that duplicate existing ones are
     /// absorbed by set semantics. Returns `false` (doing nothing) when
     /// the table is unknown or a row doesn't fit the scheme.
+    ///
+    /// Unlike a table replacement, an append bumps only the relation's
+    /// **row epoch**, not the catalog epoch: plans over *other*
+    /// relations stay cached, plans over this one re-cost, and every
+    /// standing view on it folds the novel rows in incrementally
+    /// (O(|delta|), no re-execution).
     pub fn append_rows(&self, name: &str, rows: Vec<Tuple>) -> bool {
-        self.mutate(|catalog, storage| {
-            let Some(table) = storage.rel_id(name).and_then(|id| storage.get_by_id(id)) else {
-                return false;
-            };
+        self.append_rows_traced(name, rows).0
+    }
+
+    /// [`SharedDb::append_rows`] plus the maintenance work it
+    /// triggered, so session handles can attribute their share.
+    pub(crate) fn append_rows_traced(&self, name: &str, rows: Vec<Tuple>) -> (bool, ExecStats) {
+        let mut reg = self.standing_lock();
+        let delta = self.mutate(|catalog, storage| {
+            // O(|delta|) storage path: the table's row store, columnar
+            // mirror, indexes, and exact distinct counts are extended
+            // in place — no rebuild, no re-dedup of the base.
+            let novel = storage.append_rows(name, rows)?;
+            if novel.is_empty() {
+                // Every row was a duplicate: nothing changed, keep the
+                // generation (and every epoch) as it is.
+                return Some(RowDelta::default());
+            }
+            let table = storage
+                .rel_id(name)
+                .and_then(|id| storage.get_by_id(id))
+                .expect("table exists: rows were just appended to it");
+            refresh_stats_quiet(catalog, name, table);
+            catalog.bump_row_epoch(name);
+            Some(RowDelta::from_inserts(novel))
+        });
+        match delta {
+            None => (false, ExecStats::new()),
+            Some(d) => {
+                let stats = standing::apply_base_delta(&mut reg, &self.snapshot(), name, &d);
+                (true, stats)
+            }
+        }
+    }
+
+    /// Delete rows from an existing table (rows not present are
+    /// ignored), republishing it with refreshed statistics. Returns
+    /// `false` (doing nothing) when the table is unknown. Like
+    /// [`SharedDb::append_rows`], bumps only the relation's row epoch;
+    /// standing views retract the removed rows incrementally — an
+    /// outerjoin view re-emits the null-padded row when a preserved
+    /// row's last match dies.
+    pub fn delete_rows(&self, name: &str, rows: &[Tuple]) -> bool {
+        self.delete_rows_traced(name, rows).0
+    }
+
+    /// [`SharedDb::delete_rows`] plus the maintenance work it
+    /// triggered.
+    pub(crate) fn delete_rows_traced(&self, name: &str, rows: &[Tuple]) -> (bool, ExecStats) {
+        let mut reg = self.standing_lock();
+        let delta = self.mutate(|catalog, storage| {
+            let table = storage.rel_id(name).and_then(|id| storage.get_by_id(id))?;
             let old = table.relation();
-            let mut all = old.rows().to_vec();
-            all.extend(rows);
-            let Ok(rel) = Relation::new(old.schema().clone(), all) else {
-                return false;
-            };
-            register_stats(catalog, name, &rel);
-            storage.insert(name, rel);
-            true
-        })
+            let doomed: std::collections::HashSet<&Tuple> = rows.iter().collect();
+            let (removed, kept): (Vec<Tuple>, Vec<Tuple>) =
+                old.rows().iter().cloned().partition(|t| doomed.contains(t));
+            if removed.is_empty() {
+                return Some(RowDelta::default());
+            }
+            // The survivors were already distinct; their order is the
+            // stored order, so the relation round-trips bit-identically.
+            let rel = Relation::from_distinct_rows(old.schema().clone(), kept);
+            let table = storage.insert(name, rel);
+            refresh_stats_quiet(catalog, name, table);
+            catalog.bump_row_epoch(name);
+            Some(RowDelta::from_deletes(removed))
+        });
+        match delta {
+            None => (false, ExecStats::new()),
+            Some(d) => {
+                let stats = standing::apply_base_delta(&mut reg, &self.snapshot(), name, &d);
+                (true, stats)
+            }
+        }
+    }
+
+    /// The standing-query registry, for the maintenance code in
+    /// [`crate::standing`]. Lock order: this lock strictly before any
+    /// `state` access.
+    pub(crate) fn standing_lock(&self) -> MutexGuard<'_, Registry> {
+        self.standing
+            .lock()
+            .expect("standing registry lock never poisoned")
     }
 
     /// Build a hash index on `rel(attrs…)` in storage and declare it
@@ -166,6 +248,21 @@ pub(crate) fn register_stats(catalog: &mut Catalog, name: &str, rel: &Relation) 
     for (c, a) in rel.schema().attrs().iter().enumerate() {
         let distinct: std::collections::HashSet<_> = rel.rows().iter().map(|t| t.get(c)).collect();
         catalog.set_distinct(a, distinct.len() as u64);
+    }
+}
+
+/// Refresh an *already-registered* relation's statistics without
+/// bumping the catalog epoch — row appends/deletes invalidate at
+/// row-epoch granularity instead ([`Catalog::bump_row_epoch`]).
+///
+/// Reads the exact distinct counts the table's columnar mirror already
+/// maintains (same null-counts-as-one convention as
+/// [`register_stats`]), so refreshing statistics is O(columns), not
+/// O(rows) — which is what keeps the whole append path O(|delta|).
+fn refresh_stats_quiet(catalog: &mut Catalog, name: &str, table: &fro_exec::Table) {
+    catalog.set_rows_quiet(name, table.len() as u64);
+    for (c, a) in table.relation().schema().attrs().iter().enumerate() {
+        catalog.set_distinct_quiet(a, table.columns().column(c).distinct());
     }
 }
 

@@ -1,0 +1,582 @@
+//! Standing queries: register once, maintain forever.
+//!
+//! A standing query is planned a single time and materialized into a
+//! [`StandingView`]: the result rows plus the per-join state the delta
+//! algebra needs (hash build sides, outerjoin match counters — see
+//! [`fro_exec::DeltaPlan`]). Afterwards every mutation that goes
+//! through the [`SharedDb`] front door ([`SharedDb::append_rows`],
+//! [`SharedDb::delete_rows`]) propagates a typed [`RowDelta`] through
+//! the view's plan instead of re-executing it, so a poll touches
+//! O(|delta|) rows, not O(|base|).
+//!
+//! ## Keying (Theorem 1 at registration time)
+//!
+//! The paper's Theorem 1 makes the query graph the *identity* of a
+//! freely reorderable query, so the registry keys each view by
+//! `(GraphSignature, canonical relation set, policy)` — exactly the
+//! plan cache's key — refined by a fingerprint of the chosen physical
+//! plan (two §5 blocks can share a join graph while carrying different
+//! Where-List restrictions; the folded plans tell them apart).
+//! Registering an alpha-equivalent phrasing therefore lands on the
+//! *same* view: one materialization, one maintained state, another
+//! subscriber.
+//!
+//! ## Finkelstein prefix/extension reuse
+//!
+//! Following the readyset lineage (SNIPPETS.md §1,
+//! `ReuseConfigType::Finkelstein`), a new registration whose graph is
+//! contained in — or contains — an existing view's graph
+//! ([`fro_core::optimizer::graph_containment`]) shares the pooled leaf
+//! build sides of the views already materialized instead of rebuilding
+//! them; [`StandingCounters::build_sides_reused`] counts every such
+//! reuse.
+//!
+//! ## Staleness
+//!
+//! Each view records the catalog epoch and the per-relation row epochs
+//! it has accounted for. Quiet mutations (row appends/deletes) bump
+//! only the touched relation's row epoch and are folded in
+//! incrementally; anything that bumps the catalog epoch (table
+//! replacement, what-if statistics, a §5 block syncing new tables)
+//! leaves the view behind, and the next poll notices the gap and falls
+//! back to a full re-execution — stale state is never served.
+
+use crate::error::FroError;
+use crate::shared::{DbState, SharedDb};
+use fro_algebra::schema::SchemaRef;
+use fro_algebra::{Relation, Tuple};
+use fro_core::optimizer::{graph_containment, graph_signature, GraphReuse, Optimized};
+use fro_core::{Catalog, Policy};
+use fro_exec::{execute, BuildSidePool, DeltaPlan, ExecStats, PhysPlan, RowDelta};
+use fro_graph::QueryGraph;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// Handle to a registered standing query. Stable for the lifetime of
+/// the [`SharedDb`] that issued it; alpha-equivalent registrations
+/// return the *same* id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StandingId(u64);
+
+impl StandingId {
+    /// The raw id, e.g. for carrying over the wire protocol.
+    #[must_use]
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Rebuild an id received over the wire. An id that no registry
+    /// ever issued simply fails at poll time with
+    /// `STANDING_UNKNOWN`.
+    #[must_use]
+    pub fn from_u64(raw: u64) -> StandingId {
+        StandingId(raw)
+    }
+}
+
+impl fmt::Display for StandingId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "standing#{}", self.0)
+    }
+}
+
+/// The outcome of a registration: the view's id and whether an
+/// existing view answered it (`shared`) or a fresh materialization ran.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Registered {
+    /// The view handle to poll.
+    pub id: StandingId,
+    /// `true` when an alpha-equivalent view already existed — no new
+    /// materialization, one more subscriber on the shared view.
+    pub shared: bool,
+}
+
+/// A point-in-time description of one registered view.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StandingInfo {
+    /// How many registrations this view answers.
+    pub subscribers: u64,
+    /// Current maintained result cardinality.
+    pub rows: usize,
+    /// `true` when the view is delta-maintained; `false` when its plan
+    /// uses an operator outside the delta algebra (projection,
+    /// aggregation, generalized outerjoin) and every stale poll
+    /// re-executes instead.
+    pub incremental: bool,
+    /// The base relations the view depends on, sorted.
+    pub rels: Vec<String>,
+}
+
+/// Cumulative registry counters (all sessions, since the
+/// [`SharedDb`] was built).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StandingCounters {
+    /// Distinct views materialized.
+    pub registered: u64,
+    /// Registrations answered by an existing alpha-equivalent view.
+    pub shared_hits: u64,
+    /// Registrations whose graph was contained in an already-registered
+    /// view's graph (Finkelstein prefix reuse).
+    pub prefix_reuses: u64,
+    /// Registrations whose graph contained an already-registered view's
+    /// graph (Finkelstein direct extension).
+    pub extension_reuses: u64,
+    /// Leaf build sides cloned from the shared pool instead of rebuilt.
+    pub build_sides_reused: u64,
+}
+
+/// One maintained view: the plan it was registered with, the delta
+/// machinery (when the plan fits the delta algebra), the result rows in
+/// canonical order, and the epochs it has accounted for.
+#[derive(Debug)]
+struct View {
+    graph: Option<QueryGraph>,
+    plan: PhysPlan,
+    delta: Option<DeltaPlan>,
+    rows: BTreeSet<Tuple>,
+    schema: SchemaRef,
+    rels: BTreeSet<String>,
+    subscribers: u64,
+    base_epoch: u64,
+    row_epochs: HashMap<String, u64>,
+}
+
+/// `(signature, relation set, policy, plan fingerprint)` — the sharing
+/// key. See the module docs for why the plan fingerprint is part of it.
+type ViewKey = (u64, BTreeSet<String>, Policy, u64);
+
+/// The standing-query registry of one [`SharedDb`]: all views, the
+/// shared leaf build-side pool, and the cumulative counters.
+#[derive(Debug, Default)]
+pub(crate) struct Registry {
+    views: BTreeMap<u64, View>,
+    by_key: HashMap<ViewKey, u64>,
+    pool: BuildSidePool,
+    /// Catalog epoch the pool's entries were built under. Quiet row
+    /// mutations invalidate per relation; an epoch move (table
+    /// replacement, statistics change) clears the pool wholesale at
+    /// its next use.
+    pool_epoch: u64,
+    next_id: u64,
+    totals: ExecStats,
+    counters: StandingCounters,
+}
+
+impl Registry {
+    /// Drop pool entries that predate the current catalog epoch, then
+    /// hand the pool out for an initialize.
+    fn fresh_pool(&mut self, catalog: &Catalog) -> &mut BuildSidePool {
+        if self.pool_epoch != catalog.epoch() {
+            self.pool.clear();
+            self.pool_epoch = catalog.epoch();
+        }
+        &mut self.pool
+    }
+}
+
+fn plan_fingerprint(plan: &PhysPlan) -> u64 {
+    let mut h = DefaultHasher::new();
+    plan.explain().hash(&mut h);
+    h.finish()
+}
+
+fn plan_rels(plan: &PhysPlan) -> BTreeSet<String> {
+    let mut rels = BTreeSet::new();
+    plan.for_each_base_rel(&mut |r| {
+        rels.insert(r.to_owned());
+    });
+    rels
+}
+
+fn row_epoch_of(catalog: &Catalog, rel: &str) -> u64 {
+    catalog.rel_id(rel).map_or(0, |id| catalog.row_epoch(id))
+}
+
+fn current_epochs(catalog: &Catalog, rels: &BTreeSet<String>) -> HashMap<String, u64> {
+    rels.iter()
+        .map(|r| (r.clone(), row_epoch_of(catalog, r)))
+        .collect()
+}
+
+/// The bit-identical serving order: result rows sorted by [`Tuple`]'s
+/// total order under the view's schema. Polls return this rendering
+/// and the property suite compares re-executions against it.
+fn canonical_rows(schema: &SchemaRef, rows: &BTreeSet<Tuple>) -> Relation {
+    Relation::from_distinct_rows(schema.clone(), rows.iter().cloned().collect())
+}
+
+/// Whether `view` has accounted for every epoch the catalog currently
+/// shows for its relations.
+fn is_current(view: &View, catalog: &Catalog) -> bool {
+    view.base_epoch == catalog.epoch()
+        && view
+            .rels
+            .iter()
+            .all(|r| view.row_epochs.get(r).copied().unwrap_or(0) == row_epoch_of(catalog, r))
+}
+
+/// Rebuild `view` from scratch against `state` (counted in
+/// `views_refreshed`), re-deriving all join state and re-stamping the
+/// accounted epochs.
+fn refresh_view(
+    view: &mut View,
+    pool: &mut BuildSidePool,
+    state: &DbState,
+    stats: &mut ExecStats,
+) -> Result<(), FroError> {
+    stats.views_refreshed += 1;
+    let rows: Vec<Tuple> = match view.delta.as_mut() {
+        Some(dp) => dp.initialize(state.storage(), pool, stats)?,
+        None => execute(&view.plan, state.storage(), stats)?.rows().to_vec(),
+    };
+    view.rows = rows.into_iter().collect();
+    view.base_epoch = state.catalog().epoch();
+    view.row_epochs = current_epochs(state.catalog(), &view.rels);
+    Ok(())
+}
+
+/// Fan one base-relation delta out to every view that depends on it.
+/// Called by the mutation front doors *after* the new generation is
+/// published, still under the registry lock, with `state` the
+/// post-mutation snapshot. Views that are current except for this one
+/// row-epoch bump fold the delta in; views already behind (or whose
+/// plan is outside the delta algebra) stay behind and the next poll
+/// refreshes them. Returns the maintenance work done (also merged into
+/// the registry totals).
+pub(crate) fn apply_base_delta(
+    reg: &mut Registry,
+    state: &DbState,
+    rel: &str,
+    delta: &RowDelta,
+) -> ExecStats {
+    let mut done = ExecStats::new();
+    if delta.is_empty() {
+        return done;
+    }
+    reg.pool.invalidate_rel(rel);
+    let catalog = state.catalog();
+    let now = row_epoch_of(catalog, rel);
+    for view in reg.views.values_mut() {
+        if !view.rels.contains(rel) {
+            continue;
+        }
+        let Some(dp) = view.delta.as_mut() else {
+            continue; // refresh-mode view: the epoch gap refreshes it at poll
+        };
+        let behind_exactly_this = view.base_epoch == catalog.epoch()
+            && view.rels.iter().all(|r| {
+                let have = view.row_epochs.get(r).copied().unwrap_or(0);
+                let cur = row_epoch_of(catalog, r);
+                if r == rel {
+                    have + 1 == cur
+                } else {
+                    have == cur
+                }
+            });
+        if !behind_exactly_this {
+            continue;
+        }
+        let mut stats = ExecStats::new();
+        match dp.apply(rel, delta, &mut stats) {
+            Ok(out) => {
+                stats.delta_rows_out += out.len() as u64;
+                for t in &out.deletes {
+                    view.rows.remove(t);
+                }
+                for t in out.inserts {
+                    view.rows.insert(t);
+                }
+                view.row_epochs.insert(rel.to_owned(), now);
+                done.merge(&stats);
+            }
+            Err(_) => {
+                // The join state may be torn mid-apply; leave the view
+                // behind so the next poll rebuilds it from scratch.
+                dp.reset();
+            }
+        }
+    }
+    reg.totals.merge(&done);
+    done
+}
+
+impl SharedDb {
+    /// Register an already-optimized query as a standing view,
+    /// returning the (possibly shared) handle and the materialization
+    /// work. Crate-internal: [`Session::register_standing`] and
+    /// [`Session::register_standing_src`] are the public doors.
+    ///
+    /// [`Session::register_standing`]: crate::Session::register_standing
+    /// [`Session::register_standing_src`]: crate::Session::register_standing_src
+    pub(crate) fn register_standing_with(
+        &self,
+        optimized: &Optimized,
+        policy: Policy,
+    ) -> Result<(Registered, ExecStats), FroError> {
+        let mut guard = self.standing_lock();
+        let reg = &mut *guard;
+        let state = self.snapshot();
+        let rels = plan_rels(&optimized.plan);
+        let graph = optimized.analysis.graph.clone();
+        let key: Option<ViewKey> = graph.as_ref().map(|g| {
+            (
+                graph_signature(g).0.as_u64(),
+                rels.clone(),
+                policy,
+                plan_fingerprint(&optimized.plan),
+            )
+        });
+        if let Some(k) = &key {
+            if let Some(&id) = reg.by_key.get(k) {
+                let view = reg.views.get_mut(&id).expect("keyed view exists");
+                view.subscribers += 1;
+                reg.counters.shared_hits += 1;
+                return Ok((
+                    Registered {
+                        id: StandingId(id),
+                        shared: true,
+                    },
+                    ExecStats::new(),
+                ));
+            }
+            if let Some(g) = &graph {
+                // Finkelstein classification against the registered
+                // population: one counted relationship is enough to
+                // route this registration at the shared pool.
+                let reuse = reg
+                    .views
+                    .values()
+                    .filter_map(|v| v.graph.as_ref())
+                    .find_map(|old| match graph_containment(g, old) {
+                        Some(GraphReuse::PrefixOf) => Some(GraphReuse::PrefixOf),
+                        Some(GraphReuse::ExtensionOf) => Some(GraphReuse::ExtensionOf),
+                        _ => None,
+                    });
+                match reuse {
+                    Some(GraphReuse::PrefixOf) => reg.counters.prefix_reuses += 1,
+                    Some(GraphReuse::ExtensionOf) => reg.counters.extension_reuses += 1,
+                    _ => {}
+                }
+            }
+        }
+        let mut stats = ExecStats::new();
+        let mut delta = DeltaPlan::try_build(&optimized.plan, state.storage());
+        let pool = reg.fresh_pool(state.catalog());
+        let hits_before = pool.hits();
+        let (rows, schema): (Vec<Tuple>, SchemaRef) = match delta.as_mut() {
+            Some(dp) => {
+                let rows = dp.initialize(state.storage(), pool, &mut stats)?;
+                (rows, dp.schema().clone())
+            }
+            None => {
+                let rel = execute(&optimized.plan, state.storage(), &mut stats)?;
+                let schema = rel.schema().clone();
+                (rel.rows().to_vec(), schema)
+            }
+        };
+        reg.counters.build_sides_reused += reg.pool.hits() - hits_before;
+        stats.views_refreshed += 1;
+        let catalog = state.catalog();
+        let id = reg.next_id;
+        reg.next_id += 1;
+        reg.views.insert(
+            id,
+            View {
+                graph,
+                plan: optimized.plan.clone(),
+                delta,
+                rows: rows.into_iter().collect(),
+                schema,
+                rels: rels.clone(),
+                subscribers: 1,
+                base_epoch: catalog.epoch(),
+                row_epochs: current_epochs(catalog, &rels),
+            },
+        );
+        if let Some(k) = key {
+            reg.by_key.insert(k, id);
+        }
+        reg.counters.registered += 1;
+        reg.totals.merge(&stats);
+        Ok((
+            Registered {
+                id: StandingId(id),
+                shared: false,
+            },
+            stats,
+        ))
+    }
+
+    /// Serve a standing view's current result: the maintained rows in
+    /// canonical order, refreshed from scratch first only if some
+    /// mutation path the delta machinery doesn't cover moved the
+    /// epochs. The returned [`ExecStats`] is the work *this poll* did —
+    /// all zero on the steady-state fast path.
+    ///
+    /// # Errors
+    /// [`FroError::UnknownStanding`] when no registration produced
+    /// `id`; [`FroError::Exec`] when a refresh re-execution fails.
+    pub fn poll_standing(&self, id: StandingId) -> Result<(Relation, ExecStats), FroError> {
+        let mut guard = self.standing_lock();
+        let reg = &mut *guard;
+        let state = self.snapshot();
+        let Some(view) = reg.views.get_mut(&id.0) else {
+            return Err(FroError::UnknownStanding(id.0));
+        };
+        let mut stats = ExecStats::new();
+        if !is_current(view, state.catalog()) {
+            if reg.pool_epoch != state.catalog().epoch() {
+                reg.pool.clear();
+                reg.pool_epoch = state.catalog().epoch();
+            }
+            refresh_view(view, &mut reg.pool, &state, &mut stats)?;
+        }
+        let rel = canonical_rows(&view.schema, &view.rows);
+        reg.totals.merge(&stats);
+        Ok((rel, stats))
+    }
+
+    /// Describe one registered view, or `None` for an unknown id.
+    #[must_use]
+    pub fn standing_info(&self, id: StandingId) -> Option<StandingInfo> {
+        let reg = self.standing_lock();
+        reg.views.get(&id.0).map(|v| StandingInfo {
+            subscribers: v.subscribers,
+            rows: v.rows.len(),
+            incremental: v.delta.is_some(),
+            rels: v.rels.iter().cloned().collect(),
+        })
+    }
+
+    /// Cumulative registry counters (registrations, sharing, build-side
+    /// reuse) across all sessions.
+    #[must_use]
+    pub fn standing_counters(&self) -> StandingCounters {
+        self.standing_lock().counters
+    }
+
+    /// Cumulative maintenance work across all views and mutations:
+    /// `delta_rows_in` / `delta_rows_out` for the incremental passes,
+    /// `views_refreshed` for the full re-executions, plus the engine
+    /// counters those passes accrued. Per-connection shares
+    /// ([`Session::local_maintenance_stats`]) sum to this total, like
+    /// the plan-cache counters.
+    ///
+    /// [`Session::local_maintenance_stats`]: crate::Session::local_maintenance_stats
+    #[must_use]
+    pub fn maintenance_stats(&self) -> ExecStats {
+        self.standing_lock().totals
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Session;
+    use fro_algebra::{Pred, Query, Value};
+
+    fn star_session() -> Session {
+        let s = Session::new();
+        s.insert_table(
+            "F",
+            Relation::from_ints("F", &["d1", "d2"], &[&[1, 10], &[2, 20], &[3, 30]]),
+        );
+        s.insert_table("D1", Relation::from_ints("D1", &["k"], &[&[1], &[2]]));
+        s.insert_table("D2", Relation::from_ints("D2", &["k"], &[&[10], &[30]]));
+        s
+    }
+
+    fn star_query() -> Query {
+        Query::rel("F")
+            .join(Query::rel("D1"), Pred::eq_attr("F.d1", "D1.k"))
+            .join(Query::rel("D2"), Pred::eq_attr("F.d2", "D2.k"))
+    }
+
+    #[test]
+    fn register_poll_and_incremental_append() {
+        let s = star_session();
+        let reg = s.register_standing(&star_query()).unwrap();
+        assert!(!reg.shared);
+        let (out, stats) = s.poll_standing(reg.id).unwrap();
+        assert_eq!(out.len(), 1); // (1,10) matches both dims
+        assert_eq!(stats.views_refreshed, 0, "steady poll does no work");
+        // A quiet append folds in incrementally: no refresh, O(delta).
+        assert!(s.append_rows("D2", vec![Tuple::new(vec![Value::Int(20)])]));
+        let (out2, stats2) = s.poll_standing(reg.id).unwrap();
+        assert_eq!(out2.len(), 2);
+        assert_eq!(stats2.views_refreshed, 0);
+        let totals = s.shared().maintenance_stats();
+        assert!(totals.delta_rows_in > 0 && totals.delta_rows_out > 0);
+        // Bit-identical to a cold re-execution served in the same
+        // canonical order.
+        let cold = s.prepare(&star_query()).unwrap().run().unwrap();
+        let sorted: BTreeSet<Tuple> = cold.rows().iter().cloned().collect();
+        assert_eq!(out2, canonical_rows(&cold.schema().clone(), &sorted));
+    }
+
+    #[test]
+    fn alpha_equivalent_registrations_share_one_view() {
+        let s = star_session();
+        // The same star phrased in the opposite association.
+        let other = Query::rel("F")
+            .join(Query::rel("D2"), Pred::eq_attr("F.d2", "D2.k"))
+            .join(Query::rel("D1"), Pred::eq_attr("F.d1", "D1.k"));
+        let first = s.register_standing(&star_query()).unwrap();
+        let b = Session::connect(s.shared());
+        let second = b.register_standing(&other).unwrap();
+        assert_eq!(first.id, second.id, "one view, two subscribers");
+        assert!(!first.shared);
+        assert!(second.shared);
+        let info = s.shared().standing_info(first.id).unwrap();
+        assert_eq!(info.subscribers, 2);
+        let c = s.shared().standing_counters();
+        assert_eq!(c.registered, 1);
+        assert_eq!(c.shared_hits, 1);
+    }
+
+    #[test]
+    fn table_replacement_forces_a_refresh() {
+        let s = star_session();
+        let reg = s.register_standing(&star_query()).unwrap();
+        let _ = s.poll_standing(reg.id).unwrap();
+        // Replacing a base table bumps the catalog epoch; the next poll
+        // must rebuild rather than serve stale rows.
+        s.insert_table("D1", Relation::from_ints("D1", &["k"], &[&[3]]));
+        let (out, stats) = s.poll_standing(reg.id).unwrap();
+        assert_eq!(stats.views_refreshed, 1);
+        let cold = s.prepare(&star_query()).unwrap().run().unwrap();
+        assert_eq!(out.len(), cold.len());
+        assert_eq!(out.len(), 1); // only (3,30) survives the new D1
+    }
+
+    #[test]
+    fn unknown_ids_fail_with_a_stable_code() {
+        let s = star_session();
+        let e = s.poll_standing(StandingId::from_u64(999)).unwrap_err();
+        assert_eq!(e.code(), "STANDING_UNKNOWN");
+        assert!(s
+            .shared()
+            .standing_info(StandingId::from_u64(999))
+            .is_none());
+    }
+
+    #[test]
+    fn prefix_registration_reuses_pooled_build_sides() {
+        let s = star_session();
+        let _ = s.register_standing(&star_query()).unwrap();
+        // A prefix of the star: joins a subset of its relations on the
+        // same predicate, so the D1 leaf build side is already pooled.
+        let prefix = Query::rel("F").join(Query::rel("D1"), Pred::eq_attr("F.d1", "D1.k"));
+        let reg = s.register_standing(&prefix).unwrap();
+        assert!(!reg.shared, "different graph, its own view");
+        let c = s.shared().standing_counters();
+        assert_eq!(c.registered, 2);
+        assert_eq!(c.prefix_reuses, 1, "containment detected");
+        assert!(
+            c.build_sides_reused >= 1,
+            "leaf build side cloned from pool"
+        );
+    }
+}
